@@ -1,0 +1,75 @@
+//! Engine substrate throughput: virtual-clock row rates through the core
+//! operators, to document the simulator's own cost (distinct from the
+//! virtual time it models).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use lqs::exec::{execute, ExecOptions};
+use lqs::plan::{AggFunc, Aggregate, Expr, JoinKind, PlanBuilder, SortKey};
+use lqs::storage::{Column, DataType, Database, Schema, Table, Value};
+
+fn db(rows: i64) -> (Database, lqs::storage::TableId) {
+    let mut t = Table::new(
+        "t",
+        Schema::new(vec![
+            Column::new("a", DataType::Int),
+            Column::new("b", DataType::Int),
+        ]),
+    );
+    for i in 0..rows {
+        t.insert(vec![Value::Int(i), Value::Int(i % 97)]).unwrap();
+    }
+    let mut d = Database::new();
+    let id = d.add_table_analyzed(t);
+    (d, id)
+}
+
+fn bench_engine(c: &mut Criterion) {
+    const ROWS: i64 = 50_000;
+    let (d, t) = db(ROWS);
+    let mut g = c.benchmark_group("engine");
+    g.throughput(Throughput::Elements(ROWS as u64));
+
+    g.bench_function("table_scan", |b| {
+        let mut pb = PlanBuilder::new(&d);
+        let scan = pb.table_scan(t);
+        let plan = pb.finish(scan);
+        b.iter(|| execute(&d, &plan, &ExecOptions::default()))
+    });
+
+    g.bench_function("filter_scan", |b| {
+        let mut pb = PlanBuilder::new(&d);
+        let scan = pb.table_scan_filtered(t, Expr::col(1).lt(Expr::lit(50i64)), true);
+        let plan = pb.finish(scan);
+        b.iter(|| execute(&d, &plan, &ExecOptions::default()))
+    });
+
+    g.bench_function("hash_aggregate", |b| {
+        let mut pb = PlanBuilder::new(&d);
+        let scan = pb.table_scan(t);
+        let agg = pb.hash_aggregate(scan, vec![1], vec![Aggregate::of_col(AggFunc::Sum, 0)]);
+        let plan = pb.finish(agg);
+        b.iter(|| execute(&d, &plan, &ExecOptions::default()))
+    });
+
+    g.bench_function("sort", |b| {
+        let mut pb = PlanBuilder::new(&d);
+        let scan = pb.table_scan(t);
+        let sort = pb.sort(scan, vec![SortKey::desc(1), SortKey::asc(0)]);
+        let plan = pb.finish(sort);
+        b.iter(|| execute(&d, &plan, &ExecOptions::default()))
+    });
+
+    g.bench_function("hash_join", |b| {
+        let mut pb = PlanBuilder::new(&d);
+        let l = pb.table_scan(t);
+        let r = pb.table_scan(t);
+        let j = pb.hash_join(JoinKind::LeftSemi, l, r, vec![0], vec![0]);
+        let plan = pb.finish(j);
+        b.iter(|| execute(&d, &plan, &ExecOptions::default()))
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_engine);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Estimator overhead per DMV snapshot: the client polls every 500 ms, so a
+//! single `estimate()` call must be orders of magnitude cheaper than that.
+//! Measured over a mid-size multi-pipeline plan for each configuration tier.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use lqs::exec::{execute, ExecOptions};
+use lqs::progress::{EstimatorConfig, ProgressEstimator};
+use lqs::workloads::{tpcds, WorkloadScale};
+
+fn bench_estimator(c: &mut Criterion) {
+    let scale = WorkloadScale {
+        data_scale: 0.5,
+        query_limit: usize::MAX,
+        seed: 42,
+    };
+    let t = tpcds::build_db(scale);
+    let plan = tpcds::q21_plan(&t);
+    let run = execute(&t.db, &plan, &ExecOptions::default());
+    let mid = run.snapshots[run.snapshots.len() / 2].clone();
+
+    let mut g = c.benchmark_group("estimate_per_snapshot");
+    for (name, config) in [
+        ("tgn", EstimatorConfig::tgn()),
+        ("tgn_bounded", EstimatorConfig::tgn_bounded()),
+        ("full", EstimatorConfig::full()),
+    ] {
+        let est = ProgressEstimator::new(&plan, &t.db, config);
+        g.bench_function(name, |b| {
+            b.iter_batched(
+                || mid.clone(),
+                |s| est.estimate(&s),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+
+    // Constructing the estimator (plan statics) — once per query.
+    c.bench_function("estimator_construction", |b| {
+        b.iter(|| ProgressEstimator::new(&plan, &t.db, EstimatorConfig::full()))
+    });
+}
+
+criterion_group!(benches, bench_estimator);
+criterion_main!(benches);

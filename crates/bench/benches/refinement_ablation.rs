@@ -1,0 +1,49 @@
+//! Cost of the individual estimator features (§4.1 refinement, §4.2
+//! bounding, §4.6 weights/longest-path) per snapshot, isolating what each
+//! adds to the baseline GetNext computation.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use lqs::exec::{execute, ExecOptions};
+use lqs::progress::{EstimatorConfig, ProgressEstimator};
+use lqs::workloads::{real, WorkloadScale};
+
+fn bench_ablation(c: &mut Criterion) {
+    let scale = WorkloadScale {
+        data_scale: 0.3,
+        query_limit: 1,
+        seed: 42,
+    };
+    // A REAL-2 query: ~12 joins, the deepest plans in the suite.
+    let w = real::workload(real::RealProfile::Real2, scale);
+    let q = &w.queries[0];
+    let run = execute(&w.db, &q.plan, &ExecOptions::default());
+    let mid = run.snapshots[run.snapshots.len() / 2].clone();
+
+    let mut g = c.benchmark_group("feature_ablation");
+    let mk = |f: fn(&mut EstimatorConfig)| {
+        let mut c = EstimatorConfig::tgn();
+        f(&mut c);
+        c
+    };
+    let cases: Vec<(&str, EstimatorConfig)> = vec![
+        ("baseline_tgn", EstimatorConfig::tgn()),
+        ("plus_refinement", mk(|c| c.refine_cardinality = true)),
+        ("plus_bounding", mk(|c| c.bound_cardinality = true)),
+        ("plus_weights", mk(|c| c.operator_weights = true)),
+        ("all_features", EstimatorConfig::full()),
+    ];
+    for (name, config) in cases {
+        let est = ProgressEstimator::new(&q.plan, &w.db, config);
+        g.bench_function(name, |b| {
+            b.iter_batched(
+                || mid.clone(),
+                |s| est.estimate(&s),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Ablation of the §7 future-work extensions this reproduction implements
+//! on top of the shipped LQS feature set:
+//!
+//! (a) propagation of refined cardinalities across pipeline boundaries
+//!     (`EstimatorConfig::extended`), and
+//! (b) per-operator weight feedback learned from prior executions
+//!     (`calibrate_weights` + `with_weight_feedback`).
+//!
+//! Prints Errorcount/Errortime for full vs full+ext(a) vs full+ext(a,b) on
+//! each workload.
+
+use lqs::exec::ExecOptions;
+use lqs::harness::{calibrate_weights, workload_errors, ConfigSpec, Metric};
+use lqs::harness::report::render_workload_errors;
+use lqs::progress::EstimatorConfig;
+use lqs::workloads::standard_five;
+use lqs_bench::parse_args;
+
+fn main() {
+    let args = parse_args();
+    let opts = ExecOptions::default();
+    let mut count_rows = Vec::new();
+    let mut time_rows = Vec::new();
+    for w in standard_five(args.scale) {
+        // Learn weight multipliers from the same workload ("feedback from
+        // prior executions of queries", §7(b)).
+        let calibration = calibrate_weights(&w, &opts);
+        let configs = vec![
+            ConfigSpec {
+                label: "LQS (full)",
+                config: EstimatorConfig::full(),
+            },
+            ConfigSpec {
+                label: "+ refined propagation",
+                config: EstimatorConfig::extended(),
+            },
+            ConfigSpec {
+                label: "+ weight feedback",
+                config: EstimatorConfig::extended().with_weight_feedback(calibration.clone()),
+            },
+        ];
+        count_rows.push(workload_errors(&w, &configs, Metric::Count, &opts));
+        time_rows.push(workload_errors(&w, &configs, Metric::Time, &opts));
+    }
+    println!(
+        "{}",
+        render_workload_errors("Extensions ablation — Errorcount", &count_rows)
+    );
+    println!(
+        "{}",
+        render_workload_errors("Extensions ablation — Errortime", &time_rows)
+    );
+}

@@ -1,0 +1,38 @@
+//! Ablation of the §4.1 refinement guard thresholds: how sensitive is
+//! Errorcount to the minimum-rows-observed conditions before refinement is
+//! allowed to kick in? (DESIGN.md design-choice ablation.)
+
+use lqs::exec::ExecOptions;
+use lqs::harness::report::render_workload_errors;
+use lqs::harness::{workload_errors, ConfigSpec, Metric};
+use lqs::progress::EstimatorConfig;
+use lqs::workloads::standard_five;
+use lqs_bench::parse_args;
+
+fn main() {
+    let args = parse_args();
+    let opts = ExecOptions::default();
+    let guards: [(&'static str, u64, u64); 4] = [
+        ("guards 1/1 (eager)", 1, 1),
+        ("guards 50/10 (paper-ish)", 50, 10),
+        ("guards 500/100", 500, 100),
+        ("guards 5000/1000 (timid)", 5000, 1000),
+    ];
+    let configs: Vec<ConfigSpec> = guards
+        .iter()
+        .map(|&(label, d, n)| {
+            let mut c = EstimatorConfig::full();
+            c.refine_min_driver_rows = d;
+            c.refine_min_node_rows = n;
+            ConfigSpec { label, config: c }
+        })
+        .collect();
+    let rows: Vec<_> = standard_five(args.scale)
+        .iter()
+        .map(|w| workload_errors(w, &configs, Metric::Count, &opts))
+        .collect();
+    println!(
+        "{}",
+        render_workload_errors("Refinement-guard ablation — Errorcount", &rows)
+    );
+}

@@ -1,0 +1,34 @@
+//! Ablation of the DMV polling rate: the paper's client polls every 500 ms;
+//! this sweep shows how Errortime degrades as snapshots get sparser
+//! (coarser observations), and that the estimator itself is insensitive to
+//! polling frequency (it is memoryless per snapshot).
+
+use lqs::exec::ExecOptions;
+use lqs::harness::{estimates_only, run_query};
+use lqs::progress::{error_time, EstimatorConfig};
+use lqs::workloads::{tpcds, WorkloadScale};
+use lqs_bench::parse_args;
+
+fn main() {
+    let args = parse_args();
+    let t = tpcds::build_db(args.scale);
+    let queries = tpcds::queries(&t);
+    println!(
+        "{:<12}{:>14}{:>14}{:>14}",
+        "query", "24 samples", "192 samples", "1536 samples"
+    );
+    for q in &queries {
+        let mut row = format!("{:<12}", q.name);
+        for target in [24usize, 192, 1536] {
+            let opts = ExecOptions {
+                snapshot_target: target,
+                ..ExecOptions::default()
+            };
+            let run = run_query(&t.db, &q.plan, &opts);
+            let est = estimates_only(&q.plan, &t.db, &run, EstimatorConfig::full());
+            row.push_str(&format!("{:>14.4}", error_time(&run, &est)));
+        }
+        println!("{row}");
+    }
+    let _ = WorkloadScale::default();
+}

@@ -1,0 +1,21 @@
+//! Figure 11: progress of a TPC-DS Q13-shaped Hash Aggregate under the
+//! output-only model vs the two-phase (input+output) model of §4.5, against
+//! true (time-proportional) progress.
+
+use lqs_bench::{maybe_write_json, parse_args, render_series};
+
+fn main() {
+    let args = parse_args();
+    let fig = lqs::harness::figures::figure11(args.scale);
+    println!(
+        "{}",
+        render_series(
+            "Figure 11 — Hash Aggregate progress models (TPC-DS Q13 shape)",
+            &["Output Ni only", "Input+Output Ni", "True"],
+            &[&fig.output_only, &fig.two_phase, &fig.true_progress],
+        )
+    );
+    println!("mean |error|, output-only model : {:.4}", fig.error_output_only);
+    println!("mean |error|, two-phase model   : {:.4}", fig.error_two_phase);
+    maybe_write_json(&args, &fig);
+}

@@ -1,0 +1,20 @@
+//! Figure 12: weighted vs unweighted query progress over time for the
+//! TPC-DS Q21-shaped 6-pipeline plan (§4.6).
+
+use lqs_bench::{maybe_write_json, parse_args, render_series};
+
+fn main() {
+    let args = parse_args();
+    let fig = lqs::harness::figures::figure12(args.scale);
+    println!(
+        "{}",
+        render_series(
+            "Figure 12 — TPC-DS Q21 progress with and without operator weights",
+            &["Weighted", "Unweighted"],
+            &[&fig.weighted, &fig.unweighted],
+        )
+    );
+    println!("Errortime weighted   : {:.4}", fig.error_weighted);
+    println!("Errortime unweighted : {:.4}", fig.error_unweighted);
+    maybe_write_json(&args, &fig);
+}

@@ -1,0 +1,20 @@
+//! Figure 13: two example progress estimators on the TPC-DS Q36 shape,
+//! illustrating what a ~0.1 difference in error metric means visually.
+
+use lqs_bench::{maybe_write_json, parse_args, render_series};
+
+fn main() {
+    let args = parse_args();
+    let fig = lqs::harness::figures::figure13(args.scale);
+    println!(
+        "{}",
+        render_series(
+            "Figure 13 — two estimators on TPC-DS Q36",
+            &["Estimator 1 (LQS)", "Estimator 2 (TGN)"],
+            &[&fig.estimator1, &fig.estimator2],
+        )
+    );
+    println!("Errortime estimator 1: {:.4}", fig.error1);
+    println!("Errortime estimator 2: {:.4}", fig.error2);
+    maybe_write_json(&args, &fig);
+}

@@ -1,0 +1,15 @@
+//! Figure 15: per-operator Errorcount for no-refinement / refinement /
+//! refinement + semi-blocking adjustments (§4.4 evaluation).
+
+use lqs_bench::{maybe_write_json, parse_args};
+use lqs::harness::report::render_per_operator;
+
+fn main() {
+    let args = parse_args();
+    let data = lqs::harness::figures::figure15(args.scale);
+    println!(
+        "{}",
+        render_per_operator("Figure 15 — per-operator Errorcount", &data)
+    );
+    maybe_write_json(&args, &data);
+}

@@ -1,0 +1,15 @@
+//! Figure 16: Errortime per workload, weighted vs unweighted estimators
+//! (§4.6 evaluation).
+
+use lqs_bench::{maybe_write_json, parse_args};
+use lqs::harness::report::render_workload_errors;
+
+fn main() {
+    let args = parse_args();
+    let rows = lqs::harness::figures::figure16(args.scale);
+    println!(
+        "{}",
+        render_workload_errors("Figure 16 — Errortime: operator weights", &rows)
+    );
+    maybe_write_json(&args, &rows);
+}

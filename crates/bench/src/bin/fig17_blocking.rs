@@ -1,0 +1,17 @@
+//! Figure 17: Errortime for blocking operators (Hash Match, Sort) under the
+//! output-only vs input+output progress models (§4.5 evaluation).
+
+use lqs_bench::{maybe_write_json, parse_args};
+
+fn main() {
+    let args = parse_args();
+    let fig = lqs::harness::figures::figure17(args.scale);
+    println!("== Figure 17 — Errortime for blocking operators ==");
+    for (label, map) in &fig.by_config {
+        println!("{label}:");
+        for (op, err) in map {
+            println!("    {op:<28}{err:>10.4}");
+        }
+    }
+    maybe_write_json(&args, &fig);
+}

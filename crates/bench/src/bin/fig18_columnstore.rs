@@ -1,0 +1,13 @@
+//! Figure 18: average Errortime for TPC-H under the row-store physical
+//! design vs the columnstore design (§4.7 / §5.4 evaluation).
+
+use lqs_bench::{maybe_write_json, parse_args};
+
+fn main() {
+    let args = parse_args();
+    let fig = lqs::harness::figures::figure18(args.scale);
+    println!("== Figure 18 — Errortime with and without Columnstore Indexes ==");
+    println!("TPC-H             : {:.4}", fig.tpch);
+    println!("TPC-H ColumnStore : {:.4}", fig.tpch_columnstore);
+    maybe_write_json(&args, &fig);
+}

@@ -1,0 +1,21 @@
+//! Figure 19: operator frequencies across the TPC-H workload under the two
+//! physical designs — columnstore plans collapse to scans + hash joins.
+
+use lqs_bench::{maybe_write_json, parse_args};
+use lqs::harness::report::render_frequencies;
+
+fn main() {
+    let args = parse_args();
+    let fig = lqs::harness::figures::figure19(args.scale);
+    println!(
+        "{}",
+        render_frequencies(
+            "Figure 19 — operator distribution by physical design",
+            "TPC-H",
+            &fig.tpch,
+            "TPC-H ColumnStore",
+            &fig.tpch_columnstore,
+        )
+    );
+    maybe_write_json(&args, &fig);
+}

@@ -1,0 +1,23 @@
+//! Figure 20: per-operator Errortime for the two TPC-H physical designs.
+
+use lqs_bench::{maybe_write_json, parse_args};
+
+fn main() {
+    let args = parse_args();
+    let fig = lqs::harness::figures::figure20(args.scale);
+    println!("== Figure 20 — per-operator Errortime by physical design ==");
+    let mut ops: Vec<&String> = fig.tpch.keys().chain(fig.tpch_columnstore.keys()).collect();
+    ops.sort();
+    ops.dedup();
+    println!("{:<34}{:>12}{:>22}", "operator", "TPC-H", "TPC-H ColumnStore");
+    for op in ops {
+        let a = fig.tpch.get(op).map(|v| format!("{v:.4}")).unwrap_or_else(|| "-".into());
+        let b = fig
+            .tpch_columnstore
+            .get(op)
+            .map(|v| format!("{v:.4}"))
+            .unwrap_or_else(|| "-".into());
+        println!("{op:<34}{a:>12}{b:>22}");
+    }
+    maybe_write_json(&args, &fig);
+}

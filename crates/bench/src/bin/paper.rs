@@ -1,0 +1,88 @@
+//! Run the complete evaluation — every figure — and print all results.
+//! This is the one-shot "regenerate the paper" entry point; EXPERIMENTS.md
+//! records its output at the default scale.
+
+use lqs::harness::report::{render_frequencies, render_per_operator, render_workload_errors};
+use lqs_bench::parse_args;
+
+fn main() {
+    let args = parse_args();
+    let scale = args.scale;
+    eprintln!(
+        "running full evaluation at data_scale={} query_limit={:?} seed={}",
+        scale.data_scale,
+        if scale.query_limit == usize::MAX {
+            "full".to_string()
+        } else {
+            scale.query_limit.to_string()
+        },
+        scale.seed
+    );
+
+    let f8 = lqs::harness::figures::figure8(scale);
+    println!("Figure 8  : max Ki-ratio {:.1}x, final {:.2}x", f8.max_ratio, f8.final_ratio);
+
+    let f11 = lqs::harness::figures::figure11(scale);
+    println!(
+        "Figure 11 : hash-agg error output-only {:.4} vs two-phase {:.4}",
+        f11.error_output_only, f11.error_two_phase
+    );
+
+    let f12 = lqs::harness::figures::figure12(scale);
+    println!(
+        "Figure 12 : Q21 Errortime weighted {:.4} vs unweighted {:.4}",
+        f12.error_weighted, f12.error_unweighted
+    );
+
+    let f13 = lqs::harness::figures::figure13(scale);
+    println!(
+        "Figure 13 : Q36 Errortime LQS {:.4} vs TGN {:.4}",
+        f13.error1, f13.error2
+    );
+
+    let f14 = lqs::harness::figures::figure14(scale);
+    println!("{}", render_workload_errors("Figure 14 — Errorcount", &f14));
+
+    let f15 = lqs::harness::figures::figure15(scale);
+    println!("{}", render_per_operator("Figure 15 — per-operator Errorcount", &f15));
+
+    let f16 = lqs::harness::figures::figure16(scale);
+    println!("{}", render_workload_errors("Figure 16 — Errortime (weights)", &f16));
+
+    let f17 = lqs::harness::figures::figure17(scale);
+    println!("== Figure 17 — blocking-operator Errortime ==");
+    for (label, map) in &f17.by_config {
+        println!("{label}:");
+        for (op, err) in map {
+            println!("    {op:<28}{err:>10.4}");
+        }
+    }
+
+    let f18 = lqs::harness::figures::figure18(scale);
+    println!("\n== Figure 18 — Errortime by physical design ==");
+    println!("TPC-H             : {:.4}", f18.tpch);
+    println!("TPC-H ColumnStore : {:.4}", f18.tpch_columnstore);
+
+    let f19 = lqs::harness::figures::figure19(scale);
+    println!(
+        "{}",
+        render_frequencies(
+            "Figure 19 — operator distribution",
+            "TPC-H",
+            &f19.tpch,
+            "TPC-H ColumnStore",
+            &f19.tpch_columnstore
+        )
+    );
+
+    let f20 = lqs::harness::figures::figure20(scale);
+    println!("== Figure 20 — per-operator Errortime by design ==");
+    let mut ops: Vec<&String> = f20.tpch.keys().chain(f20.tpch_columnstore.keys()).collect();
+    ops.sort();
+    ops.dedup();
+    for op in ops {
+        let a = f20.tpch.get(op).map(|v| format!("{v:.4}")).unwrap_or("-".into());
+        let b = f20.tpch_columnstore.get(op).map(|v| format!("{v:.4}")).unwrap_or("-".into());
+        println!("{op:<34}{a:>12}{b:>22}");
+    }
+}

@@ -1,0 +1,60 @@
+//! Appendix A (Table 1): worst-case cardinality bounding logic. Runs a
+//! multi-pipeline TPC-H query and prints each operator's [LB, UB] interval
+//! around its true cardinality at several points in time, verifying the
+//! bracketing invariant along the way.
+
+use lqs::exec::ExecOptions;
+use lqs::harness::run_query;
+use lqs::plan::CostModel;
+use lqs::progress::{compute_bounds, PlanStatics};
+use lqs::workloads::{tpch, PhysicalDesign};
+use lqs_bench::parse_args;
+
+fn main() {
+    let args = parse_args();
+    let t = tpch::build_db(args.scale, PhysicalDesign::RowStore);
+    let queries = tpch::queries(&t);
+    let q = queries
+        .iter()
+        .find(|q| q.name == "tpch-q03")
+        .expect("q03 exists");
+    println!("== Table 1 — cardinality bounds over time ({}) ==", q.name);
+    println!("{}", q.plan.display_tree());
+    let run = run_query(&t.db, &q.plan, &ExecOptions::default());
+    let statics = PlanStatics::build(&q.plan, &t.db, CostModel::default().io_page_ns);
+
+    let n = run.snapshots.len();
+    let mut violations = 0usize;
+    for frac in [0.1, 0.3, 0.5, 0.7, 0.9] {
+        let i = ((n as f64 * frac) as usize).min(n - 1);
+        let s = &run.snapshots[i];
+        let bounds = compute_bounds(&statics, s);
+        println!("\n-- t = {:.0}% --", frac * 100.0);
+        println!(
+            "{:<30}{:>12}{:>14}{:>14}{:>14}",
+            "operator", "K(t)", "LB", "N_true", "UB"
+        );
+        for j in 0..q.plan.len() {
+            let b = bounds[j];
+            let n_true = run.true_n(j);
+            if b.lb > n_true || b.ub < n_true {
+                violations += 1;
+            }
+            let ub = if b.ub.is_finite() {
+                format!("{:.0}", b.ub)
+            } else {
+                "inf".to_string()
+            };
+            println!(
+                "{:<30}{:>12}{:>14.0}{:>14.0}{:>14}",
+                statics.nodes[j].name,
+                s.node(j).rows_output,
+                b.lb,
+                n_true,
+                ub
+            );
+        }
+    }
+    println!("\nbracketing violations: {violations} (expect 0)");
+    assert_eq!(violations, 0);
+}

@@ -1,0 +1,333 @@
+//! The execution context: virtual clock, per-node counters, DMV snapshot
+//! recording, runtime bitmaps, and nested-loops correlation state.
+//!
+//! # The virtual clock
+//!
+//! Every unit of operator work charges deterministic virtual nanoseconds:
+//! CPU per row (constants from [`CostModel`], shared with the optimizer's
+//! estimates) and I/O per page. This gives every experiment a reproducible
+//! time axis, so the paper's progress-vs-time figures (Errortime, Figures
+//! 8/11/12) are well-defined without wall-clock noise.
+//!
+//! # Snapshots
+//!
+//! Whenever the clock crosses a sampling boundary a [`DmvSnapshot`] of all
+//! counters is recorded — the analog of the SSMS client polling
+//! `sys.dm_exec_query_profiles` every 500 ms. The interval auto-scales from
+//! the plan's estimated cost, and the buffer self-thins (dropping every
+//! other sample and doubling the interval) when a query runs much longer
+//! than estimated, bounding memory while keeping whole-run coverage.
+
+use crate::bloom::BloomFilter;
+use crate::dmv::{DmvSnapshot, NodeCounters};
+use lqs_plan::{BitmapId, CostModel, NodeId};
+use lqs_storage::{Database, Row};
+use std::cell::{Cell, RefCell};
+
+/// Maximum snapshots retained before thinning.
+pub const MAX_SNAPSHOTS: usize = 2048;
+
+/// Shared execution state, passed to every operator call.
+pub struct ExecContext<'a> {
+    /// The database being queried.
+    pub db: &'a Database,
+    /// Cost/charging constants.
+    pub cost: CostModel,
+    clock_ns: Cell<u64>,
+    counters: RefCell<Vec<NodeCounters>>,
+    snapshots: RefCell<Vec<DmvSnapshot>>,
+    snapshot_interval_ns: Cell<u64>,
+    next_snapshot_ns: Cell<u64>,
+    bitmaps: RefCell<Vec<Option<BloomFilter>>>,
+    /// Correlation stack: the current outer row(s) of enclosing
+    /// nested-loops joins, innermost last.
+    outer_rows: RefCell<Vec<Row>>,
+}
+
+impl<'a> ExecContext<'a> {
+    /// New context for a plan with `node_count` nodes and `bitmap_count`
+    /// bitmaps, sampling every `snapshot_interval_ns` of virtual time.
+    pub fn new(
+        db: &'a Database,
+        node_count: usize,
+        bitmap_count: usize,
+        snapshot_interval_ns: u64,
+        cost: CostModel,
+    ) -> Self {
+        let interval = snapshot_interval_ns.max(1);
+        ExecContext {
+            db,
+            cost,
+            clock_ns: Cell::new(0),
+            counters: RefCell::new(vec![NodeCounters::default(); node_count]),
+            snapshots: RefCell::new(Vec::new()),
+            snapshot_interval_ns: Cell::new(interval),
+            next_snapshot_ns: Cell::new(interval),
+            bitmaps: RefCell::new((0..bitmap_count).map(|_| None).collect()),
+            outer_rows: RefCell::new(Vec::new()),
+        }
+    }
+
+    /// Current virtual time in nanoseconds.
+    pub fn now_ns(&self) -> u64 {
+        self.clock_ns.get()
+    }
+
+    /// Advance the clock and record any snapshot boundaries crossed.
+    fn advance(&self, ns: u64) {
+        let now = self.clock_ns.get() + ns;
+        self.clock_ns.set(now);
+        while self.next_snapshot_ns.get() <= now {
+            let ts = self.next_snapshot_ns.get();
+            {
+                let mut snaps = self.snapshots.borrow_mut();
+                snaps.push(DmvSnapshot {
+                    ts_ns: ts,
+                    nodes: self.counters.borrow().clone(),
+                });
+                if snaps.len() > MAX_SNAPSHOTS {
+                    // Thin: keep every other sample, double the interval.
+                    let kept: Vec<DmvSnapshot> = snaps
+                        .iter()
+                        .enumerate()
+                        .filter(|(i, _)| i % 2 == 1)
+                        .map(|(_, s)| s.clone())
+                        .collect();
+                    *snaps = kept;
+                    self.snapshot_interval_ns
+                        .set(self.snapshot_interval_ns.get() * 2);
+                }
+            }
+            self.next_snapshot_ns
+                .set(ts + self.snapshot_interval_ns.get());
+        }
+    }
+
+    /// Charge CPU time to a node.
+    pub fn charge_cpu(&self, node: NodeId, ns: f64) {
+        let ns = ns.max(0.0) as u64;
+        self.counters.borrow_mut()[node.0].cpu_ns += ns;
+        self.advance(ns);
+    }
+
+    /// Charge logical page reads to a node (advances the clock by
+    /// `pages × io_page_ns`).
+    pub fn charge_io(&self, node: NodeId, pages: u64) {
+        if pages == 0 {
+            return;
+        }
+        self.counters.borrow_mut()[node.0].logical_reads += pages;
+        self.advance((pages as f64 * self.cost.io_page_ns) as u64);
+    }
+
+    /// Record `n` rows consumed from children.
+    pub fn count_input(&self, node: NodeId, n: u64) {
+        self.counters.borrow_mut()[node.0].rows_input += n;
+    }
+
+    /// Record one row output (a successful GetNext — increments `kᵢ`).
+    pub fn count_output(&self, node: NodeId) {
+        let mut c = self.counters.borrow_mut();
+        let c = &mut c[node.0];
+        c.rows_output += 1;
+        if c.first_row_ns.is_none() {
+            c.first_row_ns = Some(self.clock_ns.get());
+        }
+    }
+
+    /// Record one columnstore segment fully processed.
+    pub fn count_segment(&self, node: NodeId) {
+        self.counters.borrow_mut()[node.0].segments_processed += 1;
+    }
+
+    /// Update the buffered-rows gauge for a semi-blocking operator.
+    pub fn set_buffered(&self, node: NodeId, buffered: u64) {
+        self.counters.borrow_mut()[node.0].rows_buffered = buffered;
+    }
+
+    /// Record outer rows fully processed by a buffering nested-loops join.
+    pub fn count_processed(&self, node: NodeId, n: u64) {
+        self.counters.borrow_mut()[node.0].rows_processed += n;
+    }
+
+    /// Mark `Open()`: records the open time on first execution and
+    /// increments the execution count.
+    pub fn mark_open(&self, node: NodeId) {
+        let mut c = self.counters.borrow_mut();
+        let c = &mut c[node.0];
+        if c.open_ns.is_none() {
+            c.open_ns = Some(self.clock_ns.get());
+        }
+        // A rewind re-activates the operator: it is no longer closed (the
+        // close time is re-stamped when it next exhausts).
+        c.close_ns = None;
+        c.executions += 1;
+    }
+
+    /// Mark `Close()` (idempotent; keeps the first close time, which is when
+    /// the operator actually finished producing rows).
+    pub fn mark_close(&self, node: NodeId) {
+        let mut c = self.counters.borrow_mut();
+        let c = &mut c[node.0];
+        if c.close_ns.is_none() {
+            c.close_ns = Some(self.clock_ns.get());
+        }
+    }
+
+    /// Read a copy of a node's counters (test/inspection helper).
+    pub fn counters_of(&self, node: NodeId) -> NodeCounters {
+        self.counters.borrow()[node.0].clone()
+    }
+
+    /// Consume the context, returning (snapshots, final counters, end time).
+    pub fn into_results(self) -> (Vec<DmvSnapshot>, Vec<NodeCounters>, u64) {
+        let end = self.clock_ns.get();
+        (
+            self.snapshots.into_inner(),
+            self.counters.into_inner(),
+            end,
+        )
+    }
+
+    // ---- bitmaps --------------------------------------------------------
+
+    /// Install a freshly built bitmap.
+    pub fn publish_bitmap(&self, id: BitmapId, filter: BloomFilter) {
+        self.bitmaps.borrow_mut()[id.0] = Some(filter);
+    }
+
+    /// Insert a key into a bitmap, creating it (sized for `capacity_hint`
+    /// keys) on first insert. Used by hash-join builds and Bitmap Create
+    /// operators as rows stream through.
+    pub fn bitmap_insert(&self, id: BitmapId, key: &[lqs_storage::Value], capacity_hint: usize) {
+        let mut bitmaps = self.bitmaps.borrow_mut();
+        let slot = &mut bitmaps[id.0];
+        if slot.is_none() {
+            *slot = Some(BloomFilter::with_capacity(capacity_hint));
+        }
+        slot.as_mut().expect("just initialized").insert(key);
+    }
+
+    /// Probe a bitmap. Returns `true` (pass) when the bitmap has not been
+    /// built yet — a scan running before its hash join's build phase sees no
+    /// reduction.
+    pub fn bitmap_may_contain(&self, id: BitmapId, key: &[lqs_storage::Value]) -> bool {
+        match &self.bitmaps.borrow()[id.0] {
+            Some(f) => f.may_contain(key),
+            None => true,
+        }
+    }
+
+    // ---- correlation ----------------------------------------------------
+
+    /// Push the current outer row before opening/rewinding an inner subtree.
+    pub fn push_outer(&self, row: Row) {
+        self.outer_rows.borrow_mut().push(row);
+    }
+
+    /// Pop the outer row after the inner subtree finishes.
+    pub fn pop_outer(&self) {
+        self.outer_rows.borrow_mut().pop();
+    }
+
+    /// The innermost outer row, for resolving `SeekKey::OuterRef`.
+    ///
+    /// # Panics
+    /// Panics if no nested-loops join is currently driving an inner subtree
+    /// — a correlated seek outside a join is a plan bug.
+    pub fn current_outer(&self) -> Row {
+        self.outer_rows
+            .borrow()
+            .last()
+            .cloned()
+            .expect("correlated seek executed outside a nested-loops inner subtree")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lqs_storage::Database;
+
+    fn ctx(db: &Database) -> ExecContext<'_> {
+        ExecContext::new(db, 3, 1, 1000, CostModel::default())
+    }
+
+    #[test]
+    fn clock_and_snapshots() {
+        let db = Database::new();
+        let c = ctx(&db);
+        c.charge_cpu(NodeId(0), 2500.0);
+        // Crossed boundaries at 1000 and 2000.
+        let (snaps, counters, end) = c.into_results();
+        assert_eq!(snaps.len(), 2);
+        assert_eq!(snaps[0].ts_ns, 1000);
+        assert_eq!(snaps[1].ts_ns, 2000);
+        assert_eq!(end, 2500);
+        assert_eq!(counters[0].cpu_ns, 2500);
+    }
+
+    #[test]
+    fn io_charging_advances_clock() {
+        let db = Database::new();
+        let c = ctx(&db);
+        c.charge_io(NodeId(1), 2);
+        assert_eq!(c.counters_of(NodeId(1)).logical_reads, 2);
+        assert_eq!(c.now_ns(), (2.0 * CostModel::default().io_page_ns) as u64);
+    }
+
+    #[test]
+    fn output_counting_sets_first_row_time() {
+        let db = Database::new();
+        let c = ctx(&db);
+        c.charge_cpu(NodeId(0), 500.0);
+        c.count_output(NodeId(0));
+        c.count_output(NodeId(0));
+        let counters = c.counters_of(NodeId(0));
+        assert_eq!(counters.rows_output, 2);
+        assert_eq!(counters.first_row_ns, Some(500));
+    }
+
+    #[test]
+    fn snapshot_thinning_bounds_memory() {
+        let db = Database::new();
+        let c = ctx(&db);
+        // Cross 3x MAX boundaries.
+        for _ in 0..(MAX_SNAPSHOTS * 3) {
+            c.charge_cpu(NodeId(0), 1000.0);
+        }
+        let (snaps, _, _) = c.into_results();
+        assert!(snaps.len() <= MAX_SNAPSHOTS);
+        assert!(snaps.len() > MAX_SNAPSHOTS / 4);
+        // Still ordered.
+        for w in snaps.windows(2) {
+            assert!(w[0].ts_ns < w[1].ts_ns);
+        }
+    }
+
+    #[test]
+    fn unbuilt_bitmap_passes_everything() {
+        let db = Database::new();
+        let c = ctx(&db);
+        assert!(c.bitmap_may_contain(lqs_plan::BitmapId(0), &[lqs_storage::Value::Int(7)]));
+        let mut f = BloomFilter::with_capacity(10);
+        f.insert(&[lqs_storage::Value::Int(1)]);
+        c.publish_bitmap(lqs_plan::BitmapId(0), f);
+        assert!(c.bitmap_may_contain(lqs_plan::BitmapId(0), &[lqs_storage::Value::Int(1)]));
+        assert!(!c.bitmap_may_contain(lqs_plan::BitmapId(0), &[lqs_storage::Value::Int(2)]));
+    }
+
+    #[test]
+    fn open_close_and_executions() {
+        let db = Database::new();
+        let c = ctx(&db);
+        c.mark_open(NodeId(2));
+        c.charge_cpu(NodeId(2), 100.0);
+        c.mark_open(NodeId(2)); // rewind
+        c.mark_close(NodeId(2));
+        let counters = c.counters_of(NodeId(2));
+        assert_eq!(counters.executions, 2);
+        assert_eq!(counters.open_ns, Some(0));
+        assert_eq!(counters.close_ns, Some(100));
+    }
+}

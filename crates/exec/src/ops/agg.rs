@@ -1,0 +1,371 @@
+//! Aggregation: Stream Aggregate (pipelined over sorted input) and Hash
+//! Aggregate (fully blocking).
+//!
+//! The hash aggregate is the paper's running example of a blocking operator
+//! whose progress is badly characterized by output rows alone (Figures
+//! 10–11): it consumes (say) 10,000 rows to produce 10. Its counters are
+//! therefore the ones the two-phase model of §4.5 targets — `rows_input`
+//! climbs during the build while `rows_output` stays 0.
+
+use super::{key_of, BoxedOperator, Operator};
+use crate::context::ExecContext;
+use lqs_plan::{AggState, Aggregate, NodeId};
+use lqs_storage::{Row, Value};
+use std::collections::HashMap;
+
+fn make_states(aggs: &[Aggregate]) -> Vec<AggState> {
+    aggs.iter().map(|a| AggState::new(a.func)).collect()
+}
+
+fn fold(aggs: &[Aggregate], states: &mut [AggState], row: &Row) {
+    for (a, s) in aggs.iter().zip(states.iter_mut()) {
+        s.update(&a.input.eval(row));
+    }
+}
+
+fn finish_group(key: Vec<Value>, states: &[AggState]) -> Row {
+    let mut out = key;
+    out.extend(states.iter().map(AggState::finish));
+    out.into()
+}
+
+/// Aggregation over sorted input; emits each group as it completes, so it is
+/// pipelined (not blocking) — a group boundary releases the previous group.
+pub struct StreamAggregateOp {
+    id: NodeId,
+    group_by: Vec<usize>,
+    aggs: Vec<Aggregate>,
+    child: BoxedOperator,
+    current: Option<(Vec<Value>, Vec<AggState>)>,
+    input_done: bool,
+    emitted_scalar: bool,
+    done: bool,
+}
+
+impl StreamAggregateOp {
+    pub(crate) fn new(
+        id: NodeId,
+        group_by: Vec<usize>,
+        aggs: Vec<Aggregate>,
+        child: BoxedOperator,
+    ) -> Self {
+        StreamAggregateOp {
+            id,
+            group_by,
+            aggs,
+            child,
+            current: None,
+            input_done: false,
+            emitted_scalar: false,
+            done: false,
+        }
+    }
+}
+
+impl Operator for StreamAggregateOp {
+    fn open(&mut self, ctx: &ExecContext) {
+        ctx.mark_open(self.id);
+        self.child.open(ctx);
+    }
+
+    fn next(&mut self, ctx: &ExecContext) -> Option<Row> {
+        if self.done {
+            return None;
+        }
+        loop {
+            if self.input_done {
+                // Flush the final group; scalar aggregates emit one row even
+                // over empty input.
+                if let Some((key, states)) = self.current.take() {
+                    ctx.count_output(self.id);
+                    return Some(finish_group(key, &states));
+                }
+                if self.group_by.is_empty() && !self.emitted_scalar {
+                    self.emitted_scalar = true;
+                    ctx.count_output(self.id);
+                    return Some(finish_group(Vec::new(), &make_states(&self.aggs)));
+                }
+                self.done = true;
+                ctx.mark_close(self.id);
+                return None;
+            }
+            match self.child.next(ctx) {
+                None => {
+                    self.input_done = true;
+                }
+                Some(row) => {
+                    ctx.count_input(self.id, 1);
+                    ctx.charge_cpu(
+                        self.id,
+                        ctx.cost.stream_agg_row_ns
+                            + self.aggs.len() as f64 * ctx.cost.compute_expr_ns,
+                    );
+                    let key = key_of(&row, &self.group_by);
+                    match &mut self.current {
+                        Some((cur_key, states)) if *cur_key == key => {
+                            fold(&self.aggs, states, &row);
+                        }
+                        Some(_) => {
+                            // Group boundary: emit the finished group, start
+                            // the new one.
+                            let (done_key, done_states) =
+                                self.current.take().expect("checked Some");
+                            let mut states = make_states(&self.aggs);
+                            fold(&self.aggs, &mut states, &row);
+                            if self.group_by.is_empty() {
+                                unreachable!("scalar aggregate has a single group");
+                            }
+                            self.current = Some((key, states));
+                            self.emitted_scalar = true;
+                            ctx.count_output(self.id);
+                            return Some(finish_group(done_key, &done_states));
+                        }
+                        None => {
+                            let mut states = make_states(&self.aggs);
+                            fold(&self.aggs, &mut states, &row);
+                            self.current = Some((key, states));
+                            self.emitted_scalar = true;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn close(&mut self, ctx: &ExecContext) {
+        self.child.close(ctx);
+        ctx.mark_close(self.id);
+    }
+
+    fn rewind(&mut self, ctx: &ExecContext) {
+        ctx.mark_open(self.id);
+        self.child.rewind(ctx);
+        self.current = None;
+        self.input_done = false;
+        self.emitted_scalar = false;
+        self.done = false;
+    }
+}
+
+/// Blocking hash aggregation: consumes the entire input into a hash table on
+/// first demand, then emits groups (sorted by key for determinism).
+pub struct HashAggregateOp {
+    id: NodeId,
+    group_by: Vec<usize>,
+    aggs: Vec<Aggregate>,
+    batch: bool,
+    child: BoxedOperator,
+    output: Option<Vec<Row>>,
+    pos: usize,
+    done: bool,
+}
+
+impl HashAggregateOp {
+    pub(crate) fn new(
+        id: NodeId,
+        group_by: Vec<usize>,
+        aggs: Vec<Aggregate>,
+        batch: bool,
+        child: BoxedOperator,
+    ) -> Self {
+        HashAggregateOp {
+            id,
+            group_by,
+            aggs,
+            batch,
+            child,
+            output: None,
+            pos: 0,
+            done: false,
+        }
+    }
+
+    fn build(&mut self, ctx: &ExecContext) {
+        let factor = if self.batch { 0.3 } else { 1.0 };
+        let mut table: HashMap<Vec<Value>, Vec<AggState>> = HashMap::new();
+        while let Some(row) = self.child.next(ctx) {
+            ctx.count_input(self.id, 1);
+            ctx.charge_cpu(
+                self.id,
+                (ctx.cost.hash_build_row_ns + self.aggs.len() as f64 * ctx.cost.compute_expr_ns)
+                    * factor,
+            );
+            let key = key_of(&row, &self.group_by);
+            let states = table
+                .entry(key)
+                .or_insert_with(|| make_states(&self.aggs));
+            fold(&self.aggs, states, &row);
+        }
+        if self.group_by.is_empty() && table.is_empty() {
+            table.insert(Vec::new(), make_states(&self.aggs));
+        }
+        let mut groups: Vec<(Vec<Value>, Vec<AggState>)> = table.into_iter().collect();
+        groups.sort_by(|a, b| a.0.cmp(&b.0));
+        self.output = Some(
+            groups
+                .into_iter()
+                .map(|(k, s)| finish_group(k, &s))
+                .collect(),
+        );
+        self.pos = 0;
+    }
+}
+
+impl Operator for HashAggregateOp {
+    fn open(&mut self, ctx: &ExecContext) {
+        ctx.mark_open(self.id);
+        self.child.open(ctx);
+    }
+
+    fn next(&mut self, ctx: &ExecContext) -> Option<Row> {
+        if self.done {
+            return None;
+        }
+        if self.output.is_none() {
+            self.build(ctx);
+        }
+        let out = self.output.as_ref().expect("built above");
+        if self.pos >= out.len() {
+            self.done = true;
+            ctx.mark_close(self.id);
+            return None;
+        }
+        let row = out[self.pos].clone();
+        self.pos += 1;
+        let factor = if self.batch { 0.3 } else { 1.0 };
+        ctx.charge_cpu(self.id, ctx.cost.hash_output_row_ns * factor);
+        ctx.count_output(self.id);
+        Some(row)
+    }
+
+    fn close(&mut self, ctx: &ExecContext) {
+        self.child.close(ctx);
+        ctx.mark_close(self.id);
+    }
+
+    fn rewind(&mut self, ctx: &ExecContext) {
+        // A rebind re-executes the aggregation (the input may be correlated).
+        ctx.mark_open(self.id);
+        self.child.rewind(ctx);
+        self.output = None;
+        self.pos = 0;
+        self.done = false;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::scan::ConstantScanOp;
+    use lqs_plan::{AggFunc, CostModel};
+    use lqs_storage::Database;
+
+    fn input_rows() -> Vec<Vec<Value>> {
+        // (group, value): groups 0,1,2 with 3/2/1 members.
+        vec![
+            vec![Value::Int(0), Value::Int(10)],
+            vec![Value::Int(0), Value::Int(20)],
+            vec![Value::Int(0), Value::Int(30)],
+            vec![Value::Int(1), Value::Int(5)],
+            vec![Value::Int(1), Value::Int(7)],
+            vec![Value::Int(2), Value::Int(100)],
+        ]
+    }
+
+    fn run(op: &mut dyn Operator, ctx: &ExecContext) -> Vec<Vec<Value>> {
+        op.open(ctx);
+        let mut out = Vec::new();
+        while let Some(r) = op.next(ctx) {
+            out.push(r.to_vec());
+        }
+        op.close(ctx);
+        out
+    }
+
+    #[test]
+    fn hash_aggregate_groups_and_sums() {
+        let db = Database::new();
+        let ctx = ExecContext::new(&db, 2, 0, u64::MAX, CostModel::default());
+        let child = Box::new(ConstantScanOp::new(NodeId(0), input_rows()));
+        let mut agg = HashAggregateOp::new(
+            NodeId(1),
+            vec![0],
+            vec![Aggregate::of_col(AggFunc::Sum, 1), Aggregate::count_star()],
+            false,
+            child,
+        );
+        let out = run(&mut agg, &ctx);
+        assert_eq!(
+            out,
+            vec![
+                vec![Value::Int(0), Value::Int(60), Value::Int(3)],
+                vec![Value::Int(1), Value::Int(12), Value::Int(2)],
+                vec![Value::Int(2), Value::Int(100), Value::Int(1)],
+            ]
+        );
+        // Blocking shape: input fully consumed, 3 outputs.
+        let c = ctx.counters_of(NodeId(1));
+        assert_eq!(c.rows_input, 6);
+        assert_eq!(c.rows_output, 3);
+    }
+
+    #[test]
+    fn stream_aggregate_matches_hash_on_sorted_input() {
+        let db = Database::new();
+        let ctx = ExecContext::new(&db, 2, 0, u64::MAX, CostModel::default());
+        let child = Box::new(ConstantScanOp::new(NodeId(0), input_rows()));
+        let mut agg = StreamAggregateOp::new(
+            NodeId(1),
+            vec![0],
+            vec![Aggregate::of_col(AggFunc::Min, 1)],
+            child,
+        );
+        let out = run(&mut agg, &ctx);
+        assert_eq!(
+            out,
+            vec![
+                vec![Value::Int(0), Value::Int(10)],
+                vec![Value::Int(1), Value::Int(5)],
+                vec![Value::Int(2), Value::Int(100)],
+            ]
+        );
+    }
+
+    #[test]
+    fn scalar_aggregate_over_empty_input() {
+        let db = Database::new();
+        for hash in [false, true] {
+            let ctx = ExecContext::new(&db, 2, 0, u64::MAX, CostModel::default());
+            let child = Box::new(ConstantScanOp::new(NodeId(0), vec![]));
+            let out = if hash {
+                let mut agg = HashAggregateOp::new(
+                    NodeId(1),
+                    vec![],
+                    vec![Aggregate::count_star()],
+                    false,
+                    child,
+                );
+                run(&mut agg, &ctx)
+            } else {
+                let mut agg = StreamAggregateOp::new(
+                    NodeId(1),
+                    vec![],
+                    vec![Aggregate::count_star()],
+                    child,
+                );
+                run(&mut agg, &ctx)
+            };
+            assert_eq!(out, vec![vec![Value::Int(0)]], "hash={hash}");
+        }
+    }
+
+    #[test]
+    fn grouped_aggregate_over_empty_input_emits_nothing() {
+        let db = Database::new();
+        let ctx = ExecContext::new(&db, 2, 0, u64::MAX, CostModel::default());
+        let child = Box::new(ConstantScanOp::new(NodeId(0), vec![]));
+        let mut agg =
+            HashAggregateOp::new(NodeId(1), vec![0], vec![Aggregate::count_star()], false, child);
+        assert!(run(&mut agg, &ctx).is_empty());
+    }
+}

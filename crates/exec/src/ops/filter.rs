@@ -1,0 +1,251 @@
+//! Row-at-a-time pipelined operators: Filter, Compute Scalar, Top, Segment.
+
+use super::{BoxedOperator, Operator};
+use crate::context::ExecContext;
+use lqs_plan::{Expr, NodeId};
+use lqs_storage::{Row, Value};
+
+/// CPU discount applied to batch-mode row operations.
+const BATCH_FACTOR: f64 = 0.2;
+
+/// Row filter.
+pub struct FilterOp {
+    id: NodeId,
+    predicate: Expr,
+    batch: bool,
+    child: BoxedOperator,
+    done: bool,
+}
+
+impl FilterOp {
+    pub(crate) fn new(id: NodeId, predicate: Expr, batch: bool, child: BoxedOperator) -> Self {
+        FilterOp {
+            id,
+            predicate,
+            batch,
+            child,
+            done: false,
+        }
+    }
+}
+
+impl Operator for FilterOp {
+    fn open(&mut self, ctx: &ExecContext) {
+        ctx.mark_open(self.id);
+        self.child.open(ctx);
+    }
+
+    fn next(&mut self, ctx: &ExecContext) -> Option<Row> {
+        if self.done {
+            return None;
+        }
+        let factor = if self.batch { BATCH_FACTOR } else { 1.0 };
+        loop {
+            let Some(row) = self.child.next(ctx) else {
+                self.done = true;
+                ctx.mark_close(self.id);
+                return None;
+            };
+            ctx.count_input(self.id, 1);
+            ctx.charge_cpu(self.id, ctx.cost.filter_row_ns * factor);
+            if self.predicate.matches(&row) {
+                ctx.count_output(self.id);
+                return Some(row);
+            }
+        }
+    }
+
+    fn close(&mut self, ctx: &ExecContext) {
+        self.child.close(ctx);
+        ctx.mark_close(self.id);
+    }
+
+    fn rewind(&mut self, ctx: &ExecContext) {
+        ctx.mark_open(self.id);
+        self.child.rewind(ctx);
+        self.done = false;
+    }
+}
+
+/// Appends computed columns.
+pub struct ComputeScalarOp {
+    id: NodeId,
+    exprs: Vec<Expr>,
+    batch: bool,
+    child: BoxedOperator,
+    done: bool,
+}
+
+impl ComputeScalarOp {
+    pub(crate) fn new(id: NodeId, exprs: Vec<Expr>, batch: bool, child: BoxedOperator) -> Self {
+        ComputeScalarOp {
+            id,
+            exprs,
+            batch,
+            child,
+            done: false,
+        }
+    }
+}
+
+impl Operator for ComputeScalarOp {
+    fn open(&mut self, ctx: &ExecContext) {
+        ctx.mark_open(self.id);
+        self.child.open(ctx);
+    }
+
+    fn next(&mut self, ctx: &ExecContext) -> Option<Row> {
+        if self.done {
+            return None;
+        }
+        let factor = if self.batch { BATCH_FACTOR } else { 1.0 };
+        let Some(row) = self.child.next(ctx) else {
+            self.done = true;
+            ctx.mark_close(self.id);
+            return None;
+        };
+        ctx.count_input(self.id, 1);
+        ctx.charge_cpu(
+            self.id,
+            ctx.cost.compute_expr_ns * self.exprs.len() as f64 * factor,
+        );
+        let mut out: Vec<Value> = row.to_vec();
+        for e in &self.exprs {
+            out.push(e.eval(&row));
+        }
+        ctx.count_output(self.id);
+        Some(out.into())
+    }
+
+    fn close(&mut self, ctx: &ExecContext) {
+        self.child.close(ctx);
+        ctx.mark_close(self.id);
+    }
+
+    fn rewind(&mut self, ctx: &ExecContext) {
+        ctx.mark_open(self.id);
+        self.child.rewind(ctx);
+        self.done = false;
+    }
+}
+
+/// Pass through the first `n` rows, then stop pulling from the child.
+pub struct TopOp {
+    id: NodeId,
+    n: usize,
+    emitted: usize,
+    child: BoxedOperator,
+    done: bool,
+}
+
+impl TopOp {
+    pub(crate) fn new(id: NodeId, n: usize, child: BoxedOperator) -> Self {
+        TopOp {
+            id,
+            n,
+            emitted: 0,
+            child,
+            done: false,
+        }
+    }
+}
+
+impl Operator for TopOp {
+    fn open(&mut self, ctx: &ExecContext) {
+        ctx.mark_open(self.id);
+        self.child.open(ctx);
+    }
+
+    fn next(&mut self, ctx: &ExecContext) -> Option<Row> {
+        if self.done || self.emitted >= self.n {
+            if !self.done {
+                self.done = true;
+                ctx.mark_close(self.id);
+            }
+            return None;
+        }
+        let Some(row) = self.child.next(ctx) else {
+            self.done = true;
+            ctx.mark_close(self.id);
+            return None;
+        };
+        ctx.count_input(self.id, 1);
+        ctx.charge_cpu(self.id, 2.0);
+        self.emitted += 1;
+        ctx.count_output(self.id);
+        Some(row)
+    }
+
+    fn close(&mut self, ctx: &ExecContext) {
+        self.child.close(ctx);
+        ctx.mark_close(self.id);
+    }
+
+    fn rewind(&mut self, ctx: &ExecContext) {
+        ctx.mark_open(self.id);
+        self.child.rewind(ctx);
+        self.emitted = 0;
+        self.done = false;
+    }
+}
+
+/// Appends a segment-boundary marker column (1 at the first row of each
+/// group of equal `group_by` values, 0 otherwise). Input must be sorted.
+pub struct SegmentOp {
+    id: NodeId,
+    group_by: Vec<usize>,
+    prev_key: Option<Vec<Value>>,
+    child: BoxedOperator,
+    done: bool,
+}
+
+impl SegmentOp {
+    pub(crate) fn new(id: NodeId, group_by: Vec<usize>, child: BoxedOperator) -> Self {
+        SegmentOp {
+            id,
+            group_by,
+            prev_key: None,
+            child,
+            done: false,
+        }
+    }
+}
+
+impl Operator for SegmentOp {
+    fn open(&mut self, ctx: &ExecContext) {
+        ctx.mark_open(self.id);
+        self.child.open(ctx);
+    }
+
+    fn next(&mut self, ctx: &ExecContext) -> Option<Row> {
+        if self.done {
+            return None;
+        }
+        let Some(row) = self.child.next(ctx) else {
+            self.done = true;
+            ctx.mark_close(self.id);
+            return None;
+        };
+        ctx.count_input(self.id, 1);
+        ctx.charge_cpu(self.id, 5.0);
+        let key = super::key_of(&row, &self.group_by);
+        let boundary = self.prev_key.as_ref() != Some(&key);
+        self.prev_key = Some(key);
+        let mut out: Vec<Value> = row.to_vec();
+        out.push(Value::Int(boundary as i64));
+        ctx.count_output(self.id);
+        Some(out.into())
+    }
+
+    fn close(&mut self, ctx: &ExecContext) {
+        self.child.close(ctx);
+        ctx.mark_close(self.id);
+    }
+
+    fn rewind(&mut self, ctx: &ExecContext) {
+        ctx.mark_open(self.id);
+        self.child.rewind(ctx);
+        self.prev_key = None;
+        self.done = false;
+    }
+}

@@ -1,0 +1,370 @@
+//! Hash join with optional bitmap (semi-join filter) creation.
+//!
+//! Child 0 is the **build** input, consumed entirely during `Open()` (its
+//! subtree forms a separate pipeline); child 1 is the **probe** input.
+//! Output rows are probe columns followed by build columns. When a bitmap id
+//! is attached, the build phase also populates a Bloom filter that
+//! probe-side scans consult (§4.3, Figure 6).
+
+use super::{concat_rows, key_has_null, key_of, BoxedOperator, Operator};
+use crate::context::ExecContext;
+use lqs_plan::{BitmapId, JoinKind, NodeId};
+use lqs_storage::{Row, Value};
+use std::collections::HashMap;
+
+pub struct HashJoinOp {
+    id: NodeId,
+    kind: JoinKind,
+    build_keys: Vec<usize>,
+    probe_keys: Vec<usize>,
+    bitmap: Option<BitmapId>,
+    build_arity: usize,
+    probe_arity: usize,
+    build_capacity_hint: usize,
+    batch: bool,
+    build: BoxedOperator,
+    probe: BoxedOperator,
+    /// All build rows; `map` holds indices into it.
+    build_rows: Vec<Row>,
+    matched: Vec<bool>,
+    map: HashMap<Vec<Value>, Vec<usize>>,
+    built: bool,
+    /// Matches pending emission for the current probe row.
+    pending: Vec<usize>,
+    pending_probe: Option<Row>,
+    pending_pos: usize,
+    probe_done: bool,
+    /// For FullOuter: cursor over unmatched build rows.
+    unmatched_pos: usize,
+    done: bool,
+}
+
+impl HashJoinOp {
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn new(
+        id: NodeId,
+        kind: JoinKind,
+        build_keys: Vec<usize>,
+        probe_keys: Vec<usize>,
+        bitmap: Option<BitmapId>,
+        build_arity: usize,
+        probe_arity: usize,
+        build_capacity_hint: usize,
+        batch: bool,
+        build: BoxedOperator,
+        probe: BoxedOperator,
+    ) -> Self {
+        HashJoinOp {
+            id,
+            kind,
+            build_keys,
+            probe_keys,
+            bitmap,
+            build_arity,
+            probe_arity,
+            build_capacity_hint: build_capacity_hint.max(64),
+            batch,
+            build,
+            probe,
+            build_rows: Vec::new(),
+            matched: Vec::new(),
+            map: HashMap::new(),
+            built: false,
+            pending: Vec::new(),
+            pending_probe: None,
+            pending_pos: 0,
+            probe_done: false,
+            unmatched_pos: 0,
+            done: false,
+        }
+    }
+
+    fn factor(&self) -> f64 {
+        if self.batch {
+            0.3
+        } else {
+            1.0
+        }
+    }
+
+    fn build_phase(&mut self, ctx: &ExecContext) {
+        let factor = self.factor();
+        while let Some(row) = self.build.next(ctx) {
+            ctx.count_input(self.id, 1);
+            ctx.charge_cpu(self.id, ctx.cost.hash_build_row_ns * factor);
+            let key = key_of(&row, &self.build_keys);
+            let idx = self.build_rows.len();
+            self.build_rows.push(row);
+            self.matched.push(false);
+            if !key_has_null(&key) {
+                if let Some(bm) = self.bitmap {
+                    ctx.charge_cpu(self.id, ctx.cost.bitmap_row_ns * factor);
+                    ctx.bitmap_insert(bm, &key, self.build_capacity_hint);
+                }
+                self.map.entry(key).or_default().push(idx);
+            }
+        }
+        self.built = true;
+    }
+
+    /// Emit one pending (probe × build) match if any are queued.
+    fn emit_pending(&mut self, ctx: &ExecContext) -> Option<Row> {
+        if self.pending_pos < self.pending.len() {
+            let bidx = self.pending[self.pending_pos];
+            self.pending_pos += 1;
+            self.matched[bidx] = true;
+            let probe = self.pending_probe.as_ref().expect("probe row queued");
+            let out = concat_rows(probe, &self.build_rows[bidx]);
+            ctx.count_output(self.id);
+            return Some(out);
+        }
+        None
+    }
+}
+
+impl Operator for HashJoinOp {
+    fn open(&mut self, ctx: &ExecContext) {
+        ctx.mark_open(self.id);
+        self.build.open(ctx);
+        self.probe.open(ctx);
+        self.build_phase(ctx);
+    }
+
+    fn next(&mut self, ctx: &ExecContext) -> Option<Row> {
+        if self.done {
+            return None;
+        }
+        let factor = self.factor();
+        loop {
+            if let Some(row) = self.emit_pending(ctx) {
+                return Some(row);
+            }
+            if self.probe_done {
+                // FullOuter tail: unmatched build rows padded with NULLs on
+                // the probe side.
+                if self.kind == JoinKind::FullOuter {
+                    while self.unmatched_pos < self.build_rows.len() {
+                        let i = self.unmatched_pos;
+                        self.unmatched_pos += 1;
+                        if !self.matched[i] {
+                            let pad = super::null_row(self.probe_arity);
+                            ctx.count_output(self.id);
+                            return Some(concat_rows(&pad, &self.build_rows[i]));
+                        }
+                    }
+                }
+                self.done = true;
+                ctx.mark_close(self.id);
+                return None;
+            }
+            // Pull the next probe row.
+            let Some(probe_row) = self.probe.next(ctx) else {
+                self.probe_done = true;
+                continue;
+            };
+            ctx.count_input(self.id, 1);
+            ctx.charge_cpu(self.id, ctx.cost.hash_probe_row_ns * factor);
+            let key = key_of(&probe_row, &self.probe_keys);
+            let matches: &[usize] = if key_has_null(&key) {
+                &[]
+            } else {
+                self.map.get(&key).map_or(&[][..], |v| &v[..])
+            };
+            match self.kind {
+                JoinKind::Inner => {
+                    if !matches.is_empty() {
+                        self.pending = matches.to_vec();
+                        self.pending_pos = 0;
+                        self.pending_probe = Some(probe_row);
+                    }
+                }
+                JoinKind::LeftOuter | JoinKind::FullOuter => {
+                    if matches.is_empty() {
+                        ctx.count_output(self.id);
+                        return Some(concat_rows(
+                            &probe_row,
+                            &super::null_row(self.build_arity),
+                        ));
+                    }
+                    self.pending = matches.to_vec();
+                    self.pending_pos = 0;
+                    self.pending_probe = Some(probe_row);
+                }
+                JoinKind::LeftSemi => {
+                    if !matches.is_empty() {
+                        for &m in matches {
+                            self.matched[m] = true;
+                        }
+                        ctx.count_output(self.id);
+                        return Some(probe_row);
+                    }
+                }
+                JoinKind::LeftAnti => {
+                    if matches.is_empty() {
+                        ctx.count_output(self.id);
+                        return Some(probe_row);
+                    }
+                }
+            }
+        }
+    }
+
+    fn close(&mut self, ctx: &ExecContext) {
+        self.build.close(ctx);
+        self.probe.close(ctx);
+        ctx.mark_close(self.id);
+    }
+
+    fn rewind(&mut self, ctx: &ExecContext) {
+        ctx.mark_open(self.id);
+        self.build.rewind(ctx);
+        self.probe.rewind(ctx);
+        self.build_rows.clear();
+        self.matched.clear();
+        self.map.clear();
+        self.built = false;
+        self.pending.clear();
+        self.pending_probe = None;
+        self.pending_pos = 0;
+        self.probe_done = false;
+        self.unmatched_pos = 0;
+        self.done = false;
+        self.build_phase(ctx);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::scan::ConstantScanOp;
+    use lqs_plan::CostModel;
+    use lqs_storage::Database;
+
+    fn rows(v: &[(i64, i64)]) -> Vec<Vec<Value>> {
+        v.iter()
+            .map(|&(a, b)| vec![Value::Int(a), Value::Int(b)])
+            .collect()
+    }
+
+    fn run_join(kind: JoinKind, build: Vec<Vec<Value>>, probe: Vec<Vec<Value>>) -> Vec<Vec<Value>> {
+        let db = Database::new();
+        let ctx = ExecContext::new(&db, 3, 1, u64::MAX, CostModel::default());
+        let b = Box::new(ConstantScanOp::new(NodeId(0), build));
+        let p = Box::new(ConstantScanOp::new(NodeId(1), probe));
+        let mut j = HashJoinOp::new(NodeId(2), kind, vec![0], vec![0], None, 2, 2, 16, false, b, p);
+        j.open(&ctx);
+        let mut out = Vec::new();
+        while let Some(r) = j.next(&ctx) {
+            out.push(r.to_vec());
+        }
+        j.close(&ctx);
+        out
+    }
+
+    #[test]
+    fn inner_join_matches() {
+        let out = run_join(
+            JoinKind::Inner,
+            rows(&[(1, 100), (2, 200), (2, 201)]),
+            rows(&[(2, 9), (3, 8)]),
+        );
+        // Probe row (2,9) matches two build rows.
+        assert_eq!(out.len(), 2);
+        for r in &out {
+            assert_eq!(r[0], Value::Int(2)); // probe cols first
+            assert_eq!(r[2], Value::Int(2)); // then build cols
+        }
+    }
+
+    #[test]
+    fn left_outer_pads_unmatched_probe() {
+        let out = run_join(
+            JoinKind::LeftOuter,
+            rows(&[(1, 100)]),
+            rows(&[(1, 9), (3, 8)]),
+        );
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[1], vec![Value::Int(3), Value::Int(8), Value::Null, Value::Null]);
+    }
+
+    #[test]
+    fn semi_and_anti() {
+        let semi = run_join(
+            JoinKind::LeftSemi,
+            rows(&[(1, 0), (1, 1)]),
+            rows(&[(1, 9), (3, 8)]),
+        );
+        // Semi emits the probe row once despite two matches, probe cols only.
+        assert_eq!(semi, vec![vec![Value::Int(1), Value::Int(9)]]);
+        let anti = run_join(
+            JoinKind::LeftAnti,
+            rows(&[(1, 0)]),
+            rows(&[(1, 9), (3, 8)]),
+        );
+        assert_eq!(anti, vec![vec![Value::Int(3), Value::Int(8)]]);
+    }
+
+    #[test]
+    fn full_outer_emits_both_sides() {
+        let out = run_join(
+            JoinKind::FullOuter,
+            rows(&[(1, 100), (4, 400)]),
+            rows(&[(1, 9), (3, 8)]),
+        );
+        // (1) match, (3) probe-unmatched, (4) build-unmatched.
+        assert_eq!(out.len(), 3);
+        assert_eq!(out[2][0], Value::Null); // padded probe side
+        assert_eq!(out[2][2], Value::Int(4));
+    }
+
+    #[test]
+    fn null_keys_never_match() {
+        let build = vec![vec![Value::Null, Value::Int(1)]];
+        let probe = vec![vec![Value::Null, Value::Int(2)]];
+        assert!(run_join(JoinKind::Inner, build.clone(), probe.clone()).is_empty());
+        // But LeftOuter still preserves the probe row.
+        let out = run_join(JoinKind::LeftOuter, build, probe);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0][2], Value::Null);
+    }
+
+    #[test]
+    fn bitmap_published_during_build() {
+        let db = Database::new();
+        let ctx = ExecContext::new(&db, 3, 1, u64::MAX, CostModel::default());
+        let b = Box::new(ConstantScanOp::new(NodeId(0), rows(&[(1, 0), (2, 0)])));
+        let p = Box::new(ConstantScanOp::new(NodeId(1), vec![]));
+        let mut j = HashJoinOp::new(
+            NodeId(2),
+            JoinKind::Inner,
+            vec![0],
+            vec![0],
+            Some(BitmapId(0)),
+            2,
+            2,
+            16,
+            false,
+            b,
+            p,
+        );
+        j.open(&ctx);
+        assert!(ctx.bitmap_may_contain(BitmapId(0), &[Value::Int(1)]));
+        assert!(!ctx.bitmap_may_contain(BitmapId(0), &[Value::Int(99)]));
+        j.close(&ctx);
+    }
+
+    #[test]
+    fn build_consumed_during_open() {
+        let db = Database::new();
+        let ctx = ExecContext::new(&db, 3, 1, u64::MAX, CostModel::default());
+        let b = Box::new(ConstantScanOp::new(NodeId(0), rows(&[(1, 0), (2, 0)])));
+        let p = Box::new(ConstantScanOp::new(NodeId(1), rows(&[(1, 5)])));
+        let mut j =
+            HashJoinOp::new(NodeId(2), JoinKind::Inner, vec![0], vec![0], None, 2, 2, 16, false, b, p);
+        j.open(&ctx);
+        // Build side (node 0) fully consumed before any next().
+        assert_eq!(ctx.counters_of(NodeId(0)).rows_output, 2);
+        assert_eq!(ctx.counters_of(NodeId(1)).rows_output, 0);
+        j.close(&ctx);
+    }
+}

@@ -1,0 +1,185 @@
+//! Concatenation (UNION ALL) and Bitmap Create.
+
+use super::{key_of, BoxedOperator, Operator};
+use crate::context::ExecContext;
+use lqs_plan::{BitmapId, NodeId};
+use lqs_storage::Row;
+
+/// UNION ALL: drains each child in order.
+pub struct ConcatOp {
+    id: NodeId,
+    children: Vec<BoxedOperator>,
+    current: usize,
+    done: bool,
+}
+
+impl ConcatOp {
+    pub(crate) fn new(id: NodeId, children: Vec<BoxedOperator>) -> Self {
+        ConcatOp {
+            id,
+            children,
+            current: 0,
+            done: false,
+        }
+    }
+}
+
+impl Operator for ConcatOp {
+    fn open(&mut self, ctx: &ExecContext) {
+        ctx.mark_open(self.id);
+        for c in &mut self.children {
+            c.open(ctx);
+        }
+    }
+
+    fn next(&mut self, ctx: &ExecContext) -> Option<Row> {
+        if self.done {
+            return None;
+        }
+        while self.current < self.children.len() {
+            match self.children[self.current].next(ctx) {
+                Some(row) => {
+                    ctx.count_input(self.id, 1);
+                    ctx.charge_cpu(self.id, 2.0);
+                    ctx.count_output(self.id);
+                    return Some(row);
+                }
+                None => self.current += 1,
+            }
+        }
+        self.done = true;
+        ctx.mark_close(self.id);
+        None
+    }
+
+    fn close(&mut self, ctx: &ExecContext) {
+        for c in &mut self.children {
+            c.close(ctx);
+        }
+        ctx.mark_close(self.id);
+    }
+
+    fn rewind(&mut self, ctx: &ExecContext) {
+        ctx.mark_open(self.id);
+        for c in &mut self.children {
+            c.rewind(ctx);
+        }
+        self.current = 0;
+        self.done = false;
+    }
+}
+
+/// Builds a bitmap (Bloom filter) from the rows streaming through it,
+/// passing them along unchanged (Figure 6: sits on the build side of a hash
+/// join, with the bitmap probed by the opposite side's scan).
+pub struct BitmapCreateOp {
+    id: NodeId,
+    key_columns: Vec<usize>,
+    bitmap: BitmapId,
+    capacity_hint: usize,
+    child: BoxedOperator,
+    done: bool,
+}
+
+impl BitmapCreateOp {
+    pub(crate) fn new(
+        id: NodeId,
+        key_columns: Vec<usize>,
+        bitmap: BitmapId,
+        capacity_hint: usize,
+        child: BoxedOperator,
+    ) -> Self {
+        BitmapCreateOp {
+            id,
+            key_columns,
+            bitmap,
+            capacity_hint: capacity_hint.max(64),
+            child,
+            done: false,
+        }
+    }
+}
+
+impl Operator for BitmapCreateOp {
+    fn open(&mut self, ctx: &ExecContext) {
+        ctx.mark_open(self.id);
+        self.child.open(ctx);
+    }
+
+    fn next(&mut self, ctx: &ExecContext) -> Option<Row> {
+        if self.done {
+            return None;
+        }
+        let Some(row) = self.child.next(ctx) else {
+            self.done = true;
+            ctx.mark_close(self.id);
+            return None;
+        };
+        ctx.count_input(self.id, 1);
+        ctx.charge_cpu(self.id, ctx.cost.bitmap_row_ns);
+        let key = key_of(&row, &self.key_columns);
+        if !super::key_has_null(&key) {
+            ctx.bitmap_insert(self.bitmap, &key, self.capacity_hint);
+        }
+        ctx.count_output(self.id);
+        Some(row)
+    }
+
+    fn close(&mut self, ctx: &ExecContext) {
+        self.child.close(ctx);
+        ctx.mark_close(self.id);
+    }
+
+    fn rewind(&mut self, ctx: &ExecContext) {
+        ctx.mark_open(self.id);
+        self.child.rewind(ctx);
+        self.done = false;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::scan::ConstantScanOp;
+    use lqs_plan::CostModel;
+    use lqs_storage::{Database, Value};
+
+    #[test]
+    fn concat_drains_children_in_order() {
+        let db = Database::new();
+        let ctx = ExecContext::new(&db, 3, 0, u64::MAX, CostModel::default());
+        let c1 = Box::new(ConstantScanOp::new(
+            NodeId(0),
+            vec![vec![Value::Int(1)], vec![Value::Int(2)]],
+        ));
+        let c2 = Box::new(ConstantScanOp::new(NodeId(1), vec![vec![Value::Int(3)]]));
+        let mut cat = ConcatOp::new(NodeId(2), vec![c1, c2]);
+        cat.open(&ctx);
+        let mut vals = Vec::new();
+        while let Some(r) = cat.next(&ctx) {
+            vals.push(r[0].as_int().unwrap());
+        }
+        assert_eq!(vals, vec![1, 2, 3]);
+        cat.close(&ctx);
+    }
+
+    #[test]
+    fn bitmap_create_populates_filter() {
+        let db = Database::new();
+        let ctx = ExecContext::new(&db, 2, 1, u64::MAX, CostModel::default());
+        let child = Box::new(ConstantScanOp::new(
+            NodeId(0),
+            vec![vec![Value::Int(5)], vec![Value::Null]],
+        ));
+        let mut op = BitmapCreateOp::new(NodeId(1), vec![0], BitmapId(0), 64, child);
+        op.open(&ctx);
+        let mut n = 0;
+        while op.next(&ctx).is_some() {
+            n += 1;
+        }
+        assert_eq!(n, 2); // rows pass through, including the null-key row
+        assert!(ctx.bitmap_may_contain(BitmapId(0), &[Value::Int(5)]));
+        assert!(!ctx.bitmap_may_contain(BitmapId(0), &[Value::Int(6)]));
+        op.close(&ctx);
+    }
+}

@@ -1,0 +1,230 @@
+//! Physical operator implementations — the demand-driven iterator
+//! (`Open`/`GetNext`/`Close`) engine of the simulator.
+//!
+//! Every operator:
+//! * charges virtual CPU/I-O to its plan node as it works,
+//! * increments its `kᵢ` (rows output) on every successful `next()`,
+//! * marks itself closed the first time it reports exhaustion,
+//!
+//! so DMV snapshots taken by the [`crate::context::ExecContext`] observe
+//! realistic mid-flight counter trajectories.
+
+use crate::context::ExecContext;
+use lqs_storage::Row;
+
+mod agg;
+mod exchange;
+mod filter;
+mod hash_join;
+mod merge_join;
+mod misc;
+mod nested_loops;
+mod scan;
+mod seek;
+mod sort;
+mod spool;
+
+/// The iterator interface every physical operator implements.
+pub trait Operator {
+    /// Prepare for execution. Parents open children.
+    fn open(&mut self, ctx: &ExecContext);
+    /// Produce the next row, or `None` when exhausted.
+    fn next(&mut self, ctx: &ExecContext) -> Option<Row>;
+    /// Release resources at end of query.
+    fn close(&mut self, ctx: &ExecContext);
+    /// Re-execute for a new correlation binding (the inner side of a
+    /// nested-loops join). Spools and sorts replay their buffers; other
+    /// operators reset and re-execute.
+    fn rewind(&mut self, ctx: &ExecContext);
+}
+
+/// A heap-allocated operator.
+pub type BoxedOperator = Box<dyn Operator>;
+
+/// Build the executable operator tree for `plan`.
+pub fn build_operator(
+    plan: &lqs_plan::PhysicalPlan,
+    db: &lqs_storage::Database,
+    node: lqs_plan::NodeId,
+) -> BoxedOperator {
+    use lqs_plan::PhysicalOp as P;
+    let n = plan.node(node);
+    let child = |i: usize| build_operator(plan, db, n.children[i]);
+    match &n.op {
+        P::TableScan {
+            table,
+            predicate,
+            bitmap_probe,
+            ..
+        } => Box::new(scan::TableScanOp::new(
+            n.id,
+            *table,
+            predicate.clone(),
+            bitmap_probe.clone(),
+        )),
+        P::IndexScan {
+            index,
+            predicate,
+            bitmap_probe,
+            output,
+            ..
+        } => Box::new(scan::IndexScanOp::new(
+            n.id,
+            *index,
+            predicate.clone(),
+            bitmap_probe.clone(),
+            *output,
+        )),
+        P::ColumnstoreScan {
+            columnstore,
+            predicate,
+            bitmap_probe,
+        } => Box::new(scan::ColumnstoreScanOp::new(
+            n.id,
+            *columnstore,
+            predicate.clone(),
+            bitmap_probe.clone(),
+        )),
+        P::ConstantScan { rows } => Box::new(scan::ConstantScanOp::new(n.id, rows.clone())),
+        P::IndexSeek {
+            index,
+            seek,
+            residual,
+            output,
+        } => Box::new(seek::IndexSeekOp::new(
+            n.id,
+            *index,
+            seek.clone(),
+            residual.clone(),
+            *output,
+        )),
+        P::RidLookup { table } => Box::new(seek::RidLookupOp::new(n.id, *table, child(0))),
+        P::Filter { predicate } => Box::new(filter::FilterOp::new(
+            n.id,
+            predicate.clone(),
+            n.batch_mode,
+            child(0),
+        )),
+        P::ComputeScalar { exprs } => Box::new(filter::ComputeScalarOp::new(
+            n.id,
+            exprs.clone(),
+            n.batch_mode,
+            child(0),
+        )),
+        P::Top { n: limit } => Box::new(filter::TopOp::new(n.id, *limit, child(0))),
+        P::Segment { group_by } => {
+            Box::new(filter::SegmentOp::new(n.id, group_by.clone(), child(0)))
+        }
+        P::Sort { keys } => Box::new(sort::SortOp::new(n.id, keys.clone(), None, false, child(0))),
+        P::TopNSort { n: limit, keys } => Box::new(sort::SortOp::new(
+            n.id,
+            keys.clone(),
+            Some(*limit),
+            false,
+            child(0),
+        )),
+        P::DistinctSort { keys } => {
+            Box::new(sort::SortOp::new(n.id, keys.clone(), None, true, child(0)))
+        }
+        P::StreamAggregate { group_by, aggs } => Box::new(agg::StreamAggregateOp::new(
+            n.id,
+            group_by.clone(),
+            aggs.clone(),
+            child(0),
+        )),
+        P::HashAggregate { group_by, aggs } => Box::new(agg::HashAggregateOp::new(
+            n.id,
+            group_by.clone(),
+            aggs.clone(),
+            n.batch_mode,
+            child(0),
+        )),
+        P::HashJoin {
+            kind,
+            build_keys,
+            probe_keys,
+            bitmap,
+        } => Box::new(hash_join::HashJoinOp::new(
+            n.id,
+            *kind,
+            build_keys.clone(),
+            probe_keys.clone(),
+            *bitmap,
+            plan.node(n.children[0]).output_arity,
+            plan.node(n.children[1]).output_arity,
+            plan.node(n.children[0]).est_total_rows() as usize,
+            n.batch_mode,
+            child(0),
+            child(1),
+        )),
+        P::MergeJoin {
+            kind,
+            left_keys,
+            right_keys,
+        } => Box::new(merge_join::MergeJoinOp::new(
+            n.id,
+            *kind,
+            left_keys.clone(),
+            right_keys.clone(),
+            plan.node(n.children[0]).output_arity,
+            plan.node(n.children[1]).output_arity,
+            child(0),
+            child(1),
+        )),
+        P::NestedLoops {
+            kind,
+            predicate,
+            outer_buffer,
+        } => Box::new(nested_loops::NestedLoopsOp::new(
+            n.id,
+            *kind,
+            predicate.clone(),
+            *outer_buffer,
+            plan.node(n.children[1]).output_arity,
+            child(0),
+            child(1),
+        )),
+        P::Exchange { kind, degree } => Box::new(exchange::ExchangeOp::new(
+            n.id,
+            *kind,
+            *degree,
+            n.batch_mode,
+            child(0),
+        )),
+        P::Spool { lazy } => Box::new(spool::SpoolOp::new(n.id, *lazy, child(0))),
+        P::Concat => {
+            let children = (0..n.children.len()).map(child).collect();
+            Box::new(misc::ConcatOp::new(n.id, children))
+        }
+        P::BitmapCreate {
+            key_columns,
+            bitmap,
+        } => Box::new(misc::BitmapCreateOp::new(
+            n.id,
+            key_columns.clone(),
+            *bitmap,
+            n.est_total_rows() as usize,
+            child(0),
+        )),
+    }
+}
+
+/// Concatenate two rows.
+pub(crate) fn concat_rows(a: &[lqs_storage::Value], b: &[lqs_storage::Value]) -> Row {
+    a.iter().chain(b.iter()).cloned().collect::<Vec<_>>().into()
+}
+
+/// A row of `n` NULLs, for outer-join padding.
+pub(crate) fn null_row(n: usize) -> Vec<lqs_storage::Value> {
+    vec![lqs_storage::Value::Null; n]
+}
+
+/// Extract key values at `cols` from a row.
+pub(crate) fn key_of(row: &[lqs_storage::Value], cols: &[usize]) -> Vec<lqs_storage::Value> {
+    cols.iter().map(|&c| row[c].clone()).collect()
+}
+
+/// Whether any component of a join key is NULL (null keys never join).
+pub(crate) fn key_has_null(key: &[lqs_storage::Value]) -> bool {
+    key.iter().any(|v| v.is_null())
+}

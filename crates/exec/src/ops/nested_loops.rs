@@ -1,0 +1,311 @@
+//! Nested-loops join with optional outer-side buffering.
+//!
+//! The inner child is re-executed (rewound) once per outer row with the
+//! outer row pushed as correlation context, which is how correlated index
+//! seeks receive their parameters.
+//!
+//! With `outer_buffer > 1` the operator prefetches a block of outer rows
+//! before probing — the real engine does this for I/O locality on index
+//! nested loops — which makes it **semi-blocking** (§4.4): the outer
+//! subtree's counters race ahead of the join's output, and with a large
+//! buffer the outer driver node can reach 100% while the join has barely
+//! started (the failure mode the paper describes for driver-node progress).
+
+use super::{concat_rows, null_row, BoxedOperator, Operator};
+use crate::context::ExecContext;
+use lqs_plan::{Expr, JoinKind, NodeId};
+use lqs_storage::Row;
+use std::collections::VecDeque;
+
+pub struct NestedLoopsOp {
+    id: NodeId,
+    kind: JoinKind,
+    predicate: Option<Expr>,
+    outer_buffer: usize,
+    inner_arity: usize,
+    outer: BoxedOperator,
+    inner: BoxedOperator,
+    buffer: VecDeque<Row>,
+    outer_done: bool,
+    cur_outer: Option<Row>,
+    /// Whether the correlation context for `cur_outer` is pushed.
+    ctx_pushed: bool,
+    inner_opened: bool,
+    cur_matched: bool,
+    done: bool,
+}
+
+impl NestedLoopsOp {
+    pub(crate) fn new(
+        id: NodeId,
+        kind: JoinKind,
+        predicate: Option<Expr>,
+        outer_buffer: usize,
+        inner_arity: usize,
+        outer: BoxedOperator,
+        inner: BoxedOperator,
+    ) -> Self {
+        assert!(
+            kind != JoinKind::FullOuter,
+            "nested loops cannot implement FULL OUTER joins"
+        );
+        NestedLoopsOp {
+            id,
+            kind,
+            predicate,
+            outer_buffer: outer_buffer.max(1),
+            inner_arity,
+            outer,
+            inner,
+            buffer: VecDeque::new(),
+            outer_done: false,
+            cur_outer: None,
+            ctx_pushed: false,
+            inner_opened: false,
+            cur_matched: false,
+            done: false,
+        }
+    }
+
+    /// Prefetch up to `outer_buffer` outer rows (semi-blocking behaviour).
+    fn refill(&mut self, ctx: &ExecContext) {
+        while self.buffer.len() < self.outer_buffer && !self.outer_done {
+            match self.outer.next(ctx) {
+                Some(r) => {
+                    ctx.count_input(self.id, 1);
+                    ctx.charge_cpu(self.id, ctx.cost.nl_outer_row_ns);
+                    self.buffer.push_back(r);
+                }
+                None => self.outer_done = true,
+            }
+        }
+        ctx.set_buffered(self.id, self.buffer.len() as u64);
+    }
+
+    /// Bind the next outer row and (re)start the inner side.
+    fn advance_outer(&mut self, ctx: &ExecContext) -> bool {
+        if self.ctx_pushed {
+            ctx.pop_outer();
+            self.ctx_pushed = false;
+        }
+        if self.buffer.is_empty() {
+            self.refill(ctx);
+        }
+        let Some(outer) = self.buffer.pop_front() else {
+            self.cur_outer = None;
+            return false;
+        };
+        ctx.set_buffered(self.id, self.buffer.len() as u64);
+        ctx.count_processed(self.id, 1);
+        ctx.push_outer(outer.clone());
+        self.ctx_pushed = true;
+        self.cur_outer = Some(outer);
+        self.cur_matched = false;
+        if self.inner_opened {
+            self.inner.rewind(ctx);
+        } else {
+            self.inner.open(ctx);
+            self.inner_opened = true;
+        }
+        true
+    }
+}
+
+impl Operator for NestedLoopsOp {
+    fn open(&mut self, ctx: &ExecContext) {
+        ctx.mark_open(self.id);
+        self.outer.open(ctx);
+        // The inner child is opened lazily, once a correlation binding
+        // exists.
+    }
+
+    fn next(&mut self, ctx: &ExecContext) -> Option<Row> {
+        if self.done {
+            return None;
+        }
+        loop {
+            if self.cur_outer.is_none() && !self.advance_outer(ctx) {
+                self.done = true;
+                ctx.mark_close(self.id);
+                return None;
+            }
+            let outer = self.cur_outer.clone().expect("bound above");
+            match self.inner.next(ctx) {
+                Some(inner_row) => {
+                    ctx.count_input(self.id, 1);
+                    ctx.charge_cpu(self.id, ctx.cost.nl_pair_ns);
+                    let combined = concat_rows(&outer, &inner_row);
+                    if let Some(p) = &self.predicate {
+                        if !p.matches(&combined) {
+                            continue;
+                        }
+                    }
+                    match self.kind {
+                        JoinKind::Inner | JoinKind::LeftOuter => {
+                            self.cur_matched = true;
+                            ctx.count_output(self.id);
+                            return Some(combined);
+                        }
+                        JoinKind::LeftSemi => {
+                            // One match suffices; move to the next outer row.
+                            self.cur_outer = None;
+                            ctx.count_output(self.id);
+                            return Some(outer);
+                        }
+                        JoinKind::LeftAnti => {
+                            // A match disqualifies this outer row.
+                            self.cur_matched = true;
+                            self.cur_outer = None;
+                        }
+                        JoinKind::FullOuter => unreachable!("rejected in new()"),
+                    }
+                }
+                None => {
+                    // Inner exhausted for this outer row.
+                    let unmatched = !self.cur_matched;
+                    self.cur_outer = None;
+                    match self.kind {
+                        JoinKind::LeftOuter if unmatched => {
+                            ctx.count_output(self.id);
+                            return Some(concat_rows(&outer, &null_row(self.inner_arity)));
+                        }
+                        JoinKind::LeftAnti if unmatched => {
+                            ctx.count_output(self.id);
+                            return Some(outer);
+                        }
+                        _ => {}
+                    }
+                }
+            }
+        }
+    }
+
+    fn close(&mut self, ctx: &ExecContext) {
+        if self.ctx_pushed {
+            ctx.pop_outer();
+            self.ctx_pushed = false;
+        }
+        self.outer.close(ctx);
+        if self.inner_opened {
+            self.inner.close(ctx);
+        }
+        ctx.mark_close(self.id);
+    }
+
+    fn rewind(&mut self, ctx: &ExecContext) {
+        ctx.mark_open(self.id);
+        if self.ctx_pushed {
+            ctx.pop_outer();
+            self.ctx_pushed = false;
+        }
+        self.outer.rewind(ctx);
+        self.buffer.clear();
+        self.outer_done = false;
+        self.cur_outer = None;
+        self.cur_matched = false;
+        self.done = false;
+        // The inner child is rewound per outer row as usual.
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::scan::ConstantScanOp;
+    use lqs_plan::{CostModel, Expr};
+    use lqs_storage::{Database, Value};
+
+    fn rows(v: &[i64]) -> Vec<Vec<Value>> {
+        v.iter().map(|&a| vec![Value::Int(a)]).collect()
+    }
+
+    fn run_nl(
+        kind: JoinKind,
+        outer: Vec<Vec<Value>>,
+        inner: Vec<Vec<Value>>,
+        pred: Option<Expr>,
+        buffer: usize,
+    ) -> Vec<Vec<Value>> {
+        let db = Database::new();
+        let ctx = ExecContext::new(&db, 3, 0, u64::MAX, CostModel::default());
+        let o = Box::new(ConstantScanOp::new(NodeId(0), outer));
+        let i = Box::new(ConstantScanOp::new(NodeId(1), inner));
+        let mut j = NestedLoopsOp::new(NodeId(2), kind, pred, buffer, 1, o, i);
+        j.open(&ctx);
+        let mut out = Vec::new();
+        while let Some(r) = j.next(&ctx) {
+            out.push(r.to_vec());
+        }
+        j.close(&ctx);
+        out
+    }
+
+    fn eq_pred() -> Option<Expr> {
+        Some(Expr::col(0).eq(Expr::col(1)))
+    }
+
+    #[test]
+    fn inner_nl_cross_and_filter() {
+        let out = run_nl(JoinKind::Inner, rows(&[1, 2]), rows(&[2, 3]), eq_pred(), 1);
+        assert_eq!(out, vec![vec![Value::Int(2), Value::Int(2)]]);
+        // No predicate = cross join.
+        let out = run_nl(JoinKind::Inner, rows(&[1, 2]), rows(&[2, 3]), None, 1);
+        assert_eq!(out.len(), 4);
+    }
+
+    #[test]
+    fn left_outer_nl() {
+        let out = run_nl(JoinKind::LeftOuter, rows(&[1, 2]), rows(&[2]), eq_pred(), 1);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0], vec![Value::Int(1), Value::Null]);
+        assert_eq!(out[1], vec![Value::Int(2), Value::Int(2)]);
+    }
+
+    #[test]
+    fn semi_anti_nl() {
+        let semi = run_nl(JoinKind::LeftSemi, rows(&[1, 2, 3]), rows(&[2, 3]), eq_pred(), 1);
+        assert_eq!(semi, vec![vec![Value::Int(2)], vec![Value::Int(3)]]);
+        let anti = run_nl(JoinKind::LeftAnti, rows(&[1, 2, 3]), rows(&[2]), eq_pred(), 1);
+        assert_eq!(anti, vec![vec![Value::Int(1)], vec![Value::Int(3)]]);
+    }
+
+    #[test]
+    fn buffered_outer_races_ahead() {
+        // With a huge buffer, the entire outer side is consumed before the
+        // first output row — the §4.4 semi-blocking failure mode.
+        let db = Database::new();
+        let ctx = ExecContext::new(&db, 3, 0, u64::MAX, CostModel::default());
+        let o = Box::new(ConstantScanOp::new(NodeId(0), rows(&[1, 2, 3, 4, 5])));
+        let i = Box::new(ConstantScanOp::new(NodeId(1), rows(&[1])));
+        let mut j = NestedLoopsOp::new(NodeId(2), JoinKind::Inner, None, usize::MAX, 1, o, i);
+        j.open(&ctx);
+        let first = j.next(&ctx).unwrap();
+        assert_eq!(first[0], Value::Int(1));
+        // Outer child fully consumed already.
+        assert_eq!(ctx.counters_of(NodeId(0)).rows_output, 5);
+        // Join only processed one outer row so far.
+        assert_eq!(ctx.counters_of(NodeId(2)).rows_processed, 1);
+        assert_eq!(ctx.counters_of(NodeId(2)).rows_buffered, 4);
+        j.close(&ctx);
+    }
+
+    #[test]
+    fn inner_rewound_per_outer_row() {
+        let db = Database::new();
+        let ctx = ExecContext::new(&db, 3, 0, u64::MAX, CostModel::default());
+        let o = Box::new(ConstantScanOp::new(NodeId(0), rows(&[1, 2, 3])));
+        let i = Box::new(ConstantScanOp::new(NodeId(1), rows(&[7])));
+        let mut j = NestedLoopsOp::new(NodeId(2), JoinKind::Inner, None, 1, 1, o, i);
+        j.open(&ctx);
+        while j.next(&ctx).is_some() {}
+        // Inner executed 3 times (1 open + 2 rewinds), emitting 3 rows total.
+        assert_eq!(ctx.counters_of(NodeId(1)).executions, 3);
+        assert_eq!(ctx.counters_of(NodeId(1)).rows_output, 3);
+        j.close(&ctx);
+    }
+
+    #[test]
+    fn empty_outer() {
+        assert!(run_nl(JoinKind::Inner, vec![], rows(&[1]), None, 1).is_empty());
+    }
+}

@@ -1,0 +1,409 @@
+//! Scan operators: heap table scan, ordered index scan, batch-mode
+//! columnstore scan, and constant scan.
+
+use super::{key_of, Operator};
+use crate::context::ExecContext;
+use lqs_plan::{BitmapProbe, CmpOp, Expr, IndexOutput, NodeId};
+use lqs_storage::{ColumnstoreId, IndexId, Row, RowId, TableId, Value};
+
+/// Full heap scan. Charges one logical read per page crossed and per-row
+/// CPU; when a predicate and/or bitmap probe is attached, it is evaluated
+/// against every stored row but only qualifying rows are emitted — the
+/// storage-engine-pushdown behaviour of §4.3.
+pub struct TableScanOp {
+    id: NodeId,
+    table: TableId,
+    predicate: Option<Expr>,
+    bitmap: Option<BitmapProbe>,
+    pos: RowId,
+    last_page: Option<usize>,
+    done: bool,
+}
+
+impl TableScanOp {
+    pub(crate) fn new(
+        id: NodeId,
+        table: TableId,
+        predicate: Option<Expr>,
+        bitmap: Option<BitmapProbe>,
+    ) -> Self {
+        TableScanOp {
+            id,
+            table,
+            predicate,
+            bitmap,
+            pos: 0,
+            last_page: None,
+            done: false,
+        }
+    }
+}
+
+impl Operator for TableScanOp {
+    fn open(&mut self, ctx: &ExecContext) {
+        ctx.mark_open(self.id);
+    }
+
+    fn next(&mut self, ctx: &ExecContext) -> Option<Row> {
+        if self.done {
+            return None;
+        }
+        let table = ctx.db.table(self.table);
+        loop {
+            if self.pos >= table.row_count() {
+                self.done = true;
+                ctx.mark_close(self.id);
+                return None;
+            }
+            let rid = self.pos;
+            self.pos += 1;
+            let page = table.page_of(rid);
+            if self.last_page != Some(page) {
+                self.last_page = Some(page);
+                ctx.charge_io(self.id, 1);
+            }
+            let preds = self.predicate.is_some() as u8 as f64;
+            ctx.charge_cpu(self.id, ctx.cost.scan_row_ns + preds * ctx.cost.pred_row_ns);
+            let row = table.row(rid);
+            if let Some(p) = &self.predicate {
+                if !p.matches(row) {
+                    continue;
+                }
+            }
+            if let Some(bp) = &self.bitmap {
+                let key = key_of(row, &bp.key_columns);
+                if !ctx.bitmap_may_contain(bp.bitmap, &key) {
+                    continue;
+                }
+            }
+            ctx.count_output(self.id);
+            return Some(row.clone());
+        }
+    }
+
+    fn close(&mut self, ctx: &ExecContext) {
+        ctx.mark_close(self.id);
+    }
+
+    fn rewind(&mut self, ctx: &ExecContext) {
+        ctx.mark_open(self.id);
+        self.pos = 0;
+        self.last_page = None;
+        self.done = false;
+    }
+}
+
+/// Ordered scan of a B+tree index, charging one logical read per leaf node
+/// visited. Emits either full base rows or `(key..., rid)`.
+pub struct IndexScanOp {
+    id: NodeId,
+    index: IndexId,
+    predicate: Option<Expr>,
+    bitmap: Option<BitmapProbe>,
+    output: IndexOutput,
+    /// Materialized `(leaf_ordinal, rid)` in key order (lazily filled).
+    entries: Option<Vec<(usize, RowId)>>,
+    pos: usize,
+    last_leaf: Option<usize>,
+    done: bool,
+}
+
+impl IndexScanOp {
+    pub(crate) fn new(
+        id: NodeId,
+        index: IndexId,
+        predicate: Option<Expr>,
+        bitmap: Option<BitmapProbe>,
+        output: IndexOutput,
+    ) -> Self {
+        IndexScanOp {
+            id,
+            index,
+            predicate,
+            bitmap,
+            output,
+            entries: None,
+            pos: 0,
+            last_leaf: None,
+            done: false,
+        }
+    }
+
+    fn emit_row(&self, ctx: &ExecContext, rid: RowId) -> Row {
+        let table_id = ctx.db.btree_table(self.index);
+        let base = ctx.db.table(table_id).row(rid);
+        match self.output {
+            IndexOutput::BaseRow => base.clone(),
+            IndexOutput::KeyAndRid => {
+                let ix = ctx.db.btree(self.index);
+                let mut out: Vec<Value> =
+                    ix.key_columns().iter().map(|&c| base[c].clone()).collect();
+                out.push(Value::Int(rid as i64));
+                out.into()
+            }
+        }
+    }
+}
+
+impl Operator for IndexScanOp {
+    fn open(&mut self, ctx: &ExecContext) {
+        ctx.mark_open(self.id);
+    }
+
+    fn next(&mut self, ctx: &ExecContext) -> Option<Row> {
+        if self.done {
+            return None;
+        }
+        if self.entries.is_none() {
+            self.entries = Some(
+                ctx.db
+                    .btree(self.index)
+                    .scan()
+                    .map(|(leaf, _, rid)| (leaf, rid))
+                    .collect(),
+            );
+        }
+        let table_id = ctx.db.btree_table(self.index);
+        loop {
+            let entries = self.entries.as_ref().expect("filled above");
+            if self.pos >= entries.len() {
+                self.done = true;
+                ctx.mark_close(self.id);
+                return None;
+            }
+            let (leaf, rid) = entries[self.pos];
+            self.pos += 1;
+            if self.last_leaf != Some(leaf) {
+                self.last_leaf = Some(leaf);
+                ctx.charge_io(self.id, 1);
+            }
+            let preds = self.predicate.is_some() as u8 as f64;
+            ctx.charge_cpu(self.id, ctx.cost.scan_row_ns + preds * ctx.cost.pred_row_ns);
+            let base = ctx.db.table(table_id).row(rid).clone();
+            if let Some(p) = &self.predicate {
+                if !p.matches(&base) {
+                    continue;
+                }
+            }
+            if let Some(bp) = &self.bitmap {
+                // Probe keys are ordinals in this scan's *output*; for
+                // KeyAndRid output they reference the key+rid layout.
+                let out = self.emit_row(ctx, rid);
+                let key = key_of(&out, &bp.key_columns);
+                if !ctx.bitmap_may_contain(bp.bitmap, &key) {
+                    continue;
+                }
+                ctx.count_output(self.id);
+                return Some(out);
+            }
+            ctx.count_output(self.id);
+            return Some(self.emit_row(ctx, rid));
+        }
+    }
+
+    fn close(&mut self, ctx: &ExecContext) {
+        ctx.mark_close(self.id);
+    }
+
+    fn rewind(&mut self, ctx: &ExecContext) {
+        ctx.mark_open(self.id);
+        self.pos = 0;
+        self.last_leaf = None;
+        self.done = false;
+    }
+}
+
+/// Batch-mode columnstore scan (§4.7): processes a whole segment at a time,
+/// charging batch-rate CPU and segment I/O up front and then emitting the
+/// segment's qualifying rows. Progress for this operator is tracked in
+/// *segments processed*, not GetNext calls.
+pub struct ColumnstoreScanOp {
+    id: NodeId,
+    columnstore: ColumnstoreId,
+    predicate: Option<Expr>,
+    bitmap: Option<BitmapProbe>,
+    seg: usize,
+    pending: Vec<Row>,
+    pending_pos: usize,
+    done: bool,
+}
+
+impl ColumnstoreScanOp {
+    pub(crate) fn new(
+        id: NodeId,
+        columnstore: ColumnstoreId,
+        predicate: Option<Expr>,
+        bitmap: Option<BitmapProbe>,
+    ) -> Self {
+        ColumnstoreScanOp {
+            id,
+            columnstore,
+            predicate,
+            bitmap,
+            seg: 0,
+            pending: Vec::new(),
+            pending_pos: 0,
+            done: false,
+        }
+    }
+
+    /// Extract simple `[lo, hi]` bounds per column from a conjunctive
+    /// predicate, for segment elimination.
+    fn range_bounds(&self) -> Vec<(usize, Option<Value>, Option<Value>)> {
+        let mut out = Vec::new();
+        let Some(pred) = &self.predicate else {
+            return out;
+        };
+        let conjuncts: Vec<&Expr> = match pred {
+            Expr::And(parts) => parts.iter().collect(),
+            other => vec![other],
+        };
+        for c in conjuncts {
+            if let Expr::Cmp { op, lhs, rhs } = c {
+                if let (Expr::Col(col), Expr::Lit(v)) = (lhs.as_ref(), rhs.as_ref()) {
+                    match op {
+                        CmpOp::Eq => out.push((*col, Some(v.clone()), Some(v.clone()))),
+                        CmpOp::Lt | CmpOp::Le => out.push((*col, None, Some(v.clone()))),
+                        CmpOp::Gt | CmpOp::Ge => out.push((*col, Some(v.clone()), None)),
+                        CmpOp::Ne => {}
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Load the next segment into `pending`. Returns false when exhausted.
+    fn load_segment(&mut self, ctx: &ExecContext) -> bool {
+        let cs = ctx.db.columnstore(self.columnstore);
+        let bounds = self.range_bounds();
+        loop {
+            if self.seg >= cs.segment_count() {
+                return false;
+            }
+            let seg = &cs.segments()[self.seg];
+            self.seg += 1;
+            // Segment elimination from min/max metadata.
+            let eliminated = bounds
+                .iter()
+                .any(|(col, lo, hi)| !seg.may_match_range(*col, lo.as_ref(), hi.as_ref()));
+            if eliminated {
+                // Metadata-only: the segment counts as processed but costs
+                // almost nothing.
+                ctx.charge_cpu(self.id, 100.0);
+                ctx.count_segment(self.id);
+                continue;
+            }
+            ctx.charge_io(self.id, ctx.cost.segment_io_pages as u64);
+            ctx.charge_cpu(self.id, seg.row_count as f64 * ctx.cost.batch_row_ns);
+            self.pending.clear();
+            self.pending_pos = 0;
+            for off in 0..seg.row_count {
+                let row = seg.row(off);
+                if let Some(p) = &self.predicate {
+                    if !p.matches(&row) {
+                        continue;
+                    }
+                }
+                if let Some(bp) = &self.bitmap {
+                    let key = key_of(&row, &bp.key_columns);
+                    if !ctx.bitmap_may_contain(bp.bitmap, &key) {
+                        continue;
+                    }
+                }
+                self.pending.push(row);
+            }
+            ctx.count_segment(self.id);
+            if !self.pending.is_empty() {
+                return true;
+            }
+        }
+    }
+}
+
+impl Operator for ColumnstoreScanOp {
+    fn open(&mut self, ctx: &ExecContext) {
+        ctx.mark_open(self.id);
+    }
+
+    fn next(&mut self, ctx: &ExecContext) -> Option<Row> {
+        if self.done {
+            return None;
+        }
+        loop {
+            if self.pending_pos < self.pending.len() {
+                let row = self.pending[self.pending_pos].clone();
+                self.pending_pos += 1;
+                ctx.count_output(self.id);
+                return Some(row);
+            }
+            if !self.load_segment(ctx) {
+                self.done = true;
+                ctx.mark_close(self.id);
+                return None;
+            }
+        }
+    }
+
+    fn close(&mut self, ctx: &ExecContext) {
+        ctx.mark_close(self.id);
+    }
+
+    fn rewind(&mut self, ctx: &ExecContext) {
+        ctx.mark_open(self.id);
+        self.seg = 0;
+        self.pending.clear();
+        self.pending_pos = 0;
+        self.done = false;
+    }
+}
+
+/// In-plan constant rows.
+pub struct ConstantScanOp {
+    id: NodeId,
+    rows: Vec<Vec<Value>>,
+    pos: usize,
+    done: bool,
+}
+
+impl ConstantScanOp {
+    pub(crate) fn new(id: NodeId, rows: Vec<Vec<Value>>) -> Self {
+        ConstantScanOp {
+            id,
+            rows,
+            pos: 0,
+            done: false,
+        }
+    }
+}
+
+impl Operator for ConstantScanOp {
+    fn open(&mut self, ctx: &ExecContext) {
+        ctx.mark_open(self.id);
+    }
+
+    fn next(&mut self, ctx: &ExecContext) -> Option<Row> {
+        if self.done || self.pos >= self.rows.len() {
+            if !self.done {
+                self.done = true;
+                ctx.mark_close(self.id);
+            }
+            return None;
+        }
+        let row: Row = self.rows[self.pos].clone().into();
+        self.pos += 1;
+        ctx.charge_cpu(self.id, 2.0);
+        ctx.count_output(self.id);
+        Some(row)
+    }
+
+    fn close(&mut self, ctx: &ExecContext) {
+        ctx.mark_close(self.id);
+    }
+
+    fn rewind(&mut self, ctx: &ExecContext) {
+        ctx.mark_open(self.id);
+        self.pos = 0;
+        self.done = false;
+    }
+}

@@ -1,0 +1,211 @@
+//! Table spools (eager and lazy).
+//!
+//! Spools materialize their input so rewinds replay the stored rows instead
+//! of re-executing the child subtree. The eager spool consumes its entire
+//! input on first demand (fully blocking); the lazy spool copies rows
+//! through incrementally. Both charge spill I/O at a configurable
+//! rows-per-page rate.
+
+use super::{BoxedOperator, Operator};
+use crate::context::ExecContext;
+use lqs_plan::NodeId;
+use lqs_storage::Row;
+
+pub struct SpoolOp {
+    id: NodeId,
+    lazy: bool,
+    child: BoxedOperator,
+    buffer: Vec<Row>,
+    /// Rows written since the last spill-page charge.
+    write_pending: f64,
+    read_pending: f64,
+    pos: usize,
+    /// True once the child is exhausted and `buffer` is complete.
+    populated: bool,
+    /// True when a rewind switched us to replay mode.
+    replaying: bool,
+    done: bool,
+}
+
+impl SpoolOp {
+    pub(crate) fn new(id: NodeId, lazy: bool, child: BoxedOperator) -> Self {
+        SpoolOp {
+            id,
+            lazy,
+            child,
+            buffer: Vec::new(),
+            write_pending: 0.0,
+            read_pending: 0.0,
+            pos: 0,
+            populated: false,
+            replaying: false,
+            done: false,
+        }
+    }
+
+    fn charge_write(&mut self, ctx: &ExecContext) {
+        ctx.charge_cpu(self.id, ctx.cost.spool_write_row_ns);
+        self.write_pending += 1.0;
+        if self.write_pending >= ctx.cost.spool_rows_per_page {
+            self.write_pending -= ctx.cost.spool_rows_per_page;
+            ctx.charge_io(self.id, 1);
+        }
+    }
+
+    fn charge_read(&mut self, ctx: &ExecContext) {
+        ctx.charge_cpu(self.id, ctx.cost.spool_read_row_ns);
+        self.read_pending += 1.0;
+        if self.read_pending >= ctx.cost.spool_rows_per_page {
+            self.read_pending -= ctx.cost.spool_rows_per_page;
+            ctx.charge_io(self.id, 1);
+        }
+    }
+
+    fn populate_all(&mut self, ctx: &ExecContext) {
+        while let Some(row) = self.child.next(ctx) {
+            ctx.count_input(self.id, 1);
+            self.charge_write(ctx);
+            self.buffer.push(row);
+        }
+        self.populated = true;
+    }
+}
+
+impl Operator for SpoolOp {
+    fn open(&mut self, ctx: &ExecContext) {
+        ctx.mark_open(self.id);
+        self.child.open(ctx);
+    }
+
+    fn next(&mut self, ctx: &ExecContext) -> Option<Row> {
+        if self.done {
+            return None;
+        }
+        if !self.lazy && !self.populated {
+            self.populate_all(ctx);
+            self.pos = 0;
+        }
+        if self.replaying || !self.lazy || self.populated {
+            // Serving from the buffer.
+            if self.pos < self.buffer.len() {
+                let row = self.buffer[self.pos].clone();
+                self.pos += 1;
+                self.charge_read(ctx);
+                ctx.count_output(self.id);
+                return Some(row);
+            }
+            if !self.lazy || self.populated || self.replaying {
+                self.done = true;
+                ctx.mark_close(self.id);
+                return None;
+            }
+        }
+        // Lazy first pass: copy through.
+        match self.child.next(ctx) {
+            Some(row) => {
+                ctx.count_input(self.id, 1);
+                self.charge_write(ctx);
+                self.buffer.push(row.clone());
+                self.pos = self.buffer.len();
+                ctx.count_output(self.id);
+                Some(row)
+            }
+            None => {
+                self.populated = true;
+                self.done = true;
+                ctx.mark_close(self.id);
+                None
+            }
+        }
+    }
+
+    fn close(&mut self, ctx: &ExecContext) {
+        self.child.close(ctx);
+        ctx.mark_close(self.id);
+    }
+
+    fn rewind(&mut self, ctx: &ExecContext) {
+        ctx.mark_open(self.id);
+        if self.lazy && !self.populated {
+            // Rewound before the first pass completed: finish populating so
+            // the replay is complete. (Matches engine behaviour: a lazy
+            // spool rewound mid-stream re-reads what it has and continues
+            // from the child.)
+            self.populate_all(ctx);
+        } else if !self.lazy && !self.populated {
+            self.populate_all(ctx);
+        }
+        self.replaying = true;
+        self.pos = 0;
+        self.done = false;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::scan::ConstantScanOp;
+    use lqs_plan::CostModel;
+    use lqs_storage::{Database, Value};
+
+    fn rows(n: i64) -> Vec<Vec<Value>> {
+        (0..n).map(|v| vec![Value::Int(v)]).collect()
+    }
+
+    fn drain(op: &mut dyn Operator, ctx: &ExecContext) -> usize {
+        let mut n = 0;
+        while op.next(ctx).is_some() {
+            n += 1;
+        }
+        n
+    }
+
+    #[test]
+    fn eager_spool_blocks_then_replays() {
+        let db = Database::new();
+        let ctx = ExecContext::new(&db, 2, 0, u64::MAX, CostModel::default());
+        let child = Box::new(ConstantScanOp::new(NodeId(0), rows(50)));
+        let mut spool = SpoolOp::new(NodeId(1), false, child);
+        spool.open(&ctx);
+        let first = spool.next(&ctx).unwrap();
+        assert_eq!(first[0], Value::Int(0));
+        // Entire input consumed on first demand.
+        assert_eq!(ctx.counters_of(NodeId(1)).rows_input, 50);
+        assert_eq!(drain(&mut spool, &ctx), 49);
+        // Rewind replays without touching the child again.
+        let child_k = ctx.counters_of(NodeId(0)).rows_output;
+        spool.rewind(&ctx);
+        assert_eq!(drain(&mut spool, &ctx), 50);
+        assert_eq!(ctx.counters_of(NodeId(0)).rows_output, child_k);
+        spool.close(&ctx);
+    }
+
+    #[test]
+    fn lazy_spool_streams_through() {
+        let db = Database::new();
+        let ctx = ExecContext::new(&db, 2, 0, u64::MAX, CostModel::default());
+        let child = Box::new(ConstantScanOp::new(NodeId(0), rows(50)));
+        let mut spool = SpoolOp::new(NodeId(1), true, child);
+        spool.open(&ctx);
+        let _ = spool.next(&ctx).unwrap();
+        // Only one row consumed so far (pipelined).
+        assert_eq!(ctx.counters_of(NodeId(1)).rows_input, 1);
+        assert_eq!(drain(&mut spool, &ctx), 49);
+        spool.rewind(&ctx);
+        assert_eq!(drain(&mut spool, &ctx), 50);
+        spool.close(&ctx);
+    }
+
+    #[test]
+    fn spool_charges_io() {
+        let db = Database::new();
+        let ctx = ExecContext::new(&db, 2, 0, u64::MAX, CostModel::default());
+        let child = Box::new(ConstantScanOp::new(NodeId(0), rows(1000)));
+        let mut spool = SpoolOp::new(NodeId(1), false, child);
+        spool.open(&ctx);
+        drain(&mut spool, &ctx);
+        // 1000 rows at 200 rows/page = 5 write pages + 5 read pages.
+        assert_eq!(ctx.counters_of(NodeId(1)).logical_reads, 10);
+        spool.close(&ctx);
+    }
+}

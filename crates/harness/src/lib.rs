@@ -1,0 +1,22 @@
+//! # lqs-harness — the experiment harness
+//!
+//! Drives the paper's §5 evaluation end to end: executes workload queries on
+//! the engine, replays their DMV traces through estimator configurations,
+//! aggregates `Errorcount`/`Errortime`, and regenerates every table and
+//! figure of the paper (see [`figures`]; DESIGN.md holds the experiment
+//! index mapping each figure to its function and bench binary).
+
+#![warn(missing_docs)]
+
+pub mod calibrate;
+pub mod experiment;
+pub mod figures;
+pub mod report;
+pub mod run;
+
+pub use experiment::{
+    merge_per_operator, operator_frequencies, per_operator_errors, workload_errors, ConfigSpec,
+    Metric, PerOperatorErrors, WorkloadErrors,
+};
+pub use calibrate::{calibrate_weights, WeightCalibration};
+pub use run::{estimates_only, run_query, trace_estimator, EstimatorTrace};

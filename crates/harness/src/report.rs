@@ -1,0 +1,93 @@
+//! Plain-text table rendering and JSON serialization for experiment output.
+
+use crate::experiment::{PerOperatorErrors, WorkloadErrors};
+use std::collections::BTreeMap;
+use std::fmt::Write;
+
+/// Render a set of per-workload errors as an aligned text table.
+pub fn render_workload_errors(title: &str, rows: &[WorkloadErrors]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "== {title} ==");
+    if rows.is_empty() {
+        let _ = writeln!(out, "(no data)");
+        return out;
+    }
+    let labels: Vec<&str> = rows[0].errors.iter().map(|(l, _)| l.as_str()).collect();
+    let _ = write!(out, "{:<22}", "workload");
+    for l in &labels {
+        let _ = write!(out, "{l:>28}");
+    }
+    let _ = writeln!(out, "{:>10}", "queries");
+    for r in rows {
+        let _ = write!(out, "{:<22}", r.workload);
+        for (_, v) in &r.errors {
+            let _ = write!(out, "{v:>28.4}");
+        }
+        let _ = writeln!(out, "{:>10}", r.queries);
+    }
+    out
+}
+
+/// Render per-operator errors: one row per operator, one column per config.
+pub fn render_per_operator(title: &str, data: &PerOperatorErrors) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "== {title} ({}) ==", data.workload);
+    let mut ops: Vec<&String> = data
+        .by_config
+        .iter()
+        .flat_map(|(_, m)| m.keys())
+        .collect();
+    ops.sort();
+    ops.dedup();
+    let _ = write!(out, "{:<34}", "operator");
+    for (label, _) in &data.by_config {
+        let _ = write!(out, "{label:>42}");
+    }
+    let _ = writeln!(out);
+    for op in ops {
+        let _ = write!(out, "{op:<34}");
+        for (_, m) in &data.by_config {
+            match m.get(op) {
+                Some(v) => {
+                    let _ = write!(out, "{v:>42.4}");
+                }
+                None => {
+                    let _ = write!(out, "{:>42}", "-");
+                }
+            }
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+/// Render operator-frequency maps side by side (Figure 19).
+pub fn render_frequencies(
+    title: &str,
+    a_name: &str,
+    a: &BTreeMap<String, usize>,
+    b_name: &str,
+    b: &BTreeMap<String, usize>,
+) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "== {title} ==");
+    let mut ops: Vec<&String> = a.keys().chain(b.keys()).collect();
+    ops.sort();
+    ops.dedup();
+    let _ = writeln!(out, "{:<34}{:>20}{:>22}", "operator", a_name, b_name);
+    for op in ops {
+        let _ = writeln!(
+            out,
+            "{:<34}{:>20}{:>22}",
+            op,
+            a.get(op).copied().unwrap_or(0),
+            b.get(op).copied().unwrap_or(0)
+        );
+    }
+    out
+}
+
+/// Serialize any experiment artifact to pretty JSON.
+pub fn to_json<T: serde::Serialize>(value: &T) -> String {
+    serde_json::to_string_pretty(value).expect("experiment outputs are serializable")
+}

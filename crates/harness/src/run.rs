@@ -1,0 +1,46 @@
+//! Running queries and replaying their DMV traces through estimators.
+
+use lqs_exec::{execute, ExecOptions, QueryRun};
+use lqs_plan::PhysicalPlan;
+use lqs_progress::{EstimatorConfig, ProgressEstimator, ProgressReport};
+use lqs_storage::Database;
+
+/// One estimator's full trajectory over a query run.
+pub struct EstimatorTrace {
+    /// Query-level progress estimate per snapshot.
+    pub estimates: Vec<f64>,
+    /// Full per-node reports per snapshot.
+    pub reports: Vec<ProgressReport>,
+}
+
+/// Execute a plan and keep the run (ground truth + snapshots).
+pub fn run_query(db: &Database, plan: &PhysicalPlan, opts: &ExecOptions) -> QueryRun {
+    execute(db, plan, opts)
+}
+
+/// Replay a run's snapshots through an estimator configuration.
+pub fn trace_estimator(
+    plan: &PhysicalPlan,
+    db: &Database,
+    run: &QueryRun,
+    config: EstimatorConfig,
+) -> EstimatorTrace {
+    let est = ProgressEstimator::new(plan, db, config);
+    let reports: Vec<ProgressReport> = run.snapshots.iter().map(|s| est.estimate(s)).collect();
+    let estimates = reports.iter().map(|r| r.query_progress).collect();
+    EstimatorTrace { estimates, reports }
+}
+
+/// Convenience: query-progress estimates only (skips report retention).
+pub fn estimates_only(
+    plan: &PhysicalPlan,
+    db: &Database,
+    run: &QueryRun,
+    config: EstimatorConfig,
+) -> Vec<f64> {
+    let est = ProgressEstimator::new(plan, db, config);
+    run.snapshots
+        .iter()
+        .map(|s| est.estimate(s).query_progress)
+        .collect()
+}

@@ -1,0 +1,137 @@
+//! Estimator configuration: every technique from the paper's §4 is an
+//! independent toggle, so each figure's ablation is a config delta.
+
+/// How query-level progress aggregates over nodes (§3.1.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueryModel {
+    /// Total GetNext model: sum over all plan nodes (Equation 2).
+    TotalGetNext,
+    /// Driver-node model: sum over pipeline driver nodes only \[7\].
+    DriverNodes,
+}
+
+/// Feature switches for the progress estimator.
+#[derive(Debug, Clone)]
+pub struct EstimatorConfig {
+    /// Query-level aggregation model.
+    pub query_model: QueryModel,
+    /// §4.1: online cardinality refinement (scale `kᵢ` by inverse
+    /// driver-node progress).
+    pub refine_cardinality: bool,
+    /// §4.2 / Appendix A: worst-case cardinality bounding.
+    pub bound_cardinality: bool,
+    /// §4.3: I/O-fraction progress for scans with storage-engine predicates
+    /// (pushed predicates, bitmap probes).
+    pub storage_predicate_io: bool,
+    /// §4.4: semi-blocking adjustments — (1) NL inner leaves become driver
+    /// nodes, (2) scale-up by immediate child beyond semi-blocking
+    /// boundaries, (3) NL-inner scale-up uses *processed* (not buffered)
+    /// outer rows.
+    pub semi_blocking_adjustments: bool,
+    /// §4.5: two-phase (input + output) progress model for blocking
+    /// operators.
+    pub two_phase_blocking: bool,
+    /// §4.6: per-operator weights from optimizer CPU/I-O cost and
+    /// longest-path query progress.
+    pub operator_weights: bool,
+    /// §4.7: segment-fraction progress for batch-mode columnstore pipelines.
+    pub batch_mode_segments: bool,
+    /// Refinement guard: minimum rows observed at the scale-up source.
+    pub refine_min_driver_rows: u64,
+    /// Refinement guard: minimum rows observed at the refined node's inputs.
+    pub refine_min_node_rows: u64,
+    /// §7 extension (a): propagate refined cardinalities across pipeline
+    /// boundaries. The shipped feature only propagates worst-case bounds
+    /// beyond blocking operators; with this on, the refinement pass runs a
+    /// second iteration so downstream pipelines' driver denominators use
+    /// upstream refinements instead of raw optimizer estimates.
+    pub propagate_refined: bool,
+    /// §7 extension (b): per-operator-type weight multipliers learned from
+    /// prior executions (actual ÷ estimated per-tuple cost), applied on top
+    /// of the optimizer-derived §4.6 weights.
+    pub weight_feedback: Option<std::sync::Arc<std::collections::BTreeMap<&'static str, f64>>>,
+}
+
+impl EstimatorConfig {
+    /// The baseline "Total GetNext" estimator of \[7\]: optimizer estimates
+    /// only, unweighted (Figure 14's "No Refinement").
+    pub fn tgn() -> Self {
+        EstimatorConfig {
+            query_model: QueryModel::TotalGetNext,
+            refine_cardinality: false,
+            bound_cardinality: false,
+            storage_predicate_io: false,
+            semi_blocking_adjustments: false,
+            two_phase_blocking: false,
+            operator_weights: false,
+            batch_mode_segments: false,
+            refine_min_driver_rows: 50,
+            refine_min_node_rows: 10,
+            propagate_refined: false,
+            weight_feedback: None,
+        }
+    }
+
+    /// TGN plus cardinality bounding (Figure 14's "Bounding only").
+    pub fn tgn_bounded() -> Self {
+        EstimatorConfig {
+            bound_cardinality: true,
+            ..Self::tgn()
+        }
+    }
+
+    /// Driver-node estimator with refinement and bounding (Figure 14's
+    /// "Bounding + Refinement").
+    pub fn dne_refined() -> Self {
+        EstimatorConfig {
+            query_model: QueryModel::DriverNodes,
+            refine_cardinality: true,
+            bound_cardinality: true,
+            ..Self::tgn()
+        }
+    }
+
+    /// Everything the shipped LQS feature enables (all §4 techniques).
+    pub fn full() -> Self {
+        EstimatorConfig {
+            query_model: QueryModel::TotalGetNext,
+            refine_cardinality: true,
+            bound_cardinality: true,
+            storage_predicate_io: true,
+            semi_blocking_adjustments: true,
+            two_phase_blocking: true,
+            operator_weights: true,
+            batch_mode_segments: true,
+            refine_min_driver_rows: 50,
+            refine_min_node_rows: 10,
+            propagate_refined: false,
+            weight_feedback: None,
+        }
+    }
+
+    /// Everything in [`EstimatorConfig::full`] plus the §7 future-work
+    /// extensions implemented in this reproduction (refined-cardinality
+    /// propagation; weight feedback is attached separately via
+    /// [`EstimatorConfig::with_weight_feedback`]).
+    pub fn extended() -> Self {
+        EstimatorConfig {
+            propagate_refined: true,
+            ..Self::full()
+        }
+    }
+
+    /// Attach learned per-operator weight multipliers (§7 extension (b)).
+    pub fn with_weight_feedback(
+        mut self,
+        feedback: std::collections::BTreeMap<&'static str, f64>,
+    ) -> Self {
+        self.weight_feedback = Some(std::sync::Arc::new(feedback));
+        self
+    }
+}
+
+impl Default for EstimatorConfig {
+    fn default() -> Self {
+        Self::full()
+    }
+}

@@ -1,0 +1,473 @@
+//! The progress estimator — the paper's client-side module.
+//!
+//! Consumes a plan's static metadata ([`PlanStatics`]) plus one DMV snapshot
+//! and produces per-operator and query-level progress. The pipeline per
+//! snapshot is:
+//!
+//! 1. start from optimizer estimates `N̂ᵢ`,
+//! 2. **refine** them online from observed counters (§4.1, with the §4.4
+//!    semi-blocking modifications),
+//! 3. **bound** them with the Appendix A worst-case logic (§4.2),
+//! 4. compute per-node progress, substituting the special models for
+//!    storage-filtered scans (§4.3), blocking operators (§4.5) and
+//!    batch-mode pipelines (§4.7),
+//! 5. aggregate to query progress, optionally weighted by optimizer
+//!    per-tuple costs along the longest path (§4.6).
+
+use crate::bounds::{compute_bounds, Bounds};
+use crate::config::{EstimatorConfig, QueryModel};
+use crate::statics::PlanStatics;
+use crate::weights::longest_path_nodes;
+use lqs_exec::DmvSnapshot;
+use lqs_plan::{NodeId, PhysicalPlan};
+use lqs_storage::Database;
+
+/// Progress of a single operator at one snapshot.
+#[derive(Debug, Clone)]
+pub struct NodeProgress {
+    /// Node id.
+    pub node: NodeId,
+    /// Operator display name.
+    pub name: &'static str,
+    /// Estimated operator progress in `[0, 1]` (Equation 1).
+    pub progress: f64,
+    /// The `N̂ᵢ` used (after refinement and bounding).
+    pub refined_n: f64,
+    /// Worst-case bounds at this snapshot.
+    pub bounds: Bounds,
+    /// Rows output so far (`kᵢ`).
+    pub k: f64,
+}
+
+/// Full progress report for one snapshot.
+#[derive(Debug, Clone)]
+pub struct ProgressReport {
+    /// Estimated query progress in `[0, 1]` (Equation 2).
+    pub query_progress: f64,
+    /// Per-node progress, indexed by `NodeId.0`.
+    pub nodes: Vec<NodeProgress>,
+}
+
+/// The estimator, constructed once per (plan, database) pair and then
+/// invoked on every DMV snapshot.
+pub struct ProgressEstimator {
+    statics: PlanStatics,
+    config: EstimatorConfig,
+}
+
+impl ProgressEstimator {
+    /// Build an estimator for `plan`.
+    pub fn new(plan: &PhysicalPlan, db: &Database, config: EstimatorConfig) -> Self {
+        let io_page_ns = lqs_plan::CostModel::default().io_page_ns;
+        ProgressEstimator {
+            statics: PlanStatics::build(plan, db, io_page_ns),
+            config,
+        }
+    }
+
+    /// Build with a specific cost model's I/O constant (for weight parity
+    /// with a non-default executor configuration).
+    pub fn with_cost_model(
+        plan: &PhysicalPlan,
+        db: &Database,
+        config: EstimatorConfig,
+        cost: &lqs_plan::CostModel,
+    ) -> Self {
+        ProgressEstimator {
+            statics: PlanStatics::build(plan, db, cost.io_page_ns),
+            config,
+        }
+    }
+
+    /// The precomputed statics (exposed for metrics and tests).
+    pub fn statics(&self) -> &PlanStatics {
+        &self.statics
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &EstimatorConfig {
+        &self.config
+    }
+
+    /// Estimate progress from one DMV snapshot.
+    pub fn estimate(&self, s: &DmvSnapshot) -> ProgressReport {
+        let n_nodes = self.statics.nodes.len();
+
+        // --- Steps 1+2: cardinality estimates, optionally refined. -------
+        let mut n_hat: Vec<f64> = self
+            .statics
+            .nodes
+            .iter()
+            .map(|st| st.known_rows.unwrap_or(st.est_rows).max(1.0))
+            .collect();
+        if self.config.refine_cardinality {
+            self.refine(s, &mut n_hat);
+            if self.config.propagate_refined {
+                // §7 extension (a): a second pass lets downstream pipelines'
+                // driver denominators (and NL outer totals) see upstream
+                // refinements instead of raw optimizer estimates.
+                self.refine(s, &mut n_hat);
+            }
+        }
+
+        // --- Step 3: bounding. -------------------------------------------
+        let bounds = if self.config.bound_cardinality {
+            let b = compute_bounds(&self.statics, s);
+            for i in 0..n_nodes {
+                n_hat[i] = b[i].clamp(n_hat[i]);
+            }
+            b
+        } else {
+            vec![
+                Bounds {
+                    lb: 0.0,
+                    ub: f64::INFINITY
+                };
+                n_nodes
+            ]
+        };
+
+        // --- Step 4: per-node progress. ------------------------------------
+        let nodes: Vec<NodeProgress> = (0..n_nodes)
+            .map(|i| {
+                let progress = self.node_progress(s, i, &n_hat);
+                NodeProgress {
+                    node: NodeId(i),
+                    name: self.statics.nodes[i].name,
+                    progress,
+                    refined_n: n_hat[i],
+                    bounds: bounds[i],
+                    k: s.k(i),
+                }
+            })
+            .collect();
+
+        // --- Step 5: query progress. ---------------------------------------
+        let query_progress = self.query_progress(s, &n_hat, &nodes);
+        ProgressReport {
+            query_progress,
+            nodes,
+        }
+    }
+
+    // ---------------------------------------------------------------------
+
+    /// §4.1 + §4.4 cardinality refinement.
+    fn refine(&self, s: &DmvSnapshot, n_hat: &mut [f64]) {
+        let statics = &self.statics;
+        // Per-pipeline α = Σ driver k / Σ driver N (§4.1 Equation 3), with
+        // driver N taken from exactly-known cardinalities where possible.
+        let mut alpha: Vec<Option<f64>> = vec![None; statics.pipelines.len()];
+        for p in statics.pipelines.pipelines() {
+            let mut seen = 0.0;
+            let mut total = 0.0;
+            let mut drivers: Vec<NodeId> = p.driver_nodes.clone();
+            if self.config.semi_blocking_adjustments {
+                // §4.4(1): inner-side leaves of NL joins become drivers too.
+                drivers.extend(p.nl_inner_leaves.iter().copied());
+            }
+            for &d in &drivers {
+                let st = &statics.nodes[d.0];
+                let c = s.node(d.0);
+                let n_d = self.driver_total(s, d, n_hat);
+                // §4.3: a storage-filtered driver's row progress is not
+                // trustworthy; substitute its I/O fraction.
+                if st.storage_filtered && self.config.storage_predicate_io {
+                    if let Some(pages) = st.total_pages {
+                        let frac = (c.logical_reads as f64 / pages).min(1.0);
+                        seen += frac * n_d;
+                        total += n_d;
+                        continue;
+                    }
+                }
+                seen += (c.rows_output as f64).min(n_d);
+                total += n_d;
+            }
+            if total > 0.0 && seen >= self.config.refine_min_driver_rows as f64 {
+                alpha[p.id.0] = Some((seen / total).clamp(0.0, 1.0));
+            } else if total > 0.0
+                && drivers
+                    .iter()
+                    .all(|d| s.node(d.0).is_closed())
+            {
+                alpha[p.id.0] = Some(1.0);
+            }
+        }
+
+        // Refine nodes bottom-up so immediate-child scale-up (§4.4(2)) and
+        // outer-before-inner NL refinement see already-refined children.
+        for &id in &statics.post_order {
+            let i = id.0;
+            let st = &statics.nodes[i];
+            let c = s.node(i);
+            if c.is_closed() {
+                n_hat[i] = c.rows_output as f64;
+                continue;
+            }
+            // §7 extension (a): push refined cardinalities through blocking
+            // boundaries. A sort/spool outputs exactly its input, so its
+            // total inherits the child's refined total; a grouped aggregate
+            // scales its group estimate by the input's refinement ratio.
+            if self.config.propagate_refined && st.blocking && !st.children.is_empty() {
+                let child_refined: f64 = st.children.iter().map(|ch| n_hat[ch.0]).sum();
+                let k = c.rows_output as f64;
+                match st.bound_kind {
+                    crate::statics::BoundKind::SortLike => {
+                        n_hat[i] = child_refined.max(k).max(1.0);
+                        continue;
+                    }
+                    crate::statics::BoundKind::Aggregate { scalar: false } => {
+                        let child_est: f64 = st
+                            .children
+                            .iter()
+                            .map(|ch| statics.nodes[ch.0].est_rows.max(1.0))
+                            .sum();
+                        let ratio = (child_refined / child_est).max(1e-3);
+                        n_hat[i] = (st.est_rows * ratio)
+                            .min(child_refined)
+                            .max(k)
+                            .max(1.0);
+                        continue;
+                    }
+                    _ => {}
+                }
+            }
+            if st.known_rows.is_some() && st.enclosing_nl.is_none() {
+                continue; // exact already
+            }
+            if !c.is_open() {
+                continue; // nothing observed yet
+            }
+            // Guard conditions (§4.1): enough input seen, and for filtering
+            // operators, both passing and non-passing rows observed.
+            if c.rows_input + c.rows_output < self.config.refine_min_node_rows {
+                continue;
+            }
+            if st.filters_rows {
+                let passing = c.rows_output > 0;
+                let non_passing = c.rows_input > c.rows_output || c.logical_reads > 0;
+                if !(passing && non_passing) {
+                    continue;
+                }
+            }
+
+            // Inner side of a nested-loops join: project per-execution rate
+            // times the (refined) total outer cardinality (§4.1 last ¶,
+            // §4.4(3)).
+            if let Some(nl) = st.enclosing_nl {
+                let outer = statics.nodes[nl.0].children[0];
+                let outer_total = n_hat[outer.0].max(1.0);
+                let nl_c = s.node(nl.0);
+                // §4.4(3): scale by outer rows actually *processed*; without
+                // the adjustment, use outer rows consumed (which includes
+                // buffered rows and over-scales).
+                let execs = if self.config.semi_blocking_adjustments {
+                    nl_c.rows_processed.max(1) as f64
+                } else {
+                    s.node(outer.0).rows_output.max(1) as f64
+                };
+                let per_exec = c.rows_output as f64 / execs;
+                n_hat[i] = (per_exec * outer_total).max(c.rows_output as f64);
+                continue;
+            }
+
+            // Pick the scale-up source: pipeline drivers, or the immediate
+            // child when a semi-blocking operator buffers below us (§4.4(2)).
+            let pipe = statics.pipelines.pipeline_of(id);
+            let a = if self.config.semi_blocking_adjustments
+                && !st.children.is_empty()
+                && statics.semi_blocking_below(id)
+            {
+                let mut kk = 0.0;
+                let mut nn = 0.0;
+                for &ch in &st.children {
+                    kk += s.node(ch.0).rows_output as f64;
+                    nn += n_hat[ch.0].max(1.0);
+                }
+                if nn > 0.0 {
+                    Some((kk / nn).clamp(0.0, 1.0))
+                } else {
+                    None
+                }
+            } else {
+                alpha[pipe.0]
+            };
+            let Some(a) = a else { continue };
+            if a <= 0.0 {
+                continue;
+            }
+            n_hat[i] = (c.rows_output as f64 / a).max(c.rows_output as f64);
+        }
+    }
+
+    /// Best-known total cardinality of a driver node: exact where possible
+    /// (§3.1.1), otherwise the current estimate.
+    fn driver_total(&self, s: &DmvSnapshot, d: NodeId, n_hat: &[f64]) -> f64 {
+        let st = &self.statics.nodes[d.0];
+        if let Some(n) = st.known_rows {
+            if st.enclosing_nl.is_none() {
+                return n.max(1.0);
+            }
+        }
+        let c = s.node(d.0);
+        if c.is_closed() {
+            return (c.rows_output as f64).max(1.0);
+        }
+        // A blocking boundary node acting as a source: once its input side
+        // is complete, its output total is exact for sort-like operators
+        // (output = input).
+        if st.blocking {
+            let input_done = st
+                .children
+                .iter()
+                .all(|ch| s.node(ch.0).is_closed());
+            if input_done && matches!(self.statics.nodes[d.0].bound_kind, crate::statics::BoundKind::SortLike)
+            {
+                return (c.rows_input as f64).max(1.0);
+            }
+        }
+        n_hat[d.0].max(1.0)
+    }
+
+    /// Effective §4.6 weight for a node: the optimizer-derived per-tuple
+    /// weight, times any learned feedback multiplier for its operator type
+    /// (§7 extension (b)).
+    fn weight_of(&self, i: usize) -> f64 {
+        let st = &self.statics.nodes[i];
+        let mult = self
+            .config
+            .weight_feedback
+            .as_ref()
+            .and_then(|m| m.get(st.name).copied())
+            .unwrap_or(1.0);
+        st.weight * mult
+    }
+
+    /// Per-node progress with the §4.3/§4.5/§4.7 special models.
+    fn node_progress(&self, s: &DmvSnapshot, i: usize, n_hat: &[f64]) -> f64 {
+        let st = &self.statics.nodes[i];
+        let c = s.node(i);
+        if c.is_closed() {
+            return 1.0;
+        }
+        // §4.5 first: a blocking operator in a batch pipeline still has a
+        // distinct output phase, which segment fractions cannot see.
+        if self.config.two_phase_blocking && st.blocking && !st.children.is_empty() {
+            let n_in: f64 = st.children.iter().map(|ch| n_hat[ch.0].max(1.0)).sum();
+            let k_in = c.rows_input as f64;
+            let n_out = n_hat[i].max(1.0);
+            let k_out = c.rows_output as f64;
+            return ((k_in + k_out) / (n_in + n_out)).clamp(0.0, 1.0);
+        }
+        // §4.7: batch-mode — segment fraction.
+        if self.config.batch_mode_segments && st.batch_mode {
+            if let Some(total) = st.total_segments {
+                return (c.segments_processed as f64 / total).clamp(0.0, 1.0);
+            }
+            // Batch operator above the scan(s): fraction of segments
+            // processed in its subtree.
+            let scans = self.statics.columnstore_descendants(NodeId(i));
+            if !scans.is_empty() {
+                let done: f64 = scans
+                    .iter()
+                    .map(|n| s.node(n.0).segments_processed as f64)
+                    .sum();
+                let total: f64 = scans
+                    .iter()
+                    .map(|n| self.statics.nodes[n.0].total_segments.unwrap_or(1.0))
+                    .sum();
+                return (done / total.max(1.0)).clamp(0.0, 1.0);
+            }
+        }
+        // §4.3: storage-filtered scans — fraction of logical I/O issued.
+        if self.config.storage_predicate_io && st.storage_filtered {
+            if let Some(pages) = st.total_pages {
+                return (c.logical_reads as f64 / pages).clamp(0.0, 1.0);
+            }
+        }
+        // GetNext model (Equation 1).
+        (c.rows_output as f64 / n_hat[i].max(1.0)).clamp(0.0, 1.0)
+    }
+
+    /// Query-level progress (Equation 2), over the configured node set.
+    fn query_progress(&self, s: &DmvSnapshot, n_hat: &[f64], nodes: &[NodeProgress]) -> f64 {
+        let statics = &self.statics;
+        let in_scope: Vec<bool> = match self.config.query_model {
+            QueryModel::TotalGetNext => {
+                if self.config.operator_weights {
+                    // §4.6: only the longest path of speed-independent
+                    // pipelines contributes.
+                    let path = longest_path_nodes(statics, n_hat);
+                    let mut v = vec![false; statics.nodes.len()];
+                    for id in path {
+                        v[id.0] = true;
+                    }
+                    v
+                } else {
+                    vec![true; statics.nodes.len()]
+                }
+            }
+            QueryModel::DriverNodes => {
+                let mut v = vec![false; statics.nodes.len()];
+                for p in statics.pipelines.pipelines() {
+                    for &d in &p.driver_nodes {
+                        v[d.0] = true;
+                    }
+                    if self.config.semi_blocking_adjustments {
+                        for &d in &p.nl_inner_leaves {
+                            v[d.0] = true;
+                        }
+                    }
+                }
+                v
+            }
+        };
+
+        let mut num = 0.0;
+        let mut den = 0.0;
+        for (i, st) in statics.nodes.iter().enumerate() {
+            if !in_scope[i] {
+                continue;
+            }
+            let w = if self.config.operator_weights {
+                self.weight_of(i)
+            } else {
+                1.0
+            };
+            if self.config.two_phase_blocking && st.blocking && !st.children.is_empty() {
+                // Split into input and output virtual nodes (Figure 10).
+                let c = s.node(i);
+                let n_in: f64 = st.children.iter().map(|ch| n_hat[ch.0].max(1.0)).sum();
+                let n_out = n_hat[i].max(1.0);
+                let frac = st.input_phase_fraction;
+                // Per-tuple weights for the two phases, splitting the
+                // node's total estimated work (feedback-scaled like w).
+                let total_work = st.work_total_ns * (self.weight_of(i) / st.weight.max(1e-12));
+                let w_in = if self.config.operator_weights {
+                    total_work * frac / n_in
+                } else {
+                    1.0
+                };
+                let w_out = if self.config.operator_weights {
+                    total_work * (1.0 - frac) / n_out
+                } else {
+                    1.0
+                };
+                num += w_in * (c.rows_input as f64).min(n_in);
+                den += w_in * n_in;
+                num += w_out * (c.rows_output as f64).min(n_out);
+                den += w_out * n_out;
+            } else {
+                let n = n_hat[i].max(1.0);
+                // Use the per-node progress (which folds in the §4.3/§4.7
+                // substitutions) as the effective k/N.
+                num += w * nodes[i].progress * n;
+                den += w * n;
+            }
+        }
+        if den <= 0.0 {
+            return 0.0;
+        }
+        (num / den).clamp(0.0, 1.0)
+    }
+}

@@ -1,0 +1,61 @@
+//! Operator weights and the longest-path pipeline model (§4.6).
+//!
+//! Each pipeline is a *speed-independent* group of concurrently executing
+//! operators \[18\]. A pipeline's estimated duration is the sum over its
+//! members of `wᵢ × N̂ᵢ`, where `wᵢ = max(cpu-per-tuple, io-per-tuple)` — the
+//! paper's simplifying assumption that CPU and I/O within an operator fully
+//! overlap. The overall query duration is governed by the most expensive
+//! root-to-leaf chain of pipelines, so query progress is computed over the
+//! nodes on that chain only.
+
+use crate::statics::PlanStatics;
+use lqs_plan::{NodeId, PipelineId};
+
+/// Estimated duration of one pipeline under current cardinality estimates.
+pub fn pipeline_duration(statics: &PlanStatics, pipe: PipelineId, n_hat: &[f64]) -> f64 {
+    statics
+        .pipelines
+        .pipeline(pipe)
+        .nodes
+        .iter()
+        .map(|&n| statics.nodes[n.0].weight * n_hat[n.0].max(1.0))
+        .sum()
+}
+
+/// The set of nodes on the longest root-to-leaf path of pipelines.
+///
+/// Recursion over the pipeline dependency tree: a path through pipeline `P`
+/// costs `duration(P)` plus the most expensive path among its upstream
+/// pipelines; the chosen path's member nodes are collected.
+pub fn longest_path_nodes(statics: &PlanStatics, n_hat: &[f64]) -> Vec<NodeId> {
+    let root = PipelineId(0);
+    let mut memo: Vec<Option<(f64, Vec<PipelineId>)>> = vec![None; statics.pipelines.len()];
+    let (_, path) = longest_from(statics, root, n_hat, &mut memo);
+    path.iter()
+        .flat_map(|p| statics.pipelines.pipeline(*p).nodes.iter().copied())
+        .collect()
+}
+
+fn longest_from(
+    statics: &PlanStatics,
+    pipe: PipelineId,
+    n_hat: &[f64],
+    memo: &mut Vec<Option<(f64, Vec<PipelineId>)>>,
+) -> (f64, Vec<PipelineId>) {
+    if let Some(m) = &memo[pipe.0] {
+        return m.clone();
+    }
+    let own = pipeline_duration(statics, pipe, n_hat);
+    let mut best = (0.0f64, Vec::new());
+    for &up in &statics.pipelines.pipeline(pipe).upstream {
+        let (d, p) = longest_from(statics, up, n_hat, memo);
+        if d > best.0 {
+            best = (d, p);
+        }
+    }
+    let mut path = vec![pipe];
+    path.extend(best.1.iter().copied());
+    let result = (own + best.0, path);
+    memo[pipe.0] = Some(result.clone());
+    result
+}

@@ -1,0 +1,111 @@
+//! Tests for the §4.6 weights machinery: pipeline durations, longest-path
+//! selection, and the effect of refined cardinalities on the chosen path.
+
+use lqs_plan::{AggFunc, Aggregate, CostModel, JoinKind, PlanBuilder, SortKey};
+use lqs_progress::{weights, PlanStatics};
+use lqs_storage::{Column, DataType, Database, Schema, Table, TableId, Value};
+
+fn db() -> (Database, TableId, TableId) {
+    let mut big = Table::new(
+        "big",
+        Schema::new(vec![
+            Column::new("k", DataType::Int),
+            Column::new("v", DataType::Int),
+        ]),
+    );
+    for i in 0..20_000i64 {
+        big.insert(vec![Value::Int(i % 50), Value::Int(i)]).unwrap();
+    }
+    let mut small = Table::new(
+        "small",
+        Schema::new(vec![
+            Column::new("k", DataType::Int),
+            Column::new("v", DataType::Int),
+        ]),
+    );
+    for i in 0..50i64 {
+        small.insert(vec![Value::Int(i), Value::Int(i)]).unwrap();
+    }
+    let mut d = Database::new();
+    let b = d.add_table_analyzed(big);
+    let s = d.add_table_analyzed(small);
+    (d, b, s)
+}
+
+#[test]
+fn longest_path_prefers_expensive_build_side() {
+    // Hash join with a *huge* build side and a tiny probe side: the longest
+    // path must route through the build pipeline.
+    let (d, big, small) = db();
+    let mut b = PlanBuilder::new(&d);
+    let build = b.table_scan(big); // expensive build
+    let probe = b.table_scan(small);
+    let join = b.hash_join(JoinKind::Inner, build, probe, vec![0], vec![0]);
+    let plan = b.finish(join);
+    let statics = PlanStatics::build(&plan, &d, CostModel::default().io_page_ns);
+    let n_hat: Vec<f64> = plan.nodes().iter().map(|n| n.est_total_rows()).collect();
+    let path = weights::longest_path_nodes(&statics, &n_hat);
+    assert!(
+        path.contains(&build),
+        "longest path skipped the expensive build side"
+    );
+    assert!(path.contains(&join));
+}
+
+#[test]
+fn pipeline_durations_reflect_cardinalities() {
+    let (d, big, small) = db();
+    let mut b = PlanBuilder::new(&d);
+    let scan_big = b.table_scan(big);
+    let sort_big = b.sort(scan_big, vec![SortKey::asc(0)]);
+    let scan_small = b.table_scan(small);
+    let sort_small = b.sort(scan_small, vec![SortKey::asc(0)]);
+    let join = b.merge_join(JoinKind::Inner, sort_big, sort_small, vec![0], vec![0]);
+    let agg = b.hash_aggregate(join, vec![0], vec![Aggregate::of_col(AggFunc::Sum, 1)]);
+    let plan = b.finish(agg);
+    let statics = PlanStatics::build(&plan, &d, CostModel::default().io_page_ns);
+    let n_hat: Vec<f64> = plan.nodes().iter().map(|n| n.est_total_rows()).collect();
+
+    let big_pipe = statics.pipelines.pipeline_of(scan_big);
+    let small_pipe = statics.pipelines.pipeline_of(scan_small);
+    let d_big = weights::pipeline_duration(&statics, big_pipe, &n_hat);
+    let d_small = weights::pipeline_duration(&statics, small_pipe, &n_hat);
+    assert!(
+        d_big > d_small * 20.0,
+        "big-scan pipeline ({d_big}) should dwarf small-scan pipeline ({d_small})"
+    );
+}
+
+#[test]
+fn refined_cardinalities_can_change_the_path() {
+    // Two sort pipelines: one over the small table (genuinely cheap), one
+    // over the big table. Inflating the small side's refined cardinality
+    // must flip the longest path. (A *filtered* big-table scan would not
+    // work here: it still pays a full scan, so its pipeline is expensive
+    // regardless of output cardinality — the weights correctly charge
+    // examined rows, not emitted rows.)
+    let (d, big, small) = db();
+    let mut b = PlanBuilder::new(&d);
+    let left = b.table_scan(small);
+    let sort_left = b.sort(left, vec![SortKey::asc(0)]);
+    let right = b.table_scan(big);
+    let sort_right = b.sort(right, vec![SortKey::asc(0)]);
+    let join = b.merge_join(JoinKind::Inner, sort_left, sort_right, vec![0], vec![0]);
+    let plan = b.finish(join);
+    let statics = PlanStatics::build(&plan, &d, CostModel::default().io_page_ns);
+
+    let base: Vec<f64> = plan.nodes().iter().map(|n| n.est_total_rows()).collect();
+    let path = weights::longest_path_nodes(&statics, &base);
+    assert!(path.contains(&right) && !path.contains(&left));
+
+    // Refinement discovers the small side's sort is actually enormous (e.g.
+    // a spool replay blow-up): the path must react.
+    let mut inflated = base.clone();
+    inflated[left.0] = 100_000_000.0;
+    inflated[sort_left.0] = 100_000_000.0;
+    let path2 = weights::longest_path_nodes(&statics, &inflated);
+    assert!(
+        path2.contains(&left) && !path2.contains(&right),
+        "longest path did not react to refined cardinalities"
+    );
+}

@@ -1,0 +1,79 @@
+//! Workload containers and the standard five-workload suite of §5.
+
+use lqs_plan::PhysicalPlan;
+use lqs_storage::Database;
+
+/// A named query (plan) within a workload.
+pub struct NamedQuery {
+    /// Query label (e.g. "tpch-q01", "real1-q117").
+    pub name: String,
+    /// The compiled physical plan.
+    pub plan: PhysicalPlan,
+}
+
+/// A database plus its query set.
+pub struct Workload {
+    /// Workload label as used in the paper's figures.
+    pub name: &'static str,
+    /// The generated database.
+    pub db: Database,
+    /// All queries.
+    pub queries: Vec<NamedQuery>,
+}
+
+impl Workload {
+    /// Keep only the first `n` queries (for fast test/bench modes).
+    pub fn truncate_queries(&mut self, n: usize) {
+        self.queries.truncate(n);
+    }
+}
+
+/// Global knobs scaling the suite up or down.
+#[derive(Debug, Clone, Copy)]
+pub struct WorkloadScale {
+    /// Multiplier on base-table row counts (1.0 ≈ tens of thousands of rows
+    /// in the largest tables).
+    pub data_scale: f64,
+    /// Cap on queries per workload (`usize::MAX` = the paper's full counts:
+    /// 477 / 632 / 40 plus the benchmark suites).
+    pub query_limit: usize,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for WorkloadScale {
+    fn default() -> Self {
+        WorkloadScale {
+            data_scale: 1.0,
+            query_limit: usize::MAX,
+            seed: 42,
+        }
+    }
+}
+
+impl WorkloadScale {
+    /// A small configuration for unit/integration tests.
+    pub fn smoke() -> Self {
+        WorkloadScale {
+            data_scale: 0.25,
+            query_limit: 6,
+            seed: 42,
+        }
+    }
+}
+
+/// Build the five workloads of §5, in the order the figures list them:
+/// REAL-3, REAL-2, REAL-1, TPC-DS, TPC-H.
+pub fn standard_five(scale: WorkloadScale) -> Vec<Workload> {
+    let mut v = vec![
+        crate::real::workload(crate::real::RealProfile::Real3, scale),
+        crate::real::workload(crate::real::RealProfile::Real2, scale),
+        crate::real::workload(crate::real::RealProfile::Real1, scale),
+        crate::tpcds::workload(scale),
+        crate::tpch::workload(scale, crate::tpch::PhysicalDesign::RowStore),
+    ];
+    for w in &mut v {
+        w.truncate_queries(scale.query_limit);
+    }
+    v
+}
