@@ -26,11 +26,7 @@ fn bench_estimator(c: &mut Criterion) {
     ] {
         let est = ProgressEstimator::new(&plan, &t.db, config);
         g.bench_function(name, |b| {
-            b.iter_batched(
-                || mid.clone(),
-                |s| est.estimate(&s),
-                BatchSize::SmallInput,
-            )
+            b.iter_batched(|| mid.clone(), |s| est.estimate(&s), BatchSize::SmallInput)
         });
     }
     g.finish();

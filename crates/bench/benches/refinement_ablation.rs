@@ -35,11 +35,7 @@ fn bench_ablation(c: &mut Criterion) {
     for (name, config) in cases {
         let est = ProgressEstimator::new(&q.plan, &w.db, config);
         g.bench_function(name, |b| {
-            b.iter_batched(
-                || mid.clone(),
-                |s| est.estimate(&s),
-                BatchSize::SmallInput,
-            )
+            b.iter_batched(|| mid.clone(), |s| est.estimate(&s), BatchSize::SmallInput)
         });
     }
     g.finish();

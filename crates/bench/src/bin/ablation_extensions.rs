@@ -10,8 +10,8 @@
 //! each workload.
 
 use lqs::exec::ExecOptions;
-use lqs::harness::{calibrate_weights, workload_errors, ConfigSpec, Metric};
 use lqs::harness::report::render_workload_errors;
+use lqs::harness::{calibrate_weights, workload_errors, ConfigSpec, Metric};
 use lqs::progress::EstimatorConfig;
 use lqs::workloads::standard_five;
 use lqs_bench::parse_args;

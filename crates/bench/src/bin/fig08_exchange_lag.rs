@@ -15,7 +15,13 @@ fn main() {
             &[&fig.nested_loops, &fig.exchange],
         )
     );
-    println!("max Ki-ratio    : {:>10.1}x   (paper: >88x early)", fig.max_ratio);
-    println!("final Ki-ratio  : {:>10.2}x   (paper: converges)", fig.final_ratio);
+    println!(
+        "max Ki-ratio    : {:>10.1}x   (paper: >88x early)",
+        fig.max_ratio
+    );
+    println!(
+        "final Ki-ratio  : {:>10.2}x   (paper: converges)",
+        fig.final_ratio
+    );
     maybe_write_json(&args, &fig);
 }

@@ -15,7 +15,13 @@ fn main() {
             &[&fig.output_only, &fig.two_phase, &fig.true_progress],
         )
     );
-    println!("mean |error|, output-only model : {:.4}", fig.error_output_only);
-    println!("mean |error|, two-phase model   : {:.4}", fig.error_two_phase);
+    println!(
+        "mean |error|, output-only model : {:.4}",
+        fig.error_output_only
+    );
+    println!(
+        "mean |error|, two-phase model   : {:.4}",
+        fig.error_two_phase
+    );
     maybe_write_json(&args, &fig);
 }

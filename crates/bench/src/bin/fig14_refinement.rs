@@ -1,15 +1,18 @@
 //! Figure 14: Errorcount per workload for No-Refinement / Bounding-only /
 //! Bounding+Refinement (§4.1/§4.2 evaluation).
 
-use lqs_bench::{maybe_write_json, parse_args};
 use lqs::harness::report::render_workload_errors;
+use lqs_bench::{maybe_write_json, parse_args};
 
 fn main() {
     let args = parse_args();
     let rows = lqs::harness::figures::figure14(args.scale);
     println!(
         "{}",
-        render_workload_errors("Figure 14 — Errorcount: cardinality refinement & bounding", &rows)
+        render_workload_errors(
+            "Figure 14 — Errorcount: cardinality refinement & bounding",
+            &rows
+        )
     );
     maybe_write_json(&args, &rows);
 }

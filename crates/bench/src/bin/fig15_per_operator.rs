@@ -1,8 +1,8 @@
 //! Figure 15: per-operator Errorcount for no-refinement / refinement /
 //! refinement + semi-blocking adjustments (§4.4 evaluation).
 
-use lqs_bench::{maybe_write_json, parse_args};
 use lqs::harness::report::render_per_operator;
+use lqs_bench::{maybe_write_json, parse_args};
 
 fn main() {
     let args = parse_args();

@@ -1,8 +1,8 @@
 //! Figure 16: Errortime per workload, weighted vs unweighted estimators
 //! (§4.6 evaluation).
 
-use lqs_bench::{maybe_write_json, parse_args};
 use lqs::harness::report::render_workload_errors;
+use lqs_bench::{maybe_write_json, parse_args};
 
 fn main() {
     let args = parse_args();

@@ -1,8 +1,8 @@
 //! Figure 19: operator frequencies across the TPC-H workload under the two
 //! physical designs — columnstore plans collapse to scans + hash joins.
 
-use lqs_bench::{maybe_write_json, parse_args};
 use lqs::harness::report::render_frequencies;
+use lqs_bench::{maybe_write_json, parse_args};
 
 fn main() {
     let args = parse_args();

@@ -9,9 +9,16 @@ fn main() {
     let mut ops: Vec<&String> = fig.tpch.keys().chain(fig.tpch_columnstore.keys()).collect();
     ops.sort();
     ops.dedup();
-    println!("{:<34}{:>12}{:>22}", "operator", "TPC-H", "TPC-H ColumnStore");
+    println!(
+        "{:<34}{:>12}{:>22}",
+        "operator", "TPC-H", "TPC-H ColumnStore"
+    );
     for op in ops {
-        let a = fig.tpch.get(op).map(|v| format!("{v:.4}")).unwrap_or_else(|| "-".into());
+        let a = fig
+            .tpch
+            .get(op)
+            .map(|v| format!("{v:.4}"))
+            .unwrap_or_else(|| "-".into());
         let b = fig
             .tpch_columnstore
             .get(op)

@@ -1,0 +1,166 @@
+//! `lqs_live` — the Live Query Statistics view, terminal edition.
+//!
+//! Executes a workload query, then replays its DMV snapshot trace through
+//! the progress estimator, rendering one frame per sampled snapshot: a
+//! query-level progress bar plus per-operator bars with `k/N̂`, percent,
+//! and the explain path that produced each figure.
+//!
+//! ```text
+//! lqs_live [--query tpch-q01] [--frames 8] [--scale 0.5] [--seed 42]
+//! ```
+
+use lqs::harness::{run_query, trace_estimator};
+use lqs::plan::{NodeId, PhysicalPlan};
+use lqs::prelude::*;
+use lqs::progress::ProgressReport;
+use lqs::workloads::{tpch, PhysicalDesign, WorkloadScale};
+
+struct Args {
+    query: String,
+    frames: usize,
+    scale: f64,
+    seed: u64,
+}
+
+fn parse_args() -> Args {
+    let mut out = Args {
+        query: "tpch-q01".to_string(),
+        frames: 8,
+        scale: 0.5,
+        seed: 42,
+    };
+    let args: Vec<String> = std::env::args().collect();
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--query" => {
+                out.query = args[i + 1].clone();
+                i += 2;
+            }
+            "--frames" => {
+                out.frames = args[i + 1].parse().expect("--frames takes an integer");
+                i += 2;
+            }
+            "--scale" => {
+                out.scale = args[i + 1].parse().expect("--scale takes a float");
+                i += 2;
+            }
+            "--seed" => {
+                out.seed = args[i + 1].parse().expect("--seed takes an integer");
+                i += 2;
+            }
+            other => {
+                eprintln!("unknown argument {other}");
+                eprintln!("usage: lqs_live [--query NAME] [--frames N] [--scale F] [--seed N]");
+                std::process::exit(2);
+            }
+        }
+    }
+    out
+}
+
+fn bar(p: f64, width: usize) -> String {
+    let filled = (p.clamp(0.0, 1.0) * width as f64).round() as usize;
+    format!(
+        "[{}{}]",
+        "=".repeat(filled.min(width)),
+        " ".repeat(width.saturating_sub(filled))
+    )
+}
+
+fn render_node(
+    plan: &PhysicalPlan,
+    s: &DmvSnapshot,
+    report: &ProgressReport,
+    node: NodeId,
+    depth: usize,
+) {
+    let n = plan.node(node);
+    let np = &report.nodes[node.0];
+    let c = s.node(node.0);
+    let status = if c.is_closed() {
+        "done"
+    } else if c.is_open() {
+        "run "
+    } else {
+        "wait"
+    };
+    println!(
+        "  {:indent$}{:<28} {} {:>5.1}%  {:>9}/{:<9.0} {:<4} {}",
+        "",
+        n.op.display_name(),
+        bar(np.progress, 20),
+        np.progress * 100.0,
+        c.rows_output,
+        np.refined_n,
+        status,
+        np.explanation.path.label(),
+        indent = depth * 2
+    );
+    for &ch in &n.children {
+        render_node(plan, s, report, ch, depth + 1);
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let scale = WorkloadScale {
+        data_scale: args.scale,
+        query_limit: usize::MAX,
+        seed: args.seed,
+    };
+    let t = tpch::build_db(scale, PhysicalDesign::RowStore);
+    let queries = tpch::queries(&t);
+    let q = queries
+        .iter()
+        .find(|q| q.name == args.query)
+        .unwrap_or_else(|| {
+            eprintln!("unknown query {:?}; available:", args.query);
+            for q in &queries {
+                eprintln!("  {}", q.name);
+            }
+            std::process::exit(2);
+        });
+
+    println!("{}", q.plan.display_tree());
+    let run = run_query(&t.db, &q.plan, &ExecOptions::default());
+    let trace = trace_estimator(&q.plan, &t.db, &run, EstimatorConfig::full());
+    if run.snapshots.is_empty() {
+        println!("(query finished before the first DMV poll — nothing to replay)");
+        return;
+    }
+
+    // Sample `frames` snapshots evenly across the run, always ending on the
+    // last one so the view closes at 100%.
+    let n = run.snapshots.len();
+    let frames = args.frames.clamp(1, n);
+    for f in 0..frames {
+        let i = if frames == 1 {
+            n - 1
+        } else {
+            (f * (n - 1)) / (frames - 1)
+        };
+        let s = &run.snapshots[i];
+        let rep = &trace.reports[i];
+        println!(
+            "\n--- t={:>9.2}ms  snapshot {:>4}/{:<4}  query {} {:>5.1}% ---",
+            s.ts_ns as f64 / 1e6,
+            i + 1,
+            n,
+            bar(rep.query_progress, 30),
+            rep.query_progress * 100.0
+        );
+        render_node(&q.plan, s, rep, q.plan.root(), 0);
+    }
+
+    let totals = trace.explain_totals();
+    println!(
+        "\n{} snapshots; explain totals: {} refinements, {} clamps, {} special-model nodes",
+        n, totals.refinements_applied, totals.clamps_hit, totals.special_model_nodes
+    );
+    println!(
+        "query returned {} rows in {:.2}ms (virtual)",
+        run.rows_returned,
+        run.duration_ns as f64 / 1e6
+    );
+}

@@ -20,7 +20,10 @@ fn main() {
     );
 
     let f8 = lqs::harness::figures::figure8(scale);
-    println!("Figure 8  : max Ki-ratio {:.1}x, final {:.2}x", f8.max_ratio, f8.final_ratio);
+    println!(
+        "Figure 8  : max Ki-ratio {:.1}x, final {:.2}x",
+        f8.max_ratio, f8.final_ratio
+    );
 
     let f11 = lqs::harness::figures::figure11(scale);
     println!(
@@ -44,10 +47,16 @@ fn main() {
     println!("{}", render_workload_errors("Figure 14 — Errorcount", &f14));
 
     let f15 = lqs::harness::figures::figure15(scale);
-    println!("{}", render_per_operator("Figure 15 — per-operator Errorcount", &f15));
+    println!(
+        "{}",
+        render_per_operator("Figure 15 — per-operator Errorcount", &f15)
+    );
 
     let f16 = lqs::harness::figures::figure16(scale);
-    println!("{}", render_workload_errors("Figure 16 — Errortime (weights)", &f16));
+    println!(
+        "{}",
+        render_workload_errors("Figure 16 — Errortime (weights)", &f16)
+    );
 
     let f17 = lqs::harness::figures::figure17(scale);
     println!("== Figure 17 — blocking-operator Errortime ==");
@@ -81,8 +90,16 @@ fn main() {
     ops.sort();
     ops.dedup();
     for op in ops {
-        let a = f20.tpch.get(op).map(|v| format!("{v:.4}")).unwrap_or("-".into());
-        let b = f20.tpch_columnstore.get(op).map(|v| format!("{v:.4}")).unwrap_or("-".into());
+        let a = f20
+            .tpch
+            .get(op)
+            .map(|v| format!("{v:.4}"))
+            .unwrap_or("-".into());
+        let b = f20
+            .tpch_columnstore
+            .get(op)
+            .map(|v| format!("{v:.4}"))
+            .unwrap_or("-".into());
         println!("{op:<34}{a:>12}{b:>22}");
     }
 }

@@ -34,8 +34,7 @@ fn main() {
             "{:<30}{:>12}{:>14}{:>14}{:>14}",
             "operator", "K(t)", "LB", "N_true", "UB"
         );
-        for j in 0..q.plan.len() {
-            let b = bounds[j];
+        for (j, &b) in bounds.iter().enumerate() {
             let n_true = run.true_n(j);
             if b.lb > n_true || b.ub < n_true {
                 violations += 1;

@@ -63,7 +63,11 @@ pub fn maybe_write_json<T: serde::Serialize>(args: &Args, value: &T) {
 
 /// Render a time series compactly for terminal output: sampled rows of
 /// `t  v1  v2 ...`.
-pub fn render_series(title: &str, names: &[&str], series: &[&[lqs::harness::figures::Point]]) -> String {
+pub fn render_series(
+    title: &str,
+    names: &[&str],
+    series: &[&[lqs::harness::figures::Point]],
+) -> String {
     use std::fmt::Write;
     let mut out = String::new();
     let _ = writeln!(out, "== {title} ==");

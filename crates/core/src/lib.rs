@@ -47,6 +47,7 @@
 
 pub use lqs_exec as exec;
 pub use lqs_harness as harness;
+pub use lqs_obs as obs;
 pub use lqs_plan as plan;
 pub use lqs_progress as progress;
 pub use lqs_storage as storage;
@@ -54,17 +55,19 @@ pub use lqs_workloads as workloads;
 
 /// One-stop imports for applications.
 pub mod prelude {
-    pub use lqs_exec::{execute, DmvSnapshot, ExecOptions, NodeCounters, QueryRun};
+    pub use lqs_exec::{
+        execute, execute_traced, plan_node_names, DmvSnapshot, ExecOptions, NodeCounters, QueryRun,
+    };
+    pub use lqs_obs::{
+        to_chrome_trace, to_jsonl, EventKind, EventSink, NullSink, RingBufferSink, TraceEvent,
+    };
     pub use lqs_plan::{
-        AggFunc, Aggregate, ArithOp, CmpOp, CostModel, Expr, ExchangeKind,
-        IndexOutput, JoinKind, NodeId, PhysicalOp, PhysicalPlan, PipelineSet, PlanBuilder,
-        SeekKey, SeekRange, SortKey,
+        AggFunc, Aggregate, ArithOp, CmpOp, CostModel, ExchangeKind, Expr, IndexOutput, JoinKind,
+        NodeId, PhysicalOp, PhysicalPlan, PipelineSet, PlanBuilder, SeekKey, SeekRange, SortKey,
     };
     pub use lqs_progress::{
-        error_count, error_time, EstimatorConfig, PerOperatorError, ProgressEstimator,
-        ProgressReport, QueryModel,
+        error_count, error_time, EstimationPath, EstimatorConfig, ExplainCounters, Explanation,
+        PerOperatorError, ProgressEstimator, ProgressReport, QueryModel, RefinementSource,
     };
-    pub use lqs_storage::{
-        Column, Database, DataType, Row, Schema, Table, TableId, Value,
-    };
+    pub use lqs_storage::{Column, DataType, Database, Row, Schema, Table, TableId, Value};
 }

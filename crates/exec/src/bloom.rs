@@ -96,7 +96,9 @@ mod tests {
         for i in 0..10_000 {
             f.insert(&key(i));
         }
-        let fps = (10_000..110_000).filter(|&i| f.may_contain(&key(i))).count();
+        let fps = (10_000..110_000)
+            .filter(|&i| f.may_contain(&key(i)))
+            .count();
         let rate = fps as f64 / 100_000.0;
         assert!(rate < 0.05, "false positive rate {rate}");
     }

@@ -20,6 +20,7 @@
 
 use crate::bloom::BloomFilter;
 use crate::dmv::{DmvSnapshot, NodeCounters};
+use lqs_obs::{EventKind, EventSink, TraceEvent};
 use lqs_plan::{BitmapId, CostModel, NodeId};
 use lqs_storage::{Database, Row};
 use std::cell::{Cell, RefCell};
@@ -38,6 +39,12 @@ pub struct ExecContext<'a> {
     snapshots: RefCell<Vec<DmvSnapshot>>,
     snapshot_interval_ns: Cell<u64>,
     next_snapshot_ns: Cell<u64>,
+    /// Snapshots recorded so far, counting ones later thinned away.
+    snapshot_seq: Cell<u64>,
+    /// Trace event sink; `None` when the run is untraced.
+    sink: Option<&'a dyn EventSink>,
+    /// Per-node high-water marks of the buffered-rows gauge (tracing only).
+    buffered_hw: RefCell<Vec<u64>>,
     bitmaps: RefCell<Vec<Option<BloomFilter>>>,
     /// Correlation stack: the current outer row(s) of enclosing
     /// nested-loops joins, innermost last.
@@ -63,14 +70,99 @@ impl<'a> ExecContext<'a> {
             snapshots: RefCell::new(Vec::new()),
             snapshot_interval_ns: Cell::new(interval),
             next_snapshot_ns: Cell::new(interval),
+            snapshot_seq: Cell::new(0),
+            sink: None,
+            buffered_hw: RefCell::new(vec![0; node_count]),
             bitmaps: RefCell::new((0..bitmap_count).map(|_| None).collect()),
             outer_rows: RefCell::new(Vec::new()),
         }
     }
 
+    /// Attach a trace event sink. Call before handing the context to
+    /// operators; events start flowing immediately.
+    pub fn with_sink(mut self, sink: &'a dyn EventSink) -> Self {
+        self.sink = Some(sink);
+        self
+    }
+
     /// Current virtual time in nanoseconds.
     pub fn now_ns(&self) -> u64 {
         self.clock_ns.get()
+    }
+
+    // ---- tracing --------------------------------------------------------
+
+    /// Whether a recording sink is attached. Emission sites that must
+    /// build an event (format strings, compare gauges) check this first so
+    /// untraced runs skip the work entirely.
+    pub fn trace_enabled(&self) -> bool {
+        self.sink.is_some_and(EventSink::is_recording)
+    }
+
+    /// Emit an event stamped `at_ns` (snapshot boundaries lag `now_ns`).
+    fn emit_at(&self, at_ns: u64, node: Option<NodeId>, kind: EventKind) {
+        if let Some(sink) = self.sink {
+            sink.emit(TraceEvent {
+                ts_ns: at_ns,
+                node,
+                kind,
+            });
+        }
+    }
+
+    /// Emit an event stamped with the current virtual time.
+    fn emit(&self, node: Option<NodeId>, kind: EventKind) {
+        self.emit_at(self.clock_ns.get(), node, kind);
+    }
+
+    /// Record an operator phase boundary (hash build → probe, sort
+    /// blocking → emit, spool write → replay, ...).
+    pub fn emit_phase(&self, node: NodeId, from: &str, to: &str) {
+        if self.trace_enabled() {
+            self.emit(
+                Some(node),
+                EventKind::PhaseTransition {
+                    from: from.to_owned(),
+                    to: to.to_owned(),
+                },
+            );
+        }
+    }
+
+    /// Record a runtime bitmap finishing its build with `keys` distinct
+    /// keys inserted.
+    pub fn emit_bitmap_built(&self, node: NodeId, keys: u64) {
+        if self.trace_enabled() {
+            self.emit(Some(node), EventKind::BitmapBuilt { keys });
+        }
+    }
+
+    /// Counters must never move backwards between snapshots — the
+    /// estimator's refinement and the paper's monotone-progress analysis
+    /// both assume it. Cheap enough to check at every snapshot in debug
+    /// builds; compiled out in release.
+    #[cfg(debug_assertions)]
+    fn assert_counters_monotone(prev: &DmvSnapshot, cur: &[NodeCounters]) {
+        for (i, (p, c)) in prev.nodes.iter().zip(cur).enumerate() {
+            debug_assert!(
+                p.rows_output <= c.rows_output,
+                "node {i}: rows_output regressed {} -> {}",
+                p.rows_output,
+                c.rows_output
+            );
+            debug_assert!(
+                p.logical_reads <= c.logical_reads,
+                "node {i}: logical_reads regressed {} -> {}",
+                p.logical_reads,
+                c.logical_reads
+            );
+            debug_assert!(
+                p.cpu_ns <= c.cpu_ns,
+                "node {i}: cpu_ns regressed {} -> {}",
+                p.cpu_ns,
+                c.cpu_ns
+            );
+        }
     }
 
     /// Advance the clock and record any snapshot boundaries crossed.
@@ -81,10 +173,17 @@ impl<'a> ExecContext<'a> {
             let ts = self.next_snapshot_ns.get();
             {
                 let mut snaps = self.snapshots.borrow_mut();
+                #[cfg(debug_assertions)]
+                if let Some(prev) = snaps.last() {
+                    Self::assert_counters_monotone(prev, &self.counters.borrow());
+                }
                 snaps.push(DmvSnapshot {
                     ts_ns: ts,
                     nodes: self.counters.borrow().clone(),
                 });
+                let seq = self.snapshot_seq.get();
+                self.snapshot_seq.set(seq + 1);
+                self.emit_at(ts, None, EventKind::SnapshotTick { index: seq });
                 if snaps.len() > MAX_SNAPSHOTS {
                     // Thin: keep every other sample, double the interval.
                     let kept: Vec<DmvSnapshot> = snaps
@@ -127,11 +226,19 @@ impl<'a> ExecContext<'a> {
 
     /// Record one row output (a successful GetNext — increments `kᵢ`).
     pub fn count_output(&self, node: NodeId) {
-        let mut c = self.counters.borrow_mut();
-        let c = &mut c[node.0];
-        c.rows_output += 1;
-        if c.first_row_ns.is_none() {
-            c.first_row_ns = Some(self.clock_ns.get());
+        let first = {
+            let mut c = self.counters.borrow_mut();
+            let c = &mut c[node.0];
+            c.rows_output += 1;
+            if c.first_row_ns.is_none() {
+                c.first_row_ns = Some(self.clock_ns.get());
+                true
+            } else {
+                false
+            }
+        };
+        if first {
+            self.emit(Some(node), EventKind::OperatorFirstRow);
         }
     }
 
@@ -140,9 +247,25 @@ impl<'a> ExecContext<'a> {
         self.counters.borrow_mut()[node.0].segments_processed += 1;
     }
 
-    /// Update the buffered-rows gauge for a semi-blocking operator.
+    /// Update the buffered-rows gauge for a semi-blocking operator. When
+    /// tracing, a rise past the node's previous maximum emits a
+    /// [`EventKind::BufferHighWater`] event.
     pub fn set_buffered(&self, node: NodeId, buffered: u64) {
         self.counters.borrow_mut()[node.0].rows_buffered = buffered;
+        if self.trace_enabled() {
+            let rose = {
+                let mut hw = self.buffered_hw.borrow_mut();
+                if buffered > hw[node.0] {
+                    hw[node.0] = buffered;
+                    true
+                } else {
+                    false
+                }
+            };
+            if rose {
+                self.emit(Some(node), EventKind::BufferHighWater { rows: buffered });
+            }
+        }
     }
 
     /// Record outer rows fully processed by a buffering nested-loops join.
@@ -153,24 +276,35 @@ impl<'a> ExecContext<'a> {
     /// Mark `Open()`: records the open time on first execution and
     /// increments the execution count.
     pub fn mark_open(&self, node: NodeId) {
-        let mut c = self.counters.borrow_mut();
-        let c = &mut c[node.0];
-        if c.open_ns.is_none() {
-            c.open_ns = Some(self.clock_ns.get());
+        {
+            let mut c = self.counters.borrow_mut();
+            let c = &mut c[node.0];
+            if c.open_ns.is_none() {
+                c.open_ns = Some(self.clock_ns.get());
+            }
+            // A rewind re-activates the operator: it is no longer closed (the
+            // close time is re-stamped when it next exhausts).
+            c.close_ns = None;
+            c.executions += 1;
         }
-        // A rewind re-activates the operator: it is no longer closed (the
-        // close time is re-stamped when it next exhausts).
-        c.close_ns = None;
-        c.executions += 1;
+        self.emit(Some(node), EventKind::OperatorOpen);
     }
 
     /// Mark `Close()` (idempotent; keeps the first close time, which is when
     /// the operator actually finished producing rows).
     pub fn mark_close(&self, node: NodeId) {
-        let mut c = self.counters.borrow_mut();
-        let c = &mut c[node.0];
-        if c.close_ns.is_none() {
-            c.close_ns = Some(self.clock_ns.get());
+        let stamped = {
+            let mut c = self.counters.borrow_mut();
+            let c = &mut c[node.0];
+            if c.close_ns.is_none() {
+                c.close_ns = Some(self.clock_ns.get());
+                true
+            } else {
+                false
+            }
+        };
+        if stamped {
+            self.emit(Some(node), EventKind::OperatorClose);
         }
     }
 
@@ -182,11 +316,7 @@ impl<'a> ExecContext<'a> {
     /// Consume the context, returning (snapshots, final counters, end time).
     pub fn into_results(self) -> (Vec<DmvSnapshot>, Vec<NodeCounters>, u64) {
         let end = self.clock_ns.get();
-        (
-            self.snapshots.into_inner(),
-            self.counters.into_inner(),
-            end,
-        )
+        (self.snapshots.into_inner(), self.counters.into_inner(), end)
     }
 
     // ---- bitmaps --------------------------------------------------------

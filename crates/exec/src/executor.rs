@@ -4,6 +4,7 @@
 use crate::context::ExecContext;
 use crate::dmv::{DmvSnapshot, NodeCounters};
 use crate::ops::build_operator;
+use lqs_obs::EventSink;
 use lqs_plan::{CostModel, PhysicalOp, PhysicalPlan};
 use lqs_storage::Database;
 
@@ -41,6 +42,11 @@ pub struct QueryRun {
     pub duration_ns: u64,
     /// Rows returned by the root operator.
     pub rows_returned: u64,
+    /// Cost model the run was charged under. Estimators replaying this run
+    /// must use the same model, or their optimizer-estimate baselines
+    /// (operator weights, time-to-completion) silently diverge from the
+    /// observed counters.
+    pub cost_model: CostModel,
 }
 
 impl QueryRun {
@@ -115,19 +121,52 @@ fn bitmap_count(plan: &PhysicalPlan) -> usize {
     }
 }
 
+/// Display names for each plan node, indexed by `NodeId` — the label table
+/// the trace exporters and live view take alongside events.
+pub fn plan_node_names(plan: &PhysicalPlan) -> Vec<String> {
+    plan.nodes()
+        .iter()
+        .map(|n| n.op.display_name().to_owned())
+        .collect()
+}
+
 /// Execute `plan` against `db`, returning the DMV trace and ground truth.
 pub fn execute(db: &Database, plan: &PhysicalPlan, opts: &ExecOptions) -> QueryRun {
+    execute_inner(db, plan, opts, None)
+}
+
+/// [`execute`], with every engine event (operator lifecycle, phase
+/// transitions, buffer high-water marks, bitmap builds, snapshot ticks)
+/// emitted into `sink` as it happens on the virtual clock.
+pub fn execute_traced(
+    db: &Database,
+    plan: &PhysicalPlan,
+    opts: &ExecOptions,
+    sink: &dyn EventSink,
+) -> QueryRun {
+    execute_inner(db, plan, opts, Some(sink))
+}
+
+fn execute_inner(
+    db: &Database,
+    plan: &PhysicalPlan,
+    opts: &ExecOptions,
+    sink: Option<&dyn EventSink>,
+) -> QueryRun {
     let interval = opts.snapshot_interval_ns.unwrap_or_else(|| {
         let est = estimated_duration_ns(plan, &opts.cost_model);
         ((est / opts.snapshot_target.max(1) as f64) as u64).max(1)
     });
-    let ctx = ExecContext::new(
+    let mut ctx = ExecContext::new(
         db,
         plan.len(),
         bitmap_count(plan),
         interval,
         opts.cost_model.clone(),
     );
+    if let Some(sink) = sink {
+        ctx = ctx.with_sink(sink);
+    }
     let mut root = build_operator(plan, db, plan.root());
     root.open(&ctx);
     let mut rows_returned = 0u64;
@@ -141,6 +180,7 @@ pub fn execute(db: &Database, plan: &PhysicalPlan, opts: &ExecOptions) -> QueryR
         final_counters,
         duration_ns,
         rows_returned,
+        cost_model: opts.cost_model.clone(),
     }
 }
 
@@ -176,7 +216,7 @@ mod tests {
         let run = execute(&db, &plan, &ExecOptions::default());
 
         assert_eq!(run.rows_returned, 2500);
-        assert_eq!(run.true_n(scan.0 as usize), 2500.0);
+        assert_eq!(run.true_n(scan.0), 2500.0);
         assert_eq!(run.true_n(sort.0 as usize), 2500.0);
         assert!(run.duration_ns > 0);
         // Snapshots recorded across the run, roughly on target.
@@ -190,7 +230,7 @@ mod tests {
         }
         // The scan charged one read per page.
         assert_eq!(
-            run.final_counters[scan.0 as usize].logical_reads,
+            run.final_counters[scan.0].logical_reads,
             db.table(t).page_count() as u64
         );
     }

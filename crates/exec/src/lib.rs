@@ -15,6 +15,11 @@
 //!   and batch-mode columnstore scans (§4.7).
 //! * [`executor`] — runs a plan to completion and returns the DMV trace plus
 //!   ground-truth cardinalities and timings.
+//!
+//! Execution can additionally stream [`lqs_obs`] trace events (operator
+//! lifecycle, phase transitions, buffer high-water marks, bitmap builds,
+//! snapshot ticks) into an [`lqs_obs::EventSink`] via
+//! [`executor::execute_traced`]; untraced runs pay nothing.
 
 // Operator structs are documented inline; public fields of operators are
 // implementation detail, so missing_docs is not enforced for this crate.
@@ -27,5 +32,7 @@ pub mod ops;
 
 pub use context::ExecContext;
 pub use dmv::{DmvSnapshot, NodeCounters};
-pub use executor::{execute, estimated_duration_ns, ExecOptions, QueryRun};
+pub use executor::{
+    estimated_duration_ns, execute, execute_traced, plan_node_names, ExecOptions, QueryRun,
+};
 pub use ops::{build_operator, BoxedOperator, Operator};

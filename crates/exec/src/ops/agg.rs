@@ -191,9 +191,7 @@ impl HashAggregateOp {
                     * factor,
             );
             let key = key_of(&row, &self.group_by);
-            let states = table
-                .entry(key)
-                .or_insert_with(|| make_states(&self.aggs));
+            let states = table.entry(key).or_insert_with(|| make_states(&self.aggs));
             fold(&self.aggs, states, &row);
         }
         if self.group_by.is_empty() && table.is_empty() {
@@ -208,6 +206,7 @@ impl HashAggregateOp {
                 .collect(),
         );
         self.pos = 0;
+        ctx.emit_phase(self.id, "blocking", "emit");
     }
 }
 
@@ -347,12 +346,8 @@ mod tests {
                 );
                 run(&mut agg, &ctx)
             } else {
-                let mut agg = StreamAggregateOp::new(
-                    NodeId(1),
-                    vec![],
-                    vec![Aggregate::count_star()],
-                    child,
-                );
+                let mut agg =
+                    StreamAggregateOp::new(NodeId(1), vec![], vec![Aggregate::count_star()], child);
                 run(&mut agg, &ctx)
             };
             assert_eq!(out, vec![vec![Value::Int(0)]], "hash={hash}");
@@ -364,8 +359,13 @@ mod tests {
         let db = Database::new();
         let ctx = ExecContext::new(&db, 2, 0, u64::MAX, CostModel::default());
         let child = Box::new(ConstantScanOp::new(NodeId(0), vec![]));
-        let mut agg =
-            HashAggregateOp::new(NodeId(1), vec![0], vec![Aggregate::count_star()], false, child);
+        let mut agg = HashAggregateOp::new(
+            NodeId(1),
+            vec![0],
+            vec![Aggregate::count_star()],
+            false,
+            child,
+        );
         assert!(run(&mut agg, &ctx).is_empty());
     }
 }

@@ -105,6 +105,10 @@ impl HashJoinOp {
             }
         }
         self.built = true;
+        if self.bitmap.is_some() {
+            ctx.emit_bitmap_built(self.id, self.map.len() as u64);
+        }
+        ctx.emit_phase(self.id, "build", "probe");
     }
 
     /// Emit one pending (probe × build) match if any are queued.
@@ -181,10 +185,7 @@ impl Operator for HashJoinOp {
                 JoinKind::LeftOuter | JoinKind::FullOuter => {
                     if matches.is_empty() {
                         ctx.count_output(self.id);
-                        return Some(concat_rows(
-                            &probe_row,
-                            &super::null_row(self.build_arity),
-                        ));
+                        return Some(concat_rows(&probe_row, &super::null_row(self.build_arity)));
                     }
                     self.pending = matches.to_vec();
                     self.pending_pos = 0;
@@ -251,7 +252,19 @@ mod tests {
         let ctx = ExecContext::new(&db, 3, 1, u64::MAX, CostModel::default());
         let b = Box::new(ConstantScanOp::new(NodeId(0), build));
         let p = Box::new(ConstantScanOp::new(NodeId(1), probe));
-        let mut j = HashJoinOp::new(NodeId(2), kind, vec![0], vec![0], None, 2, 2, 16, false, b, p);
+        let mut j = HashJoinOp::new(
+            NodeId(2),
+            kind,
+            vec![0],
+            vec![0],
+            None,
+            2,
+            2,
+            16,
+            false,
+            b,
+            p,
+        );
         j.open(&ctx);
         let mut out = Vec::new();
         while let Some(r) = j.next(&ctx) {
@@ -284,7 +297,10 @@ mod tests {
             rows(&[(1, 9), (3, 8)]),
         );
         assert_eq!(out.len(), 2);
-        assert_eq!(out[1], vec![Value::Int(3), Value::Int(8), Value::Null, Value::Null]);
+        assert_eq!(
+            out[1],
+            vec![Value::Int(3), Value::Int(8), Value::Null, Value::Null]
+        );
     }
 
     #[test]
@@ -296,11 +312,7 @@ mod tests {
         );
         // Semi emits the probe row once despite two matches, probe cols only.
         assert_eq!(semi, vec![vec![Value::Int(1), Value::Int(9)]]);
-        let anti = run_join(
-            JoinKind::LeftAnti,
-            rows(&[(1, 0)]),
-            rows(&[(1, 9), (3, 8)]),
-        );
+        let anti = run_join(JoinKind::LeftAnti, rows(&[(1, 0)]), rows(&[(1, 9), (3, 8)]));
         assert_eq!(anti, vec![vec![Value::Int(3), Value::Int(8)]]);
     }
 
@@ -359,8 +371,19 @@ mod tests {
         let ctx = ExecContext::new(&db, 3, 1, u64::MAX, CostModel::default());
         let b = Box::new(ConstantScanOp::new(NodeId(0), rows(&[(1, 0), (2, 0)])));
         let p = Box::new(ConstantScanOp::new(NodeId(1), rows(&[(1, 5)])));
-        let mut j =
-            HashJoinOp::new(NodeId(2), JoinKind::Inner, vec![0], vec![0], None, 2, 2, 16, false, b, p);
+        let mut j = HashJoinOp::new(
+            NodeId(2),
+            JoinKind::Inner,
+            vec![0],
+            vec![0],
+            None,
+            2,
+            2,
+            16,
+            false,
+            b,
+            p,
+        );
         j.open(&ctx);
         // Build side (node 0) fully consumed before any next().
         assert_eq!(ctx.counters_of(NodeId(0)).rows_output, 2);

@@ -114,10 +114,7 @@ impl MergeJoinOp {
         };
         let key = key_of(&first, &self.right_keys);
         self.group.push(first);
-        loop {
-            let Some(next) = self.pull_right(ctx) else {
-                break;
-            };
+        while let Some(next) = self.pull_right(ctx) {
             if key_of(&next, &self.right_keys) == key {
                 self.group.push(next);
             } else {
@@ -130,7 +127,10 @@ impl MergeJoinOp {
     }
 
     fn left_key(&self) -> Vec<Value> {
-        key_of(self.cur_left.as_ref().expect("cur_left set"), &self.left_keys)
+        key_of(
+            self.cur_left.as_ref().expect("cur_left set"),
+            &self.left_keys,
+        )
     }
 
     /// Handle a left row with no matching right group.
@@ -151,7 +151,9 @@ impl MergeJoinOp {
 
     /// Handle a right group with no matching left row (FullOuter only).
     fn group_unmatched(&mut self, ctx: &ExecContext) -> Option<Row> {
-        if self.kind == JoinKind::FullOuter && !self.group_matched && self.emit_idx < self.group.len()
+        if self.kind == JoinKind::FullOuter
+            && !self.group_matched
+            && self.emit_idx < self.group.len()
         {
             let r = self.group[self.emit_idx].clone();
             self.emit_idx += 1;
@@ -338,7 +340,10 @@ mod tests {
             rows(&[(2, 10)]),
         );
         assert_eq!(out.len(), 2);
-        assert_eq!(out[0], vec![Value::Int(1), Value::Int(0), Value::Null, Value::Null]);
+        assert_eq!(
+            out[0],
+            vec![Value::Int(1), Value::Int(0), Value::Null, Value::Null]
+        );
         assert_eq!(out[1][2], Value::Int(2));
     }
 
@@ -377,8 +382,14 @@ mod tests {
 
     #[test]
     fn null_keys_do_not_join() {
-        let left = vec![vec![Value::Null, Value::Int(0)], vec![Value::Int(1), Value::Int(0)]];
-        let right = vec![vec![Value::Null, Value::Int(9)], vec![Value::Int(1), Value::Int(9)]];
+        let left = vec![
+            vec![Value::Null, Value::Int(0)],
+            vec![Value::Int(1), Value::Int(0)],
+        ];
+        let right = vec![
+            vec![Value::Null, Value::Int(9)],
+            vec![Value::Int(1), Value::Int(9)],
+        ];
         let out = run_join(JoinKind::Inner, left, right);
         assert_eq!(out.len(), 1);
         assert_eq!(out[0][0], Value::Int(1));

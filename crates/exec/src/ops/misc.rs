@@ -78,6 +78,7 @@ pub struct BitmapCreateOp {
     bitmap: BitmapId,
     capacity_hint: usize,
     child: BoxedOperator,
+    keys_inserted: u64,
     done: bool,
 }
 
@@ -95,6 +96,7 @@ impl BitmapCreateOp {
             bitmap,
             capacity_hint: capacity_hint.max(64),
             child,
+            keys_inserted: 0,
             done: false,
         }
     }
@@ -112,6 +114,7 @@ impl Operator for BitmapCreateOp {
         }
         let Some(row) = self.child.next(ctx) else {
             self.done = true;
+            ctx.emit_bitmap_built(self.id, self.keys_inserted);
             ctx.mark_close(self.id);
             return None;
         };
@@ -120,6 +123,7 @@ impl Operator for BitmapCreateOp {
         let key = key_of(&row, &self.key_columns);
         if !super::key_has_null(&key) {
             ctx.bitmap_insert(self.bitmap, &key, self.capacity_hint);
+            self.keys_inserted += 1;
         }
         ctx.count_output(self.id);
         Some(row)
@@ -133,6 +137,7 @@ impl Operator for BitmapCreateOp {
     fn rewind(&mut self, ctx: &ExecContext) {
         ctx.mark_open(self.id);
         self.child.rewind(ctx);
+        self.keys_inserted = 0;
         self.done = false;
     }
 }

@@ -42,6 +42,7 @@ pub trait Operator {
 pub type BoxedOperator = Box<dyn Operator>;
 
 /// Build the executable operator tree for `plan`.
+#[allow(clippy::only_used_in_recursion)]
 pub fn build_operator(
     plan: &lqs_plan::PhysicalPlan,
     db: &lqs_storage::Database,

@@ -263,9 +263,21 @@ mod tests {
 
     #[test]
     fn semi_anti_nl() {
-        let semi = run_nl(JoinKind::LeftSemi, rows(&[1, 2, 3]), rows(&[2, 3]), eq_pred(), 1);
+        let semi = run_nl(
+            JoinKind::LeftSemi,
+            rows(&[1, 2, 3]),
+            rows(&[2, 3]),
+            eq_pred(),
+            1,
+        );
         assert_eq!(semi, vec![vec![Value::Int(2)], vec![Value::Int(3)]]);
-        let anti = run_nl(JoinKind::LeftAnti, rows(&[1, 2, 3]), rows(&[2]), eq_pred(), 1);
+        let anti = run_nl(
+            JoinKind::LeftAnti,
+            rows(&[1, 2, 3]),
+            rows(&[2]),
+            eq_pred(),
+            1,
+        );
         assert_eq!(anti, vec![vec![Value::Int(1)], vec![Value::Int(3)]]);
     }
 

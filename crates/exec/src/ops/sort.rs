@@ -62,8 +62,8 @@ impl SortOp {
         while let Some(row) = self.child.next(ctx) {
             consumed += 1;
             ctx.count_input(self.id, 1);
-            let depth = top_n_depth
-                .unwrap_or_else(|| CostModel::log2_rows((self.buffer.len() + 1) as f64));
+            let depth =
+                top_n_depth.unwrap_or_else(|| CostModel::log2_rows((self.buffer.len() + 1) as f64));
             ctx.charge_cpu(
                 self.id,
                 ctx.cost.sort_cmp_ns * depth * ctx.cost.sort_input_fraction,
@@ -75,15 +75,16 @@ impl SortOp {
         self.buffer.sort_by(|a, b| compare_rows(&keys, a, b));
         if self.distinct {
             let cols: Vec<usize> = self.keys.iter().map(|k| k.column).collect();
-            self.buffer.dedup_by(|a, b| key_of(a, &cols) == key_of(b, &cols));
+            self.buffer
+                .dedup_by(|a, b| key_of(a, &cols) == key_of(b, &cols));
         }
         if let Some(n) = self.top_n {
             self.buffer.truncate(n);
         }
         self.phase = Phase::Output;
         self.pos = 0;
+        ctx.emit_phase(self.id, "blocking", "emit");
     }
-
 }
 
 /// Multi-key row comparison with per-key direction.
@@ -172,22 +173,34 @@ mod tests {
 
     #[test]
     fn ascending_sort() {
-        assert_eq!(run_sort(vec![SortKey::asc(0)], None, false), vec![1, 3, 3, 5, 7, 9]);
+        assert_eq!(
+            run_sort(vec![SortKey::asc(0)], None, false),
+            vec![1, 3, 3, 5, 7, 9]
+        );
     }
 
     #[test]
     fn descending_sort() {
-        assert_eq!(run_sort(vec![SortKey::desc(0)], None, false), vec![9, 7, 5, 3, 3, 1]);
+        assert_eq!(
+            run_sort(vec![SortKey::desc(0)], None, false),
+            vec![9, 7, 5, 3, 3, 1]
+        );
     }
 
     #[test]
     fn top_n_sort() {
-        assert_eq!(run_sort(vec![SortKey::asc(0)], Some(3), false), vec![1, 3, 3]);
+        assert_eq!(
+            run_sort(vec![SortKey::asc(0)], Some(3), false),
+            vec![1, 3, 3]
+        );
     }
 
     #[test]
     fn distinct_sort() {
-        assert_eq!(run_sort(vec![SortKey::asc(0)], None, true), vec![1, 3, 5, 7, 9]);
+        assert_eq!(
+            run_sort(vec![SortKey::asc(0)], None, true),
+            vec![1, 3, 5, 7, 9]
+        );
     }
 
     #[test]

@@ -67,7 +67,10 @@ impl SpoolOp {
             self.charge_write(ctx);
             self.buffer.push(row);
         }
-        self.populated = true;
+        if !self.populated {
+            self.populated = true;
+            ctx.emit_phase(self.id, "write", "replay");
+        }
     }
 }
 
@@ -112,6 +115,7 @@ impl Operator for SpoolOp {
             }
             None => {
                 self.populated = true;
+                ctx.emit_phase(self.id, "write", "replay");
                 self.done = true;
                 ctx.mark_close(self.id);
                 None

@@ -6,7 +6,7 @@
 //! cardinality ground truth).
 
 use lqs_exec::{execute, ExecOptions};
-use lqs_plan::{Expr, JoinKind, PhysicalOp, PlanBuilder, SortKey};
+use lqs_plan::{Expr, JoinKind, PlanBuilder, SortKey};
 use lqs_storage::{Column, DataType, Database, Schema, Table, Value};
 use proptest::prelude::*;
 
@@ -14,10 +14,7 @@ use proptest::prelude::*;
 type Side = Vec<(Option<i64>, i64)>;
 
 fn side_strategy() -> impl Strategy<Value = Side> {
-    prop::collection::vec(
-        (prop::option::weighted(0.9, -5i64..15), 0i64..1000),
-        0..40,
-    )
+    prop::collection::vec((prop::option::weighted(0.9, -5i64..15), 0i64..1000), 0..40)
 }
 
 fn make_db(left: &Side, right: &Side) -> (Database, lqs_storage::TableId, lqs_storage::TableId) {
@@ -48,13 +45,8 @@ fn collect(db: &Database, plan: &lqs_plan::PhysicalPlan) -> Vec<Vec<String>> {
     // Re-execute with a collector: easiest is to wrap in a sort and read the
     // engine's output through a scalar trace — instead we re-run the
     // operator tree directly.
-    let ctx = lqs_exec::ExecContext::new(
-        db,
-        plan.len(),
-        8,
-        u64::MAX,
-        lqs_plan::CostModel::default(),
-    );
+    let ctx =
+        lqs_exec::ExecContext::new(db, plan.len(), 8, u64::MAX, lqs_plan::CostModel::default());
     let mut root = lqs_exec::build_operator(plan, db, plan.root());
     root.open(&ctx);
     let mut out = Vec::new();
@@ -66,7 +58,12 @@ fn collect(db: &Database, plan: &lqs_plan::PhysicalPlan) -> Vec<Vec<String>> {
     out
 }
 
-fn hash_plan(db: &Database, l: lqs_storage::TableId, r: lqs_storage::TableId, kind: JoinKind) -> lqs_plan::PhysicalPlan {
+fn hash_plan(
+    db: &Database,
+    l: lqs_storage::TableId,
+    r: lqs_storage::TableId,
+    kind: JoinKind,
+) -> lqs_plan::PhysicalPlan {
     let mut b = PlanBuilder::new(db);
     // probe = left, build = right (kind applies to probe side).
     let rs = b.table_scan(r);
@@ -75,7 +72,12 @@ fn hash_plan(db: &Database, l: lqs_storage::TableId, r: lqs_storage::TableId, ki
     b.finish(j)
 }
 
-fn merge_plan(db: &Database, l: lqs_storage::TableId, r: lqs_storage::TableId, kind: JoinKind) -> lqs_plan::PhysicalPlan {
+fn merge_plan(
+    db: &Database,
+    l: lqs_storage::TableId,
+    r: lqs_storage::TableId,
+    kind: JoinKind,
+) -> lqs_plan::PhysicalPlan {
     let mut b = PlanBuilder::new(db);
     let ls = b.table_scan(l);
     let lsort = b.sort(ls, vec![SortKey::asc(0)]);
@@ -85,7 +87,13 @@ fn merge_plan(db: &Database, l: lqs_storage::TableId, r: lqs_storage::TableId, k
     b.finish(j)
 }
 
-fn nl_plan(db: &Database, l: lqs_storage::TableId, r: lqs_storage::TableId, kind: JoinKind, buffer: usize) -> lqs_plan::PhysicalPlan {
+fn nl_plan(
+    db: &Database,
+    l: lqs_storage::TableId,
+    r: lqs_storage::TableId,
+    kind: JoinKind,
+    buffer: usize,
+) -> lqs_plan::PhysicalPlan {
     let mut b = PlanBuilder::new(db);
     let ls = b.table_scan(l);
     let rs = b.table_scan(r);

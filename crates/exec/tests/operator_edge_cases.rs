@@ -86,7 +86,8 @@ fn segment_marks_group_boundaries() {
     assert_eq!(run.rows_returned, 1);
     // (The sum itself isn't visible from counters; the executed row count
     // confirms the plan ran. Verify the marker semantics directly:)
-    let ctx = lqs_exec::ExecContext::new(&d, plan.len(), 0, u64::MAX, lqs_plan::CostModel::default());
+    let ctx =
+        lqs_exec::ExecContext::new(&d, plan.len(), 0, u64::MAX, lqs_plan::CostModel::default());
     let mut seg_op = lqs_exec::build_operator(&plan, &d, seg);
     seg_op.open(&ctx);
     let mut boundaries = 0;
@@ -189,10 +190,7 @@ fn concat_of_filtered_branches() {
 #[test]
 fn lazy_spool_replays_for_every_outer_row() {
     let (d, t) = db(500);
-    let mut small = Table::new(
-        "s",
-        Schema::new(vec![Column::new("x", DataType::Int)]),
-    );
+    let mut small = Table::new("s", Schema::new(vec![Column::new("x", DataType::Int)]));
     for i in 0..5i64 {
         small.insert(vec![Value::Int(i)]).unwrap();
     }

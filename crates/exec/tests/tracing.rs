@@ -1,0 +1,174 @@
+//! End-to-end tracing: a traced run emits a complete, well-ordered event
+//! stream and changes nothing about the run itself.
+
+use lqs_exec::{execute, execute_traced, plan_node_names, ExecOptions};
+use lqs_obs::{to_chrome_trace, to_jsonl, EventKind, RingBufferSink};
+use lqs_plan::{AggFunc, Aggregate, Expr, JoinKind, PlanBuilder, SortKey};
+use lqs_storage::{Column, DataType, Database, Schema, Table, TableId, Value};
+
+fn db() -> (Database, TableId, TableId) {
+    let mut fact = Table::new(
+        "fact",
+        Schema::new(vec![
+            Column::new("k", DataType::Int),
+            Column::new("v", DataType::Int),
+        ]),
+    );
+    for i in 0..4000 {
+        fact.insert(vec![Value::Int(i % 200), Value::Int(i)])
+            .unwrap();
+    }
+    let mut dim = Table::new(
+        "dim",
+        Schema::new(vec![
+            Column::new("k", DataType::Int),
+            Column::new("name", DataType::Int),
+        ]),
+    );
+    for i in 0..200 {
+        dim.insert(vec![Value::Int(i), Value::Int(i * 10)]).unwrap();
+    }
+    let mut db = Database::new();
+    let f = db.add_table_analyzed(fact);
+    let d = db.add_table_analyzed(dim);
+    (db, f, d)
+}
+
+/// A plan exercising the traced behaviours: hash join (build → probe),
+/// sort (blocking → emit), filter, and aggregation.
+fn traced_run() -> (
+    lqs_plan::PhysicalPlan,
+    lqs_exec::QueryRun,
+    Vec<lqs_obs::TraceEvent>,
+) {
+    let (db, f, d) = db();
+    let mut b = PlanBuilder::new(&db);
+    let dim_scan = b.table_scan(d);
+    let fact_scan = b.table_scan_filtered(f, Expr::col(1).lt(Expr::lit(3000i64)), true);
+    let join = b.hash_join(JoinKind::Inner, dim_scan, fact_scan, vec![0], vec![0]);
+    let agg = b.hash_aggregate(join, vec![0], vec![Aggregate::of_col(AggFunc::Sum, 3)]);
+    let sort = b.sort(agg, vec![SortKey::desc(1)]);
+    let plan = b.finish(sort);
+    let sink = RingBufferSink::new(1 << 16);
+    let run = execute_traced(&db, &plan, &ExecOptions::default(), &sink);
+    (plan, run, sink.into_events())
+}
+
+#[test]
+fn events_are_time_ordered_and_spans_well_formed() {
+    let (plan, run, events) = traced_run();
+    assert!(!events.is_empty());
+    for w in events.windows(2) {
+        assert!(w[0].ts_ns <= w[1].ts_ns, "events out of order");
+    }
+
+    // Per node: open ≤ first_row ≤ close, and each lifecycle stage present
+    // for every operator that produced rows.
+    for node in 0..plan.len() {
+        let of = |kind: &EventKind| {
+            events
+                .iter()
+                .find(|e| e.node.map(|n| n.0) == Some(node) && &e.kind == kind)
+                .map(|e| e.ts_ns)
+        };
+        let open = of(&EventKind::OperatorOpen).expect("every node opens");
+        let close = of(&EventKind::OperatorClose).expect("every node closes");
+        assert!(open <= close, "node {node}: open {open} > close {close}");
+        if run.final_counters[node].rows_output > 0 {
+            let first = of(&EventKind::OperatorFirstRow).expect("produced rows");
+            assert!(open <= first && first <= close, "node {node} span violated");
+        }
+        // Event stamps agree with the counters' own lifecycle stamps.
+        assert_eq!(run.final_counters[node].open_ns, Some(open));
+        assert_eq!(run.final_counters[node].close_ns, Some(close));
+    }
+}
+
+#[test]
+fn phase_transitions_cover_blocking_operators() {
+    let (_plan, _run, events) = traced_run();
+    let phases: Vec<(&str, &str)> = events
+        .iter()
+        .filter_map(|e| match &e.kind {
+            EventKind::PhaseTransition { from, to } => Some((from.as_str(), to.as_str())),
+            _ => None,
+        })
+        .collect();
+    assert!(
+        phases.contains(&("build", "probe")),
+        "hash join phases: {phases:?}"
+    );
+    assert!(
+        phases.contains(&("blocking", "emit")),
+        "sort/agg phases: {phases:?}"
+    );
+}
+
+#[test]
+fn snapshot_ticks_match_recorded_snapshots() {
+    let (_plan, run, events) = traced_run();
+    let ticks: Vec<u64> = events
+        .iter()
+        .filter_map(|e| match e.kind {
+            EventKind::SnapshotTick { index } => Some(index),
+            _ => None,
+        })
+        .collect();
+    // One tick per recorded snapshot (no thinning in a run this short),
+    // indices consecutive from zero, stamps matching the DMV trace.
+    assert_eq!(ticks.len(), run.snapshots.len());
+    for (i, &idx) in ticks.iter().enumerate() {
+        assert_eq!(idx, i as u64);
+    }
+    let tick_ts: Vec<u64> = events
+        .iter()
+        .filter(|e| matches!(e.kind, EventKind::SnapshotTick { .. }))
+        .map(|e| e.ts_ns)
+        .collect();
+    for (tick, snap) in tick_ts.iter().zip(&run.snapshots) {
+        assert_eq!(*tick, snap.ts_ns);
+    }
+}
+
+#[test]
+fn tracing_does_not_change_the_run() {
+    let (db, f, d) = db();
+    let mut b = PlanBuilder::new(&db);
+    let dim_scan = b.table_scan(d);
+    let fact_scan = b.table_scan(f);
+    let join = b.hash_join(JoinKind::Inner, dim_scan, fact_scan, vec![0], vec![0]);
+    let plan = b.finish(join);
+
+    let plain = execute(&db, &plan, &ExecOptions::default());
+    let sink = RingBufferSink::new(1 << 14);
+    let traced = execute_traced(&db, &plan, &ExecOptions::default(), &sink);
+
+    assert_eq!(plain.rows_returned, traced.rows_returned);
+    assert_eq!(plain.duration_ns, traced.duration_ns);
+    assert_eq!(plain.snapshots.len(), traced.snapshots.len());
+    for (a, b) in plain.final_counters.iter().zip(&traced.final_counters) {
+        assert_eq!(a.rows_output, b.rows_output);
+        assert_eq!(a.cpu_ns, b.cpu_ns);
+        assert_eq!(a.logical_reads, b.logical_reads);
+    }
+}
+
+#[test]
+fn real_trace_exports_cleanly() {
+    let (plan, _run, events) = traced_run();
+    let names = plan_node_names(&plan);
+
+    let jsonl = to_jsonl(&events, &names);
+    assert_eq!(lqs_obs::from_jsonl(&jsonl).unwrap(), events);
+
+    let chrome = to_chrome_trace(&events, &names);
+    let parsed = serde_json::from_str(&chrome).expect("valid chrome trace JSON");
+    let trace_events = parsed["traceEvents"].as_array().unwrap();
+    assert!(!trace_events.is_empty());
+    for ev in trace_events {
+        assert_eq!(ev["ph"], "X");
+        assert!(ev["ts"].as_f64().is_some());
+        assert!(ev["dur"].as_f64().is_some());
+        assert!(ev["name"].as_str().is_some());
+    }
+}

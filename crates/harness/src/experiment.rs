@@ -70,7 +70,11 @@ pub fn workload_errors(
             .map(|(c, s)| {
                 (
                     c.label.to_string(),
-                    if measured == 0 { 0.0 } else { s / measured as f64 },
+                    if measured == 0 {
+                        0.0
+                    } else {
+                        s / measured as f64
+                    },
                 )
             })
             .collect(),
@@ -128,10 +132,13 @@ pub fn per_operator_errors(
     }
 }
 
+/// Per-config running sums: operator name -> (error sum, sample count).
+type OpErrorSums = BTreeMap<String, (f64, usize)>;
+
 /// Merge per-operator accumulations across multiple workloads.
 pub fn merge_per_operator(parts: &[PerOperatorErrors]) -> PerOperatorErrors {
     // Simple unweighted mean over workloads that have the operator.
-    let mut by_config: Vec<(String, BTreeMap<String, (f64, usize)>)> = Vec::new();
+    let mut by_config: Vec<(String, OpErrorSums)> = Vec::new();
     for part in parts {
         for (ci, (label, map)) in part.by_config.iter().enumerate() {
             if by_config.len() <= ci {

@@ -126,7 +126,10 @@ pub fn figure11(scale: WorkloadScale) -> Fig11 {
     let tr_out = trace_estimator(&plan, &t.db, &run, out_cfg);
 
     let fc = &run.final_counters[agg.0];
-    let (open, close) = (fc.open_ns.unwrap_or(0), fc.close_ns.unwrap_or(run.duration_ns));
+    let (open, close) = (
+        fc.open_ns.unwrap_or(0),
+        fc.close_ns.unwrap_or(run.duration_ns),
+    );
     let mut output_only = Vec::new();
     let mut two_phase = Vec::new();
     let mut true_progress = Vec::new();
@@ -140,8 +143,14 @@ pub fn figure11(scale: WorkloadScale) -> Fig11 {
         let t_frac = (s.ts_ns - open) as f64 / (close - open).max(1) as f64;
         let p_out = tr_out.reports[i].nodes[agg.0].progress;
         let p_two = tr_two.reports[i].nodes[agg.0].progress;
-        output_only.push(Point { t: t_frac, v: p_out });
-        two_phase.push(Point { t: t_frac, v: p_two });
+        output_only.push(Point {
+            t: t_frac,
+            v: p_out,
+        });
+        two_phase.push(Point {
+            t: t_frac,
+            v: p_two,
+        });
         true_progress.push(Point {
             t: t_frac,
             v: t_frac,
@@ -405,7 +414,12 @@ pub fn figure17(scale: WorkloadScale) -> Fig17 {
         .map(|w| per_operator_errors(w, &fig17_configs(), Metric::Time, &opts()))
         .collect();
     let merged = merge_per_operator(&parts);
-    let keep = ["Hash Match (Aggregate)", "Sort", "Top N Sort", "Distinct Sort"];
+    let keep = [
+        "Hash Match (Aggregate)",
+        "Sort",
+        "Top N Sort",
+        "Distinct Sort",
+    ];
     Fig17 {
         by_config: merged
             .by_config
@@ -492,7 +506,11 @@ pub fn figure20(scale: WorkloadScale) -> Fig20 {
     let e_row = per_operator_errors(&row, &full, Metric::Time, &opts());
     let e_cs = per_operator_errors(&cs, &full, Metric::Time, &opts());
     let flat = |e: PerOperatorErrors| -> BTreeMap<String, f64> {
-        e.by_config.into_iter().next().map(|(_, m)| m).unwrap_or_default()
+        e.by_config
+            .into_iter()
+            .next()
+            .map(|(_, m)| m)
+            .unwrap_or_default()
     };
     Fig20 {
         tpch: flat(e_row),

@@ -14,9 +14,9 @@ pub mod figures;
 pub mod report;
 pub mod run;
 
+pub use calibrate::{calibrate_weights, WeightCalibration};
 pub use experiment::{
     merge_per_operator, operator_frequencies, per_operator_errors, workload_errors, ConfigSpec,
     Metric, PerOperatorErrors, WorkloadErrors,
 };
-pub use calibrate::{calibrate_weights, WeightCalibration};
 pub use run::{estimates_only, run_query, trace_estimator, EstimatorTrace};

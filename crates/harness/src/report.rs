@@ -32,11 +32,7 @@ pub fn render_workload_errors(title: &str, rows: &[WorkloadErrors]) -> String {
 pub fn render_per_operator(title: &str, data: &PerOperatorErrors) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "== {title} ({}) ==", data.workload);
-    let mut ops: Vec<&String> = data
-        .by_config
-        .iter()
-        .flat_map(|(_, m)| m.keys())
-        .collect();
+    let mut ops: Vec<&String> = data.by_config.iter().flat_map(|(_, m)| m.keys()).collect();
     ops.sort();
     ops.dedup();
     let _ = write!(out, "{:<34}", "operator");
@@ -82,6 +78,44 @@ pub fn render_frequencies(
             op,
             a.get(op).copied().unwrap_or(0),
             b.get(op).copied().unwrap_or(0)
+        );
+    }
+    out
+}
+
+/// Render one estimator trace's explain diagnostics: aggregated counters
+/// plus the per-node model/refinement breakdown at the final snapshot.
+pub fn render_explain(title: &str, trace: &crate::run::EstimatorTrace) -> String {
+    let mut out = String::new();
+    let totals = trace.explain_totals();
+    let _ = writeln!(out, "== {title} ==");
+    let _ = writeln!(
+        out,
+        "snapshots: {}  refinements: {}  clamps: {}  special-model nodes: {}",
+        trace.reports.len(),
+        totals.refinements_applied,
+        totals.clamps_hit,
+        totals.special_model_nodes
+    );
+    let Some(last) = trace.reports.last() else {
+        let _ = writeln!(out, "(no snapshots)");
+        return out;
+    };
+    let _ = writeln!(
+        out,
+        "{:<4}{:<26}{:>22}{:>22}{:>14}{:>14}",
+        "id", "operator", "path", "refinement", "N-hat", "clamp"
+    );
+    for np in &last.nodes {
+        let _ = writeln!(
+            out,
+            "{:<4}{:<26}{:>22}{:>22}{:>14.1}{:>14.1}",
+            np.node.0,
+            np.name,
+            np.explanation.path.label(),
+            np.explanation.refinement.label(),
+            np.refined_n,
+            np.explanation.clamp_delta
         );
     }
     out

@@ -2,7 +2,7 @@
 
 use lqs_exec::{execute, ExecOptions, QueryRun};
 use lqs_plan::PhysicalPlan;
-use lqs_progress::{EstimatorConfig, ProgressEstimator, ProgressReport};
+use lqs_progress::{EstimatorConfig, ExplainCounters, ProgressEstimator, ProgressReport};
 use lqs_storage::Database;
 
 /// One estimator's full trajectory over a query run.
@@ -13,19 +13,36 @@ pub struct EstimatorTrace {
     pub reports: Vec<ProgressReport>,
 }
 
+impl EstimatorTrace {
+    /// Explain counters summed over every snapshot of the trace: how many
+    /// refinements were applied, bounds clamps hit, and non-GetNext models
+    /// used across the whole run.
+    pub fn explain_totals(&self) -> ExplainCounters {
+        let mut total = ExplainCounters::default();
+        for r in &self.reports {
+            total.merge(&r.counters);
+        }
+        total
+    }
+}
+
 /// Execute a plan and keep the run (ground truth + snapshots).
 pub fn run_query(db: &Database, plan: &PhysicalPlan, opts: &ExecOptions) -> QueryRun {
     execute(db, plan, opts)
 }
 
 /// Replay a run's snapshots through an estimator configuration.
+///
+/// The estimator's §4.6 weights use the *run's* cost model, not the default
+/// one, so a run executed under a custom [`ExecOptions::cost_model`] is
+/// replayed with matching weights.
 pub fn trace_estimator(
     plan: &PhysicalPlan,
     db: &Database,
     run: &QueryRun,
     config: EstimatorConfig,
 ) -> EstimatorTrace {
-    let est = ProgressEstimator::new(plan, db, config);
+    let est = ProgressEstimator::with_cost_model(plan, db, config, &run.cost_model);
     let reports: Vec<ProgressReport> = run.snapshots.iter().map(|s| est.estimate(s)).collect();
     let estimates = reports.iter().map(|r| r.query_progress).collect();
     EstimatorTrace { estimates, reports }
@@ -38,7 +55,7 @@ pub fn estimates_only(
     run: &QueryRun,
     config: EstimatorConfig,
 ) -> Vec<f64> {
-    let est = ProgressEstimator::new(plan, db, config);
+    let est = ProgressEstimator::with_cost_model(plan, db, config, &run.cost_model);
     run.snapshots
         .iter()
         .map(|s| est.estimate(s).query_progress)

@@ -37,13 +37,12 @@ fn fig11_two_phase_beats_output_only() {
         f.error_output_only
     );
     // The output-only model flatlines: most samples near zero.
-    let near_zero = f
-        .output_only
-        .iter()
-        .filter(|p| p.v < 0.05)
-        .count() as f64
+    let near_zero = f.output_only.iter().filter(|p| p.v < 0.05).count() as f64
         / f.output_only.len().max(1) as f64;
-    assert!(near_zero > 0.7, "output-only near-zero fraction {near_zero}");
+    assert!(
+        near_zero > 0.7,
+        "output-only near-zero fraction {near_zero}"
+    );
 }
 
 #[test]
@@ -86,9 +85,18 @@ fn fig14_refinement_and_bounding_help() {
     // the full-scale ordering is recorded in EXPERIMENTS.md. Here we assert
     // the techniques stay within noise of the baseline and that refinement
     // does not lose to bounding alone.
-    assert!(bounded <= none + 0.05, "bounding far worse on average: {bounded} vs {none}");
-    assert!(refined <= none + 0.02, "refinement far worse: {refined} vs {none}");
-    assert!(refined <= bounded + 0.01, "refinement lost to bounding alone: {refined} vs {bounded}");
+    assert!(
+        bounded <= none + 0.05,
+        "bounding far worse on average: {bounded} vs {none}"
+    );
+    assert!(
+        refined <= none + 0.02,
+        "refinement far worse: {refined} vs {none}"
+    );
+    assert!(
+        refined <= bounded + 0.01,
+        "refinement lost to bounding alone: {refined} vs {bounded}"
+    );
 }
 
 #[test]

@@ -1,6 +1,8 @@
 //! Tests for the experiment report rendering and aggregation utilities.
 
-use lqs_harness::report::{render_frequencies, render_per_operator, render_workload_errors, to_json};
+use lqs_harness::report::{
+    render_frequencies, render_per_operator, render_workload_errors, to_json,
+};
 use lqs_harness::{merge_per_operator, PerOperatorErrors, WorkloadErrors};
 use std::collections::BTreeMap;
 
@@ -27,7 +29,7 @@ fn workload_errors_table_renders_all_cells() {
     assert!(out.contains("0.1234") && out.contains("0.2500"));
     assert!(out.contains("10") && out.contains("3"));
     // Header contains both config labels once.
-    assert_eq!(out.matches('A').count() >= 1, true);
+    assert!(out.matches('A').count() >= 1);
 }
 
 #[test]

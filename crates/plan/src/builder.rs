@@ -370,10 +370,8 @@ impl<'a> PlanBuilder<'a> {
             }
             PhysicalOp::StreamAggregate { group_by, aggs }
             | PhysicalOp::HashAggregate { group_by, aggs } => {
-                let mut p: Vec<Provenance> = group_by
-                    .iter()
-                    .map(|&g| child(0).provenance[g])
-                    .collect();
+                let mut p: Vec<Provenance> =
+                    group_by.iter().map(|&g| child(0).provenance[g]).collect();
                 p.extend(std::iter::repeat_n(Provenance::Computed, aggs.len()));
                 p
             }
@@ -411,7 +409,10 @@ impl<'a> PlanBuilder<'a> {
         let child_arity = |i: usize| self.nodes[children[i].0].output_arity;
         let check = |cols: &[usize], bound: usize, what: &str| {
             for &c in cols {
-                assert!(c < bound, "{what}: column {c} out of bounds (arity {bound})");
+                assert!(
+                    c < bound,
+                    "{what}: column {c} out of bounds (arity {bound})"
+                );
             }
         };
         let check_expr = |e: &Expr, bound: usize, what: &str| {
@@ -447,7 +448,11 @@ impl<'a> PlanBuilder<'a> {
             } => {
                 check(build_keys, child_arity(0), "Hash Join build keys");
                 check(probe_keys, child_arity(1), "Hash Join probe keys");
-                assert_eq!(build_keys.len(), probe_keys.len(), "hash key arity mismatch");
+                assert_eq!(
+                    build_keys.len(),
+                    probe_keys.len(),
+                    "hash key arity mismatch"
+                );
             }
             PhysicalOp::MergeJoin {
                 left_keys,
@@ -456,12 +461,20 @@ impl<'a> PlanBuilder<'a> {
             } => {
                 check(left_keys, child_arity(0), "Merge Join left keys");
                 check(right_keys, child_arity(1), "Merge Join right keys");
-                assert_eq!(left_keys.len(), right_keys.len(), "merge key arity mismatch");
+                assert_eq!(
+                    left_keys.len(),
+                    right_keys.len(),
+                    "merge key arity mismatch"
+                );
             }
-            PhysicalOp::NestedLoops { predicate, .. } => {
-                if let Some(p) = predicate {
-                    check_expr(p, output_arity.max(child_arity(0) + child_arity(1)), "NL predicate");
-                }
+            PhysicalOp::NestedLoops {
+                predicate: Some(p), ..
+            } => {
+                check_expr(
+                    p,
+                    output_arity.max(child_arity(0) + child_arity(1)),
+                    "NL predicate",
+                );
             }
             PhysicalOp::Segment { group_by } => check(group_by, child_arity(0), "Segment"),
             PhysicalOp::BitmapCreate { key_columns, .. } => {
@@ -495,10 +508,10 @@ impl<'a> PlanBuilder<'a> {
                     check(&bp.key_columns, output_arity, "Bitmap probe");
                 }
             }
-            PhysicalOp::IndexSeek { residual, .. } => {
-                if let Some(r) = residual {
-                    check_expr(r, output_arity, "Seek residual");
-                }
+            PhysicalOp::IndexSeek {
+                residual: Some(r), ..
+            } => {
+                check_expr(r, output_arity, "Seek residual");
             }
             _ => {}
         }

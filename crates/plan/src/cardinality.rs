@@ -156,9 +156,7 @@ fn estimate_node(plan: &PhysicalPlan, db: &Database, id: NodeId) -> f64 {
         | PhysicalOp::Spool { .. }
         | PhysicalOp::Exchange { .. }
         | PhysicalOp::BitmapCreate { .. } => child_rows(0),
-        PhysicalOp::TopNSort { n, .. } | PhysicalOp::Top { n } => {
-            child_rows(0).min(*n as f64)
-        }
+        PhysicalOp::TopNSort { n, .. } | PhysicalOp::Top { n } => child_rows(0).min(*n as f64),
         PhysicalOp::DistinctSort { keys } => {
             let cols: Vec<usize> = keys.iter().map(|k| k.column).collect();
             group_estimate(&cols, plan.node(node.children[0]), child_rows(0), db)
@@ -250,8 +248,14 @@ fn range_component_selectivity(
             SeekKey::OuterRef(_) => None,
         }
     };
-    let lo = seek.lo.as_ref().and_then(|(k, inc)| lit(k).map(|v| (v, *inc)));
-    let hi = seek.hi.as_ref().and_then(|(k, inc)| lit(k).map(|v| (v, *inc)));
+    let lo = seek
+        .lo
+        .as_ref()
+        .and_then(|(k, inc)| lit(k).map(|v| (v, *inc)));
+    let hi = seek
+        .hi
+        .as_ref()
+        .and_then(|(k, inc)| lit(k).map(|v| (v, *inc)));
     if lo.is_none() && hi.is_none() {
         return DEFAULT_RANGE_SEL;
     }

@@ -212,16 +212,11 @@ fn node_cost(plan: &PhysicalPlan, db: &Database, m: &CostModel, node: &PlanNode)
                 0.0,
             )
         }
-        PhysicalOp::MergeJoin { .. } => {
-            ((child_total(0) + child_total(1)) * m.merge_row_ns, 0.0)
-        }
+        PhysicalOp::MergeJoin { .. } => ((child_total(0) + child_total(1)) * m.merge_row_ns, 0.0),
         PhysicalOp::NestedLoops { .. } => {
             let outer = child_total(0);
             let inner_total = child_total(1);
-            (
-                outer * m.nl_outer_row_ns + inner_total * m.nl_pair_ns,
-                0.0,
-            )
+            (outer * m.nl_outer_row_ns + inner_total * m.nl_pair_ns, 0.0)
         }
         PhysicalOp::Spool { .. } => {
             // Child populated once; output replayed est_executions times.

@@ -463,7 +463,12 @@ mod tests {
     use super::*;
 
     fn row() -> Vec<Value> {
-        vec![Value::Int(5), Value::str("x"), Value::Null, Value::Float(2.5)]
+        vec![
+            Value::Int(5),
+            Value::str("x"),
+            Value::Null,
+            Value::Float(2.5),
+        ]
     }
 
     #[test]
@@ -491,8 +496,14 @@ mod tests {
         let true_pred = Expr::col(0).gt(Expr::lit(0i64));
         let false_pred = Expr::col(0).lt(Expr::lit(0i64));
         // TRUE AND NULL = NULL; FALSE AND NULL = FALSE.
-        assert_eq!(true_pred.clone().and(null_pred.clone()).eval(&row()), Value::Null);
-        assert_eq!(false_pred.clone().and(null_pred.clone()).eval(&row()), Value::Int(0));
+        assert_eq!(
+            true_pred.clone().and(null_pred.clone()).eval(&row()),
+            Value::Null
+        );
+        assert_eq!(
+            false_pred.clone().and(null_pred.clone()).eval(&row()),
+            Value::Int(0)
+        );
         // TRUE OR NULL = TRUE; FALSE OR NULL = NULL.
         assert_eq!(true_pred.or(null_pred.clone()).eval(&row()), Value::Int(1));
         assert_eq!(false_pred.or(null_pred).eval(&row()), Value::Null);
@@ -535,7 +546,9 @@ mod tests {
 
     #[test]
     fn remap_and_collect_columns() {
-        let e = Expr::col(1).eq(Expr::col(3)).and(Expr::col(1).gt(Expr::lit(0i64)));
+        let e = Expr::col(1)
+            .eq(Expr::col(3))
+            .and(Expr::col(1).gt(Expr::lit(0i64)));
         assert_eq!(e.referenced_columns(), vec![1, 3]);
         let shifted = e.remap_columns(&|c| c + 10);
         assert_eq!(shifted.referenced_columns(), vec![11, 13]);

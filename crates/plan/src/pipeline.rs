@@ -121,10 +121,7 @@ impl PipelineSet {
             let members = self.pipelines[p].nodes.clone();
             for node in members {
                 let n = plan.node(node);
-                let is_source = n
-                    .children
-                    .iter()
-                    .all(|&c| self.pipeline_of[c.0] != pipe_id);
+                let is_source = n.children.iter().all(|&c| self.pipeline_of[c.0] != pipe_id);
                 if !is_source {
                     continue;
                 }
@@ -201,7 +198,7 @@ impl PipelineSet {
 mod tests {
     use super::*;
     use crate::builder::PlanBuilder;
-    use crate::expr::{Aggregate, AggFunc, Expr};
+    use crate::expr::{AggFunc, Aggregate, Expr};
     use crate::op::{JoinKind, SortKey};
     use lqs_storage::{Column, DataType, Database, Table, TableId, Value};
 

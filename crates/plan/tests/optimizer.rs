@@ -15,8 +15,8 @@ fn uniform_db(rows: i64) -> (Database, TableId) {
         "u",
         Schema::new(vec![
             Column::new("id", DataType::Int),
-            Column::new("grp", DataType::Int),  // 100 distinct, uniform
-            Column::new("val", DataType::Int),  // 0..1000 uniform
+            Column::new("grp", DataType::Int), // 100 distinct, uniform
+            Column::new("val", DataType::Int), // 0..1000 uniform
         ]),
     );
     for i in 0..rows {
@@ -93,12 +93,18 @@ fn conjunction_underestimates_on_correlated_data() {
 #[test]
 fn negation_and_disjunction() {
     let (db, t) = uniform_db(10_000);
-    let not_est = est_rows(&db, t, Expr::Not(Box::new(Expr::col(1).eq(Expr::lit(5i64)))));
+    let not_est = est_rows(
+        &db,
+        t,
+        Expr::Not(Box::new(Expr::col(1).eq(Expr::lit(5i64)))),
+    );
     assert!((not_est - 9900.0).abs() < 200.0, "NOT estimate {not_est}");
     let or_est = est_rows(
         &db,
         t,
-        Expr::col(1).eq(Expr::lit(1i64)).or(Expr::col(1).eq(Expr::lit(2i64))),
+        Expr::col(1)
+            .eq(Expr::lit(1i64))
+            .or(Expr::col(1).eq(Expr::lit(2i64))),
     );
     assert!((or_est - 200.0).abs() < 80.0, "OR estimate {or_est}");
 }
@@ -205,13 +211,16 @@ fn selectivity_helper_clamps_to_unit_range() {
     let scan = b.table_scan(t);
     let plan = b.finish(scan);
     let prov = &plan.node(scan).provenance;
-    for op in [CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge] {
+    for op in [
+        CmpOp::Eq,
+        CmpOp::Ne,
+        CmpOp::Lt,
+        CmpOp::Le,
+        CmpOp::Gt,
+        CmpOp::Ge,
+    ] {
         for v in [-100i64, 0, 50, 99, 10_000] {
-            let sel = cardinality::selectivity(
-                &Expr::col(0).cmp(op, Expr::lit(v)),
-                prov,
-                &db,
-            );
+            let sel = cardinality::selectivity(&Expr::col(0).cmp(op, Expr::lit(v)), prov, &db);
             assert!((0.0..=1.0).contains(&sel), "{op:?} {v}: sel {sel}");
         }
     }

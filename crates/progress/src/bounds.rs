@@ -45,12 +45,7 @@ pub fn compute_bounds(statics: &PlanStatics, s: &DmvSnapshot) -> Vec<Bounds> {
     out
 }
 
-fn node_bounds(
-    statics: &PlanStatics,
-    s: &DmvSnapshot,
-    i: usize,
-    computed: &[Bounds],
-) -> Bounds {
+fn node_bounds(statics: &PlanStatics, s: &DmvSnapshot, i: usize, computed: &[Bounds]) -> Bounds {
     let st = &statics.nodes[i];
     let c = s.node(i);
     let k = c.rows_output as f64;
@@ -100,11 +95,10 @@ fn node_bounds(
         }
         BoundKind::Access => {
             let table = st.table_rows.unwrap_or(f64::INFINITY);
-            if st.known_rows.is_some() && st.enclosing_nl.is_none() {
+            if let (Some(n), None) = (st.known_rows, st.enclosing_nl) {
                 // Unfiltered single-execution scan: exact a priori — unless
                 // an ancestor may stop pulling early, in which case the
                 // known size is only an upper bound.
-                let n = st.known_rows.expect("checked");
                 if st.may_stop_early {
                     (k, n)
                 } else {
@@ -125,7 +119,11 @@ fn node_bounds(
             // from the child, at most the child's UB times the number of
             // buffer replays a nested-loops rebind can trigger.
             let cb = child(0);
-            let lb = if st.may_stop_early { k } else { child_k(0).max(k) };
+            let lb = if st.may_stop_early {
+                k
+            } else {
+                child_k(0).max(k)
+            };
             (lb, cb.ub * execs_ub)
         }
         BoundKind::Capped(n) => {

@@ -16,6 +16,7 @@
 
 use crate::bounds::{compute_bounds, Bounds};
 use crate::config::{EstimatorConfig, QueryModel};
+use crate::explain::{EstimationPath, ExplainCounters, Explanation, RefinementSource};
 use crate::statics::PlanStatics;
 use crate::weights::longest_path_nodes;
 use lqs_exec::DmvSnapshot;
@@ -37,6 +38,8 @@ pub struct NodeProgress {
     pub bounds: Bounds,
     /// Rows output so far (`kᵢ`).
     pub k: f64,
+    /// How this figure was produced (model, refinement source, clamping).
+    pub explanation: Explanation,
 }
 
 /// Full progress report for one snapshot.
@@ -46,6 +49,8 @@ pub struct ProgressReport {
     pub query_progress: f64,
     /// Per-node progress, indexed by `NodeId.0`.
     pub nodes: Vec<NodeProgress>,
+    /// Tally of refinements, clamps, and special models this snapshot.
+    pub counters: ExplainCounters,
 }
 
 /// The estimator, constructed once per (plan, database) pair and then
@@ -100,17 +105,19 @@ impl ProgressEstimator {
             .iter()
             .map(|st| st.known_rows.unwrap_or(st.est_rows).max(1.0))
             .collect();
+        let mut sources = vec![RefinementSource::Static; n_nodes];
         if self.config.refine_cardinality {
-            self.refine(s, &mut n_hat);
+            self.refine(s, &mut n_hat, &mut sources);
             if self.config.propagate_refined {
                 // §7 extension (a): a second pass lets downstream pipelines'
                 // driver denominators (and NL outer totals) see upstream
                 // refinements instead of raw optimizer estimates.
-                self.refine(s, &mut n_hat);
+                self.refine(s, &mut n_hat, &mut sources);
             }
         }
 
         // --- Step 3: bounding. -------------------------------------------
+        let pre_bound = n_hat.clone();
         let bounds = if self.config.bound_cardinality {
             let b = compute_bounds(&self.statics, s);
             for i in 0..n_nodes {
@@ -128,9 +135,17 @@ impl ProgressEstimator {
         };
 
         // --- Step 4: per-node progress. ------------------------------------
+        let mut counters = ExplainCounters::default();
         let nodes: Vec<NodeProgress> = (0..n_nodes)
             .map(|i| {
-                let progress = self.node_progress(s, i, &n_hat);
+                let (progress, path) = self.node_progress(s, i, &n_hat);
+                let explanation = Explanation {
+                    path,
+                    refinement: sources[i],
+                    pre_bound_n: pre_bound[i],
+                    clamp_delta: n_hat[i] - pre_bound[i],
+                };
+                counters.record(&explanation);
                 NodeProgress {
                     node: NodeId(i),
                     name: self.statics.nodes[i].name,
@@ -138,6 +153,7 @@ impl ProgressEstimator {
                     refined_n: n_hat[i],
                     bounds: bounds[i],
                     k: s.k(i),
+                    explanation,
                 }
             })
             .collect();
@@ -147,13 +163,15 @@ impl ProgressEstimator {
         ProgressReport {
             query_progress,
             nodes,
+            counters,
         }
     }
 
     // ---------------------------------------------------------------------
 
-    /// §4.1 + §4.4 cardinality refinement.
-    fn refine(&self, s: &DmvSnapshot, n_hat: &mut [f64]) {
+    /// §4.1 + §4.4 cardinality refinement. Records, per node, which source
+    /// last set its estimate in `sources` (for explain diagnostics).
+    fn refine(&self, s: &DmvSnapshot, n_hat: &mut [f64], sources: &mut [RefinementSource]) {
         let statics = &self.statics;
         // Per-pipeline α = Σ driver k / Σ driver N (§4.1 Equation 3), with
         // driver N taken from exactly-known cardinalities where possible.
@@ -185,11 +203,7 @@ impl ProgressEstimator {
             }
             if total > 0.0 && seen >= self.config.refine_min_driver_rows as f64 {
                 alpha[p.id.0] = Some((seen / total).clamp(0.0, 1.0));
-            } else if total > 0.0
-                && drivers
-                    .iter()
-                    .all(|d| s.node(d.0).is_closed())
-            {
+            } else if total > 0.0 && drivers.iter().all(|d| s.node(d.0).is_closed()) {
                 alpha[p.id.0] = Some(1.0);
             }
         }
@@ -202,6 +216,7 @@ impl ProgressEstimator {
             let c = s.node(i);
             if c.is_closed() {
                 n_hat[i] = c.rows_output as f64;
+                sources[i] = RefinementSource::ObservedFinal;
                 continue;
             }
             // §7 extension (a): push refined cardinalities through blocking
@@ -214,6 +229,7 @@ impl ProgressEstimator {
                 match st.bound_kind {
                     crate::statics::BoundKind::SortLike => {
                         n_hat[i] = child_refined.max(k).max(1.0);
+                        sources[i] = RefinementSource::BlockingPropagation;
                         continue;
                     }
                     crate::statics::BoundKind::Aggregate { scalar: false } => {
@@ -223,10 +239,8 @@ impl ProgressEstimator {
                             .map(|ch| statics.nodes[ch.0].est_rows.max(1.0))
                             .sum();
                         let ratio = (child_refined / child_est).max(1e-3);
-                        n_hat[i] = (st.est_rows * ratio)
-                            .min(child_refined)
-                            .max(k)
-                            .max(1.0);
+                        n_hat[i] = (st.est_rows * ratio).min(child_refined).max(k).max(1.0);
+                        sources[i] = RefinementSource::BlockingPropagation;
                         continue;
                     }
                     _ => {}
@@ -268,13 +282,14 @@ impl ProgressEstimator {
                 };
                 let per_exec = c.rows_output as f64 / execs;
                 n_hat[i] = (per_exec * outer_total).max(c.rows_output as f64);
+                sources[i] = RefinementSource::NestedLoopsInner;
                 continue;
             }
 
             // Pick the scale-up source: pipeline drivers, or the immediate
             // child when a semi-blocking operator buffers below us (§4.4(2)).
             let pipe = statics.pipelines.pipeline_of(id);
-            let a = if self.config.semi_blocking_adjustments
+            let (a, source) = if self.config.semi_blocking_adjustments
                 && !st.children.is_empty()
                 && statics.semi_blocking_below(id)
             {
@@ -285,18 +300,22 @@ impl ProgressEstimator {
                     nn += n_hat[ch.0].max(1.0);
                 }
                 if nn > 0.0 {
-                    Some((kk / nn).clamp(0.0, 1.0))
+                    (
+                        Some((kk / nn).clamp(0.0, 1.0)),
+                        RefinementSource::ImmediateChild,
+                    )
                 } else {
-                    None
+                    (None, RefinementSource::Static)
                 }
             } else {
-                alpha[pipe.0]
+                (alpha[pipe.0], RefinementSource::DriverAlpha)
             };
             let Some(a) = a else { continue };
             if a <= 0.0 {
                 continue;
             }
             n_hat[i] = (c.rows_output as f64 / a).max(c.rows_output as f64);
+            sources[i] = source;
         }
     }
 
@@ -317,11 +336,12 @@ impl ProgressEstimator {
         // is complete, its output total is exact for sort-like operators
         // (output = input).
         if st.blocking {
-            let input_done = st
-                .children
-                .iter()
-                .all(|ch| s.node(ch.0).is_closed());
-            if input_done && matches!(self.statics.nodes[d.0].bound_kind, crate::statics::BoundKind::SortLike)
+            let input_done = st.children.iter().all(|ch| s.node(ch.0).is_closed());
+            if input_done
+                && matches!(
+                    self.statics.nodes[d.0].bound_kind,
+                    crate::statics::BoundKind::SortLike
+                )
             {
                 return (c.rows_input as f64).max(1.0);
             }
@@ -343,12 +363,13 @@ impl ProgressEstimator {
         st.weight * mult
     }
 
-    /// Per-node progress with the §4.3/§4.5/§4.7 special models.
-    fn node_progress(&self, s: &DmvSnapshot, i: usize, n_hat: &[f64]) -> f64 {
+    /// Per-node progress with the §4.3/§4.5/§4.7 special models, plus the
+    /// model actually used (for explain diagnostics).
+    fn node_progress(&self, s: &DmvSnapshot, i: usize, n_hat: &[f64]) -> (f64, EstimationPath) {
         let st = &self.statics.nodes[i];
         let c = s.node(i);
         if c.is_closed() {
-            return 1.0;
+            return (1.0, EstimationPath::Closed);
         }
         // §4.5 first: a blocking operator in a batch pipeline still has a
         // distinct output phase, which segment fractions cannot see.
@@ -357,12 +378,14 @@ impl ProgressEstimator {
             let k_in = c.rows_input as f64;
             let n_out = n_hat[i].max(1.0);
             let k_out = c.rows_output as f64;
-            return ((k_in + k_out) / (n_in + n_out)).clamp(0.0, 1.0);
+            let p = ((k_in + k_out) / (n_in + n_out)).clamp(0.0, 1.0);
+            return (p, EstimationPath::TwoPhaseBlocking);
         }
         // §4.7: batch-mode — segment fraction.
         if self.config.batch_mode_segments && st.batch_mode {
             if let Some(total) = st.total_segments {
-                return (c.segments_processed as f64 / total).clamp(0.0, 1.0);
+                let p = (c.segments_processed as f64 / total).clamp(0.0, 1.0);
+                return (p, EstimationPath::BatchModeSegments);
             }
             // Batch operator above the scan(s): fraction of segments
             // processed in its subtree.
@@ -376,17 +399,20 @@ impl ProgressEstimator {
                     .iter()
                     .map(|n| self.statics.nodes[n.0].total_segments.unwrap_or(1.0))
                     .sum();
-                return (done / total.max(1.0)).clamp(0.0, 1.0);
+                let p = (done / total.max(1.0)).clamp(0.0, 1.0);
+                return (p, EstimationPath::BatchModeSegments);
             }
         }
         // §4.3: storage-filtered scans — fraction of logical I/O issued.
         if self.config.storage_predicate_io && st.storage_filtered {
             if let Some(pages) = st.total_pages {
-                return (c.logical_reads as f64 / pages).clamp(0.0, 1.0);
+                let p = (c.logical_reads as f64 / pages).clamp(0.0, 1.0);
+                return (p, EstimationPath::StorageFilteredScan);
             }
         }
         // GetNext model (Equation 1).
-        (c.rows_output as f64 / n_hat[i].max(1.0)).clamp(0.0, 1.0)
+        let p = (c.rows_output as f64 / n_hat[i].max(1.0)).clamp(0.0, 1.0);
+        (p, EstimationPath::GetNext)
     }
 
     /// Query-level progress (Equation 2), over the configured node set.

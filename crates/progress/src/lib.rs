@@ -25,6 +25,7 @@
 pub mod bounds;
 pub mod config;
 pub mod estimator;
+pub mod explain;
 pub mod metrics;
 pub mod statics;
 pub mod weights;
@@ -32,5 +33,6 @@ pub mod weights;
 pub use bounds::{compute_bounds, Bounds};
 pub use config::{EstimatorConfig, QueryModel};
 pub use estimator::{NodeProgress, ProgressEstimator, ProgressReport};
+pub use explain::{EstimationPath, ExplainCounters, Explanation, RefinementSource};
 pub use metrics::{error_count, error_time, PerOperatorError};
 pub use statics::{NodeStatic, PlanStatics};

@@ -142,27 +142,36 @@ mod tests {
     fn fake_run(n_snaps: usize, total_rows: u64) -> QueryRun {
         let mut snapshots = Vec::new();
         for i in 1..=n_snaps {
-            let mut c = NodeCounters::default();
-            c.rows_output = total_rows * i as u64 / n_snaps as u64;
+            let c = NodeCounters {
+                rows_output: total_rows * i as u64 / n_snaps as u64,
+                ..NodeCounters::default()
+            };
             snapshots.push(DmvSnapshot {
                 ts_ns: (i * 100) as u64,
                 nodes: vec![c],
             });
         }
-        let mut f = NodeCounters::default();
-        f.rows_output = total_rows;
+        let f = NodeCounters {
+            rows_output: total_rows,
+            ..NodeCounters::default()
+        };
         QueryRun {
             snapshots,
             final_counters: vec![f],
             duration_ns: (n_snaps * 100) as u64,
             rows_returned: total_rows,
+            cost_model: lqs_plan::CostModel::default(),
         }
     }
 
     #[test]
     fn perfect_estimator_zero_error() {
         let run = fake_run(10, 1000);
-        let ests: Vec<f64> = run.snapshots.iter().map(|s| run.true_query_progress(s)).collect();
+        let ests: Vec<f64> = run
+            .snapshots
+            .iter()
+            .map(|s| run.true_query_progress(s))
+            .collect();
         assert!(error_count(&run, &ests) < 1e-12);
         let ests: Vec<f64> = run.snapshots.iter().map(|s| run.time_fraction(s)).collect();
         assert!(error_time(&run, &ests) < 1e-12);

@@ -8,7 +8,11 @@ use lqs_storage::Database;
 
 /// Whether an index seek is a full-key equality probe of a unique index —
 /// at most one row per execution.
-fn unique_point_seek(db: &Database, index: lqs_storage::IndexId, seek: &lqs_plan::SeekRange) -> bool {
+fn unique_point_seek(
+    db: &Database,
+    index: lqs_storage::IndexId,
+    seek: &lqs_plan::SeekRange,
+) -> bool {
     let ix = db.btree(index);
     ix.is_unique()
         && seek.lo.is_none()
@@ -218,11 +222,7 @@ impl PlanStatics {
     }
 }
 
-fn build_node(
-    db: &Database,
-    n: &lqs_plan::PlanNode,
-    io_page_ns: f64,
-) -> NodeStatic {
+fn build_node(db: &Database, n: &lqs_plan::PlanNode, io_page_ns: f64) -> NodeStatic {
     use PhysicalOp as P;
     let est_rows = n.est_total_rows();
     let mut s = NodeStatic {
@@ -284,7 +284,12 @@ fn build_node(
             }
             s.bound_kind = BoundKind::Access;
         }
-        P::IndexSeek { index, seek, residual, .. } => {
+        P::IndexSeek {
+            index,
+            seek,
+            residual,
+            ..
+        } => {
             let ix = db.btree(*index);
             s.table_rows = Some(ix.len() as f64);
             s.filters_rows = true; // seeks select a subset by definition
@@ -438,6 +443,10 @@ fn static_ub(plan: &PhysicalPlan, nodes: &[NodeStatic], id: NodeId) -> f64 {
                 _ => product.max(a).max(b),
             }
         }
-        P::Concat => n.children.iter().map(|c| nodes[c.0].static_ub_per_exec).sum(),
+        P::Concat => n
+            .children
+            .iter()
+            .map(|c| nodes[c.0].static_ub_per_exec)
+            .sum(),
     }
 }

@@ -5,7 +5,7 @@
 
 use lqs_exec::{execute, ExecOptions};
 use lqs_plan::{
-    AggFunc, Aggregate, Expr, ExchangeKind, JoinKind, NodeId, PhysicalPlan, PlanBuilder, SeekKey,
+    AggFunc, Aggregate, ExchangeKind, Expr, JoinKind, NodeId, PhysicalPlan, PlanBuilder, SeekKey,
     SeekRange, SortKey,
 };
 use lqs_progress::{compute_bounds, PlanStatics};
@@ -47,7 +47,9 @@ fn spec_strategy() -> impl Strategy<Value = Spec> {
             (inner.clone(), 1usize..200).prop_map(|(s, n)| Spec::TopNSort(Box::new(s), n)),
             (inner.clone(), 1usize..200).prop_map(|(s, n)| Spec::Top(Box::new(s), n)),
             (inner.clone(), any::<bool>()).prop_map(|(s, g)| Spec::HashAgg(Box::new(s), g)),
-            inner.clone().prop_map(|s| Spec::StreamAggScalar(Box::new(s))),
+            inner
+                .clone()
+                .prop_map(|s| Spec::StreamAggScalar(Box::new(s))),
             (inner.clone(), inner.clone()).prop_map(|(a, b)| Spec::HashJoin(
                 Box::new(a),
                 Box::new(b),
@@ -63,10 +65,8 @@ fn spec_strategy() -> impl Strategy<Value = Spec> {
                 Box::new(b),
                 JoinKind::LeftOuter
             )),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| Spec::MergeJoinSorted(
-                Box::new(a),
-                Box::new(b)
-            )),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Spec::MergeJoinSorted(Box::new(a), Box::new(b))),
             (inner.clone(), any::<bool>()).prop_map(|(o, b)| Spec::NestedLoopsSeek {
                 outer: Box::new(o),
                 buffered: b
@@ -131,7 +131,11 @@ fn make_db(rows: i64, seed: i64) -> Ctx {
 /// wrapper can reference columns 0 and 1.
 fn build(b: &mut PlanBuilder, ctx: &Ctx, spec: &Spec, depth: usize) -> NodeId {
     // Alternate base tables by depth to vary join shapes.
-    let base = if depth % 2 == 0 { ctx.table } else { ctx.small };
+    let base = if depth.is_multiple_of(2) {
+        ctx.table
+    } else {
+        ctx.small
+    };
     match spec {
         Spec::Scan { filtered } => {
             if *filtered {
@@ -183,10 +187,7 @@ fn build(b: &mut PlanBuilder, ctx: &Ctx, spec: &Spec, depth: usize) -> NodeId {
         }
         Spec::NestedLoopsSeek { outer, buffered } => {
             let oc = build(b, ctx, outer, depth + 1);
-            let seek = b.index_seek(
-                ctx.index,
-                SeekRange::eq(vec![SeekKey::OuterRef(1)]),
-            );
+            let seek = b.index_seek(ctx.index, SeekRange::eq(vec![SeekKey::OuterRef(1)]));
             b.nested_loops(
                 JoinKind::Inner,
                 oc,
@@ -235,11 +236,7 @@ fn build(b: &mut PlanBuilder, ctx: &Ctx, spec: &Spec, depth: usize) -> NodeId {
 /// children with equal arity are generated — enforce by wrapping both sides
 /// in an aggregation to a canonical 2-column shape.
 fn project2(b: &mut PlanBuilder, c: NodeId) -> NodeId {
-    let agg = b.hash_aggregate(
-        c,
-        vec![0],
-        vec![Aggregate::of_col(AggFunc::Count, 1)],
-    );
+    let agg = b.hash_aggregate(c, vec![0], vec![Aggregate::of_col(AggFunc::Count, 1)]);
     // agg output: (col0 group, count) = 2 columns.
     agg
 }
@@ -249,9 +246,8 @@ fn check_plan(plan: &PhysicalPlan, db: &Database) {
     let statics = PlanStatics::build(plan, db, lqs_plan::CostModel::default().io_page_ns);
     for (si, s) in run.snapshots.iter().enumerate() {
         let bounds = compute_bounds(&statics, s);
-        for i in 0..plan.len() {
+        for (i, &b) in bounds.iter().enumerate() {
             let n_true = run.true_n(i);
-            let b = bounds[i];
             assert!(
                 b.lb <= n_true + 1e-9,
                 "snapshot {si} node {i} ({}): LB {} > N_true {}\nplan:\n{}",
@@ -275,9 +271,9 @@ fn check_plan(plan: &PhysicalPlan, db: &Database) {
     // possible) are exact.
     if let Some(last) = run.snapshots.last() {
         let bounds = compute_bounds(&statics, last);
-        for i in 0..plan.len() {
+        for (i, b) in bounds.iter().enumerate() {
             if last.node(i).is_closed() && statics.nodes[i].enclosing_nl.is_none() {
-                assert_eq!(bounds[i].lb, bounds[i].ub, "node {i} not exact when closed");
+                assert_eq!(b.lb, b.ub, "node {i} not exact when closed");
             }
         }
     }

@@ -72,7 +72,10 @@ fn propagation_improves_downstream_pipeline_estimates() {
         let e_n = ext.estimate(s).nodes[sort.0].refined_n;
         (e_n - true_sort_n).abs() + 1.0 < (b_n - true_sort_n).abs()
     });
-    assert!(improved, "propagation never improved the downstream estimate");
+    assert!(
+        improved,
+        "propagation never improved the downstream estimate"
+    );
 }
 
 #[test]

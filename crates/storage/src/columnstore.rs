@@ -186,7 +186,7 @@ mod tests {
     #[test]
     fn segment_partitioning() {
         let cs = ColumnstoreIndex::build("cs", &table(10_000));
-        assert_eq!(cs.segment_count(), (10_000 + SEGMENT_SIZE - 1) / SEGMENT_SIZE);
+        assert_eq!(cs.segment_count(), 10_000_usize.div_ceil(SEGMENT_SIZE));
         assert_eq!(cs.row_count(), 10_000);
         let total: usize = cs.segments().iter().map(|s| s.row_count).sum();
         assert_eq!(total, 10_000);

@@ -88,7 +88,10 @@ impl Database {
 
     /// Look up a table by name.
     pub fn table_by_name(&self, name: &str) -> Option<TableId> {
-        self.tables.iter().position(|t| t.name() == name).map(TableId)
+        self.tables
+            .iter()
+            .position(|t| t.name() == name)
+            .map(TableId)
     }
 
     /// Number of tables.
@@ -174,12 +177,15 @@ impl Database {
             .iter()
             .enumerate()
             .flat_map(|(i, e)| {
-                e.index.segments().iter().map(move |s| ColumnstoreSegmentRow {
-                    columnstore: ColumnstoreId(i),
-                    table: e.table,
-                    segment_id: s.id,
-                    row_count: s.row_count,
-                })
+                e.index
+                    .segments()
+                    .iter()
+                    .map(move |s| ColumnstoreSegmentRow {
+                        columnstore: ColumnstoreId(i),
+                        table: e.table,
+                        segment_id: s.id,
+                        row_count: s.row_count,
+                    })
             })
             .collect()
     }

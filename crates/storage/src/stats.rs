@@ -53,7 +53,7 @@ impl Histogram {
             };
         }
         let min = values.first().cloned();
-        let per_bucket = (n + HISTOGRAM_BUCKETS - 1) / HISTOGRAM_BUCKETS;
+        let per_bucket = n.div_ceil(HISTOGRAM_BUCKETS);
         let mut buckets = Vec::new();
         let mut i = 0usize;
         while i < n {
@@ -274,7 +274,11 @@ mod tests {
             ]),
         );
         for i in 0..n {
-            let b = if i % 5 == 0 { Value::Null } else { Value::Int(i % 100) };
+            let b = if i % 5 == 0 {
+                Value::Null
+            } else {
+                Value::Int(i % 100)
+            };
             t.insert(vec![Value::Int(i), b]).unwrap();
         }
         t

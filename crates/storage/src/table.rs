@@ -169,8 +169,12 @@ mod tests {
         // Each row is 8 (int) + 19 (str) + 8 (slot) = 35 bytes; 8096/35 ≈ 231
         // rows per page.
         let expected_pages = 5000 / 231;
-        assert!(t.page_count() >= expected_pages - 3 && t.page_count() <= expected_pages + 5,
-            "page_count {} not near {}", t.page_count(), expected_pages);
+        assert!(
+            t.page_count() >= expected_pages - 3 && t.page_count() <= expected_pages + 5,
+            "page_count {} not near {}",
+            t.page_count(),
+            expected_pages
+        );
     }
 
     #[test]

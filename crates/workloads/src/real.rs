@@ -18,10 +18,10 @@
 use crate::rng::{seeded, Zipf};
 use crate::suite::{NamedQuery, Workload, WorkloadScale};
 use lqs_plan::{
-    AggFunc, Aggregate, Expr, ExchangeKind, JoinKind, NodeId, PlanBuilder, SeekKey, SeekRange,
+    AggFunc, Aggregate, ExchangeKind, Expr, JoinKind, NodeId, PlanBuilder, SeekKey, SeekRange,
     SortKey,
 };
-use lqs_storage::{Column, Database, DataType, IndexId, Schema, Table, TableId, Value};
+use lqs_storage::{Column, DataType, Database, IndexId, Schema, Table, TableId, Value};
 use rand::rngs::SmallRng;
 use rand::Rng;
 
@@ -123,7 +123,11 @@ fn build_schema(prof: &Profile, data_scale: f64, rng: &mut SmallRng) -> (Databas
         let rows = ((prof.max_rows as f64 * frac * data_scale) as usize).max(40);
         let mut columns = vec![Column::new("pk", DataType::Int)];
         // FKs to up to two earlier tables.
-        let nfk = if t == 0 { 0 } else { rng.gen_range(1..=2.min(t)) };
+        let nfk = if t == 0 {
+            0
+        } else {
+            rng.gen_range(1..=2.min(t))
+        };
         let mut fks = Vec::new();
         for f in 0..nfk {
             let target = rng.gen_range(0..t);
@@ -147,7 +151,10 @@ fn build_schema(prof: &Profile, data_scale: f64, rng: &mut SmallRng) -> (Databas
         let fk_samplers: Vec<Zipf> = fks
             .iter()
             .map(|&(_, target)| {
-                Zipf::new(infos[target].rows, if rng.gen_bool(0.5) { 1.0 } else { 0.3 })
+                Zipf::new(
+                    infos[target].rows,
+                    if rng.gen_bool(0.5) { 1.0 } else { 0.3 },
+                )
             })
             .collect();
         for i in 0..rows {
@@ -332,9 +339,7 @@ fn gen_query(
             .map(|&(_, t)| t)
             .unwrap_or(0);
         let avg = infos[e.table].rows as f64 / infos[target].rows.max(1) as f64;
-        let hot = db
-            .stats(infos[e.table].id)
-            .columns[e.table_key]
+        let hot = db.stats(infos[e.table].id).columns[e.table_key]
             .histogram
             .buckets()
             .iter()
@@ -372,7 +377,13 @@ fn gen_query(
             let new_scan = access_table(&mut b, rng, infos, e.table);
             let ls = b.sort(shape.node, vec![SortKey::asc(e.shape_key)]);
             let rs = b.sort(new_scan.node, vec![SortKey::asc(e.table_key)]);
-            let node = b.merge_join(JoinKind::Inner, ls, rs, vec![e.shape_key], vec![e.table_key]);
+            let node = b.merge_join(
+                JoinKind::Inner,
+                ls,
+                rs,
+                vec![e.shape_key],
+                vec![e.table_key],
+            );
             let mut cols = shape.cols.clone();
             cols.extend(new_scan.cols);
             Shape { node, cols }

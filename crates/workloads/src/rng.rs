@@ -52,9 +52,9 @@ impl Zipf {
 /// columns have realistic repeated values without unbounded memory.
 pub fn string_pool(rng: &mut SmallRng, count: usize, len: usize) -> Vec<String> {
     const WORDS: &[&str] = &[
-        "alpha", "bravo", "carbon", "delta", "ember", "fjord", "gamma", "harbor", "iris",
-        "joule", "karma", "lumen", "meadow", "nickel", "onyx", "prism", "quartz", "raven",
-        "sable", "tundra",
+        "alpha", "bravo", "carbon", "delta", "ember", "fjord", "gamma", "harbor", "iris", "joule",
+        "karma", "lumen", "meadow", "nickel", "onyx", "prism", "quartz", "raven", "sable",
+        "tundra",
     ];
     (0..count)
         .map(|_| {

@@ -7,9 +7,9 @@
 use crate::rng::{seeded, Zipf};
 use crate::suite::{NamedQuery, Workload, WorkloadScale};
 use lqs_plan::{
-    AggFunc, Aggregate, Expr, ExchangeKind, JoinKind, PlanBuilder, SeekKey, SeekRange, SortKey,
+    AggFunc, Aggregate, ExchangeKind, Expr, JoinKind, PlanBuilder, SeekKey, SeekRange, SortKey,
 };
-use lqs_storage::{Column, Database, DataType, IndexId, Schema, Table, TableId, Value};
+use lqs_storage::{Column, DataType, Database, IndexId, Schema, Table, TableId, Value};
 use rand::Rng;
 
 /// Catalog handles for the generated TPC-DS-shaped database.
@@ -266,7 +266,9 @@ pub fn q13_plan(t: &TpcdsDb) -> lqs_plan::PhysicalPlan {
     let cust = b.table_scan_filtered(t.customer, Expr::col(1).lt(Expr::lit(10i64)), true);
     let ss = b.table_scan_filtered(
         t.store_sales,
-        Expr::col(5).ge(Expr::lit(5i64)).and(Expr::col(6).lt(Expr::lit(250.0))),
+        Expr::col(5)
+            .ge(Expr::lit(5i64))
+            .and(Expr::col(6).lt(Expr::lit(250.0))),
         true,
     );
     // probe ss ++ build customer: ss(0..8) ++ customer(8..12)
@@ -308,11 +310,7 @@ pub fn q21_plan(t: &TpcdsDb) -> lqs_plan::PhysicalPlan {
     let wh = b.table_scan(t.warehouse);
     // probe ji ++ build warehouse: ji(0..12) ++ warehouse(12..14)
     let jw = b.hash_join(JoinKind::Inner, wh, ji, vec![0], vec![2]);
-    let agg = b.hash_aggregate(
-        jw,
-        vec![12, 8],
-        vec![Aggregate::of_col(AggFunc::Sum, 3)],
-    );
+    let agg = b.hash_aggregate(jw, vec![12, 8], vec![Aggregate::of_col(AggFunc::Sum, 3)]);
     let sort = b.sort(agg, vec![SortKey::asc(0), SortKey::asc(1)]);
     b.finish(sort)
 }
@@ -364,11 +362,7 @@ pub fn queries(t: &TpcdsDb) -> Vec<NamedQuery> {
         let item = b.table_scan_filtered(t.item, Expr::col(1).lt(Expr::lit(25i64)), true);
         // jd(0..12) ++ item(12..16)
         let ji = b.hash_join(JoinKind::Inner, item, jd, vec![0], vec![1]);
-        let agg = b.hash_aggregate(
-            ji,
-            vec![9, 13],
-            vec![Aggregate::of_col(AggFunc::Sum, 7)],
-        );
+        let agg = b.hash_aggregate(ji, vec![9, 13], vec![Aggregate::of_col(AggFunc::Sum, 7)]);
         let sort = b.sort(agg, vec![SortKey::asc(0), SortKey::desc(2)]);
         out.push(nq("tpcds-q03", b.finish(sort)));
     }
@@ -440,11 +434,7 @@ pub fn queries(t: &TpcdsDb) -> Vec<NamedQuery> {
         let item = b.table_scan(t.item);
         let ji = b.hash_join(JoinKind::Inner, item, jd, vec![0], vec![1]);
         let ex = b.exchange(ji, ExchangeKind::RepartitionStreams, 8);
-        let agg = b.hash_aggregate(
-            ex,
-            vec![9, 14],
-            vec![Aggregate::of_col(AggFunc::Sum, 7)],
-        );
+        let agg = b.hash_aggregate(ex, vec![9, 14], vec![Aggregate::of_col(AggFunc::Sum, 7)]);
         let ga = b.exchange(agg, ExchangeKind::GatherStreams, 8);
         let sort = b.sort(ga, vec![SortKey::desc(2)]);
         out.push(nq("tpcds-q42", b.finish(sort)));
@@ -453,7 +443,8 @@ pub fn queries(t: &TpcdsDb) -> Vec<NamedQuery> {
     // Q52-like: brand revenue for one month, semi-join on promoted items.
     {
         let mut b = PlanBuilder::new(&t.db);
-        let promo_items = b.table_scan_filtered(t.store_sales, Expr::col(4).lt(Expr::lit(10i64)), true);
+        let promo_items =
+            b.table_scan_filtered(t.store_sales, Expr::col(4).lt(Expr::lit(10i64)), true);
         let ss = b.table_scan(t.store_sales);
         // semi: probe ss against promoted item keys
         let semi = b.hash_join(JoinKind::LeftSemi, promo_items, ss, vec![1], vec![1]);
@@ -506,7 +497,9 @@ pub fn queries(t: &TpcdsDb) -> Vec<NamedQuery> {
         let mut b = PlanBuilder::new(&t.db);
         let ss = b.table_scan_filtered(
             t.store_sales,
-            Expr::col(0).lt(Expr::lit(DAYS / 4)).and(Expr::col(5).gt(Expr::lit(50i64))),
+            Expr::col(0)
+                .lt(Expr::lit(DAYS / 4))
+                .and(Expr::col(5).gt(Expr::lit(50i64))),
             true,
         );
         let cust_seek = b.index_seek(t.customer_pk, SeekRange::eq(vec![SeekKey::OuterRef(2)]));
@@ -567,8 +560,7 @@ mod tests {
     fn q21_pipeline_weights_differ_by_order_of_magnitude() {
         let t = build_db(scale());
         let plan = q21_plan(&t);
-        let statics =
-            lqs_progress_statics_shim::build(&plan, &t.db);
+        let statics = lqs_progress_statics_shim::build(&plan, &t.db);
         let durations = statics;
         let max = durations.iter().cloned().fold(0.0f64, f64::max);
         let positives: Vec<f64> = durations.iter().cloned().filter(|d| *d > 0.0).collect();

@@ -17,8 +17,8 @@
 use crate::rng::{seeded, string_pool, Zipf};
 use crate::suite::{NamedQuery, Workload, WorkloadScale};
 use lqs_plan::{
-    AggFunc, Aggregate, Expr, ExchangeKind, IndexOutput, JoinKind, NodeId, PhysicalOp,
-    PlanBuilder, SeekKey, SeekRange, SortKey,
+    AggFunc, Aggregate, ExchangeKind, Expr, IndexOutput, JoinKind, NodeId, PhysicalOp, PlanBuilder,
+    SeekKey, SeekRange, SortKey,
 };
 use lqs_storage::{
     Column, ColumnstoreId, DataType, Database, IndexId, Schema, Table, TableId, Value,
@@ -429,20 +429,11 @@ fn row_queries(t: &TpchDb) -> Vec<NamedQuery> {
     {
         let mut b = PlanBuilder::new(&t.db);
         let cust = b.table_scan_filtered(t.customer, Expr::col(2).eq(Expr::lit(3i64)), true);
-        let ord_seek = b.index_seek(
-            ix.orders_custkey,
-            SeekRange::eq(vec![SeekKey::OuterRef(0)]),
-        );
+        let ord_seek = b.index_seek(ix.orders_custkey, SeekRange::eq(vec![SeekKey::OuterRef(0)]));
         // customer(0..4) ++ orders(4..9)
         let j1 = b.nested_loops(JoinKind::Inner, cust, ord_seek, None, 256);
-        let date_filter = b.filter(
-            j1,
-            Expr::col(6).lt(Expr::lit(Value::Date(DATE_DOMAIN / 2))),
-        );
-        let li_seek = b.index_seek(
-            ix.lineitem_pk,
-            SeekRange::eq(vec![SeekKey::OuterRef(4)]),
-        );
+        let date_filter = b.filter(j1, Expr::col(6).lt(Expr::lit(Value::Date(DATE_DOMAIN / 2))));
+        let li_seek = b.index_seek(ix.lineitem_pk, SeekRange::eq(vec![SeekKey::OuterRef(4)]));
         // prev(0..9) ++ lineitem(9..19)
         let j2 = b.nested_loops(JoinKind::Inner, date_filter, li_seek, None, 256);
         let ship_filter = b.filter(
@@ -450,11 +441,7 @@ fn row_queries(t: &TpchDb) -> Vec<NamedQuery> {
             Expr::col(16).gt(Expr::lit(Value::Date(DATE_DOMAIN / 2))),
         );
         let rev = b.compute_scalar(ship_filter, vec![revenue(14, 15)]); // col 19
-        let agg = b.hash_aggregate(
-            rev,
-            vec![9, 6],
-            vec![Aggregate::of_col(AggFunc::Sum, 19)],
-        );
+        let agg = b.hash_aggregate(rev, vec![9, 6], vec![Aggregate::of_col(AggFunc::Sum, 19)]);
         let top = b.top_n_sort(agg, 10, vec![SortKey::desc(2)]);
         out.push(nq("tpch-q03", b.finish(top)));
     }
@@ -486,8 +473,8 @@ fn row_queries(t: &TpchDb) -> Vec<NamedQuery> {
         // 4+10=14..17, s_nationkey = 15).
         let nfilter = b.filter(jc, Expr::col(1).eq(Expr::col(15)));
         let rev = b.compute_scalar(nfilter, vec![revenue(9, 10)]); // col 27
-        // group by n_name: nation block inside jo: jo offset 4 → jl 0..18 →
-        // js at 10..18 → nation at 13..16 → n_name = 4 + 10 + 3 + 2 = 19.
+                                                                   // group by n_name: nation block inside jo: jo offset 4 → jl 0..18 →
+                                                                   // js at 10..18 → nation at 13..16 → n_name = 4 + 10 + 3 + 2 = 19.
         let agg = b.hash_aggregate(rev, vec![19], vec![Aggregate::of_col(AggFunc::Sum, 27)]);
         let sort = b.sort(agg, vec![SortKey::desc(1)]);
         out.push(nq("tpch-q05", b.finish(sort)));
@@ -532,11 +519,7 @@ fn row_queries(t: &TpchDb) -> Vec<NamedQuery> {
         ); // col 23
         let ex = b.exchange(year, ExchangeKind::RepartitionStreams, 4);
         let profit = b.compute_scalar(ex, vec![revenue(5, 6)]); // col 24
-        let agg = b.hash_aggregate(
-            profit,
-            vec![23],
-            vec![Aggregate::of_col(AggFunc::Sum, 24)],
-        );
+        let agg = b.hash_aggregate(profit, vec![23], vec![Aggregate::of_col(AggFunc::Sum, 24)]);
         let gather = b.exchange(agg, ExchangeKind::GatherStreams, 4);
         let sort = b.sort(gather, vec![SortKey::asc(0)]);
         out.push(nq("tpch-q09", b.finish(sort)));
@@ -815,11 +798,7 @@ fn cs_queries(t: &TpchDb) -> Vec<NamedQuery> {
         // probe lineitem ++ build jc: lineitem(0..10) ++ jc(10..19)
         let jl = b.hash_join(JoinKind::Inner, jc, li, vec![0], vec![0]);
         let rev = b.compute_scalar(jl, vec![revenue(5, 6)]); // col 19
-        let agg = b.hash_aggregate(
-            rev,
-            vec![0, 12],
-            vec![Aggregate::of_col(AggFunc::Sum, 19)],
-        );
+        let agg = b.hash_aggregate(rev, vec![0, 12], vec![Aggregate::of_col(AggFunc::Sum, 19)]);
         let top = b.top_n_sort(agg, 10, vec![SortKey::desc(2)]);
         out.push(nq("tpch-q03", b.finish(top)));
     }

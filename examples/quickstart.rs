@@ -34,10 +34,7 @@ fn main() {
     let agg = b.hash_aggregate(
         scan,
         vec![1],
-        vec![
-            Aggregate::of_col(AggFunc::Sum, 2),
-            Aggregate::count_star(),
-        ],
+        vec![Aggregate::of_col(AggFunc::Sum, 2), Aggregate::count_star()],
     );
     let sort = b.sort(agg, vec![SortKey::desc(1)]);
     let plan = b.finish(sort);

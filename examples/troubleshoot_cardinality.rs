@@ -27,7 +27,12 @@ fn main() {
     for i in 0..40_000i64 {
         let s = i % 10;
         orders
-            .insert(vec![Value::Int(i), Value::Int(s), Value::Int(s), Value::Int(i % 2000)])
+            .insert(vec![
+                Value::Int(i),
+                Value::Int(s),
+                Value::Int(s),
+                Value::Int(i % 2000),
+            ])
             .unwrap();
     }
     let mut customers = Table::new(
@@ -59,7 +64,10 @@ fn main() {
     let agg = b.hash_aggregate(nl, vec![5], vec![Aggregate::count_star()]);
     let plan = b.finish(agg);
 
-    println!("plan (note the optimizer's estimate at the scan):\n{}", plan.display_tree());
+    println!(
+        "plan (note the optimizer's estimate at the scan):\n{}",
+        plan.display_tree()
+    );
 
     let run = execute(&db, &plan, &ExecOptions::default());
     let naive = ProgressEstimator::new(&plan, &db, EstimatorConfig::tgn());
@@ -67,7 +75,10 @@ fn main() {
 
     let scan_est = plan.node(scan).est_total_rows();
     println!("optimizer estimate for the filtered scan: {scan_est:.0} rows");
-    println!("true cardinality                        : {:.0} rows\n", run.true_n(scan.0));
+    println!(
+        "true cardinality                        : {:.0} rows\n",
+        run.true_n(scan.0)
+    );
 
     println!(
         "{:>6} {:>14} {:>16} {:>16} {:>18}",

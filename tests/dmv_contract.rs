@@ -23,7 +23,11 @@ fn counters_are_monotone_and_consistent() {
                     let a = &win[0].nodes[i];
                     let b = &win[1].nodes[i];
                     assert!(a.rows_output <= b.rows_output, "{}: k not monotone", q.name);
-                    assert!(a.rows_input <= b.rows_input, "{}: input not monotone", q.name);
+                    assert!(
+                        a.rows_input <= b.rows_input,
+                        "{}: input not monotone",
+                        q.name
+                    );
                     assert!(
                         a.logical_reads <= b.logical_reads,
                         "{}: reads not monotone",

@@ -92,8 +92,7 @@ fn refined_cardinalities_respect_bounds_under_full_config() {
                 let r = est.estimate(s);
                 for np in &r.nodes {
                     assert!(
-                        np.refined_n >= np.bounds.lb - 1e-6
-                            && np.refined_n <= np.bounds.ub + 1e-6,
+                        np.refined_n >= np.bounds.lb - 1e-6 && np.refined_n <= np.bounds.ub + 1e-6,
                         "{} node {}: refined N {} outside [{}, {}]",
                         q.name,
                         np.name,
@@ -138,8 +137,16 @@ fn full_estimator_beats_naive_on_errorcount_across_suite() {
             }
             let full = ProgressEstimator::new(&q.plan, &w.db, EstimatorConfig::full());
             let tgn = ProgressEstimator::new(&q.plan, &w.db, EstimatorConfig::tgn());
-            let ef: Vec<f64> = run.snapshots.iter().map(|s| full.estimate(s).query_progress).collect();
-            let et: Vec<f64> = run.snapshots.iter().map(|s| tgn.estimate(s).query_progress).collect();
+            let ef: Vec<f64> = run
+                .snapshots
+                .iter()
+                .map(|s| full.estimate(s).query_progress)
+                .collect();
+            let et: Vec<f64> = run
+                .snapshots
+                .iter()
+                .map(|s| tgn.estimate(s).query_progress)
+                .collect();
             total_full += lqs::progress::error_time(&run, &ef);
             total_tgn += lqs::progress::error_time(&run, &et);
             n += 1;

@@ -1,0 +1,255 @@
+//! Offline stand-in for `criterion`, covering the subset this workspace
+//! uses: `Criterion`, `benchmark_group`/`bench_function`, `Bencher::iter` /
+//! `iter_batched`, `Throughput`, `BatchSize`, `black_box`, and the
+//! `criterion_group!` / `criterion_main!` macros.
+//!
+//! Measurement is deliberately simple: a short warm-up, then repeated timed
+//! batches with the median batch reported as ns/iter (median resists
+//! one-off scheduler noise better than the mean). There is no statistical
+//! regression analysis or HTML output — results print to stdout.
+
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting benched work.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Units processed per iteration, used to derive a rate in the report.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements (rows, events, ...) per iteration.
+    Elements(u64),
+    /// Bytes per iteration.
+    Bytes(u64),
+}
+
+/// Hint for how much setup output to buffer in `iter_batched`. The stub
+/// runs one setup per timed iteration regardless, so the variants only
+/// exist for source compatibility.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration input.
+    SmallInput,
+    /// Large per-iteration input.
+    LargeInput,
+    /// Input of the same magnitude as one iteration's work.
+    PerIteration,
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    warm_up: Duration,
+    measure: Duration,
+    samples: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            warm_up: Duration::from_millis(300),
+            measure: Duration::from_millis(900),
+            samples: 15,
+        }
+    }
+}
+
+impl Criterion {
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("\n== group: {name} ==");
+        BenchmarkGroup {
+            criterion: self,
+            throughput: None,
+        }
+    }
+
+    /// Run a standalone benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(self, name, None, f);
+        self
+    }
+}
+
+/// A named set of benchmarks sharing a throughput annotation.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Annotate per-iteration throughput for rate reporting.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Run one benchmark in this group.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(self.criterion, name, self.throughput, f);
+        self
+    }
+
+    /// End the group (prints nothing; exists for source compatibility).
+    pub fn finish(self) {}
+}
+
+/// Passed to each benchmark closure; owns the timing loop.
+pub struct Bencher<'a> {
+    criterion: &'a Criterion,
+    /// Median ns per iteration, filled in by `iter`/`iter_batched`.
+    ns_per_iter: Option<f64>,
+}
+
+impl Bencher<'_> {
+    /// Time `routine` in batches; the median batch becomes the result.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        // Warm-up: run untimed until the warm-up budget elapses.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.criterion.warm_up {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = self.criterion.warm_up.as_nanos() as f64 / warm_iters.max(1) as f64;
+
+        // Size each timed batch so samples fill the measurement budget.
+        let budget_ns = self.criterion.measure.as_nanos() as f64;
+        let batch = ((budget_ns / self.criterion.samples as f64 / per_iter.max(1.0)) as u64).max(1);
+
+        let mut per_iter_samples = Vec::with_capacity(self.criterion.samples);
+        for _ in 0..self.criterion.samples {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            per_iter_samples.push(t.elapsed().as_nanos() as f64 / batch as f64);
+        }
+        per_iter_samples.sort_by(|a, b| a.total_cmp(b));
+        self.ns_per_iter = Some(per_iter_samples[per_iter_samples.len() / 2]);
+    }
+
+    /// Time `routine` on fresh input from `setup`, excluding setup time.
+    /// One setup runs per timed iteration (the `BatchSize` hint is ignored).
+    pub fn iter_batched<I, R, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> R,
+    {
+        let warm_start = Instant::now();
+        while warm_start.elapsed() < self.criterion.warm_up {
+            let input = setup();
+            black_box(routine(input));
+        }
+
+        // Batches of 1: setup time must stay outside the timed window.
+        let samples = (self.criterion.samples * 3).max(9);
+        let mut per_iter_samples = Vec::with_capacity(samples);
+        for _ in 0..samples {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            per_iter_samples.push(t.elapsed().as_nanos() as f64);
+        }
+        per_iter_samples.sort_by(|a, b| a.total_cmp(b));
+        self.ns_per_iter = Some(per_iter_samples[per_iter_samples.len() / 2]);
+    }
+}
+
+fn run_bench<F>(criterion: &Criterion, name: &str, throughput: Option<Throughput>, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    let mut bencher = Bencher {
+        criterion,
+        ns_per_iter: None,
+    };
+    f(&mut bencher);
+    match bencher.ns_per_iter {
+        Some(ns) => {
+            let rate = match throughput {
+                Some(Throughput::Elements(n)) => {
+                    format!("  ({:.1} Melem/s)", n as f64 / ns * 1e3)
+                }
+                Some(Throughput::Bytes(n)) => {
+                    format!("  ({:.1} MiB/s)", n as f64 / ns * 1e9 / (1 << 20) as f64)
+                }
+                None => String::new(),
+            };
+            println!("{name:<40} {:>14} ns/iter{rate}", format_ns(ns));
+        }
+        None => println!("{name:<40} (no measurement: bencher never ran iter)"),
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3}e9", ns / 1e9)
+    } else {
+        let int = ns.round() as u64;
+        // Thousands separators for readability.
+        let s = int.to_string();
+        let mut out = String::new();
+        for (i, c) in s.chars().enumerate() {
+            if i > 0 && (s.len() - i).is_multiple_of(3) {
+                out.push(',');
+            }
+            out.push(c);
+        }
+        out
+    }
+}
+
+/// Collect benchmark functions into one runner (source-compatible subset:
+/// the `Criterion::default()`-configured form).
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generate `main` running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iter_produces_measurement() {
+        let mut criterion = Criterion {
+            warm_up: Duration::from_millis(5),
+            measure: Duration::from_millis(10),
+            samples: 5,
+        };
+        let mut g = criterion.benchmark_group("test");
+        g.throughput(Throughput::Elements(10));
+        g.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        g.bench_function("batched", |b| {
+            b.iter_batched(
+                || vec![1u64; 64],
+                |v| v.iter().sum::<u64>(),
+                BatchSize::SmallInput,
+            )
+        });
+        g.finish();
+    }
+}

@@ -1,0 +1,183 @@
+//! Offline stand-in for `proptest`, implementing the subset this workspace
+//! uses: the `proptest!` macro, composable strategies (ranges, tuples,
+//! `Just`, `any`, `prop_map`, `prop_recursive`, `prop_oneof!`,
+//! `collection::vec`, `option::weighted`), and `prop_assert*`.
+//!
+//! Semantics differ from upstream in two deliberate ways: generation is
+//! deterministic per (test name, case index) with no external entropy, and
+//! failures are **not shrunk** — the failing case panics immediately with
+//! the generated inputs' `Debug` rendering left to the assertion message.
+
+pub mod strategy;
+pub mod test_runner;
+
+/// `proptest::collection` — collection strategies.
+pub mod collection {
+    use crate::strategy::{Strategy, VecStrategy};
+
+    /// Strategy for `Vec<T>` with length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: std::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            min: size.start,
+            max: size.end.max(size.start + 1),
+        }
+    }
+}
+
+/// `proptest::option` — strategies for `Option<T>`.
+pub mod option {
+    use crate::strategy::{OptionStrategy, Strategy};
+
+    /// `Some` with probability `p_some`, `None` otherwise.
+    pub fn weighted<S: Strategy>(p_some: f64, inner: S) -> OptionStrategy<S> {
+        OptionStrategy { p_some, inner }
+    }
+
+    /// `Some`/`None` with equal probability.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        weighted(0.5, inner)
+    }
+}
+
+/// FNV-1a hash of a test name, for deterministic per-test seeding.
+pub fn fnv(name: &str) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// One-stop imports, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::strategy::{any, BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+
+    /// The `prop::` module alias used by `prop::collection::vec` etc.
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::option;
+        pub use crate::strategy;
+    }
+}
+
+/// Define property tests. Each `fn name(x in strategy, ...)` runs
+/// `ProptestConfig::cases` times with deterministically seeded inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns!{($cfg) $($rest)*}
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns!{($crate::test_runner::ProptestConfig::default()) $($rest)*}
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($parm:ident in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __cfg: $crate::test_runner::ProptestConfig = $cfg;
+            for __case in 0..__cfg.cases {
+                let mut __rng = $crate::test_runner::TestRng::deterministic(
+                    $crate::fnv(concat!(module_path!(), "::", stringify!($name))),
+                    __case as u64,
+                );
+                $(let $parm = $crate::strategy::Strategy::generate(&($strat), &mut __rng);)+
+                $body
+            }
+        }
+    )*};
+}
+
+/// Assert within a property test (no shrinking; panics immediately).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Assert equality within a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Assert inequality within a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Uniform choice among strategies with a common value type. Each arm is
+/// boxed; the (unused upstream) weighted form `w => strat` is accepted and
+/// treated as weight-proportional.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::weighted(vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn tree() -> impl Strategy<Value = u32> {
+        Just(1u32).prop_recursive(3, 8, 2, |inner| {
+            (inner.clone(), inner).prop_map(|(a, b)| a + b)
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_in_bounds(x in -5i64..15, n in 1usize..=4) {
+            prop_assert!((-5..15).contains(&x));
+            prop_assert!((1..=4).contains(&n));
+        }
+
+        #[test]
+        fn vec_and_option(v in prop::collection::vec((prop::option::weighted(0.9, 0i64..10), 0i64..3), 0..40)) {
+            prop_assert!(v.len() < 40);
+            for (o, p) in v {
+                if let Some(x) = o { prop_assert!((0..10).contains(&x)); }
+                prop_assert!((0..3).contains(&p));
+            }
+        }
+
+        #[test]
+        fn oneof_and_map(x in prop_oneof![Just(1u8), Just(2u8), (0u8..3).prop_map(|v| v + 10)]) {
+            prop_assert!(x == 1 || x == 2 || (10..13).contains(&x));
+        }
+
+        #[test]
+        fn recursive_bottoms_out(t in tree()) {
+            // Depth 3 with binary branching: at most 2^3 leaves of value 1.
+            prop_assert!((1..=8).contains(&t), "t={}", t);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut a = crate::test_runner::TestRng::deterministic(1, 2);
+        let mut b = crate::test_runner::TestRng::deterministic(1, 2);
+        let s = crate::collection::vec(0i64..100, 0..10);
+        assert_eq!(s.generate(&mut a), s.generate(&mut b));
+    }
+}

@@ -1,0 +1,235 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` for the shapes this workspace actually
+//! uses — named-field structs, tuple structs, and fieldless enums — by
+//! hand-parsing the derive input token stream (no `syn`/`quote`, so the
+//! crate builds with nothing but the toolchain).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derive `serde::Serialize` (the stub trait: `fn to_value(&self) -> Value`).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => render(&item).parse().expect("generated impl parses"),
+        Err(msg) => format!("compile_error!({msg:?});").parse().unwrap(),
+    }
+}
+
+enum Item {
+    /// Struct name + named field identifiers.
+    Struct { name: String, fields: Vec<String> },
+    /// Tuple struct name + arity.
+    TupleStruct { name: String, arity: usize },
+    /// Enum name + unit variant names.
+    UnitEnum { name: String, variants: Vec<String> },
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let mut tokens = input.into_iter().peekable();
+    // Skip attributes and visibility until `struct` / `enum`.
+    let mut kind = None;
+    while let Some(tt) = tokens.next() {
+        match &tt {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                // Attribute: consume the following bracket group.
+                tokens.next();
+            }
+            TokenTree::Ident(id) => {
+                let s = id.to_string();
+                if s == "struct" || s == "enum" {
+                    kind = Some(s);
+                    break;
+                }
+                // `pub`, `pub(crate)` path pieces etc. — skip.
+            }
+            _ => {}
+        }
+    }
+    let kind = kind.ok_or("Serialize derive: expected struct or enum")?;
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Err("Serialize derive: expected type name".into()),
+    };
+    // Reject generics (not needed by this workspace).
+    if matches!(tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "Serialize derive stub does not support generic type `{name}`"
+        ));
+    }
+    // Find the body group (skips `where` clauses we don't support anyway).
+    let body = tokens.find_map(|tt| match tt {
+        TokenTree::Group(g)
+            if g.delimiter() == Delimiter::Brace || g.delimiter() == Delimiter::Parenthesis =>
+        {
+            Some(g)
+        }
+        _ => None,
+    });
+    let Some(body) = body else {
+        return Err(format!("Serialize derive: `{name}` has no body"));
+    };
+    if kind == "enum" {
+        let variants = parse_unit_variants(body.stream())?;
+        return Ok(Item::UnitEnum { name, variants });
+    }
+    match body.delimiter() {
+        Delimiter::Brace => Ok(Item::Struct {
+            fields: parse_named_fields(body.stream()),
+            name,
+        }),
+        _ => Ok(Item::TupleStruct {
+            arity: count_tuple_fields(body.stream()),
+            name,
+        }),
+    }
+}
+
+/// Field names of `{ a: T, b: U, ... }`, skipping attributes and visibility.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut tokens = stream.into_iter().peekable();
+    loop {
+        // Skip leading attributes (`#[...]`, doc comments included).
+        loop {
+            match tokens.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    tokens.next();
+                    tokens.next(); // the bracket group
+                }
+                _ => break,
+            }
+        }
+        // Visibility.
+        if matches!(tokens.peek(), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+            tokens.next();
+            if matches!(tokens.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+            {
+                tokens.next();
+            }
+        }
+        // Field name.
+        let Some(TokenTree::Ident(id)) = tokens.next() else {
+            break;
+        };
+        fields.push(id.to_string());
+        // Expect `:`, then consume the type until a top-level `,`.
+        let mut angle_depth = 0i32;
+        for tt in tokens.by_ref() {
+            if let TokenTree::Punct(p) = &tt {
+                match p.as_char() {
+                    '<' => angle_depth += 1,
+                    '>' => angle_depth -= 1,
+                    ',' if angle_depth == 0 => break,
+                    _ => {}
+                }
+            }
+        }
+    }
+    fields
+}
+
+/// Arity of a tuple-struct body `(T, U, ...)`.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut arity = 0usize;
+    let mut any = false;
+    let mut angle_depth = 0i32;
+    for tt in stream {
+        any = true;
+        if let TokenTree::Punct(p) = &tt {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => arity += 1,
+                _ => {}
+            }
+        }
+    }
+    if any {
+        arity + 1
+    } else {
+        0
+    }
+}
+
+/// Variant names of a fieldless enum; errors on data-carrying variants.
+fn parse_unit_variants(stream: TokenStream) -> Result<Vec<String>, String> {
+    let mut variants = Vec::new();
+    let mut tokens = stream.into_iter().peekable();
+    loop {
+        loop {
+            match tokens.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    tokens.next();
+                    tokens.next();
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' => {
+                    tokens.next();
+                }
+                _ => break,
+            }
+        }
+        let Some(TokenTree::Ident(id)) = tokens.next() else {
+            break;
+        };
+        variants.push(id.to_string());
+        if matches!(tokens.peek(), Some(TokenTree::Group(_))) {
+            return Err("Serialize derive stub only supports fieldless enum variants".into());
+        }
+    }
+    Ok(variants)
+}
+
+fn render(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let mut pushes = String::new();
+            for f in fields {
+                pushes.push_str(&format!(
+                    "__fields.push(({f:?}.to_string(), serde::Serialize::to_value(&self.{f})));\n"
+                ));
+            }
+            format!(
+                "impl serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> serde::Value {{\n\
+                         let mut __fields: Vec<(String, serde::Value)> = Vec::new();\n\
+                         {pushes}\
+                         serde::Value::Object(__fields)\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::TupleStruct { name, arity } => {
+            let mut pushes = String::new();
+            for i in 0..*arity {
+                pushes.push_str(&format!(
+                    "__items.push(serde::Serialize::to_value(&self.{i}));\n"
+                ));
+            }
+            format!(
+                "impl serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> serde::Value {{\n\
+                         let mut __items: Vec<serde::Value> = Vec::new();\n\
+                         {pushes}\
+                         serde::Value::Array(__items)\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::UnitEnum { name, variants } => {
+            let mut arms = String::new();
+            for v in variants {
+                arms.push_str(&format!(
+                    "{name}::{v} => serde::Value::String({v:?}.to_string()),\n"
+                ));
+            }
+            format!(
+                "impl serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> serde::Value {{\n\
+                         match self {{ {arms} }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    }
+}
