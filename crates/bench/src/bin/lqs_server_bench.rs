@@ -1,0 +1,219 @@
+//! `lqs_server_bench` — multi-session service throughput and poll latency.
+//!
+//! Submits N sessions of a mixed TPC-H workload to a bounded worker pool
+//! and, while they run, polls the session registry live the way an SSMS
+//! client polls `sys.dm_exec_query_profiles` (§2.2). Reports:
+//!
+//! * sessions/sec through the pool (wall clock),
+//! * poll latency (mean / p99 / max) across the whole run,
+//! * peak observed concurrency (sessions in `Running` simultaneously),
+//! * per-session progress monotonicity across live polls.
+//!
+//! ```text
+//! lqs_server_bench [--sessions 16] [--workers 4] [--scale 0.3] \
+//!                  [--poll-ms 2] [--seed 42]
+//! ```
+
+use lqs::plan::PhysicalPlan;
+use lqs::prelude::*;
+use lqs::workloads::{tpch, PhysicalDesign, WorkloadScale};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+struct Args {
+    sessions: usize,
+    workers: usize,
+    scale: f64,
+    poll_ms: u64,
+    seed: u64,
+}
+
+fn parse_args() -> Args {
+    let mut out = Args {
+        sessions: 16,
+        workers: 4,
+        scale: 0.3,
+        poll_ms: 2,
+        seed: 42,
+    };
+    let args: Vec<String> = std::env::args().collect();
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--sessions" => {
+                out.sessions = args[i + 1].parse().expect("--sessions takes an integer");
+                i += 2;
+            }
+            "--workers" => {
+                out.workers = args[i + 1].parse().expect("--workers takes an integer");
+                i += 2;
+            }
+            "--scale" => {
+                out.scale = args[i + 1].parse().expect("--scale takes a float");
+                i += 2;
+            }
+            "--poll-ms" => {
+                out.poll_ms = args[i + 1].parse().expect("--poll-ms takes an integer");
+                i += 2;
+            }
+            "--seed" => {
+                out.seed = args[i + 1].parse().expect("--seed takes an integer");
+                i += 2;
+            }
+            other => {
+                eprintln!("unknown argument {other}");
+                eprintln!(
+                    "usage: lqs_server_bench [--sessions N] [--workers N] [--scale F] \
+                     [--poll-ms N] [--seed N]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    out
+}
+
+fn main() {
+    let args = parse_args();
+    let scale = WorkloadScale {
+        data_scale: args.scale,
+        query_limit: usize::MAX,
+        seed: args.seed,
+    };
+    let t = tpch::build_db(scale, PhysicalDesign::RowStore);
+    let plans: Vec<(String, Arc<PhysicalPlan>)> = tpch::queries(&t)
+        .into_iter()
+        .map(|q| (q.name, Arc::new(q.plan)))
+        .collect();
+    let db = Arc::new(t.db);
+
+    println!(
+        "lqs_server_bench: {} sessions over {} plans, {} workers, poll every {}ms",
+        args.sessions,
+        plans.len(),
+        args.workers,
+        args.poll_ms
+    );
+
+    let service = QueryService::new(Arc::clone(&db), args.workers);
+    let mut poller = RegistryPoller::new(
+        Arc::clone(&db),
+        Arc::clone(service.registry()),
+        EstimatorConfig::full(),
+    );
+
+    let started = Instant::now();
+    let sessions: Vec<_> = (0..args.sessions)
+        .map(|i| {
+            let (name, plan) = &plans[i % plans.len()];
+            service.submit(QuerySpec::new(format!("{name}#{i}"), Arc::clone(plan)))
+        })
+        .collect();
+
+    // Live poll loop: run until every session is terminal, then one final
+    // poll so each session's last report reflects its final snapshot.
+    let mut poll_latencies: Vec<Duration> = Vec::new();
+    let mut last_progress: Vec<Option<f64>> = vec![None; sessions.len()];
+    let mut monotone_violations = 0usize;
+    let mut worst_dip = 0.0f64;
+    let mut peak_running = 0usize;
+    let mut mid_run_reports = 0usize;
+    loop {
+        let all_done = sessions.iter().all(|s| s.state().is_terminal());
+        let t0 = Instant::now();
+        let progress = poller.poll();
+        poll_latencies.push(t0.elapsed());
+
+        let running = progress
+            .iter()
+            .filter(|p| p.state == SessionState::Running)
+            .count();
+        peak_running = peak_running.max(running);
+        for (i, p) in progress.iter().enumerate() {
+            let Some(report) = &p.report else { continue };
+            if !p.state.is_terminal() {
+                mid_run_reports += 1;
+            }
+            if let Some(prev) = last_progress[i] {
+                // Refinement can revise N̂ upward, so allow a hair of
+                // non-monotonicity; anything visible is a real regression.
+                let dip = prev - report.query_progress;
+                if dip > 1e-6 {
+                    monotone_violations += 1;
+                    worst_dip = worst_dip.max(dip);
+                }
+            }
+            last_progress[i] = Some(report.query_progress);
+        }
+        if all_done {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(args.poll_ms));
+    }
+    let elapsed = started.elapsed();
+    service.shutdown();
+
+    let succeeded = sessions
+        .iter()
+        .filter(|s| s.state() == SessionState::Succeeded)
+        .count();
+    let finished_at_one = last_progress
+        .iter()
+        .filter(|p| p.map(|v| v >= 1.0 - 1e-9).unwrap_or(false))
+        .count();
+
+    poll_latencies.sort();
+    let mean = poll_latencies.iter().sum::<Duration>() / poll_latencies.len() as u32;
+    let p99 = poll_latencies[(poll_latencies.len() * 99 / 100).min(poll_latencies.len() - 1)];
+    let max = *poll_latencies.last().expect("at least one poll");
+
+    println!(
+        "completed {}/{} sessions in {:.2}s  ({:.2} sessions/sec)",
+        succeeded,
+        sessions.len(),
+        elapsed.as_secs_f64(),
+        sessions.len() as f64 / elapsed.as_secs_f64()
+    );
+    println!(
+        "polls: {}  latency mean {:.2?}  p99 {:.2?}  max {:.2?}",
+        poll_latencies.len(),
+        mean,
+        p99,
+        max
+    );
+    println!(
+        "peak concurrent running sessions: {} (workers: {})",
+        peak_running, args.workers
+    );
+    println!(
+        "mid-run progress reports: {}  sessions ending at 100%: {}/{}",
+        mid_run_reports,
+        finished_at_one,
+        sessions.len()
+    );
+    println!(
+        "monotonicity: {} dips > 1e-6 (worst {:.2e})",
+        monotone_violations, worst_dip
+    );
+
+    let mut failed = false;
+    if succeeded != sessions.len() {
+        eprintln!("FAIL: not all sessions succeeded");
+        failed = true;
+    }
+    if args.workers >= 4 && args.sessions >= args.workers && peak_running < 4 {
+        eprintln!(
+            "FAIL: never observed >= 4 concurrent sessions (peak {peak_running}); \
+             increase --sessions/--scale or decrease --poll-ms"
+        );
+        failed = true;
+    }
+    if monotone_violations > 0 {
+        eprintln!("FAIL: per-session query_progress regressed across polls");
+        failed = true;
+    }
+    if failed {
+        std::process::exit(1);
+    }
+    println!("OK");
+}

@@ -50,6 +50,7 @@ pub use lqs_harness as harness;
 pub use lqs_obs as obs;
 pub use lqs_plan as plan;
 pub use lqs_progress as progress;
+pub use lqs_server as server;
 pub use lqs_storage as storage;
 pub use lqs_workloads as workloads;
 
@@ -68,6 +69,9 @@ pub mod prelude {
     pub use lqs_progress::{
         error_count, error_time, EstimationPath, EstimatorConfig, ExplainCounters, Explanation,
         PerOperatorError, ProgressEstimator, ProgressReport, QueryModel, RefinementSource,
+    };
+    pub use lqs_server::{
+        QueryService, QuerySpec, RegistryPoller, SessionProgress, SessionRegistry, SessionState,
     };
     pub use lqs_storage::{Column, DataType, Database, Row, Schema, Table, TableId, Value};
 }

@@ -24,9 +24,83 @@ use lqs_obs::{EventKind, EventSink, TraceEvent};
 use lqs_plan::{BitmapId, CostModel, NodeId};
 use lqs_storage::{Database, Row};
 use std::cell::{Cell, RefCell};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 
 /// Maximum snapshots retained before thinning.
 pub const MAX_SNAPSHOTS: usize = 2048;
+
+/// Why an execution was aborted before completion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AbortReason {
+    /// A [`CancellationToken`] was cancelled.
+    Cancelled,
+    /// The session's virtual-time deadline elapsed.
+    DeadlineExceeded,
+}
+
+/// Panic payload thrown by [`ExecContext::advance`] when a run is aborted.
+/// The executor catches it at the drive loop and converts it into a
+/// structured error; any other panic is propagated unchanged.
+#[derive(Debug, Clone, Copy)]
+pub struct QueryAborted {
+    /// Why the run stopped.
+    pub reason: AbortReason,
+    /// Virtual time at which the abort was observed.
+    pub at_ns: u64,
+}
+
+/// A shareable cancellation flag. Cloning is cheap (one `Arc`); cancelling
+/// any clone aborts the run at its next virtual-clock tick.
+#[derive(Debug, Clone, Default)]
+pub struct CancellationToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancellationToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Request cancellation. Idempotent; visible to all clones.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Release);
+    }
+
+    /// Whether cancellation has been requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Acquire)
+    }
+}
+
+/// Receives every [`DmvSnapshot`] the moment it is recorded — the hook a
+/// live monitoring surface (e.g. `lqs-server`'s session registry) uses to
+/// expose in-flight counters, the way `sys.dm_exec_query_profiles` exposes
+/// a running query's counters to concurrent pollers. Implementations must
+/// be `Sync`: the publish happens on the executing thread while pollers
+/// read from others.
+pub trait SnapshotPublisher: Sync {
+    /// Called at each snapshot boundary, in virtual-time order.
+    fn publish(&self, snapshot: &DmvSnapshot);
+}
+
+/// Suppress the default panic message for [`QueryAborted`] unwinds (they
+/// are control flow, caught by the executor) while leaving every other
+/// panic's reporting untouched. Installed once, process-wide, the first
+/// time a cancellable execution starts.
+pub(crate) fn install_quiet_abort_hook() {
+    use std::sync::Once;
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if info.payload().downcast_ref::<QueryAborted>().is_none() {
+                prev(info);
+            }
+        }));
+    });
+}
 
 /// Shared execution state, passed to every operator call.
 pub struct ExecContext<'a> {
@@ -41,8 +115,19 @@ pub struct ExecContext<'a> {
     next_snapshot_ns: Cell<u64>,
     /// Snapshots recorded so far, counting ones later thinned away.
     snapshot_seq: Cell<u64>,
+    /// Fractional virtual nanoseconds charged but not yet applied, per
+    /// node. CPU charges are f64 (e.g. batch-mode `25.0 × 0.3 = 7.5`);
+    /// truncating each charge individually would leak up to 1 ns per call
+    /// and drift long runs measurably below the f64 optimizer estimates.
+    cpu_frac: RefCell<Vec<f64>>,
     /// Trace event sink; `None` when the run is untraced.
     sink: Option<&'a dyn EventSink>,
+    /// Live snapshot publisher; `None` for post-hoc-only runs.
+    publisher: Option<&'a dyn SnapshotPublisher>,
+    /// Cooperative cancellation flag, checked at every clock tick.
+    cancel: Option<CancellationToken>,
+    /// Virtual-time budget: the run aborts once the clock reaches this.
+    deadline_ns: Option<u64>,
     /// Per-node high-water marks of the buffered-rows gauge (tracing only).
     buffered_hw: RefCell<Vec<u64>>,
     bitmaps: RefCell<Vec<Option<BloomFilter>>>,
@@ -71,7 +156,11 @@ impl<'a> ExecContext<'a> {
             snapshot_interval_ns: Cell::new(interval),
             next_snapshot_ns: Cell::new(interval),
             snapshot_seq: Cell::new(0),
+            cpu_frac: RefCell::new(vec![0.0; node_count]),
             sink: None,
+            publisher: None,
+            cancel: None,
+            deadline_ns: None,
             buffered_hw: RefCell::new(vec![0; node_count]),
             bitmaps: RefCell::new((0..bitmap_count).map(|_| None).collect()),
             outer_rows: RefCell::new(Vec::new()),
@@ -82,6 +171,29 @@ impl<'a> ExecContext<'a> {
     /// operators; events start flowing immediately.
     pub fn with_sink(mut self, sink: &'a dyn EventSink) -> Self {
         self.sink = Some(sink);
+        self
+    }
+
+    /// Attach a live snapshot publisher: every [`DmvSnapshot`] is handed to
+    /// it the moment it is recorded, before execution proceeds.
+    pub fn with_publisher(mut self, publisher: &'a dyn SnapshotPublisher) -> Self {
+        self.publisher = Some(publisher);
+        self
+    }
+
+    /// Attach a cancellation token. Once cancelled, the run aborts (by
+    /// unwinding with [`QueryAborted`]) at the next clock tick.
+    pub fn with_cancellation(mut self, token: CancellationToken) -> Self {
+        install_quiet_abort_hook();
+        self.cancel = Some(token);
+        self
+    }
+
+    /// Set a virtual-time deadline. The run aborts at the first clock tick
+    /// at or past `deadline_ns`.
+    pub fn with_deadline(mut self, deadline_ns: u64) -> Self {
+        install_quiet_abort_hook();
+        self.deadline_ns = Some(deadline_ns);
         self
     }
 
@@ -181,6 +293,9 @@ impl<'a> ExecContext<'a> {
                     ts_ns: ts,
                     nodes: self.counters.borrow().clone(),
                 });
+                if let Some(publisher) = self.publisher {
+                    publisher.publish(snaps.last().expect("just pushed"));
+                }
                 let seq = self.snapshot_seq.get();
                 self.snapshot_seq.set(seq + 1);
                 self.emit_at(ts, None, EventKind::SnapshotTick { index: seq });
@@ -200,13 +315,41 @@ impl<'a> ExecContext<'a> {
             self.next_snapshot_ns
                 .set(ts + self.snapshot_interval_ns.get());
         }
+        // Abort checks come last: the snapshot trace up to the abort tick is
+        // recorded (and published) before the unwind, so a cancelled session
+        // still leaves an honest partial trace.
+        if self
+            .cancel
+            .as_ref()
+            .is_some_and(CancellationToken::is_cancelled)
+        {
+            std::panic::panic_any(QueryAborted {
+                reason: AbortReason::Cancelled,
+                at_ns: now,
+            });
+        }
+        if self.deadline_ns.is_some_and(|d| now >= d) {
+            std::panic::panic_any(QueryAborted {
+                reason: AbortReason::DeadlineExceeded,
+                at_ns: now,
+            });
+        }
     }
 
-    /// Charge CPU time to a node.
+    /// Charge CPU time to a node. Charges are fractional; the sub-nanosecond
+    /// remainder is carried per node (not truncated), so total charged time
+    /// tracks the exact f64 sum to within 1 ns per node however the charges
+    /// are sliced.
     pub fn charge_cpu(&self, node: NodeId, ns: f64) {
-        let ns = ns.max(0.0) as u64;
-        self.counters.borrow_mut()[node.0].cpu_ns += ns;
-        self.advance(ns);
+        let whole = {
+            let mut frac = self.cpu_frac.borrow_mut();
+            let total = frac[node.0] + ns.max(0.0);
+            let whole = total as u64;
+            frac[node.0] = total - whole as f64;
+            whole
+        };
+        self.counters.borrow_mut()[node.0].cpu_ns += whole;
+        self.advance(whole);
     }
 
     /// Charge logical page reads to a node (advances the clock by
@@ -433,6 +576,97 @@ mod tests {
         for w in snaps.windows(2) {
             assert!(w[0].ts_ns < w[1].ts_ns);
         }
+    }
+
+    #[test]
+    fn fractional_charges_do_not_drift() {
+        // Regression: `ns.max(0.0) as u64` truncated every charge, so
+        // 10_000 batch-mode charges of 7.5 ns lost 5 µs of virtual time.
+        let db = Database::new();
+        let c = ctx(&db);
+        let mut exact = 0.0f64;
+        for i in 0..10_000u64 {
+            // Mix of awkward fractions, all sub-integer on their own.
+            let ns = match i % 3 {
+                0 => 7.5,
+                1 => 0.3,
+                _ => 25.0 * 0.3,
+            };
+            exact += ns;
+            c.charge_cpu(NodeId(0), ns);
+        }
+        let counters = c.counters_of(NodeId(0));
+        assert!(
+            (counters.cpu_ns as f64 - exact).abs() <= 1.0,
+            "charged {} vs exact {exact}",
+            counters.cpu_ns
+        );
+        assert!((c.now_ns() as f64 - exact).abs() <= 1.0);
+    }
+
+    #[test]
+    fn fractional_carry_is_per_node() {
+        let db = Database::new();
+        let c = ctx(&db);
+        for _ in 0..1000 {
+            c.charge_cpu(NodeId(0), 0.5);
+            c.charge_cpu(NodeId(1), 0.25);
+        }
+        assert!((c.counters_of(NodeId(0)).cpu_ns as f64 - 500.0).abs() <= 1.0);
+        assert!((c.counters_of(NodeId(1)).cpu_ns as f64 - 250.0).abs() <= 1.0);
+    }
+
+    #[test]
+    fn cancellation_aborts_at_next_tick() {
+        let db = Database::new();
+        let token = CancellationToken::new();
+        let c = ctx(&db).with_cancellation(token.clone());
+        c.charge_cpu(NodeId(0), 100.0); // fine while un-cancelled
+        token.cancel();
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            c.charge_cpu(NodeId(0), 50.0);
+        }))
+        .expect_err("cancelled run must abort");
+        let aborted = err
+            .downcast::<QueryAborted>()
+            .expect("QueryAborted payload");
+        assert_eq!(aborted.reason, AbortReason::Cancelled);
+        assert_eq!(aborted.at_ns, 150);
+    }
+
+    #[test]
+    fn deadline_aborts_when_clock_reaches_it() {
+        let db = Database::new();
+        let c = ctx(&db).with_deadline(250);
+        c.charge_cpu(NodeId(0), 200.0);
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            c.charge_cpu(NodeId(0), 100.0);
+        }))
+        .expect_err("deadline must abort the run");
+        let aborted = err
+            .downcast::<QueryAborted>()
+            .expect("QueryAborted payload");
+        assert_eq!(aborted.reason, AbortReason::DeadlineExceeded);
+        assert_eq!(aborted.at_ns, 300);
+    }
+
+    #[test]
+    fn publisher_sees_every_snapshot() {
+        use std::sync::Mutex;
+        struct Capture(Mutex<Vec<u64>>);
+        impl SnapshotPublisher for Capture {
+            fn publish(&self, snapshot: &DmvSnapshot) {
+                self.0.lock().unwrap().push(snapshot.ts_ns);
+            }
+        }
+        let db = Database::new();
+        let capture = Capture(Mutex::new(Vec::new()));
+        let c = ctx(&db).with_publisher(&capture);
+        c.charge_cpu(NodeId(0), 3500.0);
+        let (snaps, _, _) = c.into_results();
+        let published = capture.0.into_inner().unwrap();
+        assert_eq!(published, vec![1000, 2000, 3000]);
+        assert_eq!(snaps.len(), published.len());
     }
 
     #[test]

@@ -57,7 +57,7 @@ impl NodeCounters {
 }
 
 /// A point-in-time copy of every node's counters.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DmvSnapshot {
     /// Virtual timestamp of the snapshot, in nanoseconds.
     pub ts_ns: u64,

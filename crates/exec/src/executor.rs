@@ -1,7 +1,9 @@
 //! Top-level query execution: builds the operator tree, drives it to
 //! completion on the virtual clock, and returns the DMV snapshot trace.
 
-use crate::context::ExecContext;
+use crate::context::{
+    AbortReason, CancellationToken, ExecContext, QueryAborted, SnapshotPublisher,
+};
 use crate::dmv::{DmvSnapshot, NodeCounters};
 use crate::ops::build_operator;
 use lqs_obs::EventSink;
@@ -29,6 +31,35 @@ impl Default for ExecOptions {
             cost_model: CostModel::default(),
         }
     }
+}
+
+/// Optional per-run hooks: live snapshot publishing, cooperative
+/// cancellation, and a virtual-time deadline. All default to off;
+/// [`execute`]/[`execute_traced`] run with no hooks.
+#[derive(Default, Clone, Copy)]
+pub struct ExecHooks<'a> {
+    /// Trace event sink (same role as in [`execute_traced`]).
+    pub sink: Option<&'a dyn EventSink>,
+    /// Receives every DMV snapshot as it is recorded.
+    pub publisher: Option<&'a dyn SnapshotPublisher>,
+    /// Cancelling this token aborts the run at its next clock tick.
+    pub cancel: Option<&'a CancellationToken>,
+    /// Virtual-time budget; the run aborts once the clock reaches it.
+    pub deadline_ns: Option<u64>,
+}
+
+/// A run stopped early by cancellation or deadline. The partial trace up to
+/// the abort tick is preserved — counters are honest, just incomplete.
+#[derive(Debug, Clone)]
+pub struct AbortedQuery {
+    /// Why the run stopped.
+    pub reason: AbortReason,
+    /// Virtual time at which the abort was observed.
+    pub at_ns: u64,
+    /// Snapshots recorded before the abort.
+    pub snapshots: Vec<DmvSnapshot>,
+    /// Counter state at the abort (not final — the query did not finish).
+    pub partial_counters: Vec<NodeCounters>,
 }
 
 /// The result of executing one query: the full DMV trace plus ground truth.
@@ -132,7 +163,8 @@ pub fn plan_node_names(plan: &PhysicalPlan) -> Vec<String> {
 
 /// Execute `plan` against `db`, returning the DMV trace and ground truth.
 pub fn execute(db: &Database, plan: &PhysicalPlan, opts: &ExecOptions) -> QueryRun {
-    execute_inner(db, plan, opts, None)
+    execute_inner(db, plan, opts, ExecHooks::default())
+        .expect("run without cancel/deadline hooks cannot abort")
 }
 
 /// [`execute`], with every engine event (operator lifecycle, phase
@@ -144,15 +176,36 @@ pub fn execute_traced(
     opts: &ExecOptions,
     sink: &dyn EventSink,
 ) -> QueryRun {
-    execute_inner(db, plan, opts, Some(sink))
+    execute_inner(
+        db,
+        plan,
+        opts,
+        ExecHooks {
+            sink: Some(sink),
+            ..ExecHooks::default()
+        },
+    )
+    .expect("run without cancel/deadline hooks cannot abort")
+}
+
+/// [`execute`] with the full hook set: live snapshot publishing,
+/// cancellation, and a virtual-time deadline. An aborted run returns
+/// [`AbortedQuery`] carrying the partial trace.
+pub fn execute_hooked(
+    db: &Database,
+    plan: &PhysicalPlan,
+    opts: &ExecOptions,
+    hooks: ExecHooks<'_>,
+) -> Result<QueryRun, AbortedQuery> {
+    execute_inner(db, plan, opts, hooks)
 }
 
 fn execute_inner(
     db: &Database,
     plan: &PhysicalPlan,
     opts: &ExecOptions,
-    sink: Option<&dyn EventSink>,
-) -> QueryRun {
+    hooks: ExecHooks<'_>,
+) -> Result<QueryRun, AbortedQuery> {
     let interval = opts.snapshot_interval_ns.unwrap_or_else(|| {
         let est = estimated_duration_ns(plan, &opts.cost_model);
         ((est / opts.snapshot_target.max(1) as f64) as u64).max(1)
@@ -164,23 +217,55 @@ fn execute_inner(
         interval,
         opts.cost_model.clone(),
     );
-    if let Some(sink) = sink {
+    if let Some(sink) = hooks.sink {
         ctx = ctx.with_sink(sink);
     }
-    let mut root = build_operator(plan, db, plan.root());
-    root.open(&ctx);
-    let mut rows_returned = 0u64;
-    while root.next(&ctx).is_some() {
-        rows_returned += 1;
+    if let Some(publisher) = hooks.publisher {
+        ctx = ctx.with_publisher(publisher);
     }
-    root.close(&ctx);
-    let (snapshots, final_counters, duration_ns) = ctx.into_results();
-    QueryRun {
-        snapshots,
-        final_counters,
-        duration_ns,
-        rows_returned,
-        cost_model: opts.cost_model.clone(),
+    if let Some(token) = hooks.cancel {
+        ctx = ctx.with_cancellation(token.clone());
+    }
+    if let Some(deadline) = hooks.deadline_ns {
+        ctx = ctx.with_deadline(deadline);
+    }
+    // The abort path unwinds out of the operator tree with a `QueryAborted`
+    // payload; catching it here (and only it) turns the unwind into a
+    // structured error while leaving real panics fatal. The context lives
+    // outside the catch, so the partial trace survives the unwind.
+    let drive = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        let mut root = build_operator(plan, db, plan.root());
+        root.open(&ctx);
+        let mut rows_returned = 0u64;
+        while root.next(&ctx).is_some() {
+            rows_returned += 1;
+        }
+        root.close(&ctx);
+        rows_returned
+    }));
+    match drive {
+        Ok(rows_returned) => {
+            let (snapshots, final_counters, duration_ns) = ctx.into_results();
+            Ok(QueryRun {
+                snapshots,
+                final_counters,
+                duration_ns,
+                rows_returned,
+                cost_model: opts.cost_model.clone(),
+            })
+        }
+        Err(payload) => match payload.downcast::<QueryAborted>() {
+            Ok(aborted) => {
+                let (snapshots, partial_counters, _) = ctx.into_results();
+                Err(AbortedQuery {
+                    reason: aborted.reason,
+                    at_ns: aborted.at_ns,
+                    snapshots,
+                    partial_counters,
+                })
+            }
+            Err(other) => std::panic::resume_unwind(other),
+        },
     }
 }
 

@@ -30,9 +30,10 @@ pub mod dmv;
 pub mod executor;
 pub mod ops;
 
-pub use context::ExecContext;
+pub use context::{AbortReason, CancellationToken, ExecContext, QueryAborted, SnapshotPublisher};
 pub use dmv::{DmvSnapshot, NodeCounters};
 pub use executor::{
-    estimated_duration_ns, execute, execute_traced, plan_node_names, ExecOptions, QueryRun,
+    estimated_duration_ns, execute, execute_hooked, execute_traced, plan_node_names, AbortedQuery,
+    ExecHooks, ExecOptions, QueryRun,
 };
 pub use ops::{build_operator, BoxedOperator, Operator};

@@ -111,6 +111,10 @@ impl Operator for ExchangeOp {
         ctx.mark_open(self.id);
         self.child.rewind(ctx);
         self.queue.clear();
+        // The gauge must follow the queue: a rebind that discards buffered
+        // rows would otherwise leave a phantom `rows_buffered` in every
+        // snapshot until the next pull.
+        ctx.set_buffered(self.id, 0);
         self.started = false;
         self.child_done = false;
         self.done = false;
@@ -143,6 +147,23 @@ mod tests {
             count += 1;
         }
         assert_eq!(count, 100);
+        ex.close(&ctx);
+    }
+
+    #[test]
+    fn rewind_resets_buffered_gauge() {
+        // Regression: rewind cleared the queue but left the gauge, so a
+        // nested-loops rebind reported phantom buffered rows to the §4.4
+        // semi-blocking adjustments until the next pull.
+        let (db, rows, degree) = make(4, 5000);
+        let ctx = ExecContext::new(&db, 2, 0, u64::MAX, CostModel::default());
+        let child = Box::new(ConstantScanOp::new(NodeId(0), rows));
+        let mut ex = ExchangeOp::new(NodeId(1), ExchangeKind::GatherStreams, degree, false, child);
+        ex.open(&ctx);
+        let _ = ex.next(&ctx);
+        assert!(ctx.counters_of(NodeId(1)).rows_buffered > 0);
+        ex.rewind(&ctx);
+        assert_eq!(ctx.counters_of(NodeId(1)).rows_buffered, 0);
         ex.close(&ctx);
     }
 

@@ -200,6 +200,9 @@ impl Operator for NestedLoopsOp {
         }
         self.outer.rewind(ctx);
         self.buffer.clear();
+        // Keep the gauge in step with the discarded buffer (same phantom-rows
+        // leak as the exchange rewind).
+        ctx.set_buffered(self.id, 0);
         self.outer_done = false;
         self.cur_outer = None;
         self.cur_matched = false;
@@ -298,6 +301,23 @@ mod tests {
         // Join only processed one outer row so far.
         assert_eq!(ctx.counters_of(NodeId(2)).rows_processed, 1);
         assert_eq!(ctx.counters_of(NodeId(2)).rows_buffered, 4);
+        j.close(&ctx);
+    }
+
+    #[test]
+    fn rewind_resets_buffered_gauge() {
+        // Same phantom-rows leak as the exchange: the outer prefetch buffer
+        // is discarded on rewind, so the gauge must drop with it.
+        let db = Database::new();
+        let ctx = ExecContext::new(&db, 3, 0, u64::MAX, CostModel::default());
+        let o = Box::new(ConstantScanOp::new(NodeId(0), rows(&[1, 2, 3, 4, 5])));
+        let i = Box::new(ConstantScanOp::new(NodeId(1), rows(&[1])));
+        let mut j = NestedLoopsOp::new(NodeId(2), JoinKind::Inner, None, 64, 1, o, i);
+        j.open(&ctx);
+        let _ = j.next(&ctx);
+        assert!(ctx.counters_of(NodeId(2)).rows_buffered > 0);
+        j.rewind(&ctx);
+        assert_eq!(ctx.counters_of(NodeId(2)).rows_buffered, 0);
         j.close(&ctx);
     }
 

@@ -1,9 +1,9 @@
 //! Workload-level experiment drivers: run every query of a workload under a
 //! set of estimator configurations and aggregate the paper's error metrics.
 
-use crate::run::{estimates_only, run_query, trace_estimator};
+use crate::run::{estimates_only, estimator_for_run, run_query, trace_estimator};
 use lqs_exec::ExecOptions;
-use lqs_progress::{error_count, error_time, EstimatorConfig, PerOperatorError, ProgressEstimator};
+use lqs_progress::{error_count, error_time, EstimatorConfig, PerOperatorError};
 use lqs_workloads::Workload;
 use serde::Serialize;
 use std::collections::BTreeMap;
@@ -107,7 +107,10 @@ pub fn per_operator_errors(
         }
         for (i, spec) in configs.iter().enumerate() {
             let trace = trace_estimator(&q.plan, &workload.db, &run, spec.config.clone());
-            let est = ProgressEstimator::new(&q.plan, &workload.db, spec.config.clone());
+            // The statics fed to the accumulators must come from the same
+            // cost model the run was charged under (the PR 1 bug class:
+            // `ProgressEstimator::new` hard-codes the default model here).
+            let est = estimator_for_run(&q.plan, &workload.db, &run, spec.config.clone());
             match metric {
                 Metric::Count => accs[i].add_count_errors(est.statics(), &run, &trace.reports),
                 Metric::Time => accs[i].add_time_errors(est.statics(), &run, &trace.reports),

@@ -7,10 +7,13 @@
 //! blocking → emit, spool write → replay), exchange buffer high-water
 //! marks, bitmap builds, and DMV snapshot ticks — into an [`EventSink`].
 //!
-//! Two sinks ship with the crate: [`NullSink`] (the default; operators skip
-//! event construction entirely when `is_recording()` is false, so untraced
-//! runs pay almost nothing) and [`RingBufferSink`] (bounded in-memory
-//! capture with drop-oldest overflow).
+//! Three sinks ship with the crate: [`NullSink`] (the default; operators
+//! skip event construction entirely when `is_recording()` is false, so
+//! untraced runs pay almost nothing), [`RingBufferSink`] (bounded
+//! single-threaded in-memory capture with drop-oldest overflow), and
+//! [`SharedRingSink`] (the same semantics behind a mutex, `Send + Sync`,
+//! for concurrent sessions sharing one capture buffer — e.g. an
+//! `lqs-server` worker pool).
 //!
 //! Captured traces export two ways (see [`export`]):
 //! - JSONL — one event per line, loss-free, reparseable with
@@ -22,4 +25,4 @@ pub mod export;
 pub mod sink;
 
 pub use export::{from_jsonl, to_chrome_trace, to_jsonl};
-pub use sink::{EventKind, EventSink, NullSink, RingBufferSink, TraceEvent};
+pub use sink::{EventKind, EventSink, NullSink, RingBufferSink, SharedRingSink, TraceEvent};

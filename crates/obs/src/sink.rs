@@ -155,6 +155,72 @@ impl EventSink for RingBufferSink {
     }
 }
 
+/// A `Send + Sync` ring-buffer sink for concurrent sessions: the same
+/// drop-oldest semantics as [`RingBufferSink`], but mutex-protected so
+/// worker threads can emit while other threads drain. One lock per event
+/// is acceptable here — sessions that care about tracing overhead attach a
+/// per-session [`RingBufferSink`] instead and merge post-hoc.
+#[derive(Debug)]
+pub struct SharedRingSink {
+    buf: std::sync::Mutex<VecDeque<TraceEvent>>,
+    capacity: usize,
+    dropped: std::sync::atomic::AtomicU64,
+}
+
+impl SharedRingSink {
+    /// A sink retaining at most `capacity` events (min 1).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        SharedRingSink {
+            buf: std::sync::Mutex::new(VecDeque::with_capacity(capacity.min(4096))),
+            capacity,
+            dropped: std::sync::atomic::AtomicU64::new(0),
+        }
+    }
+
+    /// Events currently retained, oldest first.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.buf
+            .lock()
+            .expect("sink poisoned")
+            .iter()
+            .cloned()
+            .collect()
+    }
+
+    /// Drain all retained events, oldest first, leaving the sink empty.
+    pub fn drain(&self) -> Vec<TraceEvent> {
+        self.buf.lock().expect("sink poisoned").drain(..).collect()
+    }
+
+    /// Number of events evicted due to capacity.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Number of events currently retained.
+    pub fn len(&self) -> usize {
+        self.buf.lock().expect("sink poisoned").len()
+    }
+
+    /// Whether no events are retained.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl EventSink for SharedRingSink {
+    fn emit(&self, event: TraceEvent) {
+        let mut buf = self.buf.lock().expect("sink poisoned");
+        if buf.len() == self.capacity {
+            buf.pop_front();
+            self.dropped
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        }
+        buf.push_back(event);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -170,6 +236,42 @@ mod tests {
     #[test]
     fn ring_buffer_drops_oldest() {
         let sink = RingBufferSink::new(3);
+        for t in 0..5 {
+            sink.emit(ev(t));
+        }
+        assert_eq!(sink.dropped(), 2);
+        let kept: Vec<u64> = sink.events().iter().map(|e| e.ts_ns).collect();
+        assert_eq!(kept, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn shared_ring_sink_is_thread_safe() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SharedRingSink>();
+
+        let sink = std::sync::Arc::new(SharedRingSink::new(1000));
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                let sink = std::sync::Arc::clone(&sink);
+                std::thread::spawn(move || {
+                    for i in 0..100 {
+                        sink.emit(ev(t * 1000 + i));
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(sink.len(), 400);
+        assert_eq!(sink.dropped(), 0);
+        assert_eq!(sink.drain().len(), 400);
+        assert!(sink.is_empty());
+    }
+
+    #[test]
+    fn shared_ring_sink_drops_oldest() {
+        let sink = SharedRingSink::new(3);
         for t in 0..5 {
             sink.emit(ev(t));
         }

@@ -61,7 +61,18 @@ pub struct ProgressEstimator {
 }
 
 impl ProgressEstimator {
-    /// Build an estimator for `plan`.
+    /// Build an estimator for `plan`, deriving §4.6 weights from
+    /// [`lqs_plan::CostModel::default`].
+    ///
+    /// **Warning:** only correct for runs executed under the *default* cost
+    /// model. If the snapshots you will feed to [`Self::estimate`] came
+    /// from an execution with a custom cost model, use
+    /// [`Self::with_cost_model`] with that run's recorded model instead —
+    /// otherwise the optimizer-estimate baselines (operator weights,
+    /// time-to-completion) silently diverge from the observed counters.
+    /// Treat the return value like a `#[must_use = "pair with the run's
+    /// cost model"]`: harness code should go through
+    /// `lqs_harness::run::estimator_for_run`.
     pub fn new(plan: &PhysicalPlan, db: &Database, config: EstimatorConfig) -> Self {
         let io_page_ns = lqs_plan::CostModel::default().io_page_ns;
         ProgressEstimator {

@@ -1,0 +1,63 @@
+//! # lqs-server — concurrent multi-session query service
+//!
+//! The paper's deployment is inherently concurrent: one SQL Server
+//! instance runs many sessions while SSMS clients poll
+//! `sys.dm_exec_query_profiles` *live*, every 500 ms, across all of them
+//! (§2.2). This crate is that shape, in-process:
+//!
+//! * [`QueryService`] — a bounded worker pool executing many queries in
+//!   parallel. Each query stays single-threaded and deterministic on its
+//!   own virtual clock; concurrency never perturbs a session's trace.
+//! * [`SessionRegistry`] + [`SessionHandle`] — the shared, lock-cheap
+//!   counter surface. The executing worker publishes every
+//!   [`lqs_exec::DmvSnapshot`] into its session's latest-snapshot slot at
+//!   snapshot boundaries (the [`lqs_exec::SnapshotPublisher`] hook);
+//!   pollers clone it out without touching execution.
+//! * [`RegistryPoller`] — the SSMS-client analog: turns each session's
+//!   latest snapshot into a [`lqs_progress::ProgressReport`], reusing one
+//!   [`lqs_progress::ProgressEstimator`] per session across polls.
+//! * Cancellation and deadlines — every session carries a
+//!   [`lqs_exec::CancellationToken`] checked at each virtual-clock tick,
+//!   and an optional virtual-time deadline for runaway queries. Aborted
+//!   sessions keep their partial trace.
+//!
+//! ```
+//! use lqs_server::{QueryService, QuerySpec, RegistryPoller, SessionState};
+//! use lqs_progress::EstimatorConfig;
+//! use std::sync::Arc;
+//!
+//! # let mut table = lqs_storage::Table::new(
+//! #     "t",
+//! #     lqs_storage::Schema::new(vec![lqs_storage::Column::new("a", lqs_storage::DataType::Int)]),
+//! # );
+//! # for i in 0..2000i64 { table.insert(vec![lqs_storage::Value::Int(i)]).unwrap(); }
+//! # let mut db = lqs_storage::Database::new();
+//! # let t = db.add_table_analyzed(table);
+//! # let mut b = lqs_plan::PlanBuilder::new(&db);
+//! # let scan = b.table_scan(t);
+//! # let plan = Arc::new(b.finish(scan));
+//! let db = Arc::new(db);
+//! let service = QueryService::new(Arc::clone(&db), 4);
+//! let mut poller = RegistryPoller::new(
+//!     Arc::clone(&db),
+//!     Arc::clone(service.registry()),
+//!     EstimatorConfig::full(),
+//! );
+//! let session = service.submit(QuerySpec::new("q1", plan));
+//! // ... poll while it runs ...
+//! let progress = poller.poll();
+//! assert_eq!(progress.len(), 1);
+//! assert_eq!(session.wait_terminal(), SessionState::Succeeded);
+//! let final_progress = poller.poll_session(&session);
+//! assert!(final_progress.report.unwrap().query_progress >= 1.0 - 1e-9);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod registry;
+pub mod service;
+pub mod session;
+
+pub use registry::{RegistryPoller, SessionProgress, SessionRegistry};
+pub use service::QueryService;
+pub use session::{QuerySpec, SessionHandle, SessionId, SessionResult, SessionState};

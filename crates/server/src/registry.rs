@@ -1,0 +1,192 @@
+//! The session registry and its poller — the in-process analog of
+//! `sys.dm_exec_query_profiles` plus the SSMS client that polls it.
+//!
+//! The registry is the shared surface: workers publish into their session
+//! handles, pollers enumerate the handles and turn the latest snapshot of
+//! each into a [`ProgressReport`]. Polling never blocks execution beyond
+//! the one-clone critical section of the latest-snapshot slot.
+
+use crate::session::{QuerySpec, SessionHandle, SessionId, SessionState};
+use lqs_progress::{EstimatorConfig, ProgressEstimator, ProgressReport};
+use lqs_storage::Database;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// All sessions ever submitted to one [`crate::QueryService`], live and
+/// finished. Finished sessions stay listed (like a DMV joined with a
+/// completed-requests history) until [`SessionRegistry::evict_terminal`].
+#[derive(Default)]
+pub struct SessionRegistry {
+    sessions: Mutex<Vec<Arc<SessionHandle>>>,
+    next_id: AtomicU64,
+}
+
+impl SessionRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a new session for `spec`, assigning it the next id.
+    pub(crate) fn register(&self, spec: QuerySpec) -> Arc<SessionHandle> {
+        let id = SessionId(self.next_id.fetch_add(1, Ordering::Relaxed));
+        let handle = Arc::new(SessionHandle::new(id, spec));
+        self.sessions
+            .lock()
+            .expect("registry poisoned")
+            .push(Arc::clone(&handle));
+        handle
+    }
+
+    /// Snapshot of all registered sessions, in submission order.
+    pub fn sessions(&self) -> Vec<Arc<SessionHandle>> {
+        self.sessions.lock().expect("registry poisoned").clone()
+    }
+
+    /// Look up one session by id.
+    pub fn session(&self, id: SessionId) -> Option<Arc<SessionHandle>> {
+        self.sessions
+            .lock()
+            .expect("registry poisoned")
+            .iter()
+            .find(|h| h.id() == id)
+            .cloned()
+    }
+
+    /// Number of registered sessions (including finished ones).
+    pub fn len(&self) -> usize {
+        self.sessions.lock().expect("registry poisoned").len()
+    }
+
+    /// Whether the registry holds no sessions.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drop sessions that have reached a terminal state, returning them.
+    /// Pollers holding estimators for them should drop those too (see
+    /// [`RegistryPoller::evict_finished`]).
+    pub fn evict_terminal(&self) -> Vec<Arc<SessionHandle>> {
+        let mut sessions = self.sessions.lock().expect("registry poisoned");
+        let (gone, kept): (Vec<_>, Vec<_>) =
+            sessions.drain(..).partition(|h| h.state().is_terminal());
+        *sessions = kept;
+        gone
+    }
+}
+
+/// One session's progress as seen by a poll.
+pub struct SessionProgress {
+    /// Session id.
+    pub id: SessionId,
+    /// Session display name.
+    pub name: String,
+    /// Lifecycle state at poll time.
+    pub state: SessionState,
+    /// Publish sequence number of the snapshot underlying `report`.
+    pub seq: u64,
+    /// Virtual timestamp of that snapshot (None before the first publish).
+    pub ts_ns: Option<u64>,
+    /// Full estimator output for that snapshot (None before the first
+    /// publish). `report.query_progress` is the paper's Equation 2 figure.
+    pub report: Option<ProgressReport>,
+}
+
+/// Polls a [`SessionRegistry`], reusing one [`ProgressEstimator`] per
+/// session across polls — estimator statics depend only on (plan, db, cost
+/// model), so rebuilding them every 500 ms poll would be pure waste (the
+/// real LQS client keeps them for the lifetime of the monitored query).
+pub struct RegistryPoller {
+    db: Arc<Database>,
+    registry: Arc<SessionRegistry>,
+    config: EstimatorConfig,
+    estimators: HashMap<SessionId, ProgressEstimator>,
+    /// Last-seen publish seq per session; sessions that have not published
+    /// since keep returning their previous progress without re-estimating.
+    last_seen: HashMap<SessionId, (u64, Option<ProgressReport>, Option<u64>)>,
+}
+
+impl RegistryPoller {
+    /// A poller over `registry`, estimating with `config`.
+    pub fn new(db: Arc<Database>, registry: Arc<SessionRegistry>, config: EstimatorConfig) -> Self {
+        RegistryPoller {
+            db,
+            registry,
+            config,
+            estimators: HashMap::new(),
+            last_seen: HashMap::new(),
+        }
+    }
+
+    /// Estimate progress of every registered session from its latest
+    /// published snapshot. One entry per session, in submission order.
+    pub fn poll(&mut self) -> Vec<SessionProgress> {
+        let sessions = self.registry.sessions();
+        let mut out = Vec::with_capacity(sessions.len());
+        for handle in sessions {
+            out.push(self.poll_session(&handle));
+        }
+        out
+    }
+
+    /// Estimate one session's progress.
+    pub fn poll_session(&mut self, handle: &SessionHandle) -> SessionProgress {
+        let id = handle.id();
+        let seq = handle.published_seq();
+        // Reuse the cached report when nothing new was published.
+        if let Some((last_seq, report, ts_ns)) = self.last_seen.get(&id) {
+            if *last_seq == seq {
+                return SessionProgress {
+                    id,
+                    name: handle.name().to_string(),
+                    state: handle.state(),
+                    seq,
+                    ts_ns: *ts_ns,
+                    report: report.clone(),
+                };
+            }
+        }
+        let snapshot = handle.latest_snapshot();
+        let (report, ts_ns) = match snapshot {
+            Some(snap) => {
+                let estimator = self.estimators.entry(id).or_insert_with(|| {
+                    // Matching weights require the session's cost model
+                    // (the same parity rule as the harness's
+                    // `estimator_for_run`).
+                    ProgressEstimator::with_cost_model(
+                        handle.plan(),
+                        &self.db,
+                        self.config.clone(),
+                        &handle.opts().cost_model,
+                    )
+                });
+                (Some(estimator.estimate(&snap)), Some(snap.ts_ns))
+            }
+            None => (None, None),
+        };
+        self.last_seen.insert(id, (seq, report.clone(), ts_ns));
+        SessionProgress {
+            id,
+            name: handle.name().to_string(),
+            state: handle.state(),
+            seq,
+            ts_ns,
+            report,
+        }
+    }
+
+    /// Number of estimators currently cached (one per polled session).
+    pub fn cached_estimators(&self) -> usize {
+        self.estimators.len()
+    }
+
+    /// Drop cached estimators and reports for sessions no longer in the
+    /// registry (pair with [`SessionRegistry::evict_terminal`]).
+    pub fn evict_finished(&mut self) {
+        let live: std::collections::HashSet<SessionId> =
+            self.registry.sessions().iter().map(|h| h.id()).collect();
+        self.estimators.retain(|id, _| live.contains(id));
+        self.last_seen.retain(|id, _| live.contains(id));
+    }
+}

@@ -1,0 +1,133 @@
+//! The query service: a bounded worker pool draining a submission queue.
+//!
+//! Each worker executes one session at a time, single-threaded and
+//! deterministic on that session's own virtual clock; concurrency lives
+//! entirely *between* sessions. The only cross-thread traffic on the hot
+//! path is the snapshot publish into the session handle.
+
+use crate::registry::SessionRegistry;
+use crate::session::{QuerySpec, SessionHandle, SessionState};
+use lqs_exec::{execute_hooked, ExecHooks};
+use lqs_storage::Database;
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+/// A concurrent multi-session query service over one database.
+///
+/// Submissions queue; `workers` threads drain the queue. Every session is
+/// registered in the service's [`SessionRegistry`] at submission time, so
+/// pollers see it (as `Queued`) before a worker picks it up — exactly the
+/// visibility the DMV gives a query that is waiting on a scheduler.
+pub struct QueryService {
+    db: Arc<Database>,
+    registry: Arc<SessionRegistry>,
+    queue: Option<Sender<Arc<SessionHandle>>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl QueryService {
+    /// Start a service with `workers` worker threads (min 1) over `db`.
+    pub fn new(db: Arc<Database>, workers: usize) -> Self {
+        let registry = Arc::new(SessionRegistry::new());
+        let (tx, rx) = channel::<Arc<SessionHandle>>();
+        let rx = Arc::new(Mutex::new(rx));
+        let workers = (0..workers.max(1))
+            .map(|_| {
+                let rx = Arc::clone(&rx);
+                let db = Arc::clone(&db);
+                std::thread::spawn(move || worker_loop(&db, &rx))
+            })
+            .collect();
+        QueryService {
+            db,
+            registry,
+            queue: Some(tx),
+            workers,
+        }
+    }
+
+    /// The database this service executes against.
+    pub fn db(&self) -> &Arc<Database> {
+        &self.db
+    }
+
+    /// The shared session registry (hand clones to pollers).
+    pub fn registry(&self) -> &Arc<SessionRegistry> {
+        &self.registry
+    }
+
+    /// Submit a query. Returns immediately with the session handle; the
+    /// query runs when a worker frees up.
+    pub fn submit(&self, spec: QuerySpec) -> Arc<SessionHandle> {
+        let handle = self.registry.register(spec);
+        self.queue
+            .as_ref()
+            .expect("service already shut down")
+            .send(Arc::clone(&handle))
+            .expect("worker pool hung up");
+        handle
+    }
+
+    /// Block until every submitted session reaches a terminal state.
+    pub fn wait_all(&self) {
+        for handle in self.registry.sessions() {
+            handle.wait_terminal();
+        }
+    }
+
+    /// Stop accepting submissions, drain the queue, and join the workers.
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        self.queue.take(); // close the channel; workers exit when drained
+        for worker in self.workers.drain(..) {
+            worker.join().expect("worker panicked");
+        }
+    }
+}
+
+impl Drop for QueryService {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}
+
+fn worker_loop(db: &Database, rx: &Mutex<Receiver<Arc<SessionHandle>>>) {
+    loop {
+        // Hold the receiver lock only for the dequeue, not the execution.
+        let handle = match rx.lock().expect("queue poisoned").recv() {
+            Ok(handle) => handle,
+            Err(_) => return, // queue closed and drained
+        };
+        run_session(db, &handle);
+    }
+}
+
+/// Execute one session on the calling thread, publishing snapshots into its
+/// handle and recording the outcome.
+fn run_session(db: &Database, handle: &SessionHandle) {
+    // A session cancelled while still queued never starts.
+    if handle.cancel_token().is_cancelled() {
+        handle.abort(lqs_exec::AbortedQuery {
+            reason: lqs_exec::AbortReason::Cancelled,
+            at_ns: 0,
+            snapshots: Vec::new(),
+            partial_counters: Vec::new(),
+        });
+        return;
+    }
+    handle.set_state(SessionState::Running);
+    let hooks = ExecHooks {
+        sink: None,
+        publisher: Some(handle),
+        cancel: Some(handle.cancel_token()),
+        deadline_ns: handle.deadline_ns(),
+    };
+    match execute_hooked(db, handle.plan(), handle.opts(), hooks) {
+        Ok(run) => handle.complete(run),
+        Err(aborted) => handle.abort(aborted),
+    }
+}

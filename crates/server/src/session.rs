@@ -1,0 +1,280 @@
+//! Sessions: one submitted query, its lifecycle, and its live-pollable
+//! counter surface.
+//!
+//! A [`SessionHandle`] is the in-process analog of one row family of
+//! `sys.dm_exec_query_profiles`: the executing worker *publishes* every
+//! [`DmvSnapshot`] into the handle's latest-snapshot slot at snapshot
+//! boundaries (via the [`SnapshotPublisher`] hook), and any number of
+//! pollers read it concurrently without touching the execution.
+
+use lqs_exec::{
+    AbortReason, AbortedQuery, CancellationToken, DmvSnapshot, ExecOptions, QueryRun,
+    SnapshotPublisher,
+};
+use lqs_plan::PhysicalPlan;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Opaque session identifier, unique within one [`crate::SessionRegistry`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SessionId(pub u64);
+
+impl std::fmt::Display for SessionId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "session-{}", self.0)
+    }
+}
+
+/// Lifecycle of a session. Terminal states are `Succeeded`, `Cancelled`,
+/// and `DeadlineExceeded`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SessionState {
+    /// Submitted, waiting for a worker.
+    Queued,
+    /// A worker is executing the query.
+    Running,
+    /// Ran to completion; the full [`QueryRun`] is available.
+    Succeeded,
+    /// Aborted by its [`CancellationToken`] at a clock tick.
+    Cancelled,
+    /// Aborted by its per-session virtual-time deadline.
+    DeadlineExceeded,
+}
+
+impl SessionState {
+    /// Whether the session has reached a terminal state.
+    pub fn is_terminal(self) -> bool {
+        !matches!(self, SessionState::Queued | SessionState::Running)
+    }
+}
+
+/// What a session left behind when it finished.
+#[derive(Debug, Clone)]
+pub enum SessionResult {
+    /// Completed run: full trace plus ground truth.
+    Completed(QueryRun),
+    /// Aborted run: partial trace up to the abort tick.
+    Aborted(AbortedQuery),
+}
+
+/// A query submission: the plan, execution options, and an optional
+/// virtual-time budget.
+#[derive(Clone)]
+pub struct QuerySpec {
+    /// Display name (e.g. the workload query label).
+    pub name: String,
+    /// The compiled physical plan. Shared with the poller, which builds
+    /// its estimator statics from it.
+    pub plan: Arc<PhysicalPlan>,
+    /// Execution options (snapshot cadence, cost model).
+    pub opts: ExecOptions,
+    /// Abort the run once its virtual clock reaches this (runaway guard).
+    pub deadline_ns: Option<u64>,
+}
+
+impl QuerySpec {
+    /// A spec with default options and no deadline.
+    pub fn new(name: impl Into<String>, plan: Arc<PhysicalPlan>) -> Self {
+        QuerySpec {
+            name: name.into(),
+            plan,
+            opts: ExecOptions::default(),
+            deadline_ns: None,
+        }
+    }
+
+    /// Set the execution options.
+    pub fn with_opts(mut self, opts: ExecOptions) -> Self {
+        self.opts = opts;
+        self
+    }
+
+    /// Set the virtual-time deadline.
+    pub fn with_deadline_ns(mut self, deadline_ns: u64) -> Self {
+        self.deadline_ns = Some(deadline_ns);
+        self
+    }
+}
+
+/// Shared per-session state: the registry, the executing worker, and every
+/// poller hold an `Arc` of this.
+///
+/// Locking is deliberately cheap and fine-grained: the worker takes the
+/// `latest` mutex only long enough to clone one snapshot in, pollers only
+/// long enough to clone it out; `published_seq` lets a poller skip
+/// re-estimating a session that has not published since its last poll.
+pub struct SessionHandle {
+    id: SessionId,
+    spec: QuerySpec,
+    cancel: CancellationToken,
+    state: Mutex<SessionState>,
+    state_changed: Condvar,
+    /// Latest published snapshot — the DMV row family for this session.
+    latest: Mutex<Option<DmvSnapshot>>,
+    /// Count of snapshots published so far (monotone; `Relaxed` reads are
+    /// only ever used as a staleness hint).
+    published_seq: AtomicU64,
+    result: Mutex<Option<SessionResult>>,
+}
+
+impl SessionHandle {
+    pub(crate) fn new(id: SessionId, spec: QuerySpec) -> Self {
+        SessionHandle {
+            id,
+            spec,
+            cancel: CancellationToken::new(),
+            state: Mutex::new(SessionState::Queued),
+            state_changed: Condvar::new(),
+            latest: Mutex::new(None),
+            published_seq: AtomicU64::new(0),
+            result: Mutex::new(None),
+        }
+    }
+
+    /// Session id.
+    pub fn id(&self) -> SessionId {
+        self.id
+    }
+
+    /// Display name from the spec.
+    pub fn name(&self) -> &str {
+        &self.spec.name
+    }
+
+    /// The plan this session executes.
+    pub fn plan(&self) -> &Arc<PhysicalPlan> {
+        &self.spec.plan
+    }
+
+    /// The execution options this session runs under (the poller needs the
+    /// cost model to build matching estimator weights).
+    pub fn opts(&self) -> &ExecOptions {
+        &self.spec.opts
+    }
+
+    /// The session's virtual-time deadline, if any.
+    pub fn deadline_ns(&self) -> Option<u64> {
+        self.spec.deadline_ns
+    }
+
+    /// The session's cancellation token (cancel it to abort the run at its
+    /// next clock tick).
+    pub fn cancel_token(&self) -> &CancellationToken {
+        &self.cancel
+    }
+
+    /// Request cancellation. Queued sessions are cancelled before they
+    /// start; running sessions abort at their next virtual-clock tick.
+    pub fn cancel(&self) {
+        self.cancel.cancel();
+    }
+
+    /// Current lifecycle state.
+    pub fn state(&self) -> SessionState {
+        *self.state.lock().expect("session state poisoned")
+    }
+
+    /// Block until the session reaches a terminal state, returning it.
+    pub fn wait_terminal(&self) -> SessionState {
+        let mut state = self.state.lock().expect("session state poisoned");
+        while !state.is_terminal() {
+            state = self
+                .state_changed
+                .wait(state)
+                .expect("session state poisoned");
+        }
+        *state
+    }
+
+    /// Snapshots published so far. A poller that remembers the last value
+    /// it saw can skip sessions with nothing new.
+    pub fn published_seq(&self) -> u64 {
+        self.published_seq.load(Ordering::Acquire)
+    }
+
+    /// The most recently published snapshot, if any.
+    pub fn latest_snapshot(&self) -> Option<DmvSnapshot> {
+        self.latest.lock().expect("latest slot poisoned").clone()
+    }
+
+    /// The session's outcome, once terminal.
+    pub fn result(&self) -> Option<SessionResult> {
+        self.result.lock().expect("result slot poisoned").clone()
+    }
+
+    pub(crate) fn set_state(&self, next: SessionState) {
+        let mut state = self.state.lock().expect("session state poisoned");
+        *state = next;
+        self.state_changed.notify_all();
+    }
+
+    /// Record a completed run: publish the final counters as the last
+    /// snapshot (so pollers see 100% without racing the result slot), then
+    /// flip to `Succeeded`.
+    pub(crate) fn complete(&self, run: QueryRun) {
+        self.publish(&DmvSnapshot {
+            ts_ns: run.duration_ns,
+            nodes: run.final_counters.clone(),
+        });
+        *self.result.lock().expect("result slot poisoned") = Some(SessionResult::Completed(run));
+        self.set_state(SessionState::Succeeded);
+    }
+
+    /// Record an aborted run, keeping the partial trace honest: the counter
+    /// state at the abort tick becomes the final published snapshot.
+    pub(crate) fn abort(&self, aborted: AbortedQuery) {
+        self.publish(&DmvSnapshot {
+            ts_ns: aborted.at_ns,
+            nodes: aborted.partial_counters.clone(),
+        });
+        let state = match aborted.reason {
+            AbortReason::Cancelled => SessionState::Cancelled,
+            AbortReason::DeadlineExceeded => SessionState::DeadlineExceeded,
+        };
+        *self.result.lock().expect("result slot poisoned") = Some(SessionResult::Aborted(aborted));
+        self.set_state(state);
+    }
+}
+
+impl SnapshotPublisher for SessionHandle {
+    fn publish(&self, snapshot: &DmvSnapshot) {
+        *self.latest.lock().expect("latest slot poisoned") = Some(snapshot.clone());
+        self.published_seq.fetch_add(1, Ordering::AcqRel);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lqs_exec::NodeCounters;
+
+    fn dummy_plan() -> Arc<PhysicalPlan> {
+        let db = lqs_storage::Database::new();
+        let mut b = lqs_plan::PlanBuilder::new(&db);
+        let scan = b.constant_scan(vec![vec![lqs_storage::Value::Int(1)]]);
+        Arc::new(b.finish(scan))
+    }
+
+    #[test]
+    fn publish_updates_latest_and_seq() {
+        let h = SessionHandle::new(SessionId(0), QuerySpec::new("q", dummy_plan()));
+        assert_eq!(h.published_seq(), 0);
+        assert!(h.latest_snapshot().is_none());
+        let snap = DmvSnapshot {
+            ts_ns: 42,
+            nodes: vec![NodeCounters::default()],
+        };
+        h.publish(&snap);
+        assert_eq!(h.published_seq(), 1);
+        assert_eq!(h.latest_snapshot(), Some(snap));
+    }
+
+    #[test]
+    fn state_machine_terminal_flags() {
+        assert!(!SessionState::Queued.is_terminal());
+        assert!(!SessionState::Running.is_terminal());
+        assert!(SessionState::Succeeded.is_terminal());
+        assert!(SessionState::Cancelled.is_terminal());
+        assert!(SessionState::DeadlineExceeded.is_terminal());
+    }
+}

@@ -1,0 +1,170 @@
+//! Concurrency must not perturb the virtual clock: the same plan executed
+//! serially and N-ways concurrently through the service must produce
+//! byte-identical snapshot traces and final counters, per session.
+
+use lqs_exec::{execute, ExecOptions};
+use lqs_plan::{Expr, JoinKind, PhysicalPlan, PlanBuilder, SortKey};
+use lqs_server::{QueryService, QuerySpec, SessionResult, SessionState};
+use lqs_storage::{Column, DataType, Database, Schema, Table, Value};
+use std::sync::Arc;
+
+fn build_db() -> Database {
+    let mut orders = Table::new(
+        "orders",
+        Schema::new(vec![
+            Column::new("id", DataType::Int),
+            Column::new("cust", DataType::Int),
+            Column::new("amount", DataType::Int),
+        ]),
+    );
+    for i in 0..6000i64 {
+        orders
+            .insert(vec![
+                Value::Int(i),
+                Value::Int(i % 500),
+                Value::Int((i * 7) % 1000),
+            ])
+            .unwrap();
+    }
+    let mut customers = Table::new(
+        "customers",
+        Schema::new(vec![
+            Column::new("id", DataType::Int),
+            Column::new("region", DataType::Int),
+        ]),
+    );
+    for i in 0..500i64 {
+        customers
+            .insert(vec![Value::Int(i), Value::Int(i % 7)])
+            .unwrap();
+    }
+    let mut db = Database::new();
+    db.add_table_analyzed(orders);
+    db.add_table_analyzed(customers);
+    db
+}
+
+/// A small mixed workload: scan+sort, hash aggregate, hash join, exchange.
+fn plans(db: &Database) -> Vec<(String, Arc<PhysicalPlan>)> {
+    let orders = db.table_by_name("orders").expect("orders table");
+    let customers = db.table_by_name("customers").expect("customers table");
+    let mut out = Vec::new();
+
+    let mut b = PlanBuilder::new(db);
+    let scan = b.table_scan_filtered(orders, Expr::col(2).lt(Expr::lit(400i64)), true);
+    let sort = b.sort(scan, vec![SortKey::desc(2)]);
+    out.push(("scan-sort".to_string(), Arc::new(b.finish(sort))));
+
+    let mut b = PlanBuilder::new(db);
+    let scan = b.table_scan(orders);
+    let agg = b.hash_aggregate(
+        scan,
+        vec![1],
+        vec![lqs_plan::Aggregate::of_col(lqs_plan::AggFunc::Sum, 2)],
+    );
+    out.push(("hash-agg".to_string(), Arc::new(b.finish(agg))));
+
+    let mut b = PlanBuilder::new(db);
+    let build = b.table_scan(customers);
+    let probe = b.table_scan(orders);
+    let join = b.hash_join(JoinKind::Inner, build, probe, vec![0], vec![1]);
+    out.push(("hash-join".to_string(), Arc::new(b.finish(join))));
+
+    let mut b = PlanBuilder::new(db);
+    let scan = b.table_scan(orders);
+    let ex = b.exchange(scan, lqs_plan::ExchangeKind::GatherStreams, 4);
+    out.push(("exchange".to_string(), Arc::new(b.finish(ex))));
+
+    out
+}
+
+#[test]
+fn concurrent_sessions_match_serial_execution_exactly() {
+    let db = build_db();
+    let plans = plans(&db);
+    let opts = ExecOptions::default();
+
+    // Serial reference runs, one per plan.
+    let reference: Vec<_> = plans
+        .iter()
+        .map(|(_, plan)| execute(&db, plan, &opts))
+        .collect();
+
+    // The same plans, each submitted 3 times, through a 4-worker pool.
+    const COPIES: usize = 3;
+    let db = Arc::new(db);
+    let service = QueryService::new(Arc::clone(&db), 4);
+    let mut sessions = Vec::new();
+    for round in 0..COPIES {
+        for (name, plan) in &plans {
+            let spec =
+                QuerySpec::new(format!("{name}#{round}"), Arc::clone(plan)).with_opts(opts.clone());
+            sessions.push(service.submit(spec));
+        }
+    }
+    service.wait_all();
+
+    for (i, session) in sessions.iter().enumerate() {
+        assert_eq!(
+            session.state(),
+            SessionState::Succeeded,
+            "{}",
+            session.name()
+        );
+        let Some(SessionResult::Completed(run)) = session.result() else {
+            panic!("{} finished without a completed run", session.name());
+        };
+        let expected = &reference[i % plans.len()];
+        // Byte-identical traces: snapshot-by-snapshot counter equality,
+        // identical ground truth, identical virtual duration.
+        assert_eq!(
+            run.snapshots,
+            expected.snapshots,
+            "{}: snapshot trace diverged under concurrency",
+            session.name()
+        );
+        assert_eq!(run.final_counters, expected.final_counters);
+        assert_eq!(run.duration_ns, expected.duration_ns);
+        assert_eq!(run.rows_returned, expected.rows_returned);
+        // The published latest snapshot is the final counter state.
+        let latest = session.latest_snapshot().expect("published at least once");
+        assert_eq!(latest.nodes, expected.final_counters);
+        assert_eq!(latest.ts_ns, expected.duration_ns);
+    }
+    service.shutdown();
+}
+
+#[test]
+fn stress_many_sessions_few_workers() {
+    // More sessions than workers: queuing must not change results either.
+    let db = build_db();
+    let plans = plans(&db);
+    let opts = ExecOptions {
+        snapshot_target: 64,
+        ..Default::default()
+    };
+    let reference: Vec<_> = plans
+        .iter()
+        .map(|(_, plan)| execute(&db, plan, &opts))
+        .collect();
+
+    let db = Arc::new(db);
+    let service = QueryService::new(Arc::clone(&db), 2);
+    let sessions: Vec<_> = (0..16)
+        .map(|i| {
+            let (name, plan) = &plans[i % plans.len()];
+            service.submit(
+                QuerySpec::new(format!("{name}#{i}"), Arc::clone(plan)).with_opts(opts.clone()),
+            )
+        })
+        .collect();
+    service.wait_all();
+    for (i, session) in sessions.iter().enumerate() {
+        let Some(SessionResult::Completed(run)) = session.result() else {
+            panic!("{} did not complete", session.name());
+        };
+        let expected = &reference[i % plans.len()];
+        assert_eq!(run.snapshots, expected.snapshots);
+        assert_eq!(run.final_counters, expected.final_counters);
+    }
+}
