@@ -85,18 +85,56 @@ pub trait SnapshotPublisher: Sync {
     fn publish(&self, snapshot: &DmvSnapshot);
 }
 
+thread_local! {
+    /// Depth of [`catch_query_abort`] frames on this thread. The quiet
+    /// abort hook stays fully silent only when a frame is active (the
+    /// unwind is about to be caught); an abort panicking on a thread with
+    /// no catch frame would otherwise kill the thread with no diagnostic
+    /// at all.
+    static ABORT_CATCH_DEPTH: std::cell::Cell<usize> = const { std::cell::Cell::new(0) };
+}
+
+/// Run `f`, catching any panic, while telling the quiet abort hook that a
+/// [`QueryAborted`] unwind on this thread will be caught (so it stays
+/// silent). Every catch site for abort unwinds must go through this.
+pub(crate) fn catch_query_abort<R>(
+    f: impl FnOnce() -> R,
+) -> Result<R, Box<dyn std::any::Any + Send>> {
+    struct DepthGuard;
+    impl Drop for DepthGuard {
+        fn drop(&mut self) {
+            ABORT_CATCH_DEPTH.with(|d| d.set(d.get() - 1));
+        }
+    }
+    ABORT_CATCH_DEPTH.with(|d| d.set(d.get() + 1));
+    let _guard = DepthGuard;
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(f))
+}
+
 /// Suppress the default panic message for [`QueryAborted`] unwinds (they
 /// are control flow, caught by the executor) while leaving every other
 /// panic's reporting untouched. Installed once, process-wide, the first
-/// time a cancellable execution starts.
+/// time a cancellable execution starts. An abort unwinding on a thread
+/// with no executor catch frame below it (a misuse — e.g. ticking a
+/// cancellable context outside `execute_hooked`) still logs one line, so
+/// the thread never dies completely silently.
 pub(crate) fn install_quiet_abort_hook() {
     use std::sync::Once;
     static ONCE: Once = Once::new();
     ONCE.call_once(|| {
         let prev = std::panic::take_hook();
         std::panic::set_hook(Box::new(move |info| {
-            if info.payload().downcast_ref::<QueryAborted>().is_none() {
-                prev(info);
+            match info.payload().downcast_ref::<QueryAborted>() {
+                None => prev(info),
+                Some(aborted) => {
+                    if ABORT_CATCH_DEPTH.with(std::cell::Cell::get) == 0 {
+                        eprintln!(
+                            "lqs-exec: QueryAborted ({:?} at {} ns) unwinding with no \
+                             executor catch frame on this thread; the unwind will escape",
+                            aborted.reason, aborted.at_ns
+                        );
+                    }
+                }
             }
         }));
     });
@@ -623,9 +661,9 @@ mod tests {
         let c = ctx(&db).with_cancellation(token.clone());
         c.charge_cpu(NodeId(0), 100.0); // fine while un-cancelled
         token.cancel();
-        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        let err = catch_query_abort(|| {
             c.charge_cpu(NodeId(0), 50.0);
-        }))
+        })
         .expect_err("cancelled run must abort");
         let aborted = err
             .downcast::<QueryAborted>()
@@ -639,15 +677,33 @@ mod tests {
         let db = Database::new();
         let c = ctx(&db).with_deadline(250);
         c.charge_cpu(NodeId(0), 200.0);
-        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        let err = catch_query_abort(|| {
             c.charge_cpu(NodeId(0), 100.0);
-        }))
+        })
         .expect_err("deadline must abort the run");
         let aborted = err
             .downcast::<QueryAborted>()
             .expect("QueryAborted payload");
         assert_eq!(aborted.reason, AbortReason::DeadlineExceeded);
         assert_eq!(aborted.at_ns, 300);
+    }
+
+    #[test]
+    fn abort_catch_depth_balances_across_unwinds() {
+        let depth = || ABORT_CATCH_DEPTH.with(std::cell::Cell::get);
+        assert_eq!(depth(), 0);
+        let _ = catch_query_abort(|| {
+            assert_eq!(depth(), 1);
+            // An unwind out of a nested frame must still restore the count.
+            let _ = catch_query_abort(|| {
+                std::panic::panic_any(QueryAborted {
+                    reason: AbortReason::Cancelled,
+                    at_ns: 0,
+                });
+            });
+            assert_eq!(depth(), 1);
+        });
+        assert_eq!(depth(), 0);
     }
 
     #[test]

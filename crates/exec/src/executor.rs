@@ -233,7 +233,7 @@ fn execute_inner(
     // payload; catching it here (and only it) turns the unwind into a
     // structured error while leaving real panics fatal. The context lives
     // outside the catch, so the partial trace survives the unwind.
-    let drive = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+    let drive = crate::context::catch_query_abort(|| {
         let mut root = build_operator(plan, db, plan.root());
         root.open(&ctx);
         let mut rows_returned = 0u64;
@@ -242,7 +242,7 @@ fn execute_inner(
         }
         root.close(&ctx);
         rows_returned
-    }));
+    });
     match drive {
         Ok(rows_returned) => {
             let (snapshots, final_counters, duration_ns) = ctx.into_results();

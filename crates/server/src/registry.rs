@@ -6,7 +6,7 @@
 //! each into a [`ProgressReport`]. Polling never blocks execution beyond
 //! the one-clone critical section of the latest-snapshot slot.
 
-use crate::session::{QuerySpec, SessionHandle, SessionId, SessionState};
+use crate::session::{QuerySpec, RunningGauge, SessionHandle, SessionId, SessionState};
 use lqs_progress::{EstimatorConfig, ProgressEstimator, ProgressReport};
 use lqs_storage::Database;
 use std::collections::HashMap;
@@ -20,6 +20,7 @@ use std::sync::{Arc, Mutex};
 pub struct SessionRegistry {
     sessions: Mutex<Vec<Arc<SessionHandle>>>,
     next_id: AtomicU64,
+    running: Arc<RunningGauge>,
 }
 
 impl SessionRegistry {
@@ -31,7 +32,7 @@ impl SessionRegistry {
     /// Register a new session for `spec`, assigning it the next id.
     pub(crate) fn register(&self, spec: QuerySpec) -> Arc<SessionHandle> {
         let id = SessionId(self.next_id.fetch_add(1, Ordering::Relaxed));
-        let handle = Arc::new(SessionHandle::new(id, spec));
+        let handle = Arc::new(SessionHandle::new(id, spec, Arc::clone(&self.running)));
         self.sessions
             .lock()
             .expect("registry poisoned")
@@ -62,6 +63,19 @@ impl SessionRegistry {
     /// Whether the registry holds no sessions.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Sessions currently in [`SessionState::Running`].
+    pub fn running_now(&self) -> usize {
+        self.running.current()
+    }
+
+    /// High-water mark of simultaneously running sessions. Maintained on
+    /// state transitions, so short overlaps count even if no poll ever
+    /// observed them — use this (not poll sampling) for concurrency
+    /// assertions.
+    pub fn peak_running(&self) -> usize {
+        self.running.peak()
     }
 
     /// Drop sessions that have reached a terminal state, returning them.
@@ -147,7 +161,13 @@ impl RegistryPoller {
                 };
             }
         }
-        let snapshot = handle.latest_snapshot();
+        // A snapshot whose node count does not match the plan (possible only
+        // from a buggy publisher) would make the estimator index out of
+        // bounds; treat it as "nothing published" rather than panicking the
+        // poller.
+        let snapshot = handle
+            .latest_snapshot()
+            .filter(|s| s.nodes.len() == handle.plan().len());
         let (report, ts_ns) = match snapshot {
             Some(snap) => {
                 let estimator = self.estimators.entry(id).or_insert_with(|| {

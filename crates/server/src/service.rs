@@ -84,7 +84,13 @@ impl QueryService {
     fn shutdown_inner(&mut self) {
         self.queue.take(); // close the channel; workers exit when drained
         for worker in self.workers.drain(..) {
-            worker.join().expect("worker panicked");
+            // Session panics are caught in `run_session`, so a failed join
+            // means something outside execution went wrong. Never panic
+            // here: this also runs from `Drop`, possibly mid-unwind, where
+            // a second panic aborts the process.
+            if worker.join().is_err() {
+                eprintln!("lqs-server: worker thread panicked outside session execution");
+            }
         }
     }
 }
@@ -109,13 +115,16 @@ fn worker_loop(db: &Database, rx: &Mutex<Receiver<Arc<SessionHandle>>>) {
 /// Execute one session on the calling thread, publishing snapshots into its
 /// handle and recording the outcome.
 fn run_session(db: &Database, handle: &SessionHandle) {
-    // A session cancelled while still queued never starts.
+    // A session cancelled while still queued never starts. Its partial
+    // counters must still be one-per-plan-node (all zero — no work was
+    // done): pollers feed the published snapshot to an estimator that
+    // indexes it by every plan node.
     if handle.cancel_token().is_cancelled() {
         handle.abort(lqs_exec::AbortedQuery {
             reason: lqs_exec::AbortReason::Cancelled,
             at_ns: 0,
             snapshots: Vec::new(),
-            partial_counters: Vec::new(),
+            partial_counters: vec![lqs_exec::NodeCounters::default(); handle.plan().len()],
         });
         return;
     }
@@ -126,8 +135,24 @@ fn run_session(db: &Database, handle: &SessionHandle) {
         cancel: Some(handle.cancel_token()),
         deadline_ns: handle.deadline_ns(),
     };
-    match execute_hooked(db, handle.plan(), handle.opts(), hooks) {
-        Ok(run) => handle.complete(run),
-        Err(aborted) => handle.abort(aborted),
+    // `QueryAborted` unwinds are already converted to `Err` inside
+    // `execute_hooked`; anything that still unwinds here is a genuine bug
+    // in the query's execution. Contain it to this session — mark it
+    // `Failed` so waiters wake up — and keep the worker alive for the next
+    // session instead of hanging the pool.
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        execute_hooked(db, handle.plan(), handle.opts(), hooks)
+    }));
+    match outcome {
+        Ok(Ok(run)) => handle.complete(run),
+        Ok(Err(aborted)) => handle.abort(aborted),
+        Err(payload) => {
+            let message = payload
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_owned())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "execution panicked with a non-string payload".to_owned());
+            handle.fail(message);
+        }
     }
 }

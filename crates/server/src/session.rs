@@ -12,7 +12,7 @@ use lqs_exec::{
     SnapshotPublisher,
 };
 use lqs_plan::PhysicalPlan;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 
 /// Opaque session identifier, unique within one [`crate::SessionRegistry`].
@@ -26,7 +26,7 @@ impl std::fmt::Display for SessionId {
 }
 
 /// Lifecycle of a session. Terminal states are `Succeeded`, `Cancelled`,
-/// and `DeadlineExceeded`.
+/// `DeadlineExceeded`, and `Failed`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SessionState {
     /// Submitted, waiting for a worker.
@@ -39,6 +39,9 @@ pub enum SessionState {
     Cancelled,
     /// Aborted by its per-session virtual-time deadline.
     DeadlineExceeded,
+    /// Execution panicked; the panic message is in
+    /// [`SessionResult::Failed`]. The worker survives and moves on.
+    Failed,
 }
 
 impl SessionState {
@@ -55,6 +58,37 @@ pub enum SessionResult {
     Completed(QueryRun),
     /// Aborted run: partial trace up to the abort tick.
     Aborted(AbortedQuery),
+    /// Execution panicked; the payload is the panic message.
+    Failed(String),
+}
+
+/// Shared gauge of sessions currently in [`SessionState::Running`], with a
+/// high-water mark. Updated on state *transitions* (under each session's
+/// state lock), so the peak is exact — unlike sampling the registry from a
+/// poll loop, which can miss short overlaps entirely.
+#[derive(Default)]
+pub(crate) struct RunningGauge {
+    current: AtomicUsize,
+    peak: AtomicUsize,
+}
+
+impl RunningGauge {
+    fn enter(&self) {
+        let now = self.current.fetch_add(1, Ordering::AcqRel) + 1;
+        self.peak.fetch_max(now, Ordering::AcqRel);
+    }
+
+    fn exit(&self) {
+        self.current.fetch_sub(1, Ordering::AcqRel);
+    }
+
+    pub(crate) fn current(&self) -> usize {
+        self.current.load(Ordering::Acquire)
+    }
+
+    pub(crate) fn peak(&self) -> usize {
+        self.peak.load(Ordering::Acquire)
+    }
 }
 
 /// A query submission: the plan, execution options, and an optional
@@ -115,10 +149,12 @@ pub struct SessionHandle {
     /// only ever used as a staleness hint).
     published_seq: AtomicU64,
     result: Mutex<Option<SessionResult>>,
+    /// Registry-wide running-sessions gauge, bumped on state transitions.
+    gauge: Arc<RunningGauge>,
 }
 
 impl SessionHandle {
-    pub(crate) fn new(id: SessionId, spec: QuerySpec) -> Self {
+    pub(crate) fn new(id: SessionId, spec: QuerySpec, gauge: Arc<RunningGauge>) -> Self {
         SessionHandle {
             id,
             spec,
@@ -128,6 +164,7 @@ impl SessionHandle {
             latest: Mutex::new(None),
             published_seq: AtomicU64::new(0),
             result: Mutex::new(None),
+            gauge,
         }
     }
 
@@ -204,6 +241,12 @@ impl SessionHandle {
 
     pub(crate) fn set_state(&self, next: SessionState) {
         let mut state = self.state.lock().expect("session state poisoned");
+        let prev = *state;
+        if prev != SessionState::Running && next == SessionState::Running {
+            self.gauge.enter();
+        } else if prev == SessionState::Running && next.is_terminal() {
+            self.gauge.exit();
+        }
         *state = next;
         self.state_changed.notify_all();
     }
@@ -234,6 +277,13 @@ impl SessionHandle {
         *self.result.lock().expect("result slot poisoned") = Some(SessionResult::Aborted(aborted));
         self.set_state(state);
     }
+
+    /// Record a genuine execution panic. No snapshot is published (the
+    /// counter state is unknown); pollers keep whatever was last published.
+    pub(crate) fn fail(&self, message: String) {
+        *self.result.lock().expect("result slot poisoned") = Some(SessionResult::Failed(message));
+        self.set_state(SessionState::Failed);
+    }
 }
 
 impl SnapshotPublisher for SessionHandle {
@@ -257,7 +307,11 @@ mod tests {
 
     #[test]
     fn publish_updates_latest_and_seq() {
-        let h = SessionHandle::new(SessionId(0), QuerySpec::new("q", dummy_plan()));
+        let h = SessionHandle::new(
+            SessionId(0),
+            QuerySpec::new("q", dummy_plan()),
+            Arc::default(),
+        );
         assert_eq!(h.published_seq(), 0);
         assert!(h.latest_snapshot().is_none());
         let snap = DmvSnapshot {
@@ -276,5 +330,33 @@ mod tests {
         assert!(SessionState::Succeeded.is_terminal());
         assert!(SessionState::Cancelled.is_terminal());
         assert!(SessionState::DeadlineExceeded.is_terminal());
+        assert!(SessionState::Failed.is_terminal());
+    }
+
+    #[test]
+    fn running_gauge_tracks_transitions_and_peak() {
+        let gauge = Arc::new(RunningGauge::default());
+        let mk = |id| {
+            SessionHandle::new(
+                SessionId(id),
+                QuerySpec::new("q", dummy_plan()),
+                Arc::clone(&gauge),
+            )
+        };
+        let a = mk(0);
+        let b = mk(1);
+        a.set_state(SessionState::Running);
+        b.set_state(SessionState::Running);
+        assert_eq!(gauge.current(), 2);
+        a.set_state(SessionState::Succeeded);
+        assert_eq!(gauge.current(), 1);
+        b.set_state(SessionState::Failed);
+        assert_eq!(gauge.current(), 0);
+        assert_eq!(gauge.peak(), 2);
+        // A queued session cancelled before running never touches the gauge.
+        let c = mk(2);
+        c.set_state(SessionState::Cancelled);
+        assert_eq!(gauge.current(), 0);
+        assert_eq!(gauge.peak(), 2);
     }
 }
