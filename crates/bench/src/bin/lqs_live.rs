@@ -6,10 +6,17 @@
 //! and the explain path that produced each figure.
 //!
 //! ```text
-//! lqs_live [--query tpch-q01] [--frames 8] [--scale 0.5] [--seed 42]
+//! lqs_live [--query tpch-q01] [--frames 8] [--scale 0.5] [--seed 42] [--trace out.json]
 //! ```
+//!
+//! With `--trace FILE`, the run is captured through a ring-buffer sink and
+//! exported as a Chrome trace (open in `chrome://tracing` or Perfetto). If
+//! the buffer overflows, the export carries a truncation marker and a
+//! warning goes to stderr.
 
+use lqs::exec::execute_traced;
 use lqs::harness::{run_query, trace_estimator};
+use lqs::obs::to_chrome_trace_with_drops;
 use lqs::plan::{NodeId, PhysicalPlan};
 use lqs::prelude::*;
 use lqs::progress::ProgressReport;
@@ -20,6 +27,7 @@ struct Args {
     frames: usize,
     scale: f64,
     seed: u64,
+    trace: Option<String>,
 }
 
 fn parse_args() -> Args {
@@ -28,6 +36,7 @@ fn parse_args() -> Args {
         frames: 8,
         scale: 0.5,
         seed: 42,
+        trace: None,
     };
     let args: Vec<String> = std::env::args().collect();
     let mut i = 1;
@@ -49,9 +58,15 @@ fn parse_args() -> Args {
                 out.seed = args[i + 1].parse().expect("--seed takes an integer");
                 i += 2;
             }
+            "--trace" => {
+                out.trace = Some(args[i + 1].clone());
+                i += 2;
+            }
             other => {
                 eprintln!("unknown argument {other}");
-                eprintln!("usage: lqs_live [--query NAME] [--frames N] [--scale F] [--seed N]");
+                eprintln!(
+                    "usage: lqs_live [--query NAME] [--frames N] [--scale F] [--seed N] [--trace FILE]"
+                );
                 std::process::exit(2);
             }
         }
@@ -123,7 +138,28 @@ fn main() {
         });
 
     println!("{}", q.plan.display_tree());
-    let run = run_query(&t.db, &q.plan, &ExecOptions::default());
+    let run = match &args.trace {
+        Some(path) => {
+            let sink = RingBufferSink::new(1 << 16);
+            let run = execute_traced(&t.db, &q.plan, &ExecOptions::default(), &sink);
+            let names = plan_node_names(&q.plan);
+            let dropped = sink.dropped();
+            let json = to_chrome_trace_with_drops(&sink.events(), &names, dropped);
+            if let Err(e) = std::fs::write(path, json) {
+                eprintln!("lqs_live: cannot write trace to {path}: {e}");
+                std::process::exit(1);
+            }
+            if dropped > 0 {
+                eprintln!(
+                    "lqs_live: warning: ring buffer overflowed, {dropped} trace events \
+                     dropped — the exported trace is truncated (marker included)"
+                );
+            }
+            eprintln!("lqs_live: wrote Chrome trace to {path}");
+            run
+        }
+        None => run_query(&t.db, &q.plan, &ExecOptions::default()),
+    };
     let trace = trace_estimator(&q.plan, &t.db, &run, EstimatorConfig::full());
     if run.snapshots.is_empty() {
         println!("(query finished before the first DMV poll — nothing to replay)");

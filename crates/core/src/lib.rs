@@ -5,7 +5,9 @@
 //! per-operator and per-query progress estimator ([`progress`]) layered on
 //! an instrumented query execution engine ([`exec`]) with its own storage
 //! layer ([`storage`]), mini-optimizer ([`plan`]), benchmark-shaped
-//! workloads ([`workloads`]) and experiment harness ([`harness`]).
+//! workloads ([`workloads`]), experiment harness ([`harness`]), and a
+//! Prometheus-style telemetry subsystem ([`metrics`]) threaded through
+//! the multi-session query service ([`server`]).
 //!
 //! ## Quickstart
 //!
@@ -47,6 +49,7 @@
 
 pub use lqs_exec as exec;
 pub use lqs_harness as harness;
+pub use lqs_metrics as metrics;
 pub use lqs_obs as obs;
 pub use lqs_plan as plan;
 pub use lqs_progress as progress;
@@ -57,10 +60,13 @@ pub use lqs_workloads as workloads;
 /// One-stop imports for applications.
 pub mod prelude {
     pub use lqs_exec::{
-        execute, execute_traced, plan_node_names, DmvSnapshot, ExecOptions, NodeCounters, QueryRun,
+        execute, execute_traced, plan_node_names, DmvSnapshot, ExecMetrics, ExecOptions,
+        NodeCounters, QueryRun,
     };
+    pub use lqs_metrics::{Counter, Gauge, Histogram, MetricsRegistry};
     pub use lqs_obs::{
-        to_chrome_trace, to_jsonl, EventKind, EventSink, NullSink, RingBufferSink, TraceEvent,
+        to_chrome_trace, to_chrome_trace_sessions, to_jsonl, EventKind, EventSink, NullSink,
+        RingBufferSink, SessionTap, SharedSessionSink, TraceEvent,
     };
     pub use lqs_plan::{
         AggFunc, Aggregate, ArithOp, CmpOp, CostModel, ExchangeKind, Expr, IndexOutput, JoinKind,
@@ -71,7 +77,8 @@ pub mod prelude {
         PerOperatorError, ProgressEstimator, ProgressReport, QueryModel, RefinementSource,
     };
     pub use lqs_server::{
-        QueryService, QuerySpec, RegistryPoller, SessionProgress, SessionRegistry, SessionState,
+        MetricsServer, PollerMetrics, QueryService, QuerySpec, RegistryPoller, ServiceMetrics,
+        SessionProgress, SessionRegistry, SessionState,
     };
     pub use lqs_storage::{Column, DataType, Database, Row, Schema, Table, TableId, Value};
 }

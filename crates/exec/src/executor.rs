@@ -46,6 +46,9 @@ pub struct ExecHooks<'a> {
     pub cancel: Option<&'a CancellationToken>,
     /// Virtual-time budget; the run aborts once the clock reaches it.
     pub deadline_ns: Option<u64>,
+    /// Records the run's final counters into metric families at close time.
+    /// Aborted runs record nothing (their counters are not totals).
+    pub metrics: Option<&'a crate::metrics::ExecMetrics>,
 }
 
 /// A run stopped early by cancellation or deadline. The partial trace up to
@@ -246,13 +249,17 @@ fn execute_inner(
     match drive {
         Ok(rows_returned) => {
             let (snapshots, final_counters, duration_ns) = ctx.into_results();
-            Ok(QueryRun {
+            let run = QueryRun {
                 snapshots,
                 final_counters,
                 duration_ns,
                 rows_returned,
                 cost_model: opts.cost_model.clone(),
-            })
+            };
+            if let Some(metrics) = hooks.metrics {
+                metrics.record_run(plan, &run);
+            }
+            Ok(run)
         }
         Err(payload) => match payload.downcast::<QueryAborted>() {
             Ok(aborted) => {

@@ -28,6 +28,7 @@ pub mod bloom;
 pub mod context;
 pub mod dmv;
 pub mod executor;
+pub mod metrics;
 pub mod ops;
 
 pub use context::{AbortReason, CancellationToken, ExecContext, QueryAborted, SnapshotPublisher};
@@ -36,4 +37,5 @@ pub use executor::{
     estimated_duration_ns, execute, execute_hooked, execute_traced, plan_node_names, AbortedQuery,
     ExecHooks, ExecOptions, QueryRun,
 };
+pub use metrics::ExecMetrics;
 pub use ops::{build_operator, BoxedOperator, Operator};

@@ -1,0 +1,134 @@
+//! Close-time metrics recording: the operator and query families must
+//! reflect a run's final counters exactly, and only completed runs record.
+
+use lqs_exec::{execute_hooked, ExecHooks, ExecMetrics, ExecOptions};
+use lqs_metrics::MetricsRegistry;
+use lqs_plan::{Expr, PlanBuilder, SortKey};
+use lqs_storage::{Column, DataType, Database, Schema, Table, TableId, Value};
+use std::sync::Arc;
+
+fn db() -> (Database, TableId) {
+    let mut t = Table::new(
+        "t",
+        Schema::new(vec![
+            Column::new("a", DataType::Int),
+            Column::new("b", DataType::Int),
+        ]),
+    );
+    for i in 0..5000 {
+        t.insert(vec![Value::Int(i), Value::Int(i % 100)]).unwrap();
+    }
+    let mut db = Database::new();
+    let id = db.add_table_analyzed(t);
+    (db, id)
+}
+
+#[test]
+fn close_time_recording_matches_final_counters() {
+    let (db, t) = db();
+    let mut b = PlanBuilder::new(&db);
+    let scan = b.table_scan_filtered(t, Expr::col(1).lt(Expr::lit(50i64)), true);
+    let sort = b.sort(scan, vec![SortKey::desc(0)]);
+    let plan = b.finish(sort);
+
+    let registry = Arc::new(MetricsRegistry::new());
+    let metrics = ExecMetrics::new(Arc::clone(&registry));
+    let hooks = ExecHooks {
+        metrics: Some(&metrics),
+        ..ExecHooks::default()
+    };
+    let run = execute_hooked(&db, &plan, &ExecOptions::default(), hooks).expect("no abort hooks");
+
+    // Per-operator histograms carry exactly the run's final counters.
+    let scan_rows = registry.histogram("lqs_operator_rows_output", "", &[("op", "Table Scan")]);
+    assert_eq!(scan_rows.count(), 1);
+    assert_eq!(
+        scan_rows.sum(),
+        run.final_counters[scan.0].rows_output as f64
+    );
+    let sort_rows = registry.histogram("lqs_operator_rows_output", "", &[("op", "Sort")]);
+    assert_eq!(
+        sort_rows.sum(),
+        run.final_counters[sort.0 as usize].rows_output as f64
+    );
+    let scan_reads = registry.histogram("lqs_operator_logical_reads", "", &[("op", "Table Scan")]);
+    assert_eq!(
+        scan_reads.sum(),
+        run.final_counters[scan.0].logical_reads as f64
+    );
+    let scan_cpu = registry.histogram("lqs_operator_cpu_virtual_ns", "", &[("op", "Table Scan")]);
+    assert_eq!(scan_cpu.sum(), run.final_counters[scan.0].cpu_ns as f64);
+
+    // Query-level families.
+    assert_eq!(
+        registry
+            .counter("lqs_queries_executed_total", "", &[])
+            .get(),
+        1
+    );
+    let duration = registry.histogram("lqs_query_duration_virtual_ns", "", &[]);
+    assert_eq!(duration.sum(), run.duration_ns as f64);
+    let returned = registry.histogram("lqs_query_rows_returned", "", &[]);
+    assert_eq!(returned.sum(), run.rows_returned as f64);
+
+    // A second run accumulates rather than resets.
+    let hooks = ExecHooks {
+        metrics: Some(&metrics),
+        ..ExecHooks::default()
+    };
+    execute_hooked(&db, &plan, &ExecOptions::default(), hooks).unwrap();
+    assert_eq!(
+        registry
+            .counter("lqs_queries_executed_total", "", &[])
+            .get(),
+        2
+    );
+    assert_eq!(scan_rows.count(), 2);
+
+    // The rendered exposition names every family.
+    let text = registry.render();
+    for family in [
+        "lqs_operator_rows_output",
+        "lqs_operator_logical_reads",
+        "lqs_operator_cpu_virtual_ns",
+        "lqs_query_duration_virtual_ns",
+        "lqs_query_rows_returned",
+        "lqs_queries_executed_total",
+    ] {
+        assert!(
+            text.contains(&format!("# TYPE {family} ")),
+            "missing {family}"
+        );
+    }
+}
+
+#[test]
+fn aborted_runs_record_nothing() {
+    let (db, t) = db();
+    let mut b = PlanBuilder::new(&db);
+    let scan = b.table_scan(t);
+    let plan = b.finish(scan);
+
+    let registry = Arc::new(MetricsRegistry::new());
+    let metrics = ExecMetrics::new(Arc::clone(&registry));
+    let hooks = ExecHooks {
+        metrics: Some(&metrics),
+        deadline_ns: Some(1), // aborts on the first clock tick
+        ..ExecHooks::default()
+    };
+    execute_hooked(&db, &plan, &ExecOptions::default(), hooks)
+        .expect_err("deadline must abort the run");
+    // Partial counters are not totals; nothing may be folded in.
+    assert_eq!(
+        registry
+            .counter("lqs_queries_executed_total", "", &[])
+            .get(),
+        0
+    );
+    assert_eq!(
+        registry
+            .histogram("lqs_operator_rows_output", "", &[("op", "Table Scan")])
+            .count(),
+        0
+    );
+}

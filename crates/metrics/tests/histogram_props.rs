@@ -1,0 +1,63 @@
+//! Property tests for the log-bucketed [`Histogram`]: for arbitrary sample
+//! sets, reported p50/p99 lie within the bucket scheme's relative-error
+//! bound of the true sample quantile, and `sum`/`count` are exact.
+
+use lqs_metrics::Histogram;
+use proptest::prelude::*;
+
+/// True `q`-quantile under the same rank convention the histogram uses:
+/// the sample at rank `⌈q·n⌉` (1-based) of the sorted set.
+fn true_quantile(sorted: &[u64], q: f64) -> u64 {
+    let n = sorted.len() as u64;
+    let rank = ((q * n as f64).ceil() as u64).clamp(1, n);
+    sorted[(rank - 1) as usize]
+}
+
+fn check_quantile(h: &Histogram, sorted: &[u64], q: f64) {
+    let reported = h.quantile(q);
+    let truth = true_quantile(sorted, q) as f64;
+    // The reported value is the upper edge of the bucket holding the true
+    // quantile: never below it (modulo float slack in the edge itself) and
+    // at most RELATIVE_ERROR above it.
+    assert!(
+        reported >= truth * (1.0 - 1e-9),
+        "q={q}: reported {reported} below true {truth}"
+    );
+    assert!(
+        reported <= truth * (1.0 + Histogram::RELATIVE_ERROR) * (1.0 + 1e-9),
+        "q={q}: reported {reported} overshoots true {truth} beyond the bound"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn quantiles_within_relative_error_bound(
+        samples in prop::collection::vec(1u64..1_000_000_000_000, 1..300)
+    ) {
+        let h = Histogram::new();
+        for &v in &samples {
+            h.observe_u64(v);
+        }
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+        check_quantile(&h, &sorted, 0.5);
+        check_quantile(&h, &sorted, 0.99);
+    }
+
+    #[test]
+    fn sum_and_count_are_exact(
+        samples in prop::collection::vec(0u64..1_000_000_000, 0..300)
+    ) {
+        let h = Histogram::new();
+        for &v in &samples {
+            h.observe_u64(v);
+        }
+        prop_assert_eq!(h.count(), samples.len() as u64);
+        // Integer-valued observations with partial sums far below 2^53:
+        // the CAS float accumulation is exact, not just close.
+        let exact: u64 = samples.iter().sum();
+        prop_assert_eq!(h.sum(), exact as f64);
+    }
+}

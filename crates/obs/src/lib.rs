@@ -24,5 +24,11 @@
 pub mod export;
 pub mod sink;
 
-pub use export::{from_jsonl, to_chrome_trace, to_jsonl};
-pub use sink::{EventKind, EventSink, NullSink, RingBufferSink, SharedRingSink, TraceEvent};
+pub use export::{
+    from_jsonl, jsonl_dropped, split_sessions, to_chrome_trace, to_chrome_trace_sessions,
+    to_chrome_trace_with_drops, to_jsonl, to_jsonl_with_drops, SessionTraceExport,
+};
+pub use sink::{
+    EventKind, EventSink, NullSink, RingBufferSink, SessionEvent, SessionTap, SharedRingSink,
+    SharedSessionSink, TraceEvent,
+};

@@ -221,6 +221,118 @@ impl EventSink for SharedRingSink {
     }
 }
 
+/// A [`TraceEvent`] tagged with the session that emitted it.
+///
+/// A plain [`SharedRingSink`] merges concurrent sessions into one stream
+/// with no attribution — fine for counting, useless for rendering, since
+/// two sessions' node 0 spans interleave on the same lane. The session tag
+/// restores attribution so exporters can keep sessions apart (one Chrome
+/// trace `pid` per session, see [`crate::export::to_chrome_trace_sessions`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionEvent {
+    /// Caller-chosen session identifier (e.g. an `lqs-server` session id).
+    pub session: u64,
+    /// The event itself.
+    pub event: TraceEvent,
+}
+
+/// A `Send + Sync` ring buffer of [`SessionEvent`]s shared by many
+/// concurrent sessions, with the same drop-oldest overflow accounting as
+/// [`SharedRingSink`]. Sessions attach through [`SharedSessionSink::tap`],
+/// which stamps every emitted event with that session's id.
+#[derive(Debug)]
+pub struct SharedSessionSink {
+    buf: std::sync::Mutex<VecDeque<SessionEvent>>,
+    capacity: usize,
+    dropped: std::sync::atomic::AtomicU64,
+}
+
+impl SharedSessionSink {
+    /// A sink retaining at most `capacity` events (min 1) across all
+    /// sessions.
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        SharedSessionSink {
+            buf: std::sync::Mutex::new(VecDeque::with_capacity(capacity.min(4096))),
+            capacity,
+            dropped: std::sync::atomic::AtomicU64::new(0),
+        }
+    }
+
+    /// An [`EventSink`] that stamps everything it receives with `session`.
+    pub fn tap(self: &std::sync::Arc<Self>, session: u64) -> SessionTap {
+        SessionTap {
+            sink: std::sync::Arc::clone(self),
+            session,
+        }
+    }
+
+    fn push(&self, event: SessionEvent) {
+        let mut buf = self.buf.lock().expect("sink poisoned");
+        if buf.len() == self.capacity {
+            buf.pop_front();
+            self.dropped
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        }
+        buf.push_back(event);
+    }
+
+    /// Events currently retained, oldest first.
+    pub fn events(&self) -> Vec<SessionEvent> {
+        self.buf
+            .lock()
+            .expect("sink poisoned")
+            .iter()
+            .cloned()
+            .collect()
+    }
+
+    /// Drain all retained events, oldest first, leaving the sink empty.
+    /// The dropped count is *not* reset — it stays an honest total.
+    pub fn drain(&self) -> Vec<SessionEvent> {
+        self.buf.lock().expect("sink poisoned").drain(..).collect()
+    }
+
+    /// Number of events evicted due to capacity.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Number of events currently retained.
+    pub fn len(&self) -> usize {
+        self.buf.lock().expect("sink poisoned").len()
+    }
+
+    /// Whether no events are retained.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Per-session handle into a [`SharedSessionSink`] (see
+/// [`SharedSessionSink::tap`]).
+#[derive(Debug, Clone)]
+pub struct SessionTap {
+    sink: std::sync::Arc<SharedSessionSink>,
+    session: u64,
+}
+
+impl SessionTap {
+    /// The session id this tap stamps onto events.
+    pub fn session(&self) -> u64 {
+        self.session
+    }
+}
+
+impl EventSink for SessionTap {
+    fn emit(&self, event: TraceEvent) {
+        self.sink.push(SessionEvent {
+            session: self.session,
+            event,
+        });
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -278,6 +390,30 @@ mod tests {
         assert_eq!(sink.dropped(), 2);
         let kept: Vec<u64> = sink.events().iter().map(|e| e.ts_ns).collect();
         assert_eq!(kept, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn session_sink_tags_and_drops_across_sessions() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SharedSessionSink>();
+
+        let sink = std::sync::Arc::new(SharedSessionSink::new(3));
+        let a = sink.tap(7);
+        let b = sink.tap(9);
+        a.emit(ev(0));
+        b.emit(ev(1));
+        a.emit(ev(2));
+        b.emit(ev(3)); // evicts session 7's ts=0 event
+        assert_eq!(sink.dropped(), 1);
+        let tagged: Vec<(u64, u64)> = sink
+            .events()
+            .iter()
+            .map(|e| (e.session, e.event.ts_ns))
+            .collect();
+        assert_eq!(tagged, vec![(9, 1), (7, 2), (9, 3)]);
+        assert_eq!(sink.drain().len(), 3);
+        assert!(sink.is_empty());
+        assert_eq!(sink.dropped(), 1); // drain keeps the loss accounting
     }
 
     #[test]

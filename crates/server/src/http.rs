@@ -1,0 +1,222 @@
+//! The scrape endpoint: a minimal HTTP/1.1 server over
+//! `std::net::TcpListener` exposing the metrics registry and the session
+//! registry. Hand-rolled on purpose — the workspace is vendor-only, and a
+//! scrape server needs exactly two GET routes, not a framework.
+//!
+//! Routes:
+//! * `GET /metrics` — Prometheus text exposition (0.0.4) of the shared
+//!   [`MetricsRegistry`].
+//! * `GET /sessions` — JSON array of every registered session's id, name,
+//!   workload, lifecycle state, and latest-snapshot position.
+//! * `GET /` — plain-text index naming the two above.
+//!
+//! Connections are handled serially on one acceptor thread with short
+//! read/write timeouts: scrapers poll every few seconds, bodies are small,
+//! and a slow client can stall a scrape by at most the timeout.
+
+use crate::metrics::state_label;
+use crate::registry::SessionRegistry;
+use lqs_metrics::MetricsRegistry;
+use serde::Value;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Per-connection read/write budget. Generous for a localhost scrape,
+/// short enough that a stuck client can't wedge the acceptor for long.
+const IO_TIMEOUT: Duration = Duration::from_secs(2);
+
+/// Largest request head accepted; anything longer is rejected with 431.
+const MAX_HEAD_BYTES: usize = 8 * 1024;
+
+/// A background HTTP server exposing `/metrics` and `/sessions`.
+///
+/// Bind to port 0 for an ephemeral port ([`MetricsServer::addr`] reports
+/// the one chosen). The server stops — promptly, via a self-connect that
+/// unblocks the acceptor — on [`MetricsServer::stop`] or drop.
+pub struct MetricsServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl MetricsServer {
+    /// Bind `addr` and start serving `metrics` and `sessions` on a
+    /// background thread.
+    pub fn start(
+        addr: impl ToSocketAddrs,
+        metrics: Arc<MetricsRegistry>,
+        sessions: Arc<SessionRegistry>,
+    ) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let thread = {
+            let stop = Arc::clone(&stop);
+            std::thread::Builder::new()
+                .name("lqs-metrics-http".into())
+                .spawn(move || accept_loop(&listener, &stop, &metrics, &sessions))?
+        };
+        Ok(MetricsServer {
+            addr: local,
+            stop,
+            thread: Some(thread),
+        })
+    }
+
+    /// The bound address (the real port, when started on port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Base URL of the server, e.g. `http://127.0.0.1:43211`.
+    pub fn url(&self) -> String {
+        format!("http://{}", self.addr)
+    }
+
+    /// Stop serving and join the acceptor thread.
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        let Some(thread) = self.thread.take() else {
+            return;
+        };
+        self.stop.store(true, Ordering::Release);
+        // The acceptor blocks in `accept`; a throwaway connection wakes it
+        // so it can observe the stop flag.
+        let _ = TcpStream::connect(self.addr);
+        let _ = thread.join();
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    stop: &AtomicBool,
+    metrics: &MetricsRegistry,
+    sessions: &SessionRegistry,
+) {
+    for stream in listener.incoming() {
+        if stop.load(Ordering::Acquire) {
+            return;
+        }
+        let Ok(stream) = stream else { continue };
+        // Serve inline: requests are tiny, responses are one render, and
+        // the timeout bounds the damage of a stalled client.
+        let _ = serve_connection(stream, metrics, sessions);
+    }
+}
+
+fn serve_connection(
+    mut stream: TcpStream,
+    metrics: &MetricsRegistry,
+    sessions: &SessionRegistry,
+) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(IO_TIMEOUT))?;
+    stream.set_write_timeout(Some(IO_TIMEOUT))?;
+    let head = match read_head(&mut stream)? {
+        Some(head) => head,
+        None => return respond(&mut stream, 431, "text/plain", "request head too large\n"),
+    };
+    let mut parts = head.lines().next().unwrap_or("").split_whitespace();
+    let (method, target) = (parts.next().unwrap_or(""), parts.next().unwrap_or(""));
+    if method != "GET" {
+        return respond(&mut stream, 405, "text/plain", "only GET is supported\n");
+    }
+    // Ignore any query string; route on the path alone.
+    let path = target.split('?').next().unwrap_or("");
+    match path {
+        "/metrics" => respond(
+            &mut stream,
+            200,
+            "text/plain; version=0.0.4; charset=utf-8",
+            &metrics.render(),
+        ),
+        "/sessions" => respond(&mut stream, 200, "application/json", &sessions_json(sessions)),
+        "/" => respond(
+            &mut stream,
+            200,
+            "text/plain",
+            "lqs metrics server\n  GET /metrics   Prometheus text exposition\n  GET /sessions  session registry as JSON\n",
+        ),
+        _ => respond(&mut stream, 404, "text/plain", "not found\n"),
+    }
+}
+
+/// Read up to the end of the request head (`\r\n\r\n`). `Ok(None)` means
+/// the head exceeded [`MAX_HEAD_BYTES`].
+fn read_head(stream: &mut TcpStream) -> std::io::Result<Option<String>> {
+    let mut head = Vec::new();
+    let mut buf = [0u8; 1024];
+    loop {
+        let n = stream.read(&mut buf)?;
+        if n == 0 {
+            break;
+        }
+        head.extend_from_slice(&buf[..n]);
+        if head.windows(4).any(|w| w == b"\r\n\r\n") {
+            break;
+        }
+        if head.len() > MAX_HEAD_BYTES {
+            return Ok(None);
+        }
+    }
+    Ok(Some(String::from_utf8_lossy(&head).into_owned()))
+}
+
+fn respond(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    body: &str,
+) -> std::io::Result<()> {
+    let reason = match status {
+        200 => "OK",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        431 => "Request Header Fields Too Large",
+        _ => "Error",
+    };
+    write!(
+        stream,
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    )?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+/// The session registry as a JSON array, submission order.
+fn sessions_json(sessions: &SessionRegistry) -> String {
+    let rows: Vec<Value> = sessions
+        .sessions()
+        .iter()
+        .map(|h| {
+            let snapshot = h.latest_snapshot();
+            Value::Object(vec![
+                ("id".into(), Value::Int(h.id().0 as i64)),
+                ("name".into(), Value::String(h.name().into())),
+                ("workload".into(), Value::String(h.workload().into())),
+                ("state".into(), Value::String(state_label(h.state()).into())),
+                ("published_seq".into(), Value::Int(h.published_seq() as i64)),
+                (
+                    "snapshot_ts_ns".into(),
+                    snapshot.map_or(Value::Null, |s| Value::Int(s.ts_ns as i64)),
+                ),
+            ])
+        })
+        .collect();
+    let mut out = Value::Array(rows).to_json();
+    out.push('\n');
+    out
+}

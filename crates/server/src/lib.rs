@@ -20,6 +20,16 @@
 //!   [`lqs_exec::CancellationToken`] checked at each virtual-clock tick,
 //!   and an optional virtual-time deadline for runaway queries. Aborted
 //!   sessions keep their partial trace.
+//! * Telemetry — [`ServiceMetrics`] (session lifecycle, queue wait, run
+//!   durations, operator close-time totals) and [`PollerMetrics`] (poll
+//!   latency, snapshot staleness, and *online estimator-accuracy scoring*:
+//!   each completed session's estimate trace is replayed against its
+//!   ground truth and folded into per-workload error histograms) record
+//!   into a shared [`lqs_metrics::MetricsRegistry`], which
+//!   [`MetricsServer`] exposes over HTTP (`GET /metrics` in Prometheus
+//!   text format, `GET /sessions` as JSON). Accuracy is scored on the
+//!   first poll that sees a session terminal, so poll once after
+//!   completion before evicting.
 //!
 //! ```
 //! use lqs_server::{QueryService, QuerySpec, RegistryPoller, SessionState};
@@ -54,10 +64,14 @@
 
 #![warn(missing_docs)]
 
+pub mod http;
+pub mod metrics;
 pub mod registry;
 pub mod service;
 pub mod session;
 
+pub use http::MetricsServer;
+pub use metrics::{state_label, PollerMetrics, ServiceMetrics};
 pub use registry::{RegistryPoller, SessionProgress, SessionRegistry};
 pub use service::QueryService;
 pub use session::{QuerySpec, SessionHandle, SessionId, SessionResult, SessionState};

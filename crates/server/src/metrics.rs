@@ -1,0 +1,175 @@
+//! Service- and poller-side telemetry: session lifecycle counters,
+//! queue-wait / run-duration / staleness distributions, and the headline
+//! *estimator accuracy* histograms.
+//!
+//! Everything funnels into one shared [`MetricsRegistry`]; hand the same
+//! `Arc` to [`ServiceMetrics::new`], [`PollerMetrics::new`], and
+//! [`crate::MetricsServer::start`], and a single `/metrics` scrape covers
+//! the whole stack (operator close-time totals included — [`ServiceMetrics`]
+//! owns the [`ExecMetrics`] recorder the workers attach to their runs).
+
+use crate::session::SessionState;
+use lqs_exec::ExecMetrics;
+use lqs_metrics::{Counter, Gauge, Histogram, MetricsRegistry};
+use std::sync::Arc;
+
+/// Lower-snake label for a session state, used by the
+/// `lqs_sessions_finished_total{outcome=...}` family and the `/sessions`
+/// endpoint.
+pub fn state_label(state: SessionState) -> &'static str {
+    match state {
+        SessionState::Queued => "queued",
+        SessionState::Running => "running",
+        SessionState::Succeeded => "succeeded",
+        SessionState::Cancelled => "cancelled",
+        SessionState::DeadlineExceeded => "deadline_exceeded",
+        SessionState::Failed => "failed",
+    }
+}
+
+/// Telemetry recorded by the [`crate::QueryService`] worker pool: one
+/// instance per service, shared by every worker.
+pub struct ServiceMetrics {
+    registry: Arc<MetricsRegistry>,
+    exec: ExecMetrics,
+    pub(crate) submitted: Arc<Counter>,
+    pub(crate) running: Arc<Gauge>,
+    pub(crate) queue_wait_seconds: Arc<Histogram>,
+    pub(crate) run_wall_seconds: Arc<Histogram>,
+    pub(crate) run_virtual_ns: Arc<Histogram>,
+    pub(crate) trace_events_dropped: Arc<Gauge>,
+}
+
+impl ServiceMetrics {
+    /// Service metrics recording into `registry`.
+    pub fn new(registry: Arc<MetricsRegistry>) -> Arc<Self> {
+        let submitted = registry.counter(
+            "lqs_sessions_submitted_total",
+            "Sessions accepted by the query service",
+            &[],
+        );
+        let running = registry.gauge(
+            "lqs_sessions_running",
+            "Sessions currently executing on a worker",
+            &[],
+        );
+        let queue_wait_seconds = registry.histogram(
+            "lqs_session_queue_wait_seconds",
+            "Wall-clock time a session waited for a worker",
+            &[],
+        );
+        let run_wall_seconds = registry.histogram(
+            "lqs_session_run_seconds",
+            "Wall-clock time a worker spent executing a session",
+            &[],
+        );
+        let run_virtual_ns = registry.histogram(
+            "lqs_session_virtual_ns",
+            "Virtual-clock nanoseconds a session executed for (completed and aborted runs)",
+            &[],
+        );
+        let trace_events_dropped = registry.gauge(
+            "lqs_trace_events_dropped",
+            "Events evicted so far from the service's shared trace ring buffer",
+            &[],
+        );
+        Arc::new(ServiceMetrics {
+            exec: ExecMetrics::new(Arc::clone(&registry)),
+            registry,
+            submitted,
+            running,
+            queue_wait_seconds,
+            run_wall_seconds,
+            run_virtual_ns,
+            trace_events_dropped,
+        })
+    }
+
+    /// The registry behind this instance (hand it to a
+    /// [`crate::MetricsServer`] to expose it).
+    pub fn registry(&self) -> &Arc<MetricsRegistry> {
+        &self.registry
+    }
+
+    /// The operator close-time recorder workers attach via
+    /// [`lqs_exec::ExecHooks::metrics`].
+    pub(crate) fn exec(&self) -> &ExecMetrics {
+        &self.exec
+    }
+
+    /// Count one session reaching terminal state `state`.
+    pub(crate) fn finished(&self, state: SessionState) {
+        self.registry
+            .counter(
+                "lqs_sessions_finished_total",
+                "Sessions that reached a terminal state, by outcome",
+                &[("outcome", state_label(state))],
+            )
+            .inc();
+    }
+}
+
+/// Telemetry recorded by a [`crate::RegistryPoller`]: poll latency,
+/// snapshot staleness, and the estimator-accuracy feedback loop.
+///
+/// Accuracy works like the paper's §5 evaluation, run *online*: when the
+/// poller first sees a session terminal with a completed run, it replays
+/// the run's full snapshot trace through the very estimator it was using
+/// live, scores the estimate sequence against the now-known ground truth
+/// with [`lqs_progress::error_count`] / [`lqs_progress::error_time`], and
+/// folds both figures into per-workload histograms. The scrape endpoint
+/// then answers "how wrong were our progress bars?" continuously.
+pub struct PollerMetrics {
+    registry: Arc<MetricsRegistry>,
+    pub(crate) poll_latency_seconds: Arc<Histogram>,
+    pub(crate) snapshot_age_seconds: Arc<Histogram>,
+    pub(crate) accuracy_sessions: Arc<Counter>,
+}
+
+impl PollerMetrics {
+    /// Poller metrics recording into `registry`.
+    pub fn new(registry: Arc<MetricsRegistry>) -> Self {
+        let poll_latency_seconds = registry.histogram(
+            "lqs_poll_latency_seconds",
+            "Wall-clock time of one full registry poll",
+            &[],
+        );
+        let snapshot_age_seconds = registry.histogram(
+            "lqs_snapshot_age_seconds",
+            "Wall-clock age of a running session's latest snapshot at poll time",
+            &[],
+        );
+        let accuracy_sessions = registry.counter(
+            "lqs_accuracy_sessions_total",
+            "Completed sessions scored by the estimator-accuracy replay",
+            &[],
+        );
+        PollerMetrics {
+            registry,
+            poll_latency_seconds,
+            snapshot_age_seconds,
+            accuracy_sessions,
+        }
+    }
+
+    /// Fold one completed session's accuracy figures into the per-workload
+    /// families.
+    pub(crate) fn observe_accuracy(&self, workload: &str, error_count: f64, error_time: f64) {
+        let labels = [("workload", workload)];
+        self.registry
+            .histogram(
+                "lqs_estimator_error_count",
+                "Paper ErrorAvg (section 5): mean |estimate - true GetNext progress| per completed session",
+                &labels,
+            )
+            .observe(error_count);
+        self.registry
+            .histogram(
+                "lqs_estimator_error_time",
+                "Paper ErrorTime (section 5): mean |estimate - elapsed-time fraction| per completed session",
+                &labels,
+            )
+            .observe(error_time);
+        self.accuracy_sessions.inc();
+    }
+}

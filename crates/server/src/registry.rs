@@ -6,12 +6,16 @@
 //! each into a [`ProgressReport`]. Polling never blocks execution beyond
 //! the one-clone critical section of the latest-snapshot slot.
 
-use crate::session::{QuerySpec, RunningGauge, SessionHandle, SessionId, SessionState};
-use lqs_progress::{EstimatorConfig, ProgressEstimator, ProgressReport};
+use crate::metrics::PollerMetrics;
+use crate::session::{
+    QuerySpec, RunningGauge, SessionHandle, SessionId, SessionResult, SessionState,
+};
+use lqs_progress::{error_count, error_time, EstimatorConfig, ProgressEstimator, ProgressReport};
 use lqs_storage::Database;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
 /// All sessions ever submitted to one [`crate::QueryService`], live and
 /// finished. Finished sessions stay listed (like a DMV joined with a
@@ -119,6 +123,10 @@ pub struct RegistryPoller {
     /// Last-seen publish seq per session; sessions that have not published
     /// since keep returning their previous progress without re-estimating.
     last_seen: HashMap<SessionId, (u64, Option<ProgressReport>, Option<u64>)>,
+    metrics: Option<PollerMetrics>,
+    /// Sessions whose accuracy has been scored (or ruled out), so the
+    /// replay runs exactly once per session.
+    accuracy_done: HashSet<SessionId>,
 }
 
 impl RegistryPoller {
@@ -130,22 +138,48 @@ impl RegistryPoller {
             config,
             estimators: HashMap::new(),
             last_seen: HashMap::new(),
+            metrics: None,
+            accuracy_done: HashSet::new(),
         }
+    }
+
+    /// Record poll latency, snapshot staleness, and estimator accuracy
+    /// into `metrics`.
+    pub fn with_metrics(mut self, metrics: PollerMetrics) -> Self {
+        self.metrics = Some(metrics);
+        self
     }
 
     /// Estimate progress of every registered session from its latest
     /// published snapshot. One entry per session, in submission order.
     pub fn poll(&mut self) -> Vec<SessionProgress> {
+        let started = Instant::now();
         let sessions = self.registry.sessions();
         let mut out = Vec::with_capacity(sessions.len());
         for handle in sessions {
+            if let Some(metrics) = &self.metrics {
+                // Staleness of the poller's view: age of the snapshot this
+                // very poll is about to estimate from, running sessions only
+                // (a terminal session's snapshot is final, not stale).
+                if handle.state() == SessionState::Running {
+                    if let Some(age) = handle.snapshot_age() {
+                        metrics.snapshot_age_seconds.observe(age.as_secs_f64());
+                    }
+                }
+            }
             out.push(self.poll_session(&handle));
+        }
+        if let Some(metrics) = &self.metrics {
+            metrics
+                .poll_latency_seconds
+                .observe(started.elapsed().as_secs_f64());
         }
         out
     }
 
     /// Estimate one session's progress.
     pub fn poll_session(&mut self, handle: &SessionHandle) -> SessionProgress {
+        self.maybe_score_accuracy(handle);
         let id = handle.id();
         let seq = handle.published_seq();
         // Reuse the cached report when nothing new was published.
@@ -196,17 +230,59 @@ impl RegistryPoller {
         }
     }
 
+    /// Estimator-accuracy self-telemetry (the paper's §5 evaluation, run
+    /// online): the first time this poller sees `handle` terminal with a
+    /// completed run, replay the run's full snapshot trace through the
+    /// session's live estimator, score it against the now-known ground
+    /// truth, and fold the two error figures into the per-workload
+    /// accuracy histograms.
+    fn maybe_score_accuracy(&mut self, handle: &SessionHandle) {
+        if self.metrics.is_none()
+            || self.accuracy_done.contains(&handle.id())
+            || !handle.state().is_terminal()
+        {
+            return;
+        }
+        // Run at most once per session, whatever the result variant:
+        // aborted and failed runs have no ground truth to score against.
+        self.accuracy_done.insert(handle.id());
+        let Some(SessionResult::Completed(run)) = handle.result() else {
+            return;
+        };
+        let estimator = self.estimators.entry(handle.id()).or_insert_with(|| {
+            ProgressEstimator::with_cost_model(
+                handle.plan(),
+                &self.db,
+                self.config.clone(),
+                &handle.opts().cost_model,
+            )
+        });
+        let estimates: Vec<f64> = run
+            .snapshots
+            .iter()
+            .map(|s| estimator.estimate(s).query_progress)
+            .collect();
+        let metrics = self.metrics.as_ref().expect("checked above");
+        metrics.observe_accuracy(
+            handle.workload(),
+            error_count(&run, &estimates),
+            error_time(&run, &estimates),
+        );
+    }
+
     /// Number of estimators currently cached (one per polled session).
     pub fn cached_estimators(&self) -> usize {
         self.estimators.len()
     }
 
-    /// Drop cached estimators and reports for sessions no longer in the
-    /// registry (pair with [`SessionRegistry::evict_terminal`]).
+    /// Drop cached estimators, reports, and accuracy bookkeeping for
+    /// sessions no longer in the registry (pair with
+    /// [`SessionRegistry::evict_terminal`]). Without this, a long-lived
+    /// poller over a churning service grows without bound.
     pub fn evict_finished(&mut self) {
-        let live: std::collections::HashSet<SessionId> =
-            self.registry.sessions().iter().map(|h| h.id()).collect();
+        let live: HashSet<SessionId> = self.registry.sessions().iter().map(|h| h.id()).collect();
         self.estimators.retain(|id, _| live.contains(id));
         self.last_seen.retain(|id, _| live.contains(id));
+        self.accuracy_done.retain(|id| live.contains(id));
     }
 }

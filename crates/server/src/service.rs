@@ -5,13 +5,16 @@
 //! entirely *between* sessions. The only cross-thread traffic on the hot
 //! path is the snapshot publish into the session handle.
 
+use crate::metrics::ServiceMetrics;
 use crate::registry::SessionRegistry;
 use crate::session::{QuerySpec, SessionHandle, SessionState};
 use lqs_exec::{execute_hooked, ExecHooks};
+use lqs_obs::EventSink;
 use lqs_storage::Database;
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 /// A concurrent multi-session query service over one database.
 ///
@@ -22,13 +25,25 @@ use std::thread::JoinHandle;
 pub struct QueryService {
     db: Arc<Database>,
     registry: Arc<SessionRegistry>,
+    metrics: Option<Arc<ServiceMetrics>>,
     queue: Option<Sender<Arc<SessionHandle>>>,
     workers: Vec<JoinHandle<()>>,
 }
 
 impl QueryService {
-    /// Start a service with `workers` worker threads (min 1) over `db`.
+    /// Start a service with `workers` worker threads (min 1) over `db`,
+    /// recording no telemetry.
     pub fn new(db: Arc<Database>, workers: usize) -> Self {
+        Self::build(db, workers, None)
+    }
+
+    /// [`QueryService::new`], with every worker recording session lifecycle
+    /// and operator close-time telemetry into `metrics`.
+    pub fn with_metrics(db: Arc<Database>, workers: usize, metrics: Arc<ServiceMetrics>) -> Self {
+        Self::build(db, workers, Some(metrics))
+    }
+
+    fn build(db: Arc<Database>, workers: usize, metrics: Option<Arc<ServiceMetrics>>) -> Self {
         let registry = Arc::new(SessionRegistry::new());
         let (tx, rx) = channel::<Arc<SessionHandle>>();
         let rx = Arc::new(Mutex::new(rx));
@@ -36,12 +51,14 @@ impl QueryService {
             .map(|_| {
                 let rx = Arc::clone(&rx);
                 let db = Arc::clone(&db);
-                std::thread::spawn(move || worker_loop(&db, &rx))
+                let metrics = metrics.clone();
+                std::thread::spawn(move || worker_loop(&db, &rx, metrics.as_deref()))
             })
             .collect();
         QueryService {
             db,
             registry,
+            metrics,
             queue: Some(tx),
             workers,
         }
@@ -57,10 +74,19 @@ impl QueryService {
         &self.registry
     }
 
+    /// The service's telemetry, when started via
+    /// [`QueryService::with_metrics`].
+    pub fn metrics(&self) -> Option<&Arc<ServiceMetrics>> {
+        self.metrics.as_ref()
+    }
+
     /// Submit a query. Returns immediately with the session handle; the
     /// query runs when a worker frees up.
     pub fn submit(&self, spec: QuerySpec) -> Arc<SessionHandle> {
         let handle = self.registry.register(spec);
+        if let Some(metrics) = &self.metrics {
+            metrics.submitted.inc();
+        }
         self.queue
             .as_ref()
             .expect("service already shut down")
@@ -101,20 +127,24 @@ impl Drop for QueryService {
     }
 }
 
-fn worker_loop(db: &Database, rx: &Mutex<Receiver<Arc<SessionHandle>>>) {
+fn worker_loop(
+    db: &Database,
+    rx: &Mutex<Receiver<Arc<SessionHandle>>>,
+    metrics: Option<&ServiceMetrics>,
+) {
     loop {
         // Hold the receiver lock only for the dequeue, not the execution.
         let handle = match rx.lock().expect("queue poisoned").recv() {
             Ok(handle) => handle,
             Err(_) => return, // queue closed and drained
         };
-        run_session(db, &handle);
+        run_session(db, &handle, metrics);
     }
 }
 
 /// Execute one session on the calling thread, publishing snapshots into its
 /// handle and recording the outcome.
-fn run_session(db: &Database, handle: &SessionHandle) {
+fn run_session(db: &Database, handle: &SessionHandle, metrics: Option<&ServiceMetrics>) {
     // A session cancelled while still queued never starts. Its partial
     // counters must still be one-per-plan-node (all zero — no work was
     // done): pollers feed the published snapshot to an estimator that
@@ -126,14 +156,25 @@ fn run_session(db: &Database, handle: &SessionHandle) {
             snapshots: Vec::new(),
             partial_counters: vec![lqs_exec::NodeCounters::default(); handle.plan().len()],
         });
+        if let Some(metrics) = metrics {
+            metrics.finished(SessionState::Cancelled);
+        }
         return;
     }
+    let queue_wait = handle.submitted_at().elapsed();
     handle.set_state(SessionState::Running);
+    if let Some(metrics) = metrics {
+        metrics.queue_wait_seconds.observe(queue_wait.as_secs_f64());
+        metrics.running.inc();
+    }
+    let started = Instant::now();
+    let tap = handle.trace_sink().map(|sink| sink.tap(handle.id().0));
     let hooks = ExecHooks {
-        sink: None,
+        sink: tap.as_ref().map(|t| t as &dyn EventSink),
         publisher: Some(handle),
         cancel: Some(handle.cancel_token()),
         deadline_ns: handle.deadline_ns(),
+        metrics: metrics.map(ServiceMetrics::exec),
     };
     // `QueryAborted` unwinds are already converted to `Err` inside
     // `execute_hooked`; anything that still unwinds here is a genuine bug
@@ -143,6 +184,32 @@ fn run_session(db: &Database, handle: &SessionHandle) {
     let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
         execute_hooked(db, handle.plan(), handle.opts(), hooks)
     }));
+    let (state, virtual_ns) = match &outcome {
+        Ok(Ok(run)) => (SessionState::Succeeded, Some(run.duration_ns)),
+        Ok(Err(aborted)) => {
+            let state = match aborted.reason {
+                lqs_exec::AbortReason::Cancelled => SessionState::Cancelled,
+                lqs_exec::AbortReason::DeadlineExceeded => SessionState::DeadlineExceeded,
+            };
+            (state, Some(aborted.at_ns))
+        }
+        Err(_) => (SessionState::Failed, None),
+    };
+    // Record telemetry *before* publishing the terminal state: anyone woken
+    // by `wait_terminal` must already see this session in the counters.
+    if let Some(metrics) = metrics {
+        metrics.running.dec();
+        metrics
+            .run_wall_seconds
+            .observe(started.elapsed().as_secs_f64());
+        if let Some(ns) = virtual_ns {
+            metrics.run_virtual_ns.observe_u64(ns);
+        }
+        metrics.finished(state);
+        if let Some(sink) = handle.trace_sink() {
+            metrics.trace_events_dropped.set(sink.dropped() as i64);
+        }
+    }
     match outcome {
         Ok(Ok(run)) => handle.complete(run),
         Ok(Err(aborted)) => handle.abort(aborted),

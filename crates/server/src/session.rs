@@ -11,9 +11,11 @@ use lqs_exec::{
     AbortReason, AbortedQuery, CancellationToken, DmvSnapshot, ExecOptions, QueryRun,
     SnapshotPublisher,
 };
+use lqs_obs::SharedSessionSink;
 use lqs_plan::PhysicalPlan;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
 
 /// Opaque session identifier, unique within one [`crate::SessionRegistry`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -104,6 +106,12 @@ pub struct QuerySpec {
     pub opts: ExecOptions,
     /// Abort the run once its virtual clock reaches this (runaway guard).
     pub deadline_ns: Option<u64>,
+    /// Workload label for accuracy telemetry (the `workload` label on the
+    /// `lqs_estimator_error_*` families). Defaults to `name`.
+    pub workload: Option<String>,
+    /// Shared trace capture: the worker taps this sink with the session id,
+    /// so multi-session captures stay attributable per session.
+    pub trace: Option<Arc<SharedSessionSink>>,
 }
 
 impl QuerySpec {
@@ -114,6 +122,8 @@ impl QuerySpec {
             plan,
             opts: ExecOptions::default(),
             deadline_ns: None,
+            workload: None,
+            trace: None,
         }
     }
 
@@ -126,6 +136,18 @@ impl QuerySpec {
     /// Set the virtual-time deadline.
     pub fn with_deadline_ns(mut self, deadline_ns: u64) -> Self {
         self.deadline_ns = Some(deadline_ns);
+        self
+    }
+
+    /// Set the workload label for accuracy telemetry.
+    pub fn with_workload(mut self, workload: impl Into<String>) -> Self {
+        self.workload = Some(workload.into());
+        self
+    }
+
+    /// Attach a shared trace capture for this session's events.
+    pub fn with_trace(mut self, sink: Arc<SharedSessionSink>) -> Self {
+        self.trace = Some(sink);
         self
     }
 }
@@ -151,6 +173,12 @@ pub struct SessionHandle {
     result: Mutex<Option<SessionResult>>,
     /// Registry-wide running-sessions gauge, bumped on state transitions.
     gauge: Arc<RunningGauge>,
+    /// Wall-clock submission instant (queue-wait and staleness metrics).
+    created: Instant,
+    /// Wall-clock nanoseconds after `created` of the most recent publish;
+    /// `u64::MAX` until the first. Pollers subtract this from "now" to get
+    /// snapshot age without taking the `latest` lock.
+    last_publish_ns: AtomicU64,
 }
 
 impl SessionHandle {
@@ -165,6 +193,8 @@ impl SessionHandle {
             published_seq: AtomicU64::new(0),
             result: Mutex::new(None),
             gauge,
+            created: Instant::now(),
+            last_publish_ns: AtomicU64::new(u64::MAX),
         }
     }
 
@@ -176,6 +206,36 @@ impl SessionHandle {
     /// Display name from the spec.
     pub fn name(&self) -> &str {
         &self.spec.name
+    }
+
+    /// Workload label for accuracy telemetry (falls back to the name).
+    pub fn workload(&self) -> &str {
+        self.spec.workload.as_deref().unwrap_or(&self.spec.name)
+    }
+
+    /// Shared trace capture this session emits into, if any.
+    pub fn trace_sink(&self) -> Option<&Arc<SharedSessionSink>> {
+        self.spec.trace.as_ref()
+    }
+
+    /// Wall-clock instant the session was submitted.
+    pub fn submitted_at(&self) -> Instant {
+        self.created
+    }
+
+    /// Wall-clock age of the latest published snapshot — how stale a
+    /// poller's view of this session is right now. `None` before the first
+    /// publish.
+    pub fn snapshot_age(&self) -> Option<Duration> {
+        let at = self.last_publish_ns.load(Ordering::Acquire);
+        if at == u64::MAX {
+            return None;
+        }
+        Some(
+            self.created
+                .elapsed()
+                .saturating_sub(Duration::from_nanos(at)),
+        )
     }
 
     /// The plan this session executes.
@@ -289,6 +349,14 @@ impl SessionHandle {
 impl SnapshotPublisher for SessionHandle {
     fn publish(&self, snapshot: &DmvSnapshot) {
         *self.latest.lock().expect("latest slot poisoned") = Some(snapshot.clone());
+        // `u64::MAX` is the never-published sentinel; a >584-year uptime
+        // would be needed to collide with it.
+        let elapsed = self
+            .created
+            .elapsed()
+            .as_nanos()
+            .min(u128::from(u64::MAX - 1)) as u64;
+        self.last_publish_ns.store(elapsed, Ordering::Release);
         self.published_seq.fetch_add(1, Ordering::AcqRel);
     }
 }
@@ -321,6 +389,29 @@ mod tests {
         h.publish(&snap);
         assert_eq!(h.published_seq(), 1);
         assert_eq!(h.latest_snapshot(), Some(snap));
+    }
+
+    #[test]
+    fn snapshot_age_and_workload_label() {
+        let h = SessionHandle::new(
+            SessionId(0),
+            QuerySpec::new("q", dummy_plan()),
+            Arc::default(),
+        );
+        assert!(h.snapshot_age().is_none());
+        assert_eq!(h.workload(), "q"); // falls back to the name
+        h.publish(&DmvSnapshot {
+            ts_ns: 1,
+            nodes: vec![NodeCounters::default()],
+        });
+        assert!(h.snapshot_age().is_some());
+
+        let labelled = SessionHandle::new(
+            SessionId(1),
+            QuerySpec::new("q", dummy_plan()).with_workload("tpch-q01"),
+            Arc::default(),
+        );
+        assert_eq!(labelled.workload(), "tpch-q01");
     }
 
     #[test]

@@ -1,0 +1,342 @@
+//! Full-stack telemetry: sessions run under a metrics-recording service,
+//! a metrics-recording poller scores estimator accuracy online, and the
+//! HTTP endpoint serves it all.
+//!
+//! The headline assertion is *exactness*: the accuracy figures folded into
+//! the per-workload histograms must equal — bit for bit — a direct
+//! `lqs_progress::error_count` / `error_time` computation over the same
+//! run, because both sides replay the same deterministic virtual-clock
+//! trace through identically-constructed estimators.
+
+use lqs_metrics::MetricsRegistry;
+use lqs_obs::{split_sessions, to_chrome_trace_sessions, SessionTraceExport, SharedSessionSink};
+use lqs_plan::{AggFunc, Aggregate, Expr, PhysicalPlan, PlanBuilder, SortKey};
+use lqs_progress::{error_count, error_time, EstimatorConfig, ProgressEstimator};
+use lqs_server::{
+    MetricsServer, PollerMetrics, QueryService, QuerySpec, RegistryPoller, ServiceMetrics,
+    SessionResult,
+};
+use lqs_storage::{Column, DataType, Database, Schema, Table, TableId, Value};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+
+fn db() -> (Database, TableId) {
+    let mut t = Table::new(
+        "t",
+        Schema::new(vec![
+            Column::new("a", DataType::Int),
+            Column::new("b", DataType::Int),
+        ]),
+    );
+    for i in 0..4000 {
+        t.insert(vec![Value::Int(i), Value::Int(i % 97)]).unwrap();
+    }
+    let mut db = Database::new();
+    let id = db.add_table_analyzed(t);
+    (db, id)
+}
+
+fn plans(db: &Database, t: TableId) -> Vec<Arc<PhysicalPlan>> {
+    let scan_sort = {
+        let mut b = PlanBuilder::new(db);
+        let scan = b.table_scan_filtered(t, Expr::col(1).lt(Expr::lit(60i64)), true);
+        let sort = b.sort(scan, vec![SortKey::desc(0)]);
+        Arc::new(b.finish(sort))
+    };
+    let agg = {
+        let mut b = PlanBuilder::new(db);
+        let scan = b.table_scan(t);
+        let agg = b.hash_aggregate(scan, vec![1], vec![Aggregate::of_col(AggFunc::Sum, 0)]);
+        Arc::new(b.finish(agg))
+    };
+    let plain = {
+        let mut b = PlanBuilder::new(db);
+        let scan = b.table_scan(t);
+        Arc::new(b.finish(scan))
+    };
+    vec![scan_sort, agg, plain]
+}
+
+/// Blocking GET over a raw socket; returns the full response (head + body).
+fn http_get(addr: SocketAddr, path: &str) -> String {
+    let mut stream = TcpStream::connect(addr).expect("connect to metrics server");
+    write!(
+        stream,
+        "GET {path} HTTP/1.1\r\nHost: lqs\r\nConnection: close\r\n\r\n"
+    )
+    .unwrap();
+    let mut out = String::new();
+    stream.read_to_string(&mut out).expect("read response");
+    out
+}
+
+fn body_of(response: &str) -> &str {
+    response
+        .split_once("\r\n\r\n")
+        .expect("response has a head/body split")
+        .1
+}
+
+#[test]
+fn accuracy_telemetry_matches_direct_computation_exactly() {
+    let (db, t) = db();
+    let db = Arc::new(db);
+    let plans = plans(&db, t);
+    let registry = Arc::new(MetricsRegistry::new());
+    let service_metrics = ServiceMetrics::new(Arc::clone(&registry));
+    let service = QueryService::with_metrics(Arc::clone(&db), 2, Arc::clone(&service_metrics));
+    let mut poller = RegistryPoller::new(
+        Arc::clone(&db),
+        Arc::clone(service.registry()),
+        EstimatorConfig::full(),
+    )
+    .with_metrics(PollerMetrics::new(Arc::clone(&registry)));
+
+    let handles: Vec<_> = plans
+        .iter()
+        .enumerate()
+        .map(|(i, plan)| {
+            service.submit(
+                QuerySpec::new(format!("q{i}"), Arc::clone(plan)).with_workload(format!("w{i}")),
+            )
+        })
+        .collect();
+    // Poll while running (exercises the live path), then once after
+    // completion — that final poll is what scores accuracy.
+    poller.poll();
+    service.wait_all();
+    poller.poll();
+
+    for (i, handle) in handles.iter().enumerate() {
+        let Some(SessionResult::Completed(run)) = handle.result() else {
+            panic!("session {i} did not complete");
+        };
+        // Direct §5 computation, independent of the poller: the estimator
+        // parity rule (same plan, db, config, and the run's cost model).
+        let estimator = ProgressEstimator::with_cost_model(
+            handle.plan(),
+            &db,
+            EstimatorConfig::full(),
+            &run.cost_model,
+        );
+        let estimates: Vec<f64> = run
+            .snapshots
+            .iter()
+            .map(|s| estimator.estimate(s).query_progress)
+            .collect();
+        let expect_count = error_count(&run, &estimates);
+        let expect_time = error_time(&run, &estimates);
+
+        let workload = format!("w{i}");
+        let labels = [("workload", workload.as_str())];
+        let h_count = registry.histogram("lqs_estimator_error_count", "", &labels);
+        let h_time = registry.histogram("lqs_estimator_error_time", "", &labels);
+        assert_eq!(h_count.count(), 1, "one scored session per workload");
+        assert_eq!(h_time.count(), 1);
+        // One observation per histogram → the sum IS the observation, and
+        // the virtual clock makes the replay bit-for-bit reproducible.
+        assert_eq!(h_count.sum(), expect_count, "workload {workload}");
+        assert_eq!(h_time.sum(), expect_time, "workload {workload}");
+        // Sanity: the full estimator should beat the degenerate baselines.
+        assert!(expect_count < 0.5, "error_count {expect_count}");
+    }
+
+    // Re-polling a terminal session must not double-score it.
+    poller.poll();
+    poller.poll();
+    for i in 0..plans.len() {
+        let workload = format!("w{i}");
+        let labels = [("workload", workload.as_str())];
+        assert_eq!(
+            registry
+                .histogram("lqs_estimator_error_count", "", &labels)
+                .count(),
+            1
+        );
+    }
+    assert_eq!(
+        registry
+            .counter("lqs_accuracy_sessions_total", "", &[])
+            .get(),
+        plans.len() as u64
+    );
+
+    // Lifecycle counters recorded by the service side.
+    assert_eq!(
+        registry
+            .counter("lqs_sessions_submitted_total", "", &[])
+            .get(),
+        plans.len() as u64
+    );
+    assert_eq!(
+        registry
+            .counter(
+                "lqs_sessions_finished_total",
+                "",
+                &[("outcome", "succeeded")]
+            )
+            .get(),
+        plans.len() as u64
+    );
+    assert_eq!(registry.gauge("lqs_sessions_running", "", &[]).get(), 0);
+    // Poll latency saw every poll() call above.
+    assert_eq!(
+        registry
+            .histogram("lqs_poll_latency_seconds", "", &[])
+            .count(),
+        4
+    );
+}
+
+#[test]
+fn metrics_server_serves_exposition_and_sessions() {
+    let (db, t) = db();
+    let db = Arc::new(db);
+    let plans = plans(&db, t);
+    let registry = Arc::new(MetricsRegistry::new());
+    let service_metrics = ServiceMetrics::new(Arc::clone(&registry));
+    let service = QueryService::with_metrics(Arc::clone(&db), 2, service_metrics);
+    let mut poller = RegistryPoller::new(
+        Arc::clone(&db),
+        Arc::clone(service.registry()),
+        EstimatorConfig::full(),
+    )
+    .with_metrics(PollerMetrics::new(Arc::clone(&registry)));
+
+    for (i, plan) in plans.iter().enumerate() {
+        service.submit(QuerySpec::new(format!("q{i}"), Arc::clone(plan)));
+    }
+    service.wait_all();
+    poller.poll();
+
+    let server = MetricsServer::start(
+        "127.0.0.1:0",
+        Arc::clone(&registry),
+        Arc::clone(service.registry()),
+    )
+    .expect("bind ephemeral port");
+    let addr = server.addr();
+
+    // /metrics: correct status, content type, and family coverage.
+    let response = http_get(addr, "/metrics");
+    assert!(response.starts_with("HTTP/1.1 200 OK"), "{response}");
+    assert!(response.contains("Content-Type: text/plain; version=0.0.4"));
+    let exposition = body_of(&response);
+    for family in [
+        "lqs_sessions_submitted_total",
+        "lqs_sessions_finished_total",
+        "lqs_session_queue_wait_seconds",
+        "lqs_session_run_seconds",
+        "lqs_operator_rows_output",
+        "lqs_poll_latency_seconds",
+        "lqs_estimator_error_count",
+        "lqs_estimator_error_time",
+    ] {
+        assert!(
+            exposition.contains(&format!("# TYPE {family} ")),
+            "scrape missing {family}"
+        );
+    }
+    // Well-formed text format: every sample line is `name[{labels}] value`
+    // with a parseable value.
+    for line in exposition
+        .lines()
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+    {
+        let (_, value) = line.rsplit_once(' ').expect("sample line has a value");
+        assert!(
+            value.parse::<f64>().is_ok() || ["+Inf", "-Inf", "NaN"].contains(&value),
+            "unparseable sample value in {line:?}"
+        );
+    }
+
+    // /sessions: JSON array, one row per registered session.
+    let response = http_get(addr, "/sessions");
+    assert!(response.starts_with("HTTP/1.1 200 OK"));
+    assert!(response.contains("Content-Type: application/json"));
+    let rows = serde_json::from_str(body_of(&response)).expect("valid JSON");
+    let rows = match rows {
+        serde_json::Value::Array(rows) => rows,
+        other => panic!("expected array, got {}", other.to_json()),
+    };
+    assert_eq!(rows.len(), plans.len());
+    for row in &rows {
+        assert_eq!(row["state"].as_str(), Some("succeeded"));
+        assert!(row["published_seq"].as_u64().unwrap() > 0);
+        assert!(row["snapshot_ts_ns"].as_u64().is_some());
+    }
+
+    // Unknown routes and methods are rejected, and the server survives to
+    // answer again afterwards.
+    assert!(http_get(addr, "/nope").starts_with("HTTP/1.1 404"));
+    let mut stream = TcpStream::connect(addr).unwrap();
+    write!(stream, "POST /metrics HTTP/1.1\r\nHost: lqs\r\n\r\n").unwrap();
+    let mut response = String::new();
+    stream.read_to_string(&mut response).unwrap();
+    assert!(response.starts_with("HTTP/1.1 405"));
+    assert!(http_get(addr, "/metrics").starts_with("HTTP/1.1 200"));
+
+    server.stop();
+}
+
+#[test]
+fn shared_trace_capture_attributes_sessions_and_surfaces_drops() {
+    let (db, t) = db();
+    let db = Arc::new(db);
+    let plans = plans(&db, t);
+    let registry = Arc::new(MetricsRegistry::new());
+    let service_metrics = ServiceMetrics::new(Arc::clone(&registry));
+    // One worker serializes sessions so the drop-gauge's last writer is
+    // deterministic.
+    let service = QueryService::with_metrics(Arc::clone(&db), 1, service_metrics);
+
+    // Roomy sink first: two sessions, full capture, per-session pids.
+    let sink = Arc::new(SharedSessionSink::new(1 << 16));
+    let a =
+        service.submit(QuerySpec::new("qa", Arc::clone(&plans[0])).with_trace(Arc::clone(&sink)));
+    let b =
+        service.submit(QuerySpec::new("qb", Arc::clone(&plans[1])).with_trace(Arc::clone(&sink)));
+    a.wait_terminal();
+    b.wait_terminal();
+
+    let grouped = split_sessions(&sink.events());
+    assert_eq!(grouped.len(), 2, "both sessions attributed");
+    let exports: Vec<SessionTraceExport<'_>> = grouped
+        .iter()
+        .map(|(session, events)| SessionTraceExport {
+            session: *session,
+            label: format!("session-{session}"),
+            events,
+            names: &[],
+        })
+        .collect();
+    let trace = to_chrome_trace_sessions(&exports, sink.dropped());
+    let parsed = serde_json::from_str(&trace).expect("valid chrome trace JSON");
+    let spans = parsed["traceEvents"].as_array().unwrap();
+    let mut pids: Vec<i64> = spans
+        .iter()
+        .filter(|e| e["ph"] == "X")
+        .map(|e| e["pid"].as_i64().unwrap())
+        .collect();
+    pids.sort_unstable();
+    pids.dedup();
+    assert_eq!(
+        pids,
+        vec![a.id().0 as i64 + 1, b.id().0 as i64 + 1],
+        "one pid per session"
+    );
+
+    // Tiny sink second: the capture must overflow and both the sink and
+    // the gauge must say so.
+    let tiny = Arc::new(SharedSessionSink::new(4));
+    service
+        .submit(QuerySpec::new("qc", Arc::clone(&plans[2])).with_trace(Arc::clone(&tiny)))
+        .wait_terminal();
+    service.shutdown(); // joins workers → the final gauge write has landed
+    assert!(tiny.dropped() > 0, "4-event capacity must overflow");
+    assert_eq!(
+        registry.gauge("lqs_trace_events_dropped", "", &[]).get(),
+        tiny.dropped() as i64
+    );
+}

@@ -1,0 +1,93 @@
+//! Regression: a long-lived poller over a churning service must not grow
+//! without bound — `evict_finished` has to drop estimators, cached
+//! reports, and accuracy bookkeeping for every evicted session.
+
+use lqs_metrics::MetricsRegistry;
+use lqs_plan::{AggFunc, Aggregate, PlanBuilder};
+use lqs_progress::EstimatorConfig;
+use lqs_server::{PollerMetrics, QueryService, QuerySpec, RegistryPoller, ServiceMetrics};
+use lqs_storage::{Column, DataType, Database, Schema, Table, Value};
+use std::sync::Arc;
+
+#[test]
+fn poller_caches_stay_bounded_under_session_churn() {
+    let mut t = Table::new(
+        "t",
+        Schema::new(vec![
+            Column::new("a", DataType::Int),
+            Column::new("b", DataType::Int),
+        ]),
+    );
+    for i in 0..2000 {
+        t.insert(vec![Value::Int(i), Value::Int(i % 50)]).unwrap();
+    }
+    let mut db = Database::new();
+    let tid = db.add_table_analyzed(t);
+    let mut b = PlanBuilder::new(&db);
+    let scan = b.table_scan(tid);
+    let agg = b.hash_aggregate(scan, vec![1], vec![Aggregate::of_col(AggFunc::Sum, 0)]);
+    let plan = Arc::new(b.finish(agg));
+    let db = Arc::new(db);
+
+    let registry = Arc::new(MetricsRegistry::new());
+    let service = QueryService::with_metrics(
+        Arc::clone(&db),
+        2,
+        ServiceMetrics::new(Arc::clone(&registry)),
+    );
+    // Metrics attached so the accuracy bookkeeping (one entry per scored
+    // session) is part of what churn exercises.
+    let mut poller = RegistryPoller::new(
+        Arc::clone(&db),
+        Arc::clone(service.registry()),
+        EstimatorConfig::full(),
+    )
+    .with_metrics(PollerMetrics::new(Arc::clone(&registry)));
+
+    const ROUNDS: usize = 25;
+    const BATCH: usize = 4;
+    for round in 0..ROUNDS {
+        let handles: Vec<_> = (0..BATCH)
+            .map(|i| {
+                service.submit(
+                    QuerySpec::new(format!("r{round}-q{i}"), Arc::clone(&plan))
+                        .with_workload("churn"),
+                )
+            })
+            .collect();
+        for handle in &handles {
+            handle.wait_terminal();
+        }
+        poller.poll();
+        // The cache never exceeds the sessions currently registered: if
+        // eviction leaked, round 2 would already show 2×BATCH estimators.
+        assert!(
+            poller.cached_estimators() <= BATCH,
+            "round {round}: {} cached estimators for {BATCH} live sessions",
+            poller.cached_estimators()
+        );
+        let evicted = service.registry().evict_terminal();
+        assert_eq!(evicted.len(), BATCH);
+        poller.evict_finished();
+        assert_eq!(
+            poller.cached_estimators(),
+            0,
+            "round {round}: cache not emptied"
+        );
+        assert_eq!(service.registry().len(), 0);
+    }
+
+    // Every round's sessions were scored exactly once despite the churn.
+    assert_eq!(
+        registry
+            .counter("lqs_accuracy_sessions_total", "", &[])
+            .get(),
+        (ROUNDS * BATCH) as u64
+    );
+    assert_eq!(
+        registry
+            .histogram("lqs_estimator_error_count", "", &[("workload", "churn")])
+            .count(),
+        (ROUNDS * BATCH) as u64
+    );
+}
