@@ -1,0 +1,38 @@
+//! # lqs-chaos — deterministic fault injection for the LQS stack
+//!
+//! The paper's estimator is client-side code reading DMV counters over a
+//! real network from a loaded server: snapshots arrive late, duplicated,
+//! out of order, occasionally reset, and sometimes not at all; the engine
+//! underneath hits slow devices, I/O errors, and operator failures; the
+//! server sheds load. This crate injects all of that **deterministically**
+//! — every fault keys off the virtual clock, cumulative counters, or a
+//! seeded RNG, never wall-clock state — so a chaos run is reproducible
+//! byte-for-byte and can be diffed across machines.
+//!
+//! * [`FaultPlan`] — the declarative DSL naming a fault scenario: storage
+//!   faults (slow pages, I/O errors), operator faults (stalls and panics
+//!   at chosen GetNext counts), telemetry-channel faults (drop / delay /
+//!   duplicate / reorder / counter-reset) and poll-path faults.
+//! * [`PlanFaultInjector`] — a plan's engine faults as an
+//!   [`lqs_exec::FaultInjector`] (one per session).
+//! * [`ChannelFaultFilter`] / [`ChannelMangler`] / [`mangle_stream`] —
+//!   the telemetry channel, live and offline: identical `(faults, seed)`
+//!   produce the identical delivered stream either way.
+//! * [`SeededPollFault`] — order-independent seeded poll failures for
+//!   [`lqs_server::RegistryPoller`].
+//! * [`run_soak`] — the N workloads × M fault plans soak matrix with its
+//!   invariant checks and deterministic summary.
+
+#![warn(missing_docs)]
+
+pub mod channel;
+pub mod inject;
+pub mod plan;
+pub mod poll;
+pub mod soak;
+
+pub use channel::{mangle_stream, ChannelFaultFilter, ChannelMangler};
+pub use inject::PlanFaultInjector;
+pub use plan::{ChannelFaults, FaultPlan, OpFaultKind, OperatorTrigger, PollFaults, StorageFaults};
+pub use poll::SeededPollFault;
+pub use soak::{run_soak, SoakConfig, SoakReport};

@@ -7,7 +7,8 @@
 //! layer ([`storage`]), mini-optimizer ([`plan`]), benchmark-shaped
 //! workloads ([`workloads`]), experiment harness ([`harness`]), and a
 //! Prometheus-style telemetry subsystem ([`metrics`]) threaded through
-//! the multi-session query service ([`server`]).
+//! the multi-session query service ([`server`]), plus a deterministic
+//! fault-injection layer ([`chaos`]) for robustness testing.
 //!
 //! ## Quickstart
 //!
@@ -47,6 +48,7 @@
 
 #![warn(missing_docs)]
 
+pub use lqs_chaos as chaos;
 pub use lqs_exec as exec;
 pub use lqs_harness as harness;
 pub use lqs_metrics as metrics;
@@ -59,6 +61,7 @@ pub use lqs_workloads as workloads;
 
 /// One-stop imports for applications.
 pub mod prelude {
+    pub use lqs_chaos::{run_soak, ChannelFaultFilter, FaultPlan, PlanFaultInjector, SoakConfig};
     pub use lqs_exec::{
         execute, execute_traced, plan_node_names, DmvSnapshot, ExecMetrics, ExecOptions,
         NodeCounters, QueryRun,

@@ -20,6 +20,7 @@
 
 use crate::bloom::BloomFilter;
 use crate::dmv::{DmvSnapshot, NodeCounters};
+use crate::fault::{FaultInjector, GetNextFault, IoVerdict, QueryFault};
 use lqs_obs::{EventKind, EventSink, TraceEvent};
 use lqs_plan::{BitmapId, CostModel, NodeId};
 use lqs_storage::{Database, Row};
@@ -111,12 +112,13 @@ pub(crate) fn catch_query_abort<R>(
     std::panic::catch_unwind(std::panic::AssertUnwindSafe(f))
 }
 
-/// Suppress the default panic message for [`QueryAborted`] unwinds (they
-/// are control flow, caught by the executor) while leaving every other
-/// panic's reporting untouched. Installed once, process-wide, the first
-/// time a cancellable execution starts. An abort unwinding on a thread
-/// with no executor catch frame below it (a misuse — e.g. ticking a
-/// cancellable context outside `execute_hooked`) still logs one line, so
+/// Suppress the default panic message for [`QueryAborted`] and
+/// [`QueryFault`] unwinds (both are structured control flow, caught by the
+/// executor or the session worker) while leaving every other panic's
+/// reporting untouched. Installed once, process-wide, the first time a
+/// cancellable or fault-injected execution starts. A payload unwinding on
+/// a thread with no executor catch frame below it (a misuse — e.g. ticking
+/// a cancellable context outside `execute_hooked`) still logs one line, so
 /// the thread never dies completely silently.
 pub(crate) fn install_quiet_abort_hook() {
     use std::sync::Once;
@@ -124,17 +126,24 @@ pub(crate) fn install_quiet_abort_hook() {
     ONCE.call_once(|| {
         let prev = std::panic::take_hook();
         std::panic::set_hook(Box::new(move |info| {
-            match info.payload().downcast_ref::<QueryAborted>() {
-                None => prev(info),
-                Some(aborted) => {
-                    if ABORT_CATCH_DEPTH.with(std::cell::Cell::get) == 0 {
-                        eprintln!(
-                            "lqs-exec: QueryAborted ({:?} at {} ns) unwinding with no \
-                             executor catch frame on this thread; the unwind will escape",
-                            aborted.reason, aborted.at_ns
-                        );
-                    }
+            let caught = ABORT_CATCH_DEPTH.with(std::cell::Cell::get) > 0;
+            if let Some(aborted) = info.payload().downcast_ref::<QueryAborted>() {
+                if !caught {
+                    eprintln!(
+                        "lqs-exec: QueryAborted ({:?} at {} ns) unwinding with no \
+                         executor catch frame on this thread; the unwind will escape",
+                        aborted.reason, aborted.at_ns
+                    );
                 }
+            } else if let Some(fault) = info.payload().downcast_ref::<QueryFault>() {
+                if !caught {
+                    eprintln!(
+                        "lqs-exec: QueryFault ({fault}) unwinding with no executor \
+                         catch frame on this thread; the unwind will escape"
+                    );
+                }
+            } else {
+                prev(info);
             }
         }));
     });
@@ -166,6 +175,8 @@ pub struct ExecContext<'a> {
     cancel: Option<CancellationToken>,
     /// Virtual-time budget: the run aborts once the clock reaches this.
     deadline_ns: Option<u64>,
+    /// Deterministic fault oracle, consulted on I/O charges and GetNexts.
+    fault: Option<&'a dyn FaultInjector>,
     /// Per-node high-water marks of the buffered-rows gauge (tracing only).
     buffered_hw: RefCell<Vec<u64>>,
     bitmaps: RefCell<Vec<Option<BloomFilter>>>,
@@ -199,6 +210,7 @@ impl<'a> ExecContext<'a> {
             publisher: None,
             cancel: None,
             deadline_ns: None,
+            fault: None,
             buffered_hw: RefCell::new(vec![0; node_count]),
             bitmaps: RefCell::new((0..bitmap_count).map(|_| None).collect()),
             outer_rows: RefCell::new(Vec::new()),
@@ -232,6 +244,15 @@ impl<'a> ExecContext<'a> {
     pub fn with_deadline(mut self, deadline_ns: u64) -> Self {
         install_quiet_abort_hook();
         self.deadline_ns = Some(deadline_ns);
+        self
+    }
+
+    /// Attach a deterministic fault injector, consulted at every I/O charge
+    /// and every successful GetNext. Injected hard faults unwind with a
+    /// [`QueryFault`] payload (reported quietly, like aborts).
+    pub fn with_fault(mut self, fault: &'a dyn FaultInjector) -> Self {
+        install_quiet_abort_hook();
+        self.fault = Some(fault);
         self
     }
 
@@ -391,13 +412,39 @@ impl<'a> ExecContext<'a> {
     }
 
     /// Charge logical page reads to a node (advances the clock by
-    /// `pages × io_page_ns`).
+    /// `pages × io_page_ns`, plus any injected slow-page penalty).
+    ///
+    /// # Panics
+    /// Unwinds with a [`QueryFault`] payload when an attached
+    /// [`FaultInjector`] fails the read.
     pub fn charge_io(&self, node: NodeId, pages: u64) {
         if pages == 0 {
             return;
         }
-        self.counters.borrow_mut()[node.0].logical_reads += pages;
-        self.advance((pages as f64 * self.cost.io_page_ns) as u64);
+        let total = {
+            let mut c = self.counters.borrow_mut();
+            c[node.0].logical_reads += pages;
+            c[node.0].logical_reads
+        };
+        let mut io_ns = (pages as f64 * self.cost.io_page_ns) as u64;
+        if let Some(fault) = self.fault {
+            match fault.on_io(node, total, self.clock_ns.get()) {
+                IoVerdict::Ok => {}
+                IoVerdict::Slow { extra_ns } => io_ns = io_ns.saturating_add(extra_ns),
+                IoVerdict::Error { message, transient } => {
+                    // Clock and counters up to the failed read stay charged:
+                    // the pages were requested, the time was spent.
+                    self.advance(io_ns);
+                    std::panic::panic_any(QueryFault {
+                        node,
+                        message,
+                        transient,
+                        at_ns: self.clock_ns.get(),
+                    });
+                }
+            }
+        }
+        self.advance(io_ns);
     }
 
     /// Record `n` rows consumed from children.
@@ -406,20 +453,43 @@ impl<'a> ExecContext<'a> {
     }
 
     /// Record one row output (a successful GetNext — increments `kᵢ`).
+    ///
+    /// # Panics
+    /// Unwinds with a [`QueryFault`] payload when an attached
+    /// [`FaultInjector`] panics the operator at this GetNext count.
     pub fn count_output(&self, node: NodeId) {
-        let first = {
+        let (first, k) = {
             let mut c = self.counters.borrow_mut();
             let c = &mut c[node.0];
             c.rows_output += 1;
-            if c.first_row_ns.is_none() {
+            let first = if c.first_row_ns.is_none() {
                 c.first_row_ns = Some(self.clock_ns.get());
                 true
             } else {
                 false
-            }
+            };
+            (first, c.rows_output)
         };
         if first {
             self.emit(Some(node), EventKind::OperatorFirstRow);
+        }
+        if let Some(fault) = self.fault {
+            match fault.on_get_next(node, k, self.clock_ns.get()) {
+                None => {}
+                Some(GetNextFault::Stall { ns }) => {
+                    // A stall is pure elapsed time: the clock advances (and
+                    // snapshots keep being recorded) with no counter moving.
+                    self.advance(ns);
+                }
+                Some(GetNextFault::Panic { message, transient }) => {
+                    std::panic::panic_any(QueryFault {
+                        node,
+                        message,
+                        transient,
+                        at_ns: self.clock_ns.get(),
+                    });
+                }
+            }
         }
     }
 

@@ -49,6 +49,11 @@ pub struct ExecHooks<'a> {
     /// Records the run's final counters into metric families at close time.
     /// Aborted runs record nothing (their counters are not totals).
     pub metrics: Option<&'a crate::metrics::ExecMetrics>,
+    /// Deterministic fault oracle consulted on every I/O charge and
+    /// GetNext. Injected hard failures unwind with a
+    /// [`crate::fault::QueryFault`] payload, which [`execute_hooked`]
+    /// re-raises for the caller to catch (it is *not* an abort).
+    pub fault: Option<&'a dyn crate::fault::FaultInjector>,
 }
 
 /// A run stopped early by cancellation or deadline. The partial trace up to
@@ -231,6 +236,9 @@ fn execute_inner(
     }
     if let Some(deadline) = hooks.deadline_ns {
         ctx = ctx.with_deadline(deadline);
+    }
+    if let Some(fault) = hooks.fault {
+        ctx = ctx.with_fault(fault);
     }
     // The abort path unwinds out of the operator tree with a `QueryAborted`
     // payload; catching it here (and only it) turns the unwind into a

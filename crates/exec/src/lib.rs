@@ -28,6 +28,7 @@ pub mod bloom;
 pub mod context;
 pub mod dmv;
 pub mod executor;
+pub mod fault;
 pub mod metrics;
 pub mod ops;
 
@@ -36,6 +37,9 @@ pub use dmv::{DmvSnapshot, NodeCounters};
 pub use executor::{
     estimated_duration_ns, execute, execute_hooked, execute_traced, plan_node_names, AbortedQuery,
     ExecHooks, ExecOptions, QueryRun,
+};
+pub use fault::{
+    FaultInjector, GetNextFault, IdentityFilter, IoVerdict, QueryFault, SnapshotFilter,
 };
 pub use metrics::ExecMetrics;
 pub use ops::{build_operator, BoxedOperator, Operator};

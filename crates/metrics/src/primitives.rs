@@ -224,6 +224,18 @@ impl Histogram {
         f64::INFINITY
     }
 
+    /// [`Self::quantile`] with an explicit `count == 0` guard: an empty
+    /// histogram reports `0.0` instead of `NaN`. This is the variant every
+    /// exposition path (Prometheus text, `/sessions` JSON, derived gauges)
+    /// must use — `NaN` poisons both formats.
+    pub fn quantile_or_zero(&self, q: f64) -> f64 {
+        if self.count() == 0 {
+            0.0
+        } else {
+            self.quantile(q)
+        }
+    }
+
     /// Non-empty buckets as `(upper_bound, cumulative_count)` pairs in
     /// ascending bound order — the shape Prometheus `_bucket{le=...}` lines
     /// want. The final implicit `+Inf` bucket equals [`Self::count`].

@@ -217,6 +217,20 @@ impl MetricsRegistry {
         )
     }
 
+    /// Remove one child (the metric with exactly these labels) from family
+    /// `name`. Returns `true` if it existed. Outstanding `Arc` handles stay
+    /// valid but the metric no longer renders — this is how per-session
+    /// gauges are retired on eviction instead of lingering at their last
+    /// value forever. An emptied family keeps its name and kind (re-adding
+    /// a child later must not change type).
+    pub fn remove(&self, name: &str, labels: &[(&str, &str)]) -> bool {
+        let key = label_set(labels);
+        let mut families = self.families.lock().expect("metrics registry poisoned");
+        families
+            .get_mut(name)
+            .is_some_and(|f| f.children.remove(&key).is_some())
+    }
+
     /// Number of registered families.
     pub fn family_count(&self) -> usize {
         self.families
@@ -342,6 +356,44 @@ mod tests {
             .nth(1)
             .expect("two finite buckets");
         assert!(two_line.ends_with(" 2"), "line: {two_line}");
+    }
+
+    #[test]
+    fn remove_retires_child_from_exposition() {
+        let r = MetricsRegistry::new();
+        let g = r.gauge("lqs_session_progress", "h", &[("session", "s1")]);
+        g.set(42);
+        r.gauge("lqs_session_progress", "h", &[("session", "s2")])
+            .set(7);
+        assert!(r.render().contains("session=\"s1\"} 42"));
+        assert!(r.remove("lqs_session_progress", &[("session", "s1")]));
+        let text = r.render();
+        assert!(!text.contains("s1"), "evicted gauge still rendered: {text}");
+        assert!(text.contains("session=\"s2\"} 7"));
+        // Idempotent; unknown families are a no-op.
+        assert!(!r.remove("lqs_session_progress", &[("session", "s1")]));
+        assert!(!r.remove("no_such_family", &[]));
+        // The old handle stays usable (writes just go nowhere visible).
+        g.set(1);
+    }
+
+    #[test]
+    fn exposition_never_contains_nan() {
+        let r = MetricsRegistry::new();
+        // The NaN hazards: an empty histogram's quantiles, and gauges
+        // derived from them. quantile_or_zero is the guarded path.
+        let h = r.histogram("lqs_poll_latency_ns", "h", &[]);
+        assert!(h.quantile(0.99).is_nan()); // the unguarded value IS NaN...
+        assert_eq!(h.quantile_or_zero(0.99), 0.0); // ...the guarded one is 0
+        let g = r.gauge("lqs_poll_latency_ns_p99", "h", &[]);
+        g.set(h.quantile_or_zero(0.99) as i64);
+        let text = r.render();
+        assert!(!text.contains("NaN"), "exposition contains NaN: {text}");
+        // Still NaN-free once the histogram has data.
+        h.observe(123.0);
+        r.gauge("lqs_poll_latency_ns_p99", "h", &[])
+            .set(h.quantile_or_zero(0.99) as i64);
+        assert!(!r.render().contains("NaN"));
     }
 
     #[test]

@@ -42,6 +42,33 @@ pub struct NodeProgress {
     pub explanation: Explanation,
 }
 
+/// How trustworthy a [`ProgressReport`] is, given the telemetry that
+/// produced it. Consumers surfacing progress to users should downgrade
+/// their display (e.g. grey out the bar) on anything but `Fresh`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum EstimateQuality {
+    /// Computed from an in-order, monotone, recent snapshot.
+    Fresh,
+    /// Computed from (or held over because of) telemetry older than the
+    /// consumer's staleness threshold — the query may have moved on.
+    Stale,
+    /// The telemetry stream misbehaved (out-of-order, duplicated, or
+    /// counter-reset snapshots were detected and sanitized); the estimate
+    /// is still bounded but its inputs were reconstructed.
+    Degraded,
+}
+
+impl EstimateQuality {
+    /// Lower-case label for metrics/JSON exposition.
+    pub fn label(self) -> &'static str {
+        match self {
+            EstimateQuality::Fresh => "fresh",
+            EstimateQuality::Stale => "stale",
+            EstimateQuality::Degraded => "degraded",
+        }
+    }
+}
+
 /// Full progress report for one snapshot.
 #[derive(Debug, Clone)]
 pub struct ProgressReport {
@@ -51,6 +78,15 @@ pub struct ProgressReport {
     pub nodes: Vec<NodeProgress>,
     /// Tally of refinements, clamps, and special models this snapshot.
     pub counters: ExplainCounters,
+    /// Trustworthiness of the telemetry behind this report. Plain
+    /// [`ProgressEstimator::estimate`] always reports `Fresh`; the
+    /// [`crate::guard::GuardedEstimator`] downgrades it when the snapshot
+    /// stream misbehaves.
+    pub quality: EstimateQuality,
+    /// Age of the snapshot behind this report in virtual nanoseconds,
+    /// relative to the newest telemetry the producer has seen. Zero for a
+    /// report computed from the latest snapshot.
+    pub staleness_ns: u64,
 }
 
 /// The estimator, constructed once per (plan, database) pair and then
@@ -108,6 +144,7 @@ impl ProgressEstimator {
     /// Estimate progress from one DMV snapshot.
     pub fn estimate(&self, s: &DmvSnapshot) -> ProgressReport {
         let n_nodes = self.statics.nodes.len();
+        let skipped = self.skipped_nodes(s);
 
         // --- Steps 1+2: cardinality estimates, optionally refined. -------
         let mut n_hat: Vec<f64> = self
@@ -118,12 +155,12 @@ impl ProgressEstimator {
             .collect();
         let mut sources = vec![RefinementSource::Static; n_nodes];
         if self.config.refine_cardinality {
-            self.refine(s, &mut n_hat, &mut sources);
+            self.refine(s, &skipped, &mut n_hat, &mut sources);
             if self.config.propagate_refined {
                 // §7 extension (a): a second pass lets downstream pipelines'
                 // driver denominators (and NL outer totals) see upstream
                 // refinements instead of raw optimizer estimates.
-                self.refine(s, &mut n_hat, &mut sources);
+                self.refine(s, &skipped, &mut n_hat, &mut sources);
             }
         }
 
@@ -149,7 +186,7 @@ impl ProgressEstimator {
         let mut counters = ExplainCounters::default();
         let nodes: Vec<NodeProgress> = (0..n_nodes)
             .map(|i| {
-                let (progress, path) = self.node_progress(s, i, &n_hat);
+                let (progress, path) = self.node_progress(s, i, &skipped, &n_hat);
                 let explanation = Explanation {
                     path,
                     refinement: sources[i],
@@ -175,14 +212,46 @@ impl ProgressEstimator {
             query_progress,
             nodes,
             counters,
+            quality: EstimateQuality::Fresh,
+            staleness_ns: 0,
         }
     }
 
     // ---------------------------------------------------------------------
 
+    /// Nodes that will never execute: never opened, but an enclosing
+    /// operator already closed (e.g. the inner side of a nested-loops join
+    /// whose outer produced zero rows, or a branch pruned at runtime).
+    /// Such nodes are complete by definition — without this, a finished
+    /// query with an unexecuted subtree never reports 100%.
+    fn skipped_nodes(&self, s: &DmvSnapshot) -> Vec<bool> {
+        let statics = &self.statics;
+        let mut skipped = vec![false; statics.nodes.len()];
+        let Some(&root) = statics.post_order.last() else {
+            return skipped;
+        };
+        let mut stack = vec![root];
+        while let Some(id) = stack.pop() {
+            let done = skipped[id.0] || s.node(id.0).is_closed();
+            for &ch in &statics.nodes[id.0].children {
+                if done && !s.node(ch.0).is_open() {
+                    skipped[ch.0] = true;
+                }
+                stack.push(ch);
+            }
+        }
+        skipped
+    }
+
     /// §4.1 + §4.4 cardinality refinement. Records, per node, which source
     /// last set its estimate in `sources` (for explain diagnostics).
-    fn refine(&self, s: &DmvSnapshot, n_hat: &mut [f64], sources: &mut [RefinementSource]) {
+    fn refine(
+        &self,
+        s: &DmvSnapshot,
+        skipped: &[bool],
+        n_hat: &mut [f64],
+        sources: &mut [RefinementSource],
+    ) {
         let statics = &self.statics;
         // Per-pipeline α = Σ driver k / Σ driver N (§4.1 Equation 3), with
         // driver N taken from exactly-known cardinalities where possible.
@@ -214,7 +283,11 @@ impl ProgressEstimator {
             }
             if total > 0.0 && seen >= self.config.refine_min_driver_rows as f64 {
                 alpha[p.id.0] = Some((seen / total).clamp(0.0, 1.0));
-            } else if total > 0.0 && drivers.iter().all(|d| s.node(d.0).is_closed()) {
+            } else if total > 0.0
+                && drivers
+                    .iter()
+                    .all(|d| s.node(d.0).is_closed() || skipped[d.0])
+            {
                 alpha[p.id.0] = Some(1.0);
             }
         }
@@ -228,6 +301,11 @@ impl ProgressEstimator {
             if c.is_closed() {
                 n_hat[i] = c.rows_output as f64;
                 sources[i] = RefinementSource::ObservedFinal;
+                continue;
+            }
+            if skipped[i] {
+                n_hat[i] = 0.0;
+                sources[i] = RefinementSource::Skipped;
                 continue;
             }
             // §7 extension (a): push refined cardinalities through blocking
@@ -376,11 +454,20 @@ impl ProgressEstimator {
 
     /// Per-node progress with the §4.3/§4.5/§4.7 special models, plus the
     /// model actually used (for explain diagnostics).
-    fn node_progress(&self, s: &DmvSnapshot, i: usize, n_hat: &[f64]) -> (f64, EstimationPath) {
+    fn node_progress(
+        &self,
+        s: &DmvSnapshot,
+        i: usize,
+        skipped: &[bool],
+        n_hat: &[f64],
+    ) -> (f64, EstimationPath) {
         let st = &self.statics.nodes[i];
         let c = s.node(i);
         if c.is_closed() {
             return (1.0, EstimationPath::Closed);
+        }
+        if skipped[i] {
+            return (1.0, EstimationPath::Skipped);
         }
         // §4.5 first: a blocking operator in a batch pipeline still has a
         // distinct output phase, which segment fractions cannot see.
@@ -471,7 +558,14 @@ impl ProgressEstimator {
             } else {
                 1.0
             };
-            if self.config.two_phase_blocking && st.blocking && !st.children.is_empty() {
+            if self.config.two_phase_blocking
+                && st.blocking
+                && !st.children.is_empty()
+                && !matches!(
+                    nodes[i].explanation.path,
+                    EstimationPath::Closed | EstimationPath::Skipped
+                )
+            {
                 // Split into input and output virtual nodes (Figure 10).
                 let c = s.node(i);
                 let n_in: f64 = st.children.iter().map(|ch| n_hat[ch.0].max(1.0)).sum();

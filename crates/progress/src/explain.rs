@@ -17,6 +17,10 @@ use serde::Serialize;
 pub enum EstimationPath {
     /// Operator closed: progress pinned at 1.
     Closed,
+    /// Operator never opened but an enclosing operator closed (e.g. the
+    /// inner side of a join whose outer produced no rows): it can never
+    /// execute, so progress is pinned at 1.
+    Skipped,
     /// §4.5 two-phase blocking model (input + output virtual nodes).
     TwoPhaseBlocking,
     /// §4.7 batch-mode segment fraction.
@@ -32,6 +36,7 @@ impl EstimationPath {
     pub fn label(&self) -> &'static str {
         match self {
             EstimationPath::Closed => "closed",
+            EstimationPath::Skipped => "skipped",
             EstimationPath::TwoPhaseBlocking => "two_phase_blocking",
             EstimationPath::BatchModeSegments => "batch_mode_segments",
             EstimationPath::StorageFilteredScan => "storage_filtered_scan",
@@ -47,6 +52,9 @@ pub enum RefinementSource {
     Static,
     /// Node closed: `N̂` replaced by the observed final `k`.
     ObservedFinal,
+    /// Node skipped (never opened under a closed ancestor): `N̂` is the
+    /// zero rows it will ever produce.
+    Skipped,
     /// Propagated through a blocking boundary (§7 extension (a)).
     BlockingPropagation,
     /// Nested-loops inner projection: per-execution rate × outer total
@@ -64,6 +72,7 @@ impl RefinementSource {
         match self {
             RefinementSource::Static => "static",
             RefinementSource::ObservedFinal => "observed_final",
+            RefinementSource::Skipped => "skipped",
             RefinementSource::BlockingPropagation => "blocking_propagation",
             RefinementSource::NestedLoopsInner => "nested_loops_inner",
             RefinementSource::ImmediateChild => "immediate_child",

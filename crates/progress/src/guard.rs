@@ -1,0 +1,316 @@
+//! Telemetry sanitization — hardening the estimator against a misbehaving
+//! DMV channel.
+//!
+//! The paper's estimator is client-side code polling counters over a real
+//! network from a loaded server: in production the snapshot stream it sees
+//! can arrive late, out of order, duplicated, or — after a session retry on
+//! the server — with counters reset to zero. Feeding such a stream straight
+//! into [`ProgressEstimator::estimate`] silently lies: progress jumps
+//! backwards, refinement α collapses, and bound clamps fire on garbage.
+//!
+//! [`SnapshotGuard`] sits in front of the estimator and maintains a
+//! *sanitized high-water view* of the stream: monotone counters are
+//! element-wise-maxed (so a reset or reordered snapshot can never drag a
+//! counter backwards), gauge and lifecycle fields follow the newest
+//! timestamp seen, and every anomaly is classified and tallied.
+//! [`GuardedEstimator`] pairs a guard with an estimator and stamps each
+//! [`ProgressReport`] with an [`EstimateQuality`] plus a staleness age, so
+//! consumers can tell a trustworthy figure from a reconstructed one.
+
+use crate::estimator::{EstimateQuality, ProgressEstimator, ProgressReport};
+use lqs_exec::{DmvSnapshot, NodeCounters};
+
+/// Tally of telemetry anomalies a [`SnapshotGuard`] has detected and
+/// absorbed since construction.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AnomalyCounts {
+    /// Snapshots whose timestamp was older than one already ingested.
+    pub out_of_order: u64,
+    /// Snapshots identical (timestamp and counters) to one already seen.
+    pub duplicates: u64,
+    /// Snapshots in which some monotone counter moved backwards at a newer
+    /// timestamp — the signature of a server-side session retry.
+    pub counter_resets: u64,
+    /// Snapshots whose node count did not match the plan (dropped whole).
+    pub malformed: u64,
+}
+
+impl AnomalyCounts {
+    /// Total anomalies of any class.
+    pub fn total(&self) -> u64 {
+        self.out_of_order + self.duplicates + self.counter_resets + self.malformed
+    }
+}
+
+/// Stateful sanitizer for one session's snapshot stream.
+///
+/// Feed every received snapshot to [`SnapshotGuard::ingest`]; read the
+/// sanitized high-water snapshot back with [`SnapshotGuard::view`]. The
+/// high-water view is what a perfectly-delivered stream would have shown:
+/// monotone counters never regress, lifecycle fields track the newest
+/// timestamp, and the view's `ts_ns` is the newest timestamp ingested.
+#[derive(Debug, Clone)]
+pub struct SnapshotGuard {
+    n_nodes: usize,
+    view: Option<DmvSnapshot>,
+    anomalies: AnomalyCounts,
+    last_ingest_had_anomaly: bool,
+}
+
+/// Element-wise-max the monotone counters of `hi` with `c`, and take the
+/// gauge/lifecycle fields from whichever side has the newer timestamp
+/// (`c_newer` says whether `c` is the newer snapshot). `close_ns` may
+/// legitimately go `Some → None` on a rewind, so lifecycle `Option`s follow
+/// the newer side verbatim rather than being or-ed.
+fn merge_counters(hi: &mut NodeCounters, c: &NodeCounters, c_newer: bool) {
+    hi.rows_output = hi.rows_output.max(c.rows_output);
+    hi.rows_input = hi.rows_input.max(c.rows_input);
+    hi.logical_reads = hi.logical_reads.max(c.logical_reads);
+    hi.segments_processed = hi.segments_processed.max(c.segments_processed);
+    hi.cpu_ns = hi.cpu_ns.max(c.cpu_ns);
+    hi.executions = hi.executions.max(c.executions);
+    hi.rows_processed = hi.rows_processed.max(c.rows_processed);
+    // first/open times only ever become Some once; keep the earliest.
+    hi.open_ns = match (hi.open_ns, c.open_ns) {
+        (Some(a), Some(b)) => Some(a.min(b)),
+        (a, b) => a.or(b),
+    };
+    hi.first_row_ns = match (hi.first_row_ns, c.first_row_ns) {
+        (Some(a), Some(b)) => Some(a.min(b)),
+        (a, b) => a.or(b),
+    };
+    if c_newer {
+        hi.close_ns = c.close_ns;
+        hi.rows_buffered = c.rows_buffered;
+    }
+}
+
+/// Whether any monotone counter of `c` is *behind* the high-water `hi` —
+/// the reset/regression signature.
+fn regresses(hi: &NodeCounters, c: &NodeCounters) -> bool {
+    c.rows_output < hi.rows_output
+        || c.rows_input < hi.rows_input
+        || c.logical_reads < hi.logical_reads
+        || c.segments_processed < hi.segments_processed
+}
+
+impl SnapshotGuard {
+    /// A guard for a plan with `n_nodes` nodes.
+    pub fn new(n_nodes: usize) -> Self {
+        SnapshotGuard {
+            n_nodes,
+            view: None,
+            anomalies: AnomalyCounts::default(),
+            last_ingest_had_anomaly: false,
+        }
+    }
+
+    /// Ingest one received snapshot, classifying anomalies and folding it
+    /// into the sanitized view. Returns `true` if this snapshot was clean
+    /// (in order, monotone, well-formed).
+    pub fn ingest(&mut self, s: &DmvSnapshot) -> bool {
+        self.last_ingest_had_anomaly = false;
+        if s.nodes.len() != self.n_nodes {
+            self.anomalies.malformed += 1;
+            self.last_ingest_had_anomaly = true;
+            return false;
+        }
+        let Some(view) = &mut self.view else {
+            self.view = Some(s.clone());
+            return true;
+        };
+        let newer = s.ts_ns > view.ts_ns;
+        let dup = s.ts_ns == view.ts_ns && s.nodes == view.nodes;
+        if dup {
+            self.anomalies.duplicates += 1;
+            self.last_ingest_had_anomaly = true;
+            return false;
+        }
+        if !newer && !dup {
+            self.anomalies.out_of_order += 1;
+            self.last_ingest_had_anomaly = true;
+        }
+        if newer
+            && view
+                .nodes
+                .iter()
+                .zip(&s.nodes)
+                .any(|(h, c)| regresses(h, c))
+        {
+            self.anomalies.counter_resets += 1;
+            self.last_ingest_had_anomaly = true;
+        }
+        for (hi, c) in view.nodes.iter_mut().zip(&s.nodes) {
+            merge_counters(hi, c, newer);
+        }
+        view.ts_ns = view.ts_ns.max(s.ts_ns);
+        !self.last_ingest_had_anomaly
+    }
+
+    /// The sanitized high-water snapshot, if anything has been ingested.
+    pub fn view(&self) -> Option<&DmvSnapshot> {
+        self.view.as_ref()
+    }
+
+    /// The plan's node count this guard validates against.
+    pub fn n_nodes(&self) -> usize {
+        self.n_nodes
+    }
+
+    /// Anomaly tallies since construction.
+    pub fn anomalies(&self) -> &AnomalyCounts {
+        &self.anomalies
+    }
+
+    /// Whether the most recent [`Self::ingest`] detected an anomaly.
+    pub fn last_ingest_had_anomaly(&self) -> bool {
+        self.last_ingest_had_anomaly
+    }
+}
+
+/// A [`ProgressEstimator`] hardened by a [`SnapshotGuard`].
+///
+/// `observe` sanitizes the incoming snapshot, estimates from the high-water
+/// view, and stamps the report: [`EstimateQuality::Degraded`] once any
+/// anomaly has been absorbed, [`EstimateQuality::Stale`] when the consumer
+/// asks for a report against a `now` far past the newest telemetry (see
+/// [`GuardedEstimator::current`]), [`EstimateQuality::Fresh`] otherwise.
+/// Because the view is a high-water reconstruction, reported progress obeys
+/// the same §4 bounds and clamps as a fault-free stream — and once the
+/// genuine final snapshot arrives (in any order, amid any garbage), the
+/// view equals it, so the final report converges to the fault-free one.
+pub struct GuardedEstimator {
+    estimator: ProgressEstimator,
+    guard: SnapshotGuard,
+    last_report: Option<ProgressReport>,
+}
+
+impl GuardedEstimator {
+    /// Wrap `estimator` for a plan with `n_nodes` nodes.
+    pub fn new(estimator: ProgressEstimator, n_nodes: usize) -> Self {
+        GuardedEstimator {
+            estimator,
+            guard: SnapshotGuard::new(n_nodes),
+            last_report: None,
+        }
+    }
+
+    /// The raw inner estimator (stateless `estimate`; used where bit-parity
+    /// with offline replay matters, e.g. accuracy scoring).
+    pub fn estimator(&self) -> &ProgressEstimator {
+        &self.estimator
+    }
+
+    /// The guard's anomaly tallies.
+    pub fn anomalies(&self) -> &AnomalyCounts {
+        self.guard.anomalies()
+    }
+
+    /// Ingest one received snapshot and produce a quality-stamped report
+    /// from the sanitized view. If nothing well-formed has ever been
+    /// ingested (the stream opened with malformed snapshots), the report is
+    /// estimated from an all-zero counter state — progress 0, `Degraded`.
+    pub fn observe(&mut self, s: &DmvSnapshot) -> ProgressReport {
+        self.guard.ingest(s);
+        let mut report = match self.guard.view() {
+            Some(view) => self.estimator.estimate(view),
+            None => {
+                let zero = DmvSnapshot {
+                    ts_ns: 0,
+                    nodes: vec![NodeCounters::default(); self.guard.n_nodes()],
+                };
+                self.estimator.estimate(&zero)
+            }
+        };
+        if self.guard.anomalies().total() > 0 {
+            report.quality = EstimateQuality::Degraded;
+        }
+        report.staleness_ns = 0;
+        self.last_report = Some(report.clone());
+        report
+    }
+
+    /// The latest report re-stamped for a consumer polling at virtual time
+    /// `now_ns`: if the newest telemetry is older than `stale_after_ns`,
+    /// the quality is downgraded to at least `Stale` and the staleness age
+    /// is recorded. Returns `None` before the first `observe`.
+    pub fn current(&self, now_ns: u64, stale_after_ns: u64) -> Option<ProgressReport> {
+        let view = self.guard.view()?;
+        let mut report = self.last_report.clone()?;
+        let age = now_ns.saturating_sub(view.ts_ns);
+        report.staleness_ns = age;
+        if age > stale_after_ns && report.quality == EstimateQuality::Fresh {
+            report.quality = EstimateQuality::Stale;
+        }
+        Some(report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn counters(rows: u64, reads: u64) -> NodeCounters {
+        NodeCounters {
+            rows_output: rows,
+            rows_input: rows,
+            logical_reads: reads,
+            open_ns: Some(0),
+            ..NodeCounters::default()
+        }
+    }
+
+    fn snap(ts: u64, rows: u64) -> DmvSnapshot {
+        DmvSnapshot {
+            ts_ns: ts,
+            nodes: vec![counters(rows, rows / 10)],
+        }
+    }
+
+    #[test]
+    fn clean_stream_reports_no_anomalies() {
+        let mut g = SnapshotGuard::new(1);
+        assert!(g.ingest(&snap(10, 5)));
+        assert!(g.ingest(&snap(20, 9)));
+        assert_eq!(g.anomalies().total(), 0);
+        assert_eq!(g.view().unwrap().node(0).rows_output, 9);
+    }
+
+    #[test]
+    fn out_of_order_is_absorbed_not_regressed() {
+        let mut g = SnapshotGuard::new(1);
+        g.ingest(&snap(20, 9));
+        assert!(!g.ingest(&snap(10, 5)));
+        assert_eq!(g.anomalies().out_of_order, 1);
+        // View keeps the high-water counters and timestamp.
+        assert_eq!(g.view().unwrap().ts_ns, 20);
+        assert_eq!(g.view().unwrap().node(0).rows_output, 9);
+    }
+
+    #[test]
+    fn duplicate_is_counted_once() {
+        let mut g = SnapshotGuard::new(1);
+        g.ingest(&snap(10, 5));
+        assert!(!g.ingest(&snap(10, 5)));
+        assert_eq!(g.anomalies().duplicates, 1);
+    }
+
+    #[test]
+    fn counter_reset_never_drags_view_backwards() {
+        let mut g = SnapshotGuard::new(1);
+        g.ingest(&snap(10, 50));
+        // Retry on the server: newer timestamp, counters restarted.
+        assert!(!g.ingest(&snap(30, 3)));
+        assert_eq!(g.anomalies().counter_resets, 1);
+        assert_eq!(g.view().unwrap().node(0).rows_output, 50);
+        assert_eq!(g.view().unwrap().ts_ns, 30);
+    }
+
+    #[test]
+    fn malformed_snapshot_is_dropped_whole() {
+        let mut g = SnapshotGuard::new(2);
+        assert!(!g.ingest(&snap(10, 5))); // only 1 node
+        assert_eq!(g.anomalies().malformed, 1);
+        assert!(g.view().is_none());
+    }
+}

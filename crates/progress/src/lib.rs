@@ -26,13 +26,15 @@ pub mod bounds;
 pub mod config;
 pub mod estimator;
 pub mod explain;
+pub mod guard;
 pub mod metrics;
 pub mod statics;
 pub mod weights;
 
 pub use bounds::{compute_bounds, Bounds};
 pub use config::{EstimatorConfig, QueryModel};
-pub use estimator::{NodeProgress, ProgressEstimator, ProgressReport};
+pub use estimator::{EstimateQuality, NodeProgress, ProgressEstimator, ProgressReport};
 pub use explain::{EstimationPath, ExplainCounters, Explanation, RefinementSource};
+pub use guard::{AnomalyCounts, GuardedEstimator, SnapshotGuard};
 pub use metrics::{error_count, error_time, PerOperatorError};
 pub use statics::{NodeStatic, PlanStatics};

@@ -258,13 +258,22 @@ fn build_node(db: &Database, n: &lqs_plan::PlanNode, io_page_ns: f64) -> NodeSta
             bitmap_probe,
             ..
         } => {
-            let stats = db.stats(*table);
-            s.table_rows = Some(stats.row_count);
-            s.total_pages = Some(stats.page_count.max(1.0));
+            // An unanalyzed table has no optimizer statistics; fall back to
+            // live physical counts rather than panicking (robustness: the
+            // estimator must degrade, not die, on missing metadata).
+            let (row_count, page_count) = match db.try_stats(*table) {
+                Some(stats) => (stats.row_count, stats.page_count),
+                None => {
+                    let t = db.table(*table);
+                    (t.row_count() as f64, t.page_count() as f64)
+                }
+            };
+            s.table_rows = Some(row_count);
+            s.total_pages = Some(page_count.max(1.0));
             s.storage_filtered = predicate.is_some() || bitmap_probe.is_some();
             s.filters_rows = s.storage_filtered;
             if !s.storage_filtered {
-                s.known_rows = Some(stats.row_count);
+                s.known_rows = Some(row_count);
             }
             s.bound_kind = BoundKind::Access;
         }

@@ -162,6 +162,12 @@ proptest! {
                         prop_assert!(cfg.storage_predicate_io);
                         prop_assert!(st.storage_filtered && st.total_pages.is_some());
                     }
+                    EstimationPath::Skipped => {
+                        // Never opened, yet complete: only possible under a
+                        // closed ancestor.
+                        prop_assert!(!s.node(i).is_open());
+                        prop_assert_eq!(np.progress, 1.0);
+                    }
                     EstimationPath::GetNext => {}
                 }
                 // A closed node must always be priced by the closed path.
@@ -175,6 +181,11 @@ proptest! {
                     RefinementSource::ObservedFinal => {
                         prop_assert!(cfg.refine_cardinality);
                         prop_assert!(s.node(i).is_closed());
+                    }
+                    RefinementSource::Skipped => {
+                        prop_assert!(cfg.refine_cardinality);
+                        prop_assert!(!s.node(i).is_open());
+                        prop_assert_eq!(e.path, EstimationPath::Skipped);
                     }
                     RefinementSource::BlockingPropagation => {
                         prop_assert!(cfg.refine_cardinality && cfg.propagate_refined);

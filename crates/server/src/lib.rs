@@ -72,6 +72,6 @@ pub mod session;
 
 pub use http::MetricsServer;
 pub use metrics::{state_label, PollerMetrics, ServiceMetrics};
-pub use registry::{RegistryPoller, SessionProgress, SessionRegistry};
+pub use registry::{PollFaultInjector, RegistryPoller, SessionProgress, SessionRegistry};
 pub use service::QueryService;
 pub use session::{QuerySpec, SessionHandle, SessionId, SessionResult, SessionState};

@@ -24,6 +24,7 @@ pub fn state_label(state: SessionState) -> &'static str {
         SessionState::Cancelled => "cancelled",
         SessionState::DeadlineExceeded => "deadline_exceeded",
         SessionState::Failed => "failed",
+        SessionState::Rejected => "rejected",
     }
 }
 
@@ -38,6 +39,8 @@ pub struct ServiceMetrics {
     pub(crate) run_wall_seconds: Arc<Histogram>,
     pub(crate) run_virtual_ns: Arc<Histogram>,
     pub(crate) trace_events_dropped: Arc<Gauge>,
+    pub(crate) rejected: Arc<Counter>,
+    pub(crate) retries: Arc<Counter>,
 }
 
 impl ServiceMetrics {
@@ -73,6 +76,16 @@ impl ServiceMetrics {
             "Events evicted so far from the service's shared trace ring buffer",
             &[],
         );
+        let rejected = registry.counter(
+            "lqs_sessions_rejected_total",
+            "Sessions shed at admission because the bounded queue was full",
+            &[],
+        );
+        let retries = registry.counter(
+            "lqs_session_retries_total",
+            "Re-executions of sessions that hit a transient fault within their retry budget",
+            &[],
+        );
         Arc::new(ServiceMetrics {
             exec: ExecMetrics::new(Arc::clone(&registry)),
             registry,
@@ -82,6 +95,8 @@ impl ServiceMetrics {
             run_wall_seconds,
             run_virtual_ns,
             trace_events_dropped,
+            rejected,
+            retries,
         })
     }
 
@@ -124,7 +139,15 @@ pub struct PollerMetrics {
     pub(crate) poll_latency_seconds: Arc<Histogram>,
     pub(crate) snapshot_age_seconds: Arc<Histogram>,
     pub(crate) accuracy_sessions: Arc<Counter>,
+    pub(crate) poll_faults: Arc<Counter>,
 }
+
+/// Help strings for the per-session gauge families (shared by set and
+/// remove so the family is always registered with the same text).
+const SESSION_PROGRESS_HELP: &str =
+    "Latest estimated query progress per live session, in percent [0, 100]";
+const SESSION_AGE_HELP: &str =
+    "Wall-clock age of a live session's latest snapshot at poll time, in microseconds";
 
 impl PollerMetrics {
     /// Poller metrics recording into `registry`.
@@ -144,11 +167,71 @@ impl PollerMetrics {
             "Completed sessions scored by the estimator-accuracy replay",
             &[],
         );
+        let poll_faults = registry.counter(
+            "lqs_poll_faults_total",
+            "Transient per-session poll failures (each triggers virtual-time backoff)",
+            &[],
+        );
         PollerMetrics {
             registry,
             poll_latency_seconds,
             snapshot_age_seconds,
             accuracy_sessions,
+            poll_faults,
+        }
+    }
+
+    /// Update the per-session gauges after estimating one session.
+    /// `progress` is the Equation 2 figure in `[0, 1]`; `age_us` the
+    /// wall-clock snapshot age in microseconds (gauges are integers, so
+    /// seconds would quantize everything interesting to zero).
+    pub(crate) fn set_session_gauges(&self, session: &str, progress: f64, age_us: Option<u64>) {
+        let labels = [("session", session)];
+        self.registry
+            .gauge(
+                "lqs_session_progress_percent",
+                SESSION_PROGRESS_HELP,
+                &labels,
+            )
+            .set((progress * 100.0).round() as i64);
+        if let Some(age) = age_us {
+            self.registry
+                .gauge("lqs_session_snapshot_age_us", SESSION_AGE_HELP, &labels)
+                .set(age.min(i64::MAX as u64) as i64);
+        }
+    }
+
+    /// Retire one evicted session's gauges from the exposition — without
+    /// this they linger at their last value forever (the satellite bug).
+    pub(crate) fn remove_session_gauges(&self, session: &str) {
+        let labels = [("session", session)];
+        self.registry
+            .remove("lqs_session_progress_percent", &labels);
+        self.registry.remove("lqs_session_snapshot_age_us", &labels);
+    }
+
+    /// Refresh the derived quantile gauges from the latency/staleness
+    /// histograms. Uses the `_count`-guarded [`Histogram::quantile_or_zero`]
+    /// path, so an idle poller exposes 0 — never `NaN` — for p50/p99.
+    pub(crate) fn update_quantile_gauges(&self) {
+        const US: f64 = 1e6;
+        for (family, help, hist) in [
+            (
+                "lqs_poll_latency_us",
+                "Derived quantiles of lqs_poll_latency_seconds, in microseconds",
+                &self.poll_latency_seconds,
+            ),
+            (
+                "lqs_snapshot_age_us",
+                "Derived quantiles of lqs_snapshot_age_seconds, in microseconds",
+                &self.snapshot_age_seconds,
+            ),
+        ] {
+            for (q, label) in [(0.5, "p50"), (0.99, "p99")] {
+                self.registry
+                    .gauge(family, help, &[("quantile", label)])
+                    .set((hist.quantile_or_zero(q) * US).round() as i64);
+            }
         }
     }
 

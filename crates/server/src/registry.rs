@@ -10,12 +10,15 @@ use crate::metrics::PollerMetrics;
 use crate::session::{
     QuerySpec, RunningGauge, SessionHandle, SessionId, SessionResult, SessionState,
 };
-use lqs_progress::{error_count, error_time, EstimatorConfig, ProgressEstimator, ProgressReport};
+use lqs_progress::{
+    error_count, error_time, EstimateQuality, EstimatorConfig, GuardedEstimator, ProgressEstimator,
+    ProgressReport,
+};
 use lqs_storage::Database;
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// All sessions ever submitted to one [`crate::QueryService`], live and
 /// finished. Finished sessions stay listed (like a DMV joined with a
@@ -111,15 +114,42 @@ pub struct SessionProgress {
     pub report: Option<ProgressReport>,
 }
 
-/// Polls a [`SessionRegistry`], reusing one [`ProgressEstimator`] per
+/// Injects transient failures into the *polling* path (the client side of
+/// the DMV channel): before the poller reads a session's snapshot, the
+/// injector is asked whether this poll fails. Deterministic implementations
+/// key off `(session, round)` only. A failed poll costs nothing real — the
+/// poller serves its cached report (downgraded to at least `Stale`) and
+/// backs off that session for exponentially more rounds (capped), exactly
+/// the retry shape a production client uses against a flaky endpoint.
+pub trait PollFaultInjector: Send {
+    /// Whether the poll of `session` during poll round `round` fails.
+    fn poll_fails(&self, session: SessionId, round: u64) -> bool;
+}
+
+/// Per-session capped exponential backoff, measured in poll rounds (the
+/// poller's own deterministic time axis).
+#[derive(Debug, Clone, Copy)]
+struct Backoff {
+    /// Consecutive failures so far.
+    streak: u32,
+    /// Next round at which the session will be polled again.
+    retry_at_round: u64,
+}
+
+/// Maximum rounds one backoff step may skip (2^4): keeps a flaky session
+/// from being starved indefinitely.
+const MAX_BACKOFF_ROUNDS: u64 = 16;
+
+/// Polls a [`SessionRegistry`], reusing one [`GuardedEstimator`] per
 /// session across polls — estimator statics depend only on (plan, db, cost
 /// model), so rebuilding them every 500 ms poll would be pure waste (the
-/// real LQS client keeps them for the lifetime of the monitored query).
+/// real LQS client keeps them for the lifetime of the monitored query) —
+/// and the guard's anomaly state must persist across polls anyway.
 pub struct RegistryPoller {
     db: Arc<Database>,
     registry: Arc<SessionRegistry>,
     config: EstimatorConfig,
-    estimators: HashMap<SessionId, ProgressEstimator>,
+    estimators: HashMap<SessionId, GuardedEstimator>,
     /// Last-seen publish seq per session; sessions that have not published
     /// since keep returning their previous progress without re-estimating.
     last_seen: HashMap<SessionId, (u64, Option<ProgressReport>, Option<u64>)>,
@@ -127,6 +157,14 @@ pub struct RegistryPoller {
     /// Sessions whose accuracy has been scored (or ruled out), so the
     /// replay runs exactly once per session.
     accuracy_done: HashSet<SessionId>,
+    /// Client-side fault injection on the poll path (chaos testing).
+    poll_fault: Option<Box<dyn PollFaultInjector>>,
+    /// Active backoff per session (present only after a failed poll).
+    backoff: HashMap<SessionId, Backoff>,
+    /// Completed [`Self::poll`] rounds — the backoff time axis.
+    round: u64,
+    /// Snapshot age beyond which a served report is downgraded to `Stale`.
+    stale_after: Duration,
 }
 
 impl RegistryPoller {
@@ -140,6 +178,10 @@ impl RegistryPoller {
             last_seen: HashMap::new(),
             metrics: None,
             accuracy_done: HashSet::new(),
+            poll_fault: None,
+            backoff: HashMap::new(),
+            round: 0,
+            stale_after: Duration::from_secs(1),
         }
     }
 
@@ -150,10 +192,24 @@ impl RegistryPoller {
         self
     }
 
+    /// Inject transient poll failures (chaos testing).
+    pub fn with_poll_fault(mut self, fault: Box<dyn PollFaultInjector>) -> Self {
+        self.poll_fault = Some(fault);
+        self
+    }
+
+    /// Snapshot age beyond which served reports are marked
+    /// [`EstimateQuality::Stale`] (default 1 s).
+    pub fn with_stale_after(mut self, stale_after: Duration) -> Self {
+        self.stale_after = stale_after;
+        self
+    }
+
     /// Estimate progress of every registered session from its latest
     /// published snapshot. One entry per session, in submission order.
     pub fn poll(&mut self) -> Vec<SessionProgress> {
         let started = Instant::now();
+        self.round += 1;
         let sessions = self.registry.sessions();
         let mut out = Vec::with_capacity(sessions.len());
         for handle in sessions {
@@ -173,6 +229,7 @@ impl RegistryPoller {
             metrics
                 .poll_latency_seconds
                 .observe(started.elapsed().as_secs_f64());
+            metrics.update_quantile_gauges();
         }
         out
     }
@@ -181,49 +238,139 @@ impl RegistryPoller {
     pub fn poll_session(&mut self, handle: &SessionHandle) -> SessionProgress {
         self.maybe_score_accuracy(handle);
         let id = handle.id();
-        let seq = handle.published_seq();
-        // Reuse the cached report when nothing new was published.
-        if let Some((last_seq, report, ts_ns)) = self.last_seen.get(&id) {
-            if *last_seq == seq {
-                return SessionProgress {
+
+        // In backoff after a failed poll: serve the cached report (marked
+        // at least Stale) without touching the session until the retry
+        // round arrives.
+        if let Some(b) = self.backoff.get(&id) {
+            if self.round < b.retry_at_round {
+                return self.cached_progress(handle, EstimateQuality::Stale);
+            }
+        }
+        // Transient client-side poll failure: count it, extend the backoff
+        // (capped exponential, in poll rounds — the poller's deterministic
+        // time axis), and serve the cached report.
+        if let Some(fault) = &self.poll_fault {
+            if fault.poll_fails(id, self.round) {
+                if let Some(metrics) = &self.metrics {
+                    metrics.poll_faults.inc();
+                }
+                let streak = self.backoff.get(&id).map_or(0, |b| b.streak) + 1;
+                let skip = (1u64 << streak.min(8)).min(MAX_BACKOFF_ROUNDS);
+                self.backoff.insert(
                     id,
-                    name: handle.name().to_string(),
-                    state: handle.state(),
-                    seq,
-                    ts_ns: *ts_ns,
-                    report: report.clone(),
-                };
+                    Backoff {
+                        streak,
+                        retry_at_round: self.round + skip,
+                    },
+                );
+                return self.cached_progress(handle, EstimateQuality::Stale);
+            }
+        }
+        self.backoff.remove(&id);
+
+        let seq = handle.published_seq();
+        // Reuse the cached report when nothing new was published (but
+        // re-stamp its staleness — the query may have silently moved on).
+        if let Some((last_seq, _, _)) = self.last_seen.get(&id) {
+            if *last_seq == seq {
+                return self.cached_progress(handle, EstimateQuality::Fresh);
             }
         }
         // A snapshot whose node count does not match the plan (possible only
         // from a buggy publisher) would make the estimator index out of
-        // bounds; treat it as "nothing published" rather than panicking the
-        // poller.
-        let snapshot = handle
-            .latest_snapshot()
-            .filter(|s| s.nodes.len() == handle.plan().len());
+        // bounds; the guard counts it as malformed and the poller keeps its
+        // previous view rather than panicking.
+        let snapshot = handle.latest_snapshot();
         let (report, ts_ns) = match snapshot {
             Some(snap) => {
-                let estimator = self.estimators.entry(id).or_insert_with(|| {
+                let n_nodes = handle.plan().len();
+                let db = &self.db;
+                let config = &self.config;
+                let guarded = self.estimators.entry(id).or_insert_with(|| {
                     // Matching weights require the session's cost model
                     // (the same parity rule as the harness's
                     // `estimator_for_run`).
-                    ProgressEstimator::with_cost_model(
-                        handle.plan(),
-                        &self.db,
-                        self.config.clone(),
-                        &handle.opts().cost_model,
+                    GuardedEstimator::new(
+                        ProgressEstimator::with_cost_model(
+                            handle.plan(),
+                            db,
+                            config.clone(),
+                            &handle.opts().cost_model,
+                        ),
+                        n_nodes,
                     )
                 });
-                (Some(estimator.estimate(&snap)), Some(snap.ts_ns))
+                if snap.nodes.len() == n_nodes {
+                    (Some(guarded.observe(&snap)), Some(snap.ts_ns))
+                } else {
+                    let _ = guarded; // keep the estimator; drop the snapshot
+                    let prev = self.last_seen.get(&id);
+                    (
+                        prev.and_then(|(_, r, _)| r.clone()),
+                        prev.and_then(|(_, _, t)| *t),
+                    )
+                }
             }
             None => (None, None),
         };
+        if let (Some(metrics), Some(r)) = (&self.metrics, &report) {
+            metrics.set_session_gauges(
+                &id.to_string(),
+                r.query_progress,
+                handle.snapshot_age().map(|a| a.as_micros() as u64),
+            );
+        }
         self.last_seen.insert(id, (seq, report.clone(), ts_ns));
         SessionProgress {
             id,
             name: handle.name().to_string(),
             state: handle.state(),
+            seq,
+            ts_ns,
+            report,
+        }
+    }
+
+    /// Serve a session's cached report, re-stamped for the present: the
+    /// staleness age is refreshed from the handle, quality is raised to at
+    /// least `min_quality`, and a running session whose telemetry is older
+    /// than `stale_after` is downgraded to `Stale` (terminal sessions are
+    /// exempt — their final snapshot is final, not stale).
+    fn cached_progress(
+        &self,
+        handle: &SessionHandle,
+        min_quality: EstimateQuality,
+    ) -> SessionProgress {
+        let id = handle.id();
+        let (seq, report, ts_ns) = match self.last_seen.get(&id) {
+            Some((seq, report, ts_ns)) => (*seq, report.clone(), *ts_ns),
+            None => (handle.published_seq(), None, None),
+        };
+        let state = handle.state();
+        let report = report.map(|mut r| {
+            let age = handle.snapshot_age().unwrap_or_default();
+            r.staleness_ns = age.as_nanos().min(u128::from(u64::MAX)) as u64;
+            r.quality = r.quality.max(min_quality);
+            if state == SessionState::Running
+                && age > self.stale_after
+                && r.quality == EstimateQuality::Fresh
+            {
+                r.quality = EstimateQuality::Stale;
+            }
+            r
+        });
+        if let (Some(metrics), Some(r)) = (&self.metrics, &report) {
+            metrics.set_session_gauges(
+                &id.to_string(),
+                r.query_progress,
+                handle.snapshot_age().map(|a| a.as_micros() as u64),
+            );
+        }
+        SessionProgress {
+            id,
+            name: handle.name().to_string(),
+            state,
             seq,
             ts_ns,
             report,
@@ -249,14 +396,22 @@ impl RegistryPoller {
         let Some(SessionResult::Completed(run)) = handle.result() else {
             return;
         };
-        let estimator = self.estimators.entry(handle.id()).or_insert_with(|| {
-            ProgressEstimator::with_cost_model(
-                handle.plan(),
-                &self.db,
-                self.config.clone(),
-                &handle.opts().cost_model,
+        let guarded = self.estimators.entry(handle.id()).or_insert_with(|| {
+            GuardedEstimator::new(
+                ProgressEstimator::with_cost_model(
+                    handle.plan(),
+                    &self.db,
+                    self.config.clone(),
+                    &handle.opts().cost_model,
+                ),
+                handle.plan().len(),
             )
         });
+        // Replay through the *raw* inner estimator: the run's recorded
+        // trace is already clean, and the accuracy figure must stay
+        // bit-identical to an offline replay (asserted in tests), which a
+        // guard's live anomaly state could perturb.
+        let estimator = guarded.estimator();
         let estimates: Vec<f64> = run
             .snapshots
             .iter()
@@ -275,14 +430,24 @@ impl RegistryPoller {
         self.estimators.len()
     }
 
-    /// Drop cached estimators, reports, and accuracy bookkeeping for
-    /// sessions no longer in the registry (pair with
-    /// [`SessionRegistry::evict_terminal`]). Without this, a long-lived
-    /// poller over a churning service grows without bound.
+    /// Drop cached estimators, reports, backoff state, accuracy
+    /// bookkeeping, and per-session gauges for sessions no longer in the
+    /// registry (pair with [`SessionRegistry::evict_terminal`]). Without
+    /// this, a long-lived poller over a churning service grows without
+    /// bound — and evicted sessions' gauges would linger at their last
+    /// value in every future scrape.
     pub fn evict_finished(&mut self) {
         let live: HashSet<SessionId> = self.registry.sessions().iter().map(|h| h.id()).collect();
+        if let Some(metrics) = &self.metrics {
+            for id in self.last_seen.keys() {
+                if !live.contains(id) {
+                    metrics.remove_session_gauges(&id.to_string());
+                }
+            }
+        }
         self.estimators.retain(|id, _| live.contains(id));
         self.last_seen.retain(|id, _| live.contains(id));
         self.accuracy_done.retain(|id| live.contains(id));
+        self.backoff.retain(|id, _| live.contains(id));
     }
 }

@@ -7,10 +7,11 @@
 
 use crate::metrics::ServiceMetrics;
 use crate::registry::SessionRegistry;
-use crate::session::{QuerySpec, SessionHandle, SessionState};
-use lqs_exec::{execute_hooked, ExecHooks};
+use crate::session::{FilteredPublisher, QuerySpec, SessionHandle, SessionState};
+use lqs_exec::{execute_hooked, ExecHooks, FaultInjector, QueryFault, SnapshotPublisher};
 use lqs_obs::EventSink;
 use lqs_storage::Database;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
@@ -28,6 +29,10 @@ pub struct QueryService {
     metrics: Option<Arc<ServiceMetrics>>,
     queue: Option<Sender<Arc<SessionHandle>>>,
     workers: Vec<JoinHandle<()>>,
+    /// Admission control: sessions queued (admitted, not yet dequeued by a
+    /// worker). `None` = unbounded (the pre-admission-control behavior).
+    admission_limit: Option<usize>,
+    queued_depth: Arc<AtomicUsize>,
 }
 
 impl QueryService {
@@ -45,6 +50,7 @@ impl QueryService {
 
     fn build(db: Arc<Database>, workers: usize, metrics: Option<Arc<ServiceMetrics>>) -> Self {
         let registry = Arc::new(SessionRegistry::new());
+        let queued_depth = Arc::new(AtomicUsize::new(0));
         let (tx, rx) = channel::<Arc<SessionHandle>>();
         let rx = Arc::new(Mutex::new(rx));
         let workers = (0..workers.max(1))
@@ -52,7 +58,8 @@ impl QueryService {
                 let rx = Arc::clone(&rx);
                 let db = Arc::clone(&db);
                 let metrics = metrics.clone();
-                std::thread::spawn(move || worker_loop(&db, &rx, metrics.as_deref()))
+                let depth = Arc::clone(&queued_depth);
+                std::thread::spawn(move || worker_loop(&db, &rx, &depth, metrics.as_deref()))
             })
             .collect();
         QueryService {
@@ -61,7 +68,23 @@ impl QueryService {
             metrics,
             queue: Some(tx),
             workers,
+            admission_limit: None,
+            queued_depth,
         }
+    }
+
+    /// Bound the submission queue: once `limit` admitted sessions are
+    /// waiting for a worker, further submissions are shed — registered (so
+    /// pollers see them) but immediately moved to the terminal
+    /// [`SessionState::Rejected`], with the shed-load counter bumped.
+    pub fn with_admission_limit(mut self, limit: usize) -> Self {
+        self.admission_limit = Some(limit.max(1));
+        self
+    }
+
+    /// Sessions currently admitted and waiting for a worker.
+    pub fn queued_now(&self) -> usize {
+        self.queued_depth.load(Ordering::Acquire)
     }
 
     /// The database this service executes against.
@@ -81,11 +104,39 @@ impl QueryService {
     }
 
     /// Submit a query. Returns immediately with the session handle; the
-    /// query runs when a worker frees up.
+    /// query runs when a worker frees up. Under an admission limit, a
+    /// submission that finds the queue full returns a handle already in
+    /// [`SessionState::Rejected`] — check the state, don't assume it ran.
     pub fn submit(&self, spec: QuerySpec) -> Arc<SessionHandle> {
         let handle = self.registry.register(spec);
         if let Some(metrics) = &self.metrics {
             metrics.submitted.inc();
+        }
+        if let Some(limit) = self.admission_limit {
+            // CAS loop so two racing submissions cannot both take the last
+            // queue slot.
+            let mut depth = self.queued_depth.load(Ordering::Acquire);
+            loop {
+                if depth >= limit {
+                    if let Some(metrics) = &self.metrics {
+                        metrics.rejected.inc();
+                        metrics.finished(SessionState::Rejected);
+                    }
+                    handle.reject();
+                    return handle;
+                }
+                match self.queued_depth.compare_exchange_weak(
+                    depth,
+                    depth + 1,
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
+                ) {
+                    Ok(_) => break,
+                    Err(seen) => depth = seen,
+                }
+            }
+        } else {
+            self.queued_depth.fetch_add(1, Ordering::AcqRel);
         }
         self.queue
             .as_ref()
@@ -130,6 +181,7 @@ impl Drop for QueryService {
 fn worker_loop(
     db: &Database,
     rx: &Mutex<Receiver<Arc<SessionHandle>>>,
+    queued_depth: &AtomicUsize,
     metrics: Option<&ServiceMetrics>,
 ) {
     loop {
@@ -138,6 +190,7 @@ fn worker_loop(
             Ok(handle) => handle,
             Err(_) => return, // queue closed and drained
         };
+        queued_depth.fetch_sub(1, Ordering::AcqRel);
         run_session(db, &handle, metrics);
     }
 }
@@ -169,21 +222,55 @@ fn run_session(db: &Database, handle: &SessionHandle, metrics: Option<&ServiceMe
     }
     let started = Instant::now();
     let tap = handle.trace_sink().map(|sink| sink.tap(handle.id().0));
-    let hooks = ExecHooks {
-        sink: tap.as_ref().map(|t| t as &dyn EventSink),
-        publisher: Some(handle),
-        cancel: Some(handle.cancel_token()),
-        deadline_ns: handle.deadline_ns(),
-        metrics: metrics.map(ServiceMetrics::exec),
+    let filter = handle.snapshot_filter().cloned();
+    // Mid-run publishes go through the session's snapshot filter (the
+    // telemetry-channel fault seam) when one is attached; the terminal
+    // publish in `complete`/`abort` below bypasses it by design.
+    let filtered = filter.as_ref().map(|f| FilteredPublisher {
+        handle,
+        filter: f.as_ref(),
+    });
+    let publisher: &dyn SnapshotPublisher = match &filtered {
+        Some(fp) => fp,
+        None => handle,
     };
     // `QueryAborted` unwinds are already converted to `Err` inside
     // `execute_hooked`; anything that still unwinds here is a genuine bug
-    // in the query's execution. Contain it to this session — mark it
-    // `Failed` so waiters wake up — and keep the worker alive for the next
-    // session instead of hanging the pool.
-    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        execute_hooked(db, handle.plan(), handle.opts(), hooks)
-    }));
+    // in the query's execution — or an injected `QueryFault`. Contain it to
+    // this session — mark it `Failed` so waiters wake up — and keep the
+    // worker alive for the next session instead of hanging the pool.
+    // Transient faults are retried in place up to the session's retry
+    // budget: the re-execution republishes counters from zero, which is
+    // exactly the counter-reset telemetry anomaly downstream guards absorb.
+    let mut attempts_left = handle.retry_budget();
+    let outcome = loop {
+        let hooks = ExecHooks {
+            sink: tap.as_ref().map(|t| t as &dyn EventSink),
+            publisher: Some(publisher),
+            cancel: Some(handle.cancel_token()),
+            deadline_ns: handle.deadline_ns(),
+            metrics: metrics.map(ServiceMetrics::exec),
+            fault: handle
+                .fault_injector()
+                .map(|f| f.as_ref() as &dyn FaultInjector),
+        };
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            execute_hooked(db, handle.plan(), handle.opts(), hooks)
+        }));
+        if let Err(payload) = &outcome {
+            let transient = payload
+                .downcast_ref::<QueryFault>()
+                .is_some_and(|f| f.transient);
+            if transient && attempts_left > 0 {
+                attempts_left -= 1;
+                if let Some(metrics) = metrics {
+                    metrics.retries.inc();
+                }
+                continue;
+            }
+        }
+        break outcome;
+    };
     let (state, virtual_ns) = match &outcome {
         Ok(Ok(run)) => (SessionState::Succeeded, Some(run.duration_ns)),
         Ok(Err(aborted)) => {
@@ -193,7 +280,10 @@ fn run_session(db: &Database, handle: &SessionHandle, metrics: Option<&ServiceMe
             };
             (state, Some(aborted.at_ns))
         }
-        Err(_) => (SessionState::Failed, None),
+        Err(payload) => (
+            SessionState::Failed,
+            payload.downcast_ref::<QueryFault>().map(|f| f.at_ns),
+        ),
     };
     // Record telemetry *before* publishing the terminal state: anyone woken
     // by `wait_terminal` must already see this session in the counters.
@@ -210,13 +300,22 @@ fn run_session(db: &Database, handle: &SessionHandle, metrics: Option<&ServiceMe
             metrics.trace_events_dropped.set(sink.dropped() as i64);
         }
     }
+    // Deliver anything a delaying filter still buffers, then let the
+    // terminal publish land last (the guard's high-water view tolerates
+    // any interleaving, but in the common case this keeps order sane).
+    if let Some(filter) = &filter {
+        for s in filter.flush() {
+            handle.publish(&s);
+        }
+    }
     match outcome {
         Ok(Ok(run)) => handle.complete(run),
         Ok(Err(aborted)) => handle.abort(aborted),
         Err(payload) => {
             let message = payload
-                .downcast_ref::<&str>()
-                .map(|s| (*s).to_owned())
+                .downcast_ref::<QueryFault>()
+                .map(QueryFault::to_string)
+                .or_else(|| payload.downcast_ref::<&str>().map(|s| (*s).to_owned()))
                 .or_else(|| payload.downcast_ref::<String>().cloned())
                 .unwrap_or_else(|| "execution panicked with a non-string payload".to_owned());
             handle.fail(message);

@@ -8,8 +8,8 @@
 //! pollers read it concurrently without touching the execution.
 
 use lqs_exec::{
-    AbortReason, AbortedQuery, CancellationToken, DmvSnapshot, ExecOptions, QueryRun,
-    SnapshotPublisher,
+    AbortReason, AbortedQuery, CancellationToken, DmvSnapshot, ExecOptions, FaultInjector,
+    QueryRun, SnapshotFilter, SnapshotPublisher,
 };
 use lqs_obs::SharedSessionSink;
 use lqs_plan::PhysicalPlan;
@@ -28,7 +28,7 @@ impl std::fmt::Display for SessionId {
 }
 
 /// Lifecycle of a session. Terminal states are `Succeeded`, `Cancelled`,
-/// `DeadlineExceeded`, and `Failed`.
+/// `DeadlineExceeded`, `Failed`, and `Rejected`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SessionState {
     /// Submitted, waiting for a worker.
@@ -44,6 +44,9 @@ pub enum SessionState {
     /// Execution panicked; the panic message is in
     /// [`SessionResult::Failed`]. The worker survives and moves on.
     Failed,
+    /// Shed at admission: the service's bounded queue was full. The
+    /// session never reached a worker and has no counters.
+    Rejected,
 }
 
 impl SessionState {
@@ -62,6 +65,8 @@ pub enum SessionResult {
     Aborted(AbortedQuery),
     /// Execution panicked; the payload is the panic message.
     Failed(String),
+    /// Shed at admission (queue full); never executed.
+    Rejected,
 }
 
 /// Shared gauge of sessions currently in [`SessionState::Running`], with a
@@ -112,6 +117,18 @@ pub struct QuerySpec {
     /// Shared trace capture: the worker taps this sink with the session id,
     /// so multi-session captures stay attributable per session.
     pub trace: Option<Arc<SharedSessionSink>>,
+    /// How many times a run that fails with a *transient*
+    /// [`lqs_exec::QueryFault`] may be re-executed before the session is
+    /// marked `Failed`. Zero (the default) disables retry.
+    pub retry_budget: u32,
+    /// Deterministic fault oracle driven on the executing worker (chaos
+    /// testing). `None` runs fault-free.
+    pub fault: Option<Arc<dyn FaultInjector + Send>>,
+    /// Telemetry-channel fault filter interposed between the engine's
+    /// mid-run publishes and this session's DMV slot (chaos testing). The
+    /// *final* snapshot on completion/abort bypasses it — the terminal
+    /// counter state always lands intact.
+    pub snapshot_filter: Option<Arc<dyn SnapshotFilter>>,
 }
 
 impl QuerySpec {
@@ -124,6 +141,9 @@ impl QuerySpec {
             deadline_ns: None,
             workload: None,
             trace: None,
+            retry_budget: 0,
+            fault: None,
+            snapshot_filter: None,
         }
     }
 
@@ -148,6 +168,24 @@ impl QuerySpec {
     /// Attach a shared trace capture for this session's events.
     pub fn with_trace(mut self, sink: Arc<SharedSessionSink>) -> Self {
         self.trace = Some(sink);
+        self
+    }
+
+    /// Allow up to `budget` re-executions on transient injected faults.
+    pub fn with_retry_budget(mut self, budget: u32) -> Self {
+        self.retry_budget = budget;
+        self
+    }
+
+    /// Attach a deterministic fault injector (chaos testing).
+    pub fn with_fault(mut self, fault: Arc<dyn FaultInjector + Send>) -> Self {
+        self.fault = Some(fault);
+        self
+    }
+
+    /// Attach a telemetry-channel fault filter (chaos testing).
+    pub fn with_snapshot_filter(mut self, filter: Arc<dyn SnapshotFilter>) -> Self {
+        self.snapshot_filter = Some(filter);
         self
     }
 }
@@ -254,6 +292,21 @@ impl SessionHandle {
         self.spec.deadline_ns
     }
 
+    /// Allowed re-executions on transient injected faults.
+    pub fn retry_budget(&self) -> u32 {
+        self.spec.retry_budget
+    }
+
+    /// The session's deterministic fault injector, if any.
+    pub fn fault_injector(&self) -> Option<&Arc<dyn FaultInjector + Send>> {
+        self.spec.fault.as_ref()
+    }
+
+    /// The session's telemetry-channel fault filter, if any.
+    pub fn snapshot_filter(&self) -> Option<&Arc<dyn SnapshotFilter>> {
+        self.spec.snapshot_filter.as_ref()
+    }
+
     /// The session's cancellation token (cancel it to abort the run at its
     /// next clock tick).
     pub fn cancel_token(&self) -> &CancellationToken {
@@ -343,6 +396,31 @@ impl SessionHandle {
     pub(crate) fn fail(&self, message: String) {
         *self.result.lock().expect("result slot poisoned") = Some(SessionResult::Failed(message));
         self.set_state(SessionState::Failed);
+    }
+
+    /// Mark the session shed at admission. Terminal immediately; the
+    /// session never ran, so there are no counters to publish.
+    pub(crate) fn reject(&self) {
+        *self.result.lock().expect("result slot poisoned") = Some(SessionResult::Rejected);
+        self.set_state(SessionState::Rejected);
+    }
+}
+
+/// Routes the engine's mid-run publishes through a session's
+/// [`SnapshotFilter`] before they land in the handle's DMV slot — the
+/// telemetry-channel fault seam. One filter output snapshot → one publish,
+/// in the order the filter returns them (so a reordering filter really does
+/// deliver stale-timestamp snapshots to pollers).
+pub(crate) struct FilteredPublisher<'a> {
+    pub(crate) handle: &'a SessionHandle,
+    pub(crate) filter: &'a dyn SnapshotFilter,
+}
+
+impl SnapshotPublisher for FilteredPublisher<'_> {
+    fn publish(&self, snapshot: &DmvSnapshot) {
+        for s in self.filter.filter(snapshot) {
+            self.handle.publish(&s);
+        }
     }
 }
 

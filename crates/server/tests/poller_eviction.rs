@@ -91,3 +91,78 @@ fn poller_caches_stay_bounded_under_session_churn() {
         (ROUNDS * BATCH) as u64
     );
 }
+
+/// Regression for the stale-gauge satellite: per-session gauges must leave
+/// the exposition with their session — before the fix they lingered at
+/// their last value forever, so a dashboard kept "seeing" progress for
+/// sessions evicted hours earlier.
+#[test]
+fn evicted_sessions_take_their_gauges_with_them() {
+    let mut t = Table::new(
+        "t",
+        Schema::new(vec![
+            Column::new("a", DataType::Int),
+            Column::new("b", DataType::Int),
+        ]),
+    );
+    for i in 0..2000 {
+        t.insert(vec![Value::Int(i), Value::Int(i % 50)]).unwrap();
+    }
+    let mut db = Database::new();
+    let tid = db.add_table_analyzed(t);
+    let plan = {
+        let mut b = PlanBuilder::new(&db);
+        let scan = b.table_scan(tid);
+        let agg = b.hash_aggregate(scan, vec![1], vec![Aggregate::of_col(AggFunc::Sum, 0)]);
+        Arc::new(b.finish(agg))
+    };
+    let db = Arc::new(db);
+
+    let registry = Arc::new(MetricsRegistry::new());
+    let service = QueryService::with_metrics(
+        Arc::clone(&db),
+        2,
+        ServiceMetrics::new(Arc::clone(&registry)),
+    );
+    let mut poller = RegistryPoller::new(
+        Arc::clone(&db),
+        Arc::clone(service.registry()),
+        EstimatorConfig::full(),
+    )
+    .with_metrics(PollerMetrics::new(Arc::clone(&registry)));
+
+    let handles: Vec<_> = (0..3)
+        .map(|i| service.submit(QuerySpec::new(format!("g{i}"), Arc::clone(&plan))))
+        .collect();
+    for h in &handles {
+        h.wait_terminal();
+    }
+    poller.poll();
+
+    let text = registry.render();
+    for h in &handles {
+        let label = format!("session=\"{}\"", h.id());
+        assert!(
+            text.contains(&label),
+            "per-session gauges missing for live session {}",
+            h.id()
+        );
+    }
+    assert!(!text.contains("NaN"), "exposition contains NaN:\n{text}");
+
+    service.registry().evict_terminal();
+    poller.evict_finished();
+
+    let text = registry.render();
+    for h in &handles {
+        let label = format!("session=\"{}\"", h.id());
+        assert!(
+            !text.contains(&label),
+            "stale gauge for evicted session {} still exposed",
+            h.id()
+        );
+    }
+    // The gauge *families* and quantile gauges survive eviction, NaN-free.
+    assert!(text.contains("lqs_poll_latency_us"));
+    assert!(!text.contains("NaN"), "exposition contains NaN:\n{text}");
+}

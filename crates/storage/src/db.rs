@@ -109,6 +109,13 @@ impl Database {
             .unwrap_or_else(|| panic!("table {:?} has no statistics; call analyze()", id))
     }
 
+    /// Statistics for a table, or `None` if it was never analyzed.
+    /// Robust consumers (the progress estimator's statics pass) use this
+    /// and fall back to live physical counts instead of panicking.
+    pub fn try_stats(&self, id: TableId) -> Option<&TableStats> {
+        self.stats[id.0].as_ref()
+    }
+
     /// Build a B+tree index over `key_columns` of `table`.
     pub fn create_btree_index(
         &mut self,
