@@ -1,0 +1,104 @@
+//! `lqs_crash_soak` — the kill/recover durability soak.
+//!
+//! Runs K service incarnations over one journal directory (see
+//! `lqs::chaos::run_crash_soak`): each cycle recovers everything earlier
+//! incarnations journaled, submits a fresh batch of sessions whose journal
+//! writers "die" at seeded byte offsets, shuts down, and corrupts segment
+//! tails on disk. The invariants: every journaled session recovers —
+//! faithfully terminal or `Orphaned`, never lost — and every recovered
+//! `Succeeded` run replays through a fresh estimator bit-identically to an
+//! uninterrupted re-execution.
+//!
+//! The printed summary is deterministic for a given `--seed`: CI runs the
+//! binary twice per seed and diffs the outputs byte-for-byte.
+//!
+//! ```text
+//! lqs_crash_soak [--seed 42] [--cycles K] [--dir PATH] [--out PATH]
+//! ```
+//!
+//! `--dir` defaults to a fresh directory under the system temp dir; it is
+//! wiped before the run so stale journals never leak into the summary. An
+//! explicitly passed `--dir` is kept afterwards for post-mortem inspection
+//! (`lqs_live --journal DIR`). Exit status is nonzero when any invariant
+//! is violated.
+
+use lqs::chaos::{run_crash_soak, CrashSoakConfig};
+use std::path::PathBuf;
+
+struct Args {
+    seed: u64,
+    cycles: Option<usize>,
+    dir: Option<PathBuf>,
+    out: Option<String>,
+}
+
+fn parse_args() -> Args {
+    let mut out = Args {
+        seed: 42,
+        cycles: None,
+        dir: None,
+        out: None,
+    };
+    let args: Vec<String> = std::env::args().collect();
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--seed" => {
+                out.seed = args[i + 1].parse().expect("--seed takes an integer");
+                i += 2;
+            }
+            "--cycles" => {
+                out.cycles = Some(args[i + 1].parse().expect("--cycles takes an integer"));
+                i += 2;
+            }
+            "--dir" => {
+                out.dir = Some(PathBuf::from(&args[i + 1]));
+                i += 2;
+            }
+            "--out" => {
+                out.out = Some(args[i + 1].clone());
+                i += 2;
+            }
+            other => panic!("unknown argument {other}"),
+        }
+    }
+    out
+}
+
+fn main() {
+    let args = parse_args();
+    let keep_dir = args.dir.is_some();
+    let dir = args.dir.unwrap_or_else(|| {
+        std::env::temp_dir().join(format!(
+            "lqs-crash-soak-{}-{}",
+            args.seed,
+            std::process::id()
+        ))
+    });
+    // A journal directory with leftovers from another run would change the
+    // recovery counts; start from a clean slate.
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create journal dir");
+
+    let mut cfg = CrashSoakConfig::quick(args.seed, &dir);
+    if let Some(cycles) = args.cycles {
+        cfg.cycles = cycles.max(1);
+    }
+    let report = run_crash_soak(&cfg);
+    print!("{}", report.summary);
+    if let Some(path) = &args.out {
+        std::fs::write(path, &report.summary).expect("write summary");
+    }
+    // Keep an explicitly requested --dir for post-mortem inspection
+    // (e.g. `lqs_live --journal DIR`); only auto temp dirs are cleaned.
+    if !keep_dir {
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    if !report.passed() {
+        eprintln!("invariant violations:");
+        for v in &report.violations {
+            eprintln!("  {v}");
+        }
+        std::process::exit(1);
+    }
+}

@@ -7,20 +7,30 @@
 //!
 //! ```text
 //! lqs_live [--query tpch-q01] [--frames 8] [--scale 0.5] [--seed 42] [--trace out.json]
+//! lqs_live --journal DIR [--query NAME] [--frames 8] [--scale 0.5] [--seed 42]
 //! ```
 //!
 //! With `--trace FILE`, the run is captured through a ring-buffer sink and
 //! exported as a Chrome trace (open in `chrome://tracing` or Perfetto). If
 //! the buffer overflows, the export carries a truncation marker and a
 //! warning goes to stderr.
+//!
+//! With `--journal DIR`, nothing executes: the snapshot stream is read
+//! back from a crash-recovery journal directory (see `lqs::journal`) and
+//! replayed through the same terminal UI — the post-mortem view of a
+//! session another process journaled, interrupted or not. The plan is
+//! rebuilt from the workload by the journaled session name, and refused if
+//! its fingerprint no longer matches (pass the `--scale`/`--seed` the
+//! journaled run used).
 
 use lqs::exec::execute_traced;
 use lqs::harness::{run_query, trace_estimator};
+use lqs::journal::{plan_fingerprint, scan_dir, RecoveredSession};
 use lqs::obs::to_chrome_trace_with_drops;
 use lqs::plan::{NodeId, PhysicalPlan};
 use lqs::prelude::*;
 use lqs::progress::ProgressReport;
-use lqs::workloads::{tpch, PhysicalDesign, WorkloadScale};
+use lqs::workloads::{standard_five, tpch, PhysicalDesign, WorkloadScale};
 
 struct Args {
     query: String,
@@ -28,6 +38,7 @@ struct Args {
     scale: f64,
     seed: u64,
     trace: Option<String>,
+    journal: Option<String>,
 }
 
 fn parse_args() -> Args {
@@ -37,6 +48,7 @@ fn parse_args() -> Args {
         scale: 0.5,
         seed: 42,
         trace: None,
+        journal: None,
     };
     let args: Vec<String> = std::env::args().collect();
     let mut i = 1;
@@ -62,10 +74,15 @@ fn parse_args() -> Args {
                 out.trace = Some(args[i + 1].clone());
                 i += 2;
             }
+            "--journal" => {
+                out.journal = Some(args[i + 1].clone());
+                i += 2;
+            }
             other => {
                 eprintln!("unknown argument {other}");
                 eprintln!(
-                    "usage: lqs_live [--query NAME] [--frames N] [--scale F] [--seed N] [--trace FILE]"
+                    "usage: lqs_live [--query NAME] [--frames N] [--scale F] [--seed N] \
+                     [--trace FILE] [--journal DIR]"
                 );
                 std::process::exit(2);
             }
@@ -117,6 +134,190 @@ fn render_node(
     }
 }
 
+/// Replay `run.snapshots` through the estimator and render `frames`
+/// evenly sampled frames plus the closing totals.
+fn render_run(plan: &PhysicalPlan, db: &Database, run: &QueryRun, frames: usize) {
+    let trace = trace_estimator(plan, db, run, EstimatorConfig::full());
+    let n = run.snapshots.len();
+    let frames = frames.clamp(1, n);
+    for f in 0..frames {
+        let i = if frames == 1 {
+            n - 1
+        } else {
+            (f * (n - 1)) / (frames - 1)
+        };
+        let s = &run.snapshots[i];
+        let rep = &trace.reports[i];
+        println!(
+            "\n--- t={:>9.2}ms  snapshot {:>4}/{:<4}  query {} {:>5.1}% ---",
+            s.ts_ns as f64 / 1e6,
+            i + 1,
+            n,
+            bar(rep.query_progress, 30),
+            rep.query_progress * 100.0
+        );
+        render_node(plan, s, rep, plan.root(), 0);
+    }
+
+    let totals = trace.explain_totals();
+    println!(
+        "\n{} snapshots; explain totals: {} refinements, {} clamps, {} special-model nodes",
+        n, totals.refinements_applied, totals.clamps_hit, totals.special_model_nodes
+    );
+}
+
+/// The journaled query's workload name: journal session names may carry a
+/// harness prefix (`c0-tpch-q01`), so try the full name first, then
+/// everything after the first dash.
+fn journaled_query_name(name: &str) -> Vec<&str> {
+    let mut out = vec![name];
+    if let Some((_, suffix)) = name.split_once('-') {
+        out.push(suffix);
+    }
+    out
+}
+
+fn describe(s: &RecoveredSession) -> String {
+    let name = s
+        .meta
+        .as_ref()
+        .map(|m| m.name.as_str())
+        .unwrap_or("<unreadable>");
+    let end = match &s.terminal {
+        Some(t) => format!("{:?} at t={:.2}ms", t.kind, t.at_ns as f64 / 1e6),
+        None => "interrupted (no terminal record)".to_string(),
+    };
+    format!(
+        "e{}/s{} {:<24} {:>4} snapshots, {} corrupt, {}{}",
+        s.epoch,
+        s.session_id,
+        name,
+        s.snapshots.len(),
+        s.corrupt_records,
+        end,
+        if s.clean_shutdown {
+            ", clean shutdown"
+        } else {
+            ""
+        }
+    )
+}
+
+/// `--journal DIR`: read a crash-recovery journal and replay one session's
+/// snapshot stream through the terminal UI, no execution.
+fn replay_journal(args: &Args, dir: &str) {
+    let scan = match scan_dir(std::path::Path::new(dir)) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("lqs_live: cannot scan journal dir {dir}: {e}");
+            std::process::exit(1);
+        }
+    };
+    if scan.sessions.is_empty() {
+        eprintln!("lqs_live: no journaled sessions in {dir}");
+        std::process::exit(1);
+    }
+    eprintln!(
+        "lqs_live: {} journaled session(s) in {dir}:",
+        scan.sessions.len()
+    );
+    for s in &scan.sessions {
+        eprintln!("  {}", describe(s));
+    }
+
+    // Prefer the session matching --query; otherwise the newest replayable.
+    let matches_query = |s: &RecoveredSession| {
+        s.meta
+            .as_ref()
+            .is_some_and(|m| journaled_query_name(&m.name).contains(&args.query.as_str()))
+    };
+    let session = scan
+        .sessions
+        .iter()
+        .rev()
+        .find(|s| matches_query(s) && !s.snapshots.is_empty())
+        .or_else(|| {
+            scan.sessions
+                .iter()
+                .rev()
+                .find(|s| s.meta.is_some() && !s.snapshots.is_empty())
+        })
+        .unwrap_or_else(|| {
+            eprintln!("lqs_live: no journaled session has a readable meta record and snapshots");
+            std::process::exit(1);
+        });
+    let meta = session.meta.as_ref().expect("selected session has meta");
+
+    // Rebuild the standard workloads at the requested scale and resolve
+    // the journaled query by name (journals store fingerprints, not plans).
+    let workloads = standard_five(WorkloadScale {
+        data_scale: args.scale,
+        query_limit: usize::MAX,
+        seed: args.seed,
+    });
+    let (db, plan) = workloads
+        .iter()
+        .find_map(|w| {
+            journaled_query_name(&meta.name)
+                .into_iter()
+                .find_map(|n| w.queries.iter().find(|q| q.name == n))
+                .map(|q| (&w.db, &q.plan))
+        })
+        .unwrap_or_else(|| {
+            eprintln!(
+                "lqs_live: journaled session {:?} does not name a known workload query",
+                meta.name
+            );
+            std::process::exit(2);
+        });
+    if plan_fingerprint(plan) != meta.plan_fingerprint {
+        eprintln!(
+            "lqs_live: plan fingerprint mismatch for {:?} — the journaled run used a \
+             different plan shape; re-run with the --scale/--seed it was journaled under",
+            meta.name
+        );
+        std::process::exit(2);
+    }
+
+    println!("{}", plan.display_tree());
+    println!("replaying journal {}", describe(session));
+    let last = session
+        .snapshots
+        .last()
+        .expect("selected session has snapshots");
+    // The viewer wants the terminal publish *in* the frame stream so the
+    // last frame closes at the journaled end state, interrupted or not.
+    let run = QueryRun {
+        snapshots: session.snapshots.clone(),
+        final_counters: last.nodes.clone(),
+        duration_ns: session
+            .terminal
+            .as_ref()
+            .map(|t| t.at_ns)
+            .unwrap_or(last.ts_ns),
+        rows_returned: session
+            .terminal
+            .as_ref()
+            .map(|t| t.rows_returned)
+            .unwrap_or(0),
+        cost_model: meta.cost_model.clone(),
+    };
+    render_run(plan, db, &run, args.frames);
+    match &session.terminal {
+        Some(t) => println!(
+            "journaled terminal: {:?}, {} rows in {:.2}ms (virtual)",
+            t.kind,
+            t.rows_returned,
+            t.at_ns as f64 / 1e6
+        ),
+        None => println!(
+            "journal ends mid-run at t={:.2}ms — last-known progress shown (the live \
+             service would serve this session as Orphaned/Degraded)",
+            last.ts_ns as f64 / 1e6
+        ),
+    }
+}
+
 fn main() {
     let args = parse_args();
     let scale = WorkloadScale {
@@ -124,6 +325,10 @@ fn main() {
         query_limit: usize::MAX,
         seed: args.seed,
     };
+    if let Some(dir) = &args.journal {
+        replay_journal(&args, dir);
+        return;
+    }
     let t = tpch::build_db(scale, PhysicalDesign::RowStore);
     let queries = tpch::queries(&t);
     let q = queries
@@ -160,7 +365,6 @@ fn main() {
         }
         None => run_query(&t.db, &q.plan, &ExecOptions::default()),
     };
-    let trace = trace_estimator(&q.plan, &t.db, &run, EstimatorConfig::full());
     if run.snapshots.is_empty() {
         println!("(query finished before the first DMV poll — nothing to replay)");
         return;
@@ -168,32 +372,7 @@ fn main() {
 
     // Sample `frames` snapshots evenly across the run, always ending on the
     // last one so the view closes at 100%.
-    let n = run.snapshots.len();
-    let frames = args.frames.clamp(1, n);
-    for f in 0..frames {
-        let i = if frames == 1 {
-            n - 1
-        } else {
-            (f * (n - 1)) / (frames - 1)
-        };
-        let s = &run.snapshots[i];
-        let rep = &trace.reports[i];
-        println!(
-            "\n--- t={:>9.2}ms  snapshot {:>4}/{:<4}  query {} {:>5.1}% ---",
-            s.ts_ns as f64 / 1e6,
-            i + 1,
-            n,
-            bar(rep.query_progress, 30),
-            rep.query_progress * 100.0
-        );
-        render_node(&q.plan, s, rep, q.plan.root(), 0);
-    }
-
-    let totals = trace.explain_totals();
-    println!(
-        "\n{} snapshots; explain totals: {} refinements, {} clamps, {} special-model nodes",
-        n, totals.refinements_applied, totals.clamps_hit, totals.special_model_nodes
-    );
+    render_run(&q.plan, &t.db, &run, args.frames);
     println!(
         "query returned {} rows in {:.2}ms (virtual)",
         run.rows_returned,

@@ -22,16 +22,27 @@
 //!   [`lqs_server::RegistryPoller`].
 //! * [`run_soak`] — the N workloads × M fault plans soak matrix with its
 //!   invariant checks and deterministic summary.
+//! * [`SeededCrashPoint`] / [`corrupt_tails`] / [`run_crash_soak`] —
+//!   process-death at chosen journal byte offsets, seeded tail corruption
+//!   of segment files on disk, and the kill/recover soak asserting that
+//!   every journaled session is recovered (faithfully terminal or
+//!   `Orphaned`, never lost) and that recovered runs replay
+//!   bit-identically.
 
 #![warn(missing_docs)]
 
 pub mod channel;
+pub mod crash;
 pub mod inject;
 pub mod plan;
 pub mod poll;
 pub mod soak;
 
 pub use channel::{mangle_stream, ChannelFaultFilter, ChannelMangler};
+pub use crash::{
+    corrupt_tails, run_crash_soak, CrashSoakConfig, CrashSoakReport, SeededCrashPoint,
+    TailCorruption,
+};
 pub use inject::PlanFaultInjector;
 pub use plan::{ChannelFaults, FaultPlan, OpFaultKind, OperatorTrigger, PollFaults, StorageFaults};
 pub use poll::SeededPollFault;

@@ -345,6 +345,10 @@ pub fn run_soak(cfg: &SoakConfig) -> SoakReport {
                     SessionState::Failed => failed += 1,
                     SessionState::Rejected => rejected += 1,
                     SessionState::Cancelled | SessionState::DeadlineExceeded => aborted += 1,
+                    // Soak sessions are submitted live, never recovered, so
+                    // Orphaned cannot appear here; count it as failed if a
+                    // future refactor ever routes one through.
+                    SessionState::Orphaned => failed += 1,
                     SessionState::Queued | SessionState::Running => {}
                 }
                 if let Some(SessionResult::Completed(run)) = h.result() {

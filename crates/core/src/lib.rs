@@ -7,8 +7,9 @@
 //! layer ([`storage`]), mini-optimizer ([`plan`]), benchmark-shaped
 //! workloads ([`workloads`]), experiment harness ([`harness`]), and a
 //! Prometheus-style telemetry subsystem ([`metrics`]) threaded through
-//! the multi-session query service ([`server`]), plus a deterministic
-//! fault-injection layer ([`chaos`]) for robustness testing.
+//! the multi-session query service ([`server`]), a durable per-session
+//! snapshot journal with crash recovery ([`journal`]), plus a
+//! deterministic fault-injection layer ([`chaos`]) for robustness testing.
 //!
 //! ## Quickstart
 //!
@@ -51,6 +52,7 @@
 pub use lqs_chaos as chaos;
 pub use lqs_exec as exec;
 pub use lqs_harness as harness;
+pub use lqs_journal as journal;
 pub use lqs_metrics as metrics;
 pub use lqs_obs as obs;
 pub use lqs_plan as plan;
@@ -66,6 +68,7 @@ pub mod prelude {
         execute, execute_traced, plan_node_names, DmvSnapshot, ExecMetrics, ExecOptions,
         NodeCounters, QueryRun,
     };
+    pub use lqs_journal::{FsyncPolicy, Journal, JournalConfig, SessionJournal};
     pub use lqs_metrics::{Counter, Gauge, Histogram, MetricsRegistry};
     pub use lqs_obs::{
         to_chrome_trace, to_chrome_trace_sessions, to_jsonl, EventKind, EventSink, NullSink,
@@ -80,8 +83,8 @@ pub mod prelude {
         PerOperatorError, ProgressEstimator, ProgressReport, QueryModel, RefinementSource,
     };
     pub use lqs_server::{
-        MetricsServer, PollerMetrics, QueryService, QuerySpec, RegistryPoller, ServiceMetrics,
-        SessionProgress, SessionRegistry, SessionState,
+        MetricsServer, PollerMetrics, QueryService, QuerySpec, RecoveryManager, RecoveryReport,
+        RegistryPoller, ServiceMetrics, SessionProgress, SessionRegistry, SessionState,
     };
     pub use lqs_storage::{Column, DataType, Database, Row, Schema, Table, TableId, Value};
 }

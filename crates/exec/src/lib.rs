@@ -32,7 +32,9 @@ pub mod fault;
 pub mod metrics;
 pub mod ops;
 
-pub use context::{AbortReason, CancellationToken, ExecContext, QueryAborted, SnapshotPublisher};
+pub use context::{
+    AbortReason, CancellationToken, ExecContext, QueryAborted, SnapshotPublisher, TeePublisher,
+};
 pub use dmv::{DmvSnapshot, NodeCounters};
 pub use executor::{
     estimated_duration_ns, execute, execute_hooked, execute_traced, plan_node_names, AbortedQuery,

@@ -1,0 +1,197 @@
+//! The read side: scan a journal directory, reassemble every session's
+//! record stream across its segments, and classify how each session ended.
+//!
+//! Corruption tolerance is absolute — [`scan_dir`] never panics and never
+//! returns a decode error. A session's stream is read frame by frame and
+//! truncated at the first invalid frame (torn length prefix, oversized
+//! length, CRC mismatch, undecodable payload); everything before it is
+//! kept, and each truncation tallies one corrupt record. Recovery built on
+//! top therefore degrades: a torn tail costs the newest snapshots, never
+//! the session.
+
+use crate::record::{
+    Record, SegmentHeader, SessionMeta, TerminalRecord, MAX_PAYLOAD_BYTES, SEGMENT_HEADER_BYTES,
+};
+use crate::writer::parse_segment_file_name;
+use lqs_exec::DmvSnapshot;
+use std::collections::BTreeMap;
+use std::path::Path;
+
+/// Everything read back for one journaled session.
+#[derive(Debug, Clone)]
+pub struct RecoveredSession {
+    /// Epoch of the service incarnation that wrote this journal.
+    pub epoch: u32,
+    /// Session id within that epoch.
+    pub session_id: u64,
+    /// Session metadata; `None` if the meta record itself was unreadable
+    /// (such a session cannot be re-attached, only counted).
+    pub meta: Option<SessionMeta>,
+    /// Every snapshot that survived, in publish order. For a completed
+    /// session the last one is the terminal publish (final counters).
+    pub snapshots: Vec<DmvSnapshot>,
+    /// The terminal-state record, if it reached disk.
+    pub terminal: Option<TerminalRecord>,
+    /// Whether the clean-shutdown sentinel reached disk.
+    pub clean_shutdown: bool,
+    /// Records discarded while reading this session (torn tails, CRC
+    /// failures, malformed payloads).
+    pub corrupt_records: u64,
+}
+
+impl RecoveredSession {
+    /// Whether this journal ends the way a crash leaves it: no terminal
+    /// record — the session was in flight (or its tail was lost) when the
+    /// process died.
+    pub fn is_interrupted(&self) -> bool {
+        self.terminal.is_none()
+    }
+
+    /// Virtual timestamp of the newest surviving snapshot.
+    pub fn last_ts_ns(&self) -> Option<u64> {
+        self.snapshots.last().map(|s| s.ts_ns)
+    }
+}
+
+/// Result of scanning one journal directory.
+#[derive(Debug, Clone, Default)]
+pub struct JournalScan {
+    /// All sessions found, ordered by `(epoch, session_id)`.
+    pub sessions: Vec<RecoveredSession>,
+    /// Total corrupt records discarded across all sessions.
+    pub corrupt_records: u64,
+    /// Total bytes read.
+    pub bytes_scanned: u64,
+}
+
+/// Read every session journal under `dir`. I/O errors on the directory
+/// itself propagate; unreadable *content* never does (it is tallied as
+/// corruption instead). Unknown files are ignored.
+pub fn scan_dir(dir: &Path) -> std::io::Result<JournalScan> {
+    // (epoch, session) -> segment index -> path
+    let mut groups: BTreeMap<(u32, u64), BTreeMap<u32, std::path::PathBuf>> = BTreeMap::new();
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let Some((epoch, session, segment)) =
+            parse_segment_file_name(&entry.file_name().to_string_lossy())
+        else {
+            continue;
+        };
+        groups
+            .entry((epoch, session))
+            .or_default()
+            .insert(segment, entry.path());
+    }
+    let mut scan = JournalScan::default();
+    for ((epoch, session_id), segments) in groups {
+        let mut recovered = RecoveredSession {
+            epoch,
+            session_id,
+            meta: None,
+            snapshots: Vec::new(),
+            terminal: None,
+            clean_shutdown: false,
+            corrupt_records: 0,
+        };
+        let mut truncated = false;
+        for expect in 0.. {
+            // Stop at the first gap in the segment chain: anything past a
+            // missing segment is unordered and untrusted.
+            let Some(path) = segments.get(&expect) else {
+                break;
+            };
+            if truncated {
+                // A corrupt segment invalidates everything after it; later
+                // segments exist but their records follow a hole. Count
+                // each skipped segment as one corrupt record.
+                recovered.corrupt_records += 1;
+                continue;
+            }
+            let bytes = match std::fs::read(path) {
+                Ok(b) => b,
+                Err(_) => {
+                    recovered.corrupt_records += 1;
+                    truncated = true;
+                    continue;
+                }
+            };
+            scan.bytes_scanned += bytes.len() as u64;
+            let (records, corrupt) = read_segment(&bytes, epoch, session_id, expect);
+            recovered.corrupt_records += corrupt;
+            truncated = corrupt > 0;
+            for record in records {
+                match record {
+                    Record::Meta(m) => {
+                        // First meta wins; a duplicate would be a writer bug.
+                        if recovered.meta.is_none() {
+                            recovered.meta = Some(*m);
+                        }
+                    }
+                    Record::Snapshot(s) => {
+                        // Snapshots after the terminal record would be a
+                        // writer bug; tolerate by ignoring them.
+                        if recovered.terminal.is_none() {
+                            recovered.snapshots.push(s);
+                        }
+                    }
+                    Record::Terminal(t) => {
+                        if recovered.terminal.is_none() {
+                            recovered.terminal = Some(t);
+                        }
+                    }
+                    Record::CleanShutdown => recovered.clean_shutdown = true,
+                }
+            }
+        }
+        scan.corrupt_records += recovered.corrupt_records;
+        scan.sessions.push(recovered);
+    }
+    Ok(scan)
+}
+
+/// Decode one segment's bytes into records, truncating at the first
+/// invalid frame. Returns `(records, corrupt_records)` where
+/// `corrupt_records` is 1 when the segment was truncated (the torn/invalid
+/// frame itself), plus 1 if the segment header was unusable.
+fn read_segment(bytes: &[u8], epoch: u32, session_id: u64, segment: u32) -> (Vec<Record>, u64) {
+    let Some(header) = SegmentHeader::decode(bytes) else {
+        return (Vec::new(), 1);
+    };
+    if header.epoch != epoch || header.session_id != session_id || header.segment != segment {
+        // Header intact but claims a different identity than its file name
+        // — a renamed or cross-linked file. Nothing in it is trustworthy.
+        return (Vec::new(), 1);
+    }
+    let mut pos = SEGMENT_HEADER_BYTES as usize;
+    let mut records = Vec::new();
+    while pos < bytes.len() {
+        let Some(rest) = bytes.get(pos..) else { break };
+        if rest.len() < 8 {
+            return (records, 1); // torn frame header
+        }
+        let len = u32::from_le_bytes(rest[0..4].try_into().expect("4 bytes")) as usize;
+        let crc = u32::from_le_bytes(rest[4..8].try_into().expect("4 bytes"));
+        if len > MAX_PAYLOAD_BYTES as usize || rest.len() < 8 + len {
+            return (records, 1); // absurd length / torn payload
+        }
+        let payload = &rest[8..8 + len];
+        if crate::record::crc32(payload) != crc {
+            return (records, 1); // bit rot or torn write inside the payload
+        }
+        match Record::decode_payload(payload) {
+            Some(r) => records.push(r),
+            None => return (records, 1), // CRC-valid but undecodable
+        }
+        pos += 8 + len;
+    }
+    (records, 0)
+}
+
+/// Decode a standalone segment byte buffer (exposed for tests and offline
+/// tooling); same truncation semantics as [`scan_dir`].
+pub fn read_segment_bytes(bytes: &[u8]) -> (Vec<Record>, u64) {
+    match SegmentHeader::decode(bytes) {
+        Some(h) => read_segment(bytes, h.epoch, h.session_id, h.segment),
+        None => (Vec::new(), 1),
+    }
+}

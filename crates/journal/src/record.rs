@@ -1,0 +1,635 @@
+//! The on-disk record format: length-prefixed, CRC32-checksummed frames.
+//!
+//! Every segment file opens with a fixed [`SegmentHeader`], followed by
+//! zero or more frames:
+//!
+//! ```text
+//! [u32 payload_len][u32 crc32(payload)][payload]
+//! ```
+//!
+//! The payload's first byte is the record type; the rest is a record-specific
+//! little-endian body. Integrity is per-record: a reader walks frames until
+//! the first one that is torn (fewer bytes than the length prefix claims),
+//! oversized, or fails its CRC, and truncates there — everything before the
+//! first invalid frame is trusted, everything after is discarded. That is the
+//! whole crash-consistency story: appends are sequential, so the only damage
+//! process death can do is a torn tail.
+//!
+//! All encoding is hand-rolled little-endian — the vendored serde stub has no
+//! binary format, and a durability format should not depend on one anyway.
+
+use lqs_exec::{DmvSnapshot, NodeCounters};
+use lqs_plan::{CostModel, PhysicalPlan};
+
+/// Format version stamped into every segment header and meta record.
+pub const FORMAT_VERSION: u16 = 1;
+
+/// Magic bytes opening every segment file.
+pub const SEGMENT_MAGIC: [u8; 4] = *b"LQSJ";
+
+/// Size of the fixed segment header in bytes.
+pub const SEGMENT_HEADER_BYTES: u64 = 4 + 2 + 4 + 8 + 4;
+
+/// Upper bound on a single payload; a length prefix beyond this is treated
+/// as corruption rather than an allocation request.
+pub const MAX_PAYLOAD_BYTES: u32 = 16 * 1024 * 1024;
+
+/// Record type tags (first payload byte).
+pub const TAG_META: u8 = 1;
+/// Snapshot record tag.
+pub const TAG_SNAPSHOT: u8 = 2;
+/// Terminal-state record tag.
+pub const TAG_TERMINAL: u8 = 3;
+/// Clean-shutdown sentinel tag.
+pub const TAG_CLEAN_SHUTDOWN: u8 = 4;
+
+/// CRC32 (IEEE 802.3, reflected) over `data`. Table-free bitwise variant —
+/// journal records are small and this keeps the implementation auditable.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in data {
+        crc ^= u32::from(b);
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+/// Header of one segment file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SegmentHeader {
+    /// Format version of the records that follow.
+    pub version: u16,
+    /// Journal epoch (one per process incarnation of the writing service).
+    pub epoch: u32,
+    /// Session id within the epoch.
+    pub session_id: u64,
+    /// Segment index within the session's journal (0-based).
+    pub segment: u32,
+}
+
+impl SegmentHeader {
+    /// Encode to the fixed wire form.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(SEGMENT_HEADER_BYTES as usize);
+        buf.extend_from_slice(&SEGMENT_MAGIC);
+        buf.extend_from_slice(&self.version.to_le_bytes());
+        buf.extend_from_slice(&self.epoch.to_le_bytes());
+        buf.extend_from_slice(&self.session_id.to_le_bytes());
+        buf.extend_from_slice(&self.segment.to_le_bytes());
+        buf
+    }
+
+    /// Decode from the head of `buf`; `None` on bad magic/short header.
+    pub fn decode(buf: &[u8]) -> Option<SegmentHeader> {
+        if buf.len() < SEGMENT_HEADER_BYTES as usize || buf[..4] != SEGMENT_MAGIC {
+            return None;
+        }
+        let mut d = Dec::new(&buf[4..]);
+        Some(SegmentHeader {
+            version: d.u16()?,
+            epoch: d.u32()?,
+            session_id: d.u64()?,
+            segment: d.u32()?,
+        })
+    }
+}
+
+/// Static metadata journaled once, as the first record of a session journal:
+/// everything recovery needs to re-resolve the plan and rebuild a
+/// bit-identical estimator (cost model included — the PR 2 parity rule).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionMeta {
+    /// Session id assigned by the originating registry.
+    pub session_id: u64,
+    /// Session display name.
+    pub name: String,
+    /// Workload label (accuracy telemetry).
+    pub workload: String,
+    /// Plan node count (snapshot well-formedness check).
+    pub n_nodes: u32,
+    /// Structural fingerprint of the plan ([`plan_fingerprint`]); recovery
+    /// refuses to re-attach an estimator to a plan that no longer matches.
+    pub plan_fingerprint: u64,
+    /// `ExecOptions::snapshot_target` of the run.
+    pub snapshot_target: u64,
+    /// `ExecOptions::snapshot_interval_ns` of the run.
+    pub snapshot_interval_ns: Option<u64>,
+    /// Cost model the run was charged under.
+    pub cost_model: CostModel,
+}
+
+/// Terminal state of a journaled session, mirroring the server's terminal
+/// `SessionState`s without depending on the server crate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TerminalKind {
+    /// Ran to completion.
+    Succeeded,
+    /// Aborted by cancellation.
+    Cancelled,
+    /// Aborted by its virtual-time deadline.
+    DeadlineExceeded,
+    /// Execution panicked.
+    Failed,
+    /// Shed at admission.
+    Rejected,
+}
+
+impl TerminalKind {
+    fn to_tag(self) -> u8 {
+        match self {
+            TerminalKind::Succeeded => 0,
+            TerminalKind::Cancelled => 1,
+            TerminalKind::DeadlineExceeded => 2,
+            TerminalKind::Failed => 3,
+            TerminalKind::Rejected => 4,
+        }
+    }
+
+    fn from_tag(tag: u8) -> Option<Self> {
+        Some(match tag {
+            0 => TerminalKind::Succeeded,
+            1 => TerminalKind::Cancelled,
+            2 => TerminalKind::DeadlineExceeded,
+            3 => TerminalKind::Failed,
+            4 => TerminalKind::Rejected,
+            _ => return None,
+        })
+    }
+}
+
+/// The terminal-state record: how the session ended, at what virtual time,
+/// and what it returned. Final counters are *not* duplicated here — the
+/// terminal publish (`complete`/`abort`) already journaled them as the last
+/// snapshot record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TerminalRecord {
+    /// How the session ended.
+    pub kind: TerminalKind,
+    /// Virtual time of completion/abort (0 when the session never ran).
+    pub at_ns: u64,
+    /// Rows returned by the root operator (completed runs only).
+    pub rows_returned: u64,
+    /// Panic message (failed runs only).
+    pub message: String,
+}
+
+/// One decoded journal record.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Record {
+    /// Session metadata (first record of a journal).
+    Meta(Box<SessionMeta>),
+    /// One published DMV snapshot.
+    Snapshot(DmvSnapshot),
+    /// Terminal state.
+    Terminal(TerminalRecord),
+    /// Clean-shutdown sentinel (last record of a cleanly closed journal).
+    CleanShutdown,
+}
+
+/// Structural fingerprint of a plan: FNV-1a over operator names, tree
+/// shape, optimizer estimates, and batch-mode flags — everything the
+/// estimator statics derive from the plan. Two plans with equal
+/// fingerprints produce bit-identical estimator weights against the same
+/// database and cost model.
+pub fn plan_fingerprint(plan: &PhysicalPlan) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x1_0000_0000_01b3);
+        }
+    };
+    eat(&(plan.len() as u64).to_le_bytes());
+    eat(&(plan.root().0 as u64).to_le_bytes());
+    for n in plan.nodes() {
+        eat(n.op.display_name().as_bytes());
+        eat(&[n.batch_mode as u8, n.children.len() as u8]);
+        for c in &n.children {
+            eat(&(c.0 as u64).to_le_bytes());
+        }
+        eat(&n.est_rows_per_exec.to_bits().to_le_bytes());
+        eat(&n.est_executions.to_bits().to_le_bytes());
+        eat(&n.est_cpu_ns.to_bits().to_le_bytes());
+        eat(&n.est_io_pages.to_bits().to_le_bytes());
+    }
+    h
+}
+
+/// The cost model's fields in wire order. Encoding writes the field count
+/// first, so a model that grows fields fails decode loudly instead of
+/// silently misaligning.
+fn cost_model_fields(m: &CostModel) -> [f64; 23] {
+    [
+        m.io_page_ns,
+        m.scan_row_ns,
+        m.batch_row_ns,
+        m.segment_io_pages,
+        m.pred_row_ns,
+        m.filter_row_ns,
+        m.compute_expr_ns,
+        m.sort_cmp_ns,
+        m.sort_input_fraction,
+        m.hash_build_row_ns,
+        m.hash_probe_row_ns,
+        m.hash_output_row_ns,
+        m.merge_row_ns,
+        m.nl_pair_ns,
+        m.nl_outer_row_ns,
+        m.seek_row_ns,
+        m.stream_agg_row_ns,
+        m.exchange_row_ns,
+        m.spool_write_row_ns,
+        m.spool_read_row_ns,
+        m.spool_rows_per_page,
+        m.rid_lookup_pages,
+        m.bitmap_row_ns,
+    ]
+}
+
+fn cost_model_from_fields(f: &[f64]) -> Option<CostModel> {
+    if f.len() != 23 {
+        return None;
+    }
+    Some(CostModel {
+        io_page_ns: f[0],
+        scan_row_ns: f[1],
+        batch_row_ns: f[2],
+        segment_io_pages: f[3],
+        pred_row_ns: f[4],
+        filter_row_ns: f[5],
+        compute_expr_ns: f[6],
+        sort_cmp_ns: f[7],
+        sort_input_fraction: f[8],
+        hash_build_row_ns: f[9],
+        hash_probe_row_ns: f[10],
+        hash_output_row_ns: f[11],
+        merge_row_ns: f[12],
+        nl_pair_ns: f[13],
+        nl_outer_row_ns: f[14],
+        seek_row_ns: f[15],
+        stream_agg_row_ns: f[16],
+        exchange_row_ns: f[17],
+        spool_write_row_ns: f[18],
+        spool_read_row_ns: f[19],
+        spool_rows_per_page: f[20],
+        rid_lookup_pages: f[21],
+        bitmap_row_ns: f[22],
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Encoding
+
+struct Enc {
+    buf: Vec<u8>,
+}
+
+impl Enc {
+    fn new(tag: u8) -> Self {
+        Enc { buf: vec![tag] }
+    }
+
+    fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    fn u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn f64(&mut self, v: f64) {
+        self.buf.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+
+    fn opt_u64(&mut self, v: Option<u64>) {
+        match v {
+            Some(v) => {
+                self.u8(1);
+                self.u64(v);
+            }
+            None => self.u8(0),
+        }
+    }
+
+    fn str(&mut self, s: &str) {
+        self.u32(s.len() as u32);
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+}
+
+/// Bounds-checked little-endian reader over a payload body.
+struct Dec<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Dec<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Dec { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        let end = self.pos.checked_add(n)?;
+        if end > self.buf.len() {
+            return None;
+        }
+        let out = &self.buf[self.pos..end];
+        self.pos = end;
+        Some(out)
+    }
+
+    fn u8(&mut self) -> Option<u8> {
+        Some(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Option<u16> {
+        Some(u16::from_le_bytes(self.take(2)?.try_into().ok()?))
+    }
+
+    fn u32(&mut self) -> Option<u32> {
+        Some(u32::from_le_bytes(self.take(4)?.try_into().ok()?))
+    }
+
+    fn u64(&mut self) -> Option<u64> {
+        Some(u64::from_le_bytes(self.take(8)?.try_into().ok()?))
+    }
+
+    fn f64(&mut self) -> Option<f64> {
+        Some(f64::from_bits(self.u64()?))
+    }
+
+    fn opt_u64(&mut self) -> Option<Option<u64>> {
+        match self.u8()? {
+            0 => Some(None),
+            1 => Some(Some(self.u64()?)),
+            _ => None,
+        }
+    }
+
+    fn str(&mut self) -> Option<String> {
+        let len = self.u32()? as usize;
+        if len > MAX_PAYLOAD_BYTES as usize {
+            return None;
+        }
+        String::from_utf8(self.take(len)?.to_vec()).ok()
+    }
+
+    fn done(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+}
+
+fn encode_counters(e: &mut Enc, c: &NodeCounters) {
+    e.u64(c.rows_output);
+    e.u64(c.rows_input);
+    e.u64(c.logical_reads);
+    e.u64(c.segments_processed);
+    e.u64(c.cpu_ns);
+    e.u64(c.rows_buffered);
+    e.u64(c.rows_processed);
+    e.u64(c.executions);
+    e.opt_u64(c.open_ns);
+    e.opt_u64(c.first_row_ns);
+    e.opt_u64(c.close_ns);
+}
+
+fn decode_counters(d: &mut Dec) -> Option<NodeCounters> {
+    Some(NodeCounters {
+        rows_output: d.u64()?,
+        rows_input: d.u64()?,
+        logical_reads: d.u64()?,
+        segments_processed: d.u64()?,
+        cpu_ns: d.u64()?,
+        rows_buffered: d.u64()?,
+        rows_processed: d.u64()?,
+        executions: d.u64()?,
+        open_ns: d.opt_u64()?,
+        first_row_ns: d.opt_u64()?,
+        close_ns: d.opt_u64()?,
+    })
+}
+
+impl Record {
+    /// Encode this record's payload (type tag + body, no framing).
+    pub fn encode_payload(&self) -> Vec<u8> {
+        match self {
+            Record::Meta(m) => {
+                let mut e = Enc::new(TAG_META);
+                e.u16(FORMAT_VERSION);
+                e.u64(m.session_id);
+                e.str(&m.name);
+                e.str(&m.workload);
+                e.u32(m.n_nodes);
+                e.u64(m.plan_fingerprint);
+                e.u64(m.snapshot_target);
+                e.opt_u64(m.snapshot_interval_ns);
+                let fields = cost_model_fields(&m.cost_model);
+                e.u32(fields.len() as u32);
+                for f in fields {
+                    e.f64(f);
+                }
+                e.buf
+            }
+            Record::Snapshot(s) => {
+                let mut e = Enc::new(TAG_SNAPSHOT);
+                e.u64(s.ts_ns);
+                e.u32(s.nodes.len() as u32);
+                for c in &s.nodes {
+                    encode_counters(&mut e, c);
+                }
+                e.buf
+            }
+            Record::Terminal(t) => {
+                let mut e = Enc::new(TAG_TERMINAL);
+                e.u8(t.kind.to_tag());
+                e.u64(t.at_ns);
+                e.u64(t.rows_returned);
+                e.str(&t.message);
+                e.buf
+            }
+            Record::CleanShutdown => vec![TAG_CLEAN_SHUTDOWN],
+        }
+    }
+
+    /// Frame this record for appending: length prefix + CRC + payload.
+    pub fn encode_frame(&self) -> Vec<u8> {
+        let payload = self.encode_payload();
+        let mut frame = Vec::with_capacity(8 + payload.len());
+        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&crc32(&payload).to_le_bytes());
+        frame.extend_from_slice(&payload);
+        frame
+    }
+
+    /// Decode a CRC-verified payload. `None` means the payload is
+    /// structurally invalid (unknown tag, truncated body, trailing bytes) —
+    /// indistinguishable from corruption and treated identically.
+    pub fn decode_payload(payload: &[u8]) -> Option<Record> {
+        let (&tag, body) = payload.split_first()?;
+        let mut d = Dec::new(body);
+        let record = match tag {
+            TAG_META => {
+                let version = d.u16()?;
+                if version != FORMAT_VERSION {
+                    return None;
+                }
+                let session_id = d.u64()?;
+                let name = d.str()?;
+                let workload = d.str()?;
+                let n_nodes = d.u32()?;
+                let plan_fingerprint = d.u64()?;
+                let snapshot_target = d.u64()?;
+                let snapshot_interval_ns = d.opt_u64()?;
+                let n_fields = d.u32()? as usize;
+                if n_fields > 1024 {
+                    return None;
+                }
+                let mut fields = Vec::with_capacity(n_fields);
+                for _ in 0..n_fields {
+                    fields.push(d.f64()?);
+                }
+                Record::Meta(Box::new(SessionMeta {
+                    session_id,
+                    name,
+                    workload,
+                    n_nodes,
+                    plan_fingerprint,
+                    snapshot_target,
+                    snapshot_interval_ns,
+                    cost_model: cost_model_from_fields(&fields)?,
+                }))
+            }
+            TAG_SNAPSHOT => {
+                let ts_ns = d.u64()?;
+                let n = d.u32()? as usize;
+                if n > 100_000 {
+                    return None;
+                }
+                let mut nodes = Vec::with_capacity(n);
+                for _ in 0..n {
+                    nodes.push(decode_counters(&mut d)?);
+                }
+                Record::Snapshot(DmvSnapshot { ts_ns, nodes })
+            }
+            TAG_TERMINAL => Record::Terminal(TerminalRecord {
+                kind: TerminalKind::from_tag(d.u8()?)?,
+                at_ns: d.u64()?,
+                rows_returned: d.u64()?,
+                message: d.str()?,
+            }),
+            TAG_CLEAN_SHUTDOWN => Record::CleanShutdown,
+            _ => return None,
+        };
+        if !d.done() {
+            return None;
+        }
+        Some(record)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_meta() -> SessionMeta {
+        SessionMeta {
+            session_id: 7,
+            name: "tpch-q01".into(),
+            workload: "tpch".into(),
+            n_nodes: 5,
+            plan_fingerprint: 0xDEAD_BEEF,
+            snapshot_target: 192,
+            snapshot_interval_ns: Some(500_000),
+            cost_model: CostModel::default(),
+        }
+    }
+
+    fn sample_snapshot() -> DmvSnapshot {
+        DmvSnapshot {
+            ts_ns: 123_456,
+            nodes: vec![
+                NodeCounters {
+                    rows_output: 10,
+                    rows_input: 20,
+                    logical_reads: 3,
+                    open_ns: Some(1),
+                    first_row_ns: Some(2),
+                    ..NodeCounters::default()
+                },
+                NodeCounters::default(),
+            ],
+        }
+    }
+
+    #[test]
+    fn crc32_known_vectors() {
+        // Standard IEEE CRC32 check values.
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+    }
+
+    #[test]
+    fn records_roundtrip() {
+        let records = [
+            Record::Meta(Box::new(sample_meta())),
+            Record::Snapshot(sample_snapshot()),
+            Record::Terminal(TerminalRecord {
+                kind: TerminalKind::Failed,
+                at_ns: 42,
+                rows_returned: 0,
+                message: "boom".into(),
+            }),
+            Record::CleanShutdown,
+        ];
+        for r in &records {
+            let payload = r.encode_payload();
+            assert_eq!(Record::decode_payload(&payload).as_ref(), Some(r));
+        }
+    }
+
+    #[test]
+    fn segment_header_roundtrip() {
+        let h = SegmentHeader {
+            version: FORMAT_VERSION,
+            epoch: 3,
+            session_id: 12,
+            segment: 2,
+        };
+        let bytes = h.encode();
+        assert_eq!(bytes.len() as u64, SEGMENT_HEADER_BYTES);
+        assert_eq!(SegmentHeader::decode(&bytes), Some(h));
+        assert_eq!(SegmentHeader::decode(b"nope"), None);
+    }
+
+    #[test]
+    fn trailing_bytes_are_corruption() {
+        let mut payload = Record::CleanShutdown.encode_payload();
+        payload.push(0);
+        assert_eq!(Record::decode_payload(&payload), None);
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_plans() {
+        let db = lqs_storage::Database::new();
+        let mut b = lqs_plan::PlanBuilder::new(&db);
+        let scan = b.constant_scan(vec![vec![lqs_storage::Value::Int(1)]]);
+        let p1 = b.finish(scan);
+        let mut b2 = lqs_plan::PlanBuilder::new(&db);
+        let scan2 = b2.constant_scan(vec![vec![lqs_storage::Value::Int(1)]]);
+        let sort = b2.sort(scan2, vec![lqs_plan::SortKey::desc(0)]);
+        let p2 = b2.finish(sort);
+        assert_eq!(plan_fingerprint(&p1), plan_fingerprint(&p1));
+        assert_ne!(plan_fingerprint(&p1), plan_fingerprint(&p2));
+    }
+}

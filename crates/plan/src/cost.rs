@@ -14,7 +14,7 @@ use lqs_storage::Database;
 /// Cost/charging constants shared by planner and executor. All CPU values
 /// are nanoseconds of virtual time; I/O is in pages (one page read costs
 /// [`CostModel::io_page_ns`] of virtual time).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CostModel {
     /// Virtual nanoseconds per logical page read.
     pub io_page_ns: f64,

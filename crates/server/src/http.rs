@@ -208,6 +208,7 @@ fn sessions_json(sessions: &SessionRegistry) -> String {
                 ("name".into(), Value::String(h.name().into())),
                 ("workload".into(), Value::String(h.workload().into())),
                 ("state".into(), Value::String(state_label(h.state()).into())),
+                ("recovered".into(), Value::Bool(h.recovered())),
                 ("published_seq".into(), Value::Int(h.published_seq() as i64)),
                 (
                     "snapshot_ts_ns".into(),

@@ -30,6 +30,15 @@
 //!   text format, `GET /sessions` as JSON). Accuracy is scored on the
 //!   first poll that sees a session terminal, so poll once after
 //!   completion before evicting.
+//! * Durability — started via [`QueryService::with_journal`], every
+//!   session appends its published snapshots and terminal state to a
+//!   per-session [`lqs_journal`] write-ahead journal; orderly shutdown
+//!   stamps a clean-shutdown sentinel and sweeps retention. After a crash,
+//!   [`RecoveryManager`] rebuilds the registry from the journal directory:
+//!   finished sessions come back with their full results (pollers re-score
+//!   them bit-identically), interrupted ones come back
+//!   [`SessionState::Orphaned`] with their last journaled snapshot served
+//!   at degraded quality.
 //!
 //! ```
 //! use lqs_server::{QueryService, QuerySpec, RegistryPoller, SessionState};
@@ -66,12 +75,16 @@
 
 pub mod http;
 pub mod metrics;
+pub mod recovery;
 pub mod registry;
 pub mod service;
 pub mod session;
 
 pub use http::MetricsServer;
 pub use metrics::{state_label, PollerMetrics, ServiceMetrics};
+pub use recovery::{
+    PlanResolver, RecoveredOutcome, RecoveredSessionSummary, RecoveryManager, RecoveryReport,
+};
 pub use registry::{PollFaultInjector, RegistryPoller, SessionProgress, SessionRegistry};
 pub use service::QueryService;
 pub use session::{QuerySpec, SessionHandle, SessionId, SessionResult, SessionState};

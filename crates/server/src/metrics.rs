@@ -25,6 +25,7 @@ pub fn state_label(state: SessionState) -> &'static str {
         SessionState::DeadlineExceeded => "deadline_exceeded",
         SessionState::Failed => "failed",
         SessionState::Rejected => "rejected",
+        SessionState::Orphaned => "orphaned",
     }
 }
 

@@ -1,0 +1,320 @@
+//! Crash recovery: rebuild a [`SessionRegistry`] from the snapshot journal
+//! a previous service incarnation left behind.
+//!
+//! On startup, [`RecoveryManager::recover`] scans the journal directory and
+//! classifies every journaled session:
+//!
+//! * **Terminal record present** — the session finished before the process
+//!   died (or exited cleanly). Its result is restored faithfully: a
+//!   `Succeeded` session gets a reconstructed [`QueryRun`] whose snapshot
+//!   trace is the journaled publish stream, so a [`crate::RegistryPoller`]
+//!   re-attaches and its accuracy replay scores **bit-identically** to the
+//!   uninterrupted run (estimator statics depend only on plan, database,
+//!   and cost model — all journaled or re-resolved).
+//! * **No terminal record** — the process died mid-run. The session is
+//!   restored as [`SessionState::Orphaned`] with its last journaled
+//!   snapshot in the DMV slot; pollers serve that progress at
+//!   [`EstimateQuality::Degraded`](lqs_progress::EstimateQuality).
+//!
+//! Plans are not journaled wholesale (they reference the live database);
+//! instead the journal stores a structural fingerprint and recovery asks a
+//! [`PlanResolver`] — typically "rebuild the workload query by name" — for
+//! the plan, refusing to re-attach when the fingerprint no longer matches
+//! (a changed plan would silently produce wrong estimator weights).
+
+use crate::registry::SessionRegistry;
+use crate::session::{QuerySpec, SessionHandle, SessionId, SessionResult, SessionState};
+use lqs_exec::{AbortReason, AbortedQuery, DmvSnapshot, ExecOptions, NodeCounters, QueryRun};
+use lqs_journal::{
+    plan_fingerprint, scan_dir, JournalMetrics, JournalScan, RecoveredSession, SessionMeta,
+    TerminalKind,
+};
+use lqs_plan::PhysicalPlan;
+use std::path::Path;
+use std::sync::Arc;
+
+/// Re-resolves the physical plan of a journaled session. The journal
+/// stores only the plan's fingerprint and the session's name/workload;
+/// recovery needs the live [`Arc<PhysicalPlan>`] to hand pollers (their
+/// estimator statics are built from it).
+pub trait PlanResolver {
+    /// The plan for `meta`'s session, or `None` if it cannot be rebuilt.
+    fn resolve(&self, meta: &SessionMeta) -> Option<Arc<PhysicalPlan>>;
+}
+
+impl<F> PlanResolver for F
+where
+    F: Fn(&SessionMeta) -> Option<Arc<PhysicalPlan>>,
+{
+    fn resolve(&self, meta: &SessionMeta) -> Option<Arc<PhysicalPlan>> {
+        self(meta)
+    }
+}
+
+/// How one journaled session was classified by recovery.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecoveredOutcome {
+    /// Terminal record restored as-is (`Succeeded`, `Cancelled`,
+    /// `DeadlineExceeded`, `Failed`, or `Rejected`).
+    Restored(SessionState),
+    /// No terminal record: the writing process died mid-run. Restored as
+    /// [`SessionState::Orphaned`].
+    Orphaned,
+    /// The meta record was unreadable (corrupt first segment); nothing to
+    /// re-attach. Counted, not registered.
+    Unreadable,
+    /// The [`PlanResolver`] could not rebuild the plan. Counted, not
+    /// registered.
+    Unresolved,
+    /// The resolved plan's fingerprint differs from the journaled one —
+    /// re-attaching would produce silently wrong estimates. Counted, not
+    /// registered.
+    PlanMismatch,
+}
+
+impl RecoveredOutcome {
+    /// The `outcome` label on `lqs_sessions_recovered_total`.
+    pub fn label(self) -> &'static str {
+        match self {
+            RecoveredOutcome::Restored(SessionState::Succeeded) => "succeeded",
+            RecoveredOutcome::Restored(SessionState::Cancelled) => "cancelled",
+            RecoveredOutcome::Restored(SessionState::DeadlineExceeded) => "deadline_exceeded",
+            RecoveredOutcome::Restored(SessionState::Failed) => "failed",
+            RecoveredOutcome::Restored(SessionState::Rejected) => "rejected",
+            RecoveredOutcome::Restored(_) => "restored",
+            RecoveredOutcome::Orphaned => "orphaned",
+            RecoveredOutcome::Unreadable => "unreadable",
+            RecoveredOutcome::Unresolved => "unresolved",
+            RecoveredOutcome::PlanMismatch => "plan_mismatch",
+        }
+    }
+}
+
+/// One journaled session's recovery record.
+#[derive(Debug, Clone)]
+pub struct RecoveredSessionSummary {
+    /// Id in the rebuilt registry; `None` when the session could not be
+    /// re-attached (unreadable / unresolved / plan mismatch).
+    pub id: Option<SessionId>,
+    /// Epoch of the incarnation that journaled the session.
+    pub original_epoch: u32,
+    /// Session id within that epoch (ids are reassigned on recovery —
+    /// originals are only unique per epoch).
+    pub original_id: u64,
+    /// Session name (empty when the meta record was lost).
+    pub name: String,
+    /// Classification.
+    pub outcome: RecoveredOutcome,
+    /// Snapshots that survived in the journal.
+    pub snapshots: usize,
+    /// Whether the journal ends with the clean-shutdown sentinel.
+    pub clean_shutdown: bool,
+    /// Corrupt records discarded while reading this session's journal.
+    pub corrupt_records: u64,
+}
+
+/// What a recovery pass found and rebuilt.
+#[derive(Debug, Clone, Default)]
+pub struct RecoveryReport {
+    /// Every journaled session, in `(epoch, session_id)` order.
+    pub sessions: Vec<RecoveredSessionSummary>,
+    /// Corrupt records discarded across the whole scan.
+    pub corrupt_records: u64,
+    /// Total journal bytes read.
+    pub bytes_scanned: u64,
+}
+
+impl RecoveryReport {
+    /// Sessions restored with their journaled terminal state.
+    pub fn restored(&self) -> usize {
+        self.sessions
+            .iter()
+            .filter(|s| matches!(s.outcome, RecoveredOutcome::Restored(_)))
+            .count()
+    }
+
+    /// Sessions restored as [`SessionState::Orphaned`].
+    pub fn orphaned(&self) -> usize {
+        self.sessions
+            .iter()
+            .filter(|s| s.outcome == RecoveredOutcome::Orphaned)
+            .count()
+    }
+
+    /// Sessions that could not be re-attached at all.
+    pub fn unrecovered(&self) -> usize {
+        self.sessions.len() - self.restored() - self.orphaned()
+    }
+}
+
+/// Rebuilds a [`SessionRegistry`] from a journal directory.
+pub struct RecoveryManager {
+    resolver: Box<dyn PlanResolver>,
+    metrics: Option<JournalMetrics>,
+}
+
+impl RecoveryManager {
+    /// A manager resolving plans through `resolver`.
+    pub fn new(resolver: impl PlanResolver + 'static) -> Self {
+        RecoveryManager {
+            resolver: Box::new(resolver),
+            metrics: None,
+        }
+    }
+
+    /// Record recovery outcomes and scan corruption into `metrics`.
+    pub fn with_metrics(mut self, metrics: JournalMetrics) -> Self {
+        self.metrics = Some(metrics);
+        self
+    }
+
+    /// Scan `dir` and register every recoverable session into `registry`.
+    /// I/O errors on the directory propagate; corrupt content never does.
+    pub fn recover(
+        &self,
+        dir: &Path,
+        registry: &SessionRegistry,
+    ) -> std::io::Result<RecoveryReport> {
+        Ok(self.recover_scan(&scan_dir(dir)?, registry))
+    }
+
+    /// Register every recoverable session of an already-performed scan.
+    pub fn recover_scan(&self, scan: &JournalScan, registry: &SessionRegistry) -> RecoveryReport {
+        if let Some(m) = &self.metrics {
+            m.add_corrupt_records(scan.corrupt_records);
+        }
+        let mut report = RecoveryReport {
+            sessions: Vec::with_capacity(scan.sessions.len()),
+            corrupt_records: scan.corrupt_records,
+            bytes_scanned: scan.bytes_scanned,
+        };
+        for session in &scan.sessions {
+            let summary = self.recover_session(session, registry);
+            if let Some(m) = &self.metrics {
+                m.session_recovered(summary.outcome.label());
+            }
+            report.sessions.push(summary);
+        }
+        report
+    }
+
+    fn recover_session(
+        &self,
+        session: &RecoveredSession,
+        registry: &SessionRegistry,
+    ) -> RecoveredSessionSummary {
+        let mut summary = RecoveredSessionSummary {
+            id: None,
+            original_epoch: session.epoch,
+            original_id: session.session_id,
+            name: session
+                .meta
+                .as_ref()
+                .map(|m| m.name.clone())
+                .unwrap_or_default(),
+            outcome: RecoveredOutcome::Unreadable,
+            snapshots: session.snapshots.len(),
+            clean_shutdown: session.clean_shutdown,
+            corrupt_records: session.corrupt_records,
+        };
+        let Some(meta) = &session.meta else {
+            return summary;
+        };
+        let Some(plan) = self.resolver.resolve(meta) else {
+            summary.outcome = RecoveredOutcome::Unresolved;
+            return summary;
+        };
+        if plan_fingerprint(&plan) != meta.plan_fingerprint {
+            summary.outcome = RecoveredOutcome::PlanMismatch;
+            return summary;
+        }
+        let spec = QuerySpec::new(meta.name.clone(), plan)
+            .with_workload(meta.workload.clone())
+            .with_opts(ExecOptions {
+                snapshot_target: meta.snapshot_target as usize,
+                snapshot_interval_ns: meta.snapshot_interval_ns,
+                cost_model: meta.cost_model.clone(),
+            });
+        let handle = registry.register(spec);
+        summary.id = Some(handle.id());
+        summary.outcome = restore_handle(&handle, session, meta);
+        summary
+    }
+}
+
+/// Install a journaled session's state into a freshly registered handle.
+fn restore_handle(
+    handle: &SessionHandle,
+    session: &RecoveredSession,
+    meta: &SessionMeta,
+) -> RecoveredOutcome {
+    let Some(terminal) = &session.terminal else {
+        // Died mid-run: the last journaled snapshot is the session's
+        // last-known progress; pollers estimate from it at Degraded.
+        handle.restore(
+            session.snapshots.last().cloned(),
+            SessionResult::Orphaned,
+            SessionState::Orphaned,
+        );
+        return RecoveredOutcome::Orphaned;
+    };
+    // The terminal publish (`complete`/`abort`) journaled the final/partial
+    // counters as the *last* snapshot record; everything before it is the
+    // mid-run trace the engine recorded in `QueryRun::snapshots`.
+    let (trace, last) = match session.snapshots.split_last() {
+        Some((last, trace)) => (trace.to_vec(), last.clone()),
+        // Terminal record without any snapshot (possible only for Failed /
+        // Rejected, which publish nothing): synthesize an all-zero counter
+        // state so downstream consumers still see one row per plan node.
+        None => (
+            Vec::new(),
+            DmvSnapshot {
+                ts_ns: terminal.at_ns,
+                nodes: vec![NodeCounters::default(); meta.n_nodes as usize],
+            },
+        ),
+    };
+    let (state, result, snapshot) = match terminal.kind {
+        TerminalKind::Succeeded => (
+            SessionState::Succeeded,
+            SessionResult::Completed(QueryRun {
+                snapshots: trace,
+                final_counters: last.nodes.clone(),
+                duration_ns: terminal.at_ns,
+                rows_returned: terminal.rows_returned,
+                cost_model: meta.cost_model.clone(),
+            }),
+            Some(last),
+        ),
+        TerminalKind::Cancelled | TerminalKind::DeadlineExceeded => {
+            let (state, reason) = if terminal.kind == TerminalKind::Cancelled {
+                (SessionState::Cancelled, AbortReason::Cancelled)
+            } else {
+                (
+                    SessionState::DeadlineExceeded,
+                    AbortReason::DeadlineExceeded,
+                )
+            };
+            (
+                state,
+                SessionResult::Aborted(AbortedQuery {
+                    reason,
+                    at_ns: terminal.at_ns,
+                    snapshots: trace,
+                    partial_counters: last.nodes.clone(),
+                }),
+                Some(last),
+            )
+        }
+        TerminalKind::Failed => (
+            SessionState::Failed,
+            SessionResult::Failed(terminal.message.clone()),
+            // `fail` publishes nothing, so whatever snapshot is last in the
+            // journal is a genuine mid-run publish — keep it visible.
+            session.snapshots.last().cloned(),
+        ),
+        TerminalKind::Rejected => (SessionState::Rejected, SessionResult::Rejected, None),
+    };
+    handle.restore(snapshot, result, state);
+    RecoveredOutcome::Restored(state)
+}

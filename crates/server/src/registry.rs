@@ -314,6 +314,16 @@ impl RegistryPoller {
             }
             None => (None, None),
         };
+        let state = handle.state();
+        // An orphaned session's snapshot is the last thing a dead process
+        // managed to journal: serve it, but never as anything better than
+        // Degraded — the run it describes no longer exists.
+        let report = report.map(|mut r| {
+            if state == SessionState::Orphaned {
+                r.quality = EstimateQuality::Degraded;
+            }
+            r
+        });
         if let (Some(metrics), Some(r)) = (&self.metrics, &report) {
             metrics.set_session_gauges(
                 &id.to_string(),
@@ -325,7 +335,7 @@ impl RegistryPoller {
         SessionProgress {
             id,
             name: handle.name().to_string(),
-            state: handle.state(),
+            state,
             seq,
             ts_ns,
             report,
@@ -357,6 +367,9 @@ impl RegistryPoller {
                 && r.quality == EstimateQuality::Fresh
             {
                 r.quality = EstimateQuality::Stale;
+            }
+            if state == SessionState::Orphaned {
+                r.quality = EstimateQuality::Degraded;
             }
             r
         });

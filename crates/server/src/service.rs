@@ -9,6 +9,7 @@ use crate::metrics::ServiceMetrics;
 use crate::registry::SessionRegistry;
 use crate::session::{FilteredPublisher, QuerySpec, SessionHandle, SessionState};
 use lqs_exec::{execute_hooked, ExecHooks, FaultInjector, QueryFault, SnapshotPublisher};
+use lqs_journal::{plan_fingerprint, Journal, SessionMeta};
 use lqs_obs::EventSink;
 use lqs_storage::Database;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -33,6 +34,10 @@ pub struct QueryService {
     /// worker). `None` = unbounded (the pre-admission-control behavior).
     admission_limit: Option<usize>,
     queued_depth: Arc<AtomicUsize>,
+    /// Durability: every session journals its snapshots and terminal state
+    /// here when set; shutdown flushes all writers, stamps the
+    /// clean-shutdown sentinel, and sweeps retention.
+    journal: Option<Arc<Journal>>,
 }
 
 impl QueryService {
@@ -70,7 +75,23 @@ impl QueryService {
             workers,
             admission_limit: None,
             queued_depth,
+            journal: None,
         }
+    }
+
+    /// Journal every session's snapshots, terminal state, and shutdown
+    /// sentinel into `journal`. A session whose journal cannot be opened
+    /// runs un-journaled (durability degrades; the query never fails for
+    /// the journal's sake).
+    pub fn with_journal(mut self, journal: Journal) -> Self {
+        self.journal = Some(Arc::new(journal));
+        self
+    }
+
+    /// The service's journal, when started via
+    /// [`QueryService::with_journal`].
+    pub fn journal(&self) -> Option<&Arc<Journal>> {
+        self.journal.as_ref()
     }
 
     /// Bound the submission queue: once `limit` admitted sessions are
@@ -111,6 +132,27 @@ impl QueryService {
         let handle = self.registry.register(spec);
         if let Some(metrics) = &self.metrics {
             metrics.submitted.inc();
+        }
+        // Open the session's journal before admission control runs, so even
+        // a shed session leaves a meta + Rejected terminal record behind.
+        if let Some(journal) = &self.journal {
+            let meta = SessionMeta {
+                session_id: handle.id().0,
+                name: handle.name().to_owned(),
+                workload: handle.workload().to_owned(),
+                n_nodes: handle.plan().len() as u32,
+                plan_fingerprint: plan_fingerprint(handle.plan()),
+                snapshot_target: handle.opts().snapshot_target as u64,
+                snapshot_interval_ns: handle.opts().snapshot_interval_ns,
+                cost_model: handle.opts().cost_model.clone(),
+            };
+            match journal.writer(meta) {
+                Ok(writer) => handle.attach_journal(Arc::new(writer)),
+                Err(e) => eprintln!(
+                    "lqs-server: {} runs un-journaled (journal open failed: {e})",
+                    handle.id()
+                ),
+            }
         }
         if let Some(limit) = self.admission_limit {
             // CAS loop so two racing submissions cannot both take the last
@@ -159,7 +201,9 @@ impl QueryService {
     }
 
     fn shutdown_inner(&mut self) {
-        self.queue.take(); // close the channel; workers exit when drained
+        // `shutdown` consumes self and Drop runs this again: only the call
+        // that actually closed the channel does the durability epilogue.
+        let first_shutdown = self.queue.take().is_some();
         for worker in self.workers.drain(..) {
             // Session panics are caught in `run_session`, so a failed join
             // means something outside execution went wrong. Never panic
@@ -167,6 +211,23 @@ impl QueryService {
             // a second panic aborts the process.
             if worker.join().is_err() {
                 eprintln!("lqs-server: worker thread panicked outside session execution");
+            }
+        }
+        if !first_shutdown || self.journal.is_none() {
+            return;
+        }
+        // Workers are joined, so every admitted session has its terminal
+        // record appended. Flush each journal and stamp the clean-shutdown
+        // sentinel — this is what lets recovery tell an orderly exit from a
+        // crash — then enforce the retention budget.
+        for handle in self.registry.sessions() {
+            if let Some(journal) = handle.journal() {
+                journal.append_clean_shutdown();
+            }
+        }
+        if let Some(journal) = &self.journal {
+            if let Err(e) = journal.sweep_retention() {
+                eprintln!("lqs-server: journal retention sweep failed: {e}");
             }
         }
     }

@@ -11,10 +11,11 @@ use lqs_exec::{
     AbortReason, AbortedQuery, CancellationToken, DmvSnapshot, ExecOptions, FaultInjector,
     QueryRun, SnapshotFilter, SnapshotPublisher,
 };
+use lqs_journal::{SessionJournal, TerminalKind, TerminalRecord};
 use lqs_obs::SharedSessionSink;
 use lqs_plan::PhysicalPlan;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
 /// Opaque session identifier, unique within one [`crate::SessionRegistry`].
@@ -28,7 +29,7 @@ impl std::fmt::Display for SessionId {
 }
 
 /// Lifecycle of a session. Terminal states are `Succeeded`, `Cancelled`,
-/// `DeadlineExceeded`, `Failed`, and `Rejected`.
+/// `DeadlineExceeded`, `Failed`, `Rejected`, and `Orphaned`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SessionState {
     /// Submitted, waiting for a worker.
@@ -47,6 +48,12 @@ pub enum SessionState {
     /// Shed at admission: the service's bounded queue was full. The
     /// session never reached a worker and has no counters.
     Rejected,
+    /// Restored from the journal of a crashed service incarnation: the
+    /// session was in flight when the process died, so it has a last-known
+    /// snapshot but no terminal record. Terminal here — the run is gone —
+    /// and pollers serve its progress as
+    /// [`lqs_progress::EstimateQuality::Degraded`].
+    Orphaned,
 }
 
 impl SessionState {
@@ -67,6 +74,9 @@ pub enum SessionResult {
     Failed(String),
     /// Shed at admission (queue full); never executed.
     Rejected,
+    /// Interrupted by a service crash and restored from the journal; only
+    /// the last journaled snapshot (in the handle's DMV slot) survives.
+    Orphaned,
 }
 
 /// Shared gauge of sessions currently in [`SessionState::Running`], with a
@@ -217,6 +227,12 @@ pub struct SessionHandle {
     /// `u64::MAX` until the first. Pollers subtract this from "now" to get
     /// snapshot age without taking the `latest` lock.
     last_publish_ns: AtomicU64,
+    /// Durability sink: every publish and terminal transition is appended
+    /// here when the owning service runs with a journal.
+    journal: OnceLock<Arc<SessionJournal>>,
+    /// Whether this handle was rebuilt from a journal by recovery rather
+    /// than submitted live.
+    recovered: AtomicBool,
 }
 
 impl SessionHandle {
@@ -233,7 +249,36 @@ impl SessionHandle {
             gauge,
             created: Instant::now(),
             last_publish_ns: AtomicU64::new(u64::MAX),
+            journal: OnceLock::new(),
+            recovered: AtomicBool::new(false),
         }
+    }
+
+    /// Attach this session's journal writer. At most once, before the
+    /// session starts publishing; later calls are ignored.
+    pub(crate) fn attach_journal(&self, journal: Arc<SessionJournal>) {
+        let _ = self.journal.set(journal);
+    }
+
+    /// The session's journal writer, if the service runs with one.
+    pub(crate) fn journal(&self) -> Option<&Arc<SessionJournal>> {
+        self.journal.get()
+    }
+
+    fn journal_terminal(&self, kind: TerminalKind, at_ns: u64, rows_returned: u64, message: &str) {
+        if let Some(journal) = self.journal.get() {
+            journal.append_terminal(&TerminalRecord {
+                kind,
+                at_ns,
+                rows_returned,
+                message: message.to_owned(),
+            });
+        }
+    }
+
+    /// Whether this handle was rebuilt from a journal by recovery.
+    pub fn recovered(&self) -> bool {
+        self.recovered.load(Ordering::Acquire)
     }
 
     /// Session id.
@@ -372,6 +417,12 @@ impl SessionHandle {
             ts_ns: run.duration_ns,
             nodes: run.final_counters.clone(),
         });
+        self.journal_terminal(
+            TerminalKind::Succeeded,
+            run.duration_ns,
+            run.rows_returned,
+            "",
+        );
         *self.result.lock().expect("result slot poisoned") = Some(SessionResult::Completed(run));
         self.set_state(SessionState::Succeeded);
     }
@@ -383,10 +434,14 @@ impl SessionHandle {
             ts_ns: aborted.at_ns,
             nodes: aborted.partial_counters.clone(),
         });
-        let state = match aborted.reason {
-            AbortReason::Cancelled => SessionState::Cancelled,
-            AbortReason::DeadlineExceeded => SessionState::DeadlineExceeded,
+        let (state, kind) = match aborted.reason {
+            AbortReason::Cancelled => (SessionState::Cancelled, TerminalKind::Cancelled),
+            AbortReason::DeadlineExceeded => (
+                SessionState::DeadlineExceeded,
+                TerminalKind::DeadlineExceeded,
+            ),
         };
+        self.journal_terminal(kind, aborted.at_ns, 0, "");
         *self.result.lock().expect("result slot poisoned") = Some(SessionResult::Aborted(aborted));
         self.set_state(state);
     }
@@ -394,6 +449,7 @@ impl SessionHandle {
     /// Record a genuine execution panic. No snapshot is published (the
     /// counter state is unknown); pollers keep whatever was last published.
     pub(crate) fn fail(&self, message: String) {
+        self.journal_terminal(TerminalKind::Failed, 0, 0, &message);
         *self.result.lock().expect("result slot poisoned") = Some(SessionResult::Failed(message));
         self.set_state(SessionState::Failed);
     }
@@ -401,8 +457,27 @@ impl SessionHandle {
     /// Mark the session shed at admission. Terminal immediately; the
     /// session never ran, so there are no counters to publish.
     pub(crate) fn reject(&self) {
+        self.journal_terminal(TerminalKind::Rejected, 0, 0, "");
         *self.result.lock().expect("result slot poisoned") = Some(SessionResult::Rejected);
         self.set_state(SessionState::Rejected);
+    }
+
+    /// Rebuild this handle's terminal state from journaled records
+    /// (recovery path). Lands `snapshot` in the DMV slot — no journal is
+    /// attached to a recovered handle, so nothing is re-journaled — then
+    /// installs the result and flips the state.
+    pub(crate) fn restore(
+        &self,
+        snapshot: Option<DmvSnapshot>,
+        result: SessionResult,
+        state: SessionState,
+    ) {
+        self.recovered.store(true, Ordering::Release);
+        if let Some(snapshot) = &snapshot {
+            self.publish(snapshot);
+        }
+        *self.result.lock().expect("result slot poisoned") = Some(result);
+        self.set_state(state);
     }
 }
 
@@ -426,6 +501,14 @@ impl SnapshotPublisher for FilteredPublisher<'_> {
 
 impl SnapshotPublisher for SessionHandle {
     fn publish(&self, snapshot: &DmvSnapshot) {
+        // Journal first, then make the snapshot visible: a poller must
+        // never see counters the journal can lose. (Landing the publish in
+        // the handle rather than an exec-level tee means terminal publishes
+        // from `complete`/`abort` — which bypass the engine's publisher
+        // hook — are journaled too.)
+        if let Some(journal) = self.journal.get() {
+            journal.append_snapshot(snapshot);
+        }
         *self.latest.lock().expect("latest slot poisoned") = Some(snapshot.clone());
         // `u64::MAX` is the never-published sentinel; a >584-year uptime
         // would be needed to collide with it.
@@ -500,6 +583,7 @@ mod tests {
         assert!(SessionState::Cancelled.is_terminal());
         assert!(SessionState::DeadlineExceeded.is_terminal());
         assert!(SessionState::Failed.is_terminal());
+        assert!(SessionState::Orphaned.is_terminal());
     }
 
     #[test]
