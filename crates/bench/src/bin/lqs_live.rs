@@ -8,6 +8,7 @@
 //! ```text
 //! lqs_live [--query tpch-q01] [--frames 8] [--scale 0.5] [--seed 42] [--trace out.json]
 //! lqs_live --journal DIR [--query NAME] [--frames 8] [--scale 0.5] [--seed 42]
+//! lqs_live --fleet DIR [--scale F] [--seed N]
 //! ```
 //!
 //! With `--trace FILE`, the run is captured through a ring-buffer sink and
@@ -22,6 +23,15 @@
 //! rebuilt from the workload by the journaled session name, and refused if
 //! its fingerprint no longer matches (pass the `--scale`/`--seed` the
 //! journaled run used).
+//!
+//! With `--fleet DIR`, the whole journal directory is rendered as the
+//! fleet analytics view (see `lqs::history`): every journaled session with
+//! its outcome and totals, per-workload p50/p90/p99 percentile summaries,
+//! and the fleet-wide slowest-node ranking.
+//!
+//! Both journal modes refuse a missing or session-less directory with a
+//! clear message and a non-zero exit — a typo'd path must never render an
+//! empty-but-plausible view.
 
 use lqs::exec::execute_traced;
 use lqs::harness::{run_query, trace_estimator};
@@ -39,6 +49,7 @@ struct Args {
     seed: u64,
     trace: Option<String>,
     journal: Option<String>,
+    fleet: Option<String>,
 }
 
 fn parse_args() -> Args {
@@ -49,6 +60,7 @@ fn parse_args() -> Args {
         seed: 42,
         trace: None,
         journal: None,
+        fleet: None,
     };
     let args: Vec<String> = std::env::args().collect();
     let mut i = 1;
@@ -78,11 +90,15 @@ fn parse_args() -> Args {
                 out.journal = Some(args[i + 1].clone());
                 i += 2;
             }
+            "--fleet" => {
+                out.fleet = Some(args[i + 1].clone());
+                i += 2;
+            }
             other => {
                 eprintln!("unknown argument {other}");
                 eprintln!(
                     "usage: lqs_live [--query NAME] [--frames N] [--scale F] [--seed N] \
-                     [--trace FILE] [--journal DIR]"
+                     [--trace FILE] [--journal DIR] [--fleet DIR]"
                 );
                 std::process::exit(2);
             }
@@ -203,10 +219,16 @@ fn describe(s: &RecoveredSession) -> String {
     )
 }
 
-/// `--journal DIR`: read a crash-recovery journal and replay one session's
-/// snapshot stream through the terminal UI, no execution.
-fn replay_journal(args: &Args, dir: &str) {
-    let scan = match scan_dir(std::path::Path::new(dir)) {
+/// Guard shared by `--journal` and `--fleet`: a missing, non-directory,
+/// unreadable, or session-less journal directory is a hard error with a
+/// clear message and non-zero exit — never an empty-but-plausible view.
+fn scan_journal_dir_or_exit(dir: &str) -> lqs::journal::JournalScan {
+    let path = std::path::Path::new(dir);
+    if !path.is_dir() {
+        eprintln!("lqs_live: journal directory {dir} does not exist (or is not a directory)");
+        std::process::exit(1);
+    }
+    let scan = match scan_dir(path) {
         Ok(s) => s,
         Err(e) => {
             eprintln!("lqs_live: cannot scan journal dir {dir}: {e}");
@@ -217,6 +239,13 @@ fn replay_journal(args: &Args, dir: &str) {
         eprintln!("lqs_live: no journaled sessions in {dir}");
         std::process::exit(1);
     }
+    scan
+}
+
+/// `--journal DIR`: read a crash-recovery journal and replay one session's
+/// snapshot stream through the terminal UI, no execution.
+fn replay_journal(args: &Args, dir: &str) {
+    let scan = scan_journal_dir_or_exit(dir);
     eprintln!(
         "lqs_live: {} journaled session(s) in {dir}:",
         scan.sessions.len()
@@ -318,6 +347,100 @@ fn replay_journal(args: &Args, dir: &str) {
     }
 }
 
+/// `--fleet DIR`: render the whole journal directory as the fleet
+/// analytics view — sessions, per-workload percentiles, slowest nodes.
+fn fleet_view(args: &Args, dir: &str) {
+    use lqs::history::{history_from_scan, HistoryResolver, ResolvedPlan};
+    use std::sync::Arc;
+
+    let scan = scan_journal_dir_or_exit(dir);
+    // Rebuild the standard workloads so sessions resolve to plans
+    // (operator names, ErrorAvg/ErrorTime); unresolvable sessions still
+    // get journal-pure curves and attribution.
+    let workloads = standard_five(WorkloadScale {
+        data_scale: args.scale,
+        query_limit: usize::MAX,
+        seed: args.seed,
+    });
+    let mut catalog: Vec<(String, Arc<Database>, Arc<PhysicalPlan>)> = Vec::new();
+    for w in workloads {
+        let db = Arc::new(w.db);
+        for q in w.queries {
+            catalog.push((q.name, Arc::clone(&db), Arc::new(q.plan)));
+        }
+    }
+    let resolver = move |meta: &lqs::journal::SessionMeta| {
+        journaled_query_name(&meta.name).into_iter().find_map(|n| {
+            catalog
+                .iter()
+                .find(|(name, _, _)| name == n)
+                .map(|(_, db, plan)| ResolvedPlan {
+                    plan: Arc::clone(plan),
+                    db: Arc::clone(db),
+                })
+        })
+    };
+    let fleet = history_from_scan(&scan, Some(&resolver as &dyn HistoryResolver));
+
+    println!(
+        "fleet history: {} session(s), {} corrupt record(s), {} swept mid-scan",
+        fleet.sessions.len(),
+        fleet.corrupt_records,
+        fleet.sessions_swept
+    );
+    for s in &fleet.sessions {
+        let accuracy = match (s.error_avg, s.error_time) {
+            (Some(a), Some(t)) => format!("  ErrorAvg={a:.4} ErrorTime={t:.4}"),
+            _ => String::new(),
+        };
+        println!(
+            "  {:<14} {:<24} {:<18} {:<10} {:>9.2}ms cpu {:>9.2}ms reads {:>8} snaps {:>4}{}",
+            s.key(),
+            s.name,
+            s.workload,
+            s.outcome,
+            s.runtime_ns as f64 / 1e6,
+            s.total_cpu_ns as f64 / 1e6,
+            s.total_logical_reads,
+            s.snapshots,
+            accuracy
+        );
+    }
+
+    println!("\nper-workload percentiles (succeeded runs):");
+    for w in fleet.percentiles() {
+        println!(
+            "  {:<18} {:>3}/{:<3} runtime ms p50/p90/p99 {:>9.2}/{:>9.2}/{:>9.2}  reads p50 {:>8.0}",
+            w.workload,
+            w.succeeded,
+            w.sessions,
+            w.runtime_ns.p50 / 1e6,
+            w.runtime_ns.p90 / 1e6,
+            w.runtime_ns.p99 / 1e6,
+            w.logical_reads.p50
+        );
+        if let (Some(ea), Some(et)) = (&w.error_avg, &w.error_time) {
+            println!(
+                "  {:<18} ErrorAvg p50/p90 {:.4}/{:.4}  ErrorTime p50/p90 {:.4}/{:.4}",
+                "", ea.p50, ea.p90, et.p50, et.p90
+            );
+        }
+    }
+
+    println!("\nslowest nodes fleet-wide (by total CPU):");
+    for n in fleet.slowest_nodes(10) {
+        println!(
+            "  {:<24} node {:<3} {:<24} {:>2} run(s) cpu {:>9.2}ms reads {:>8}",
+            n.name,
+            n.node,
+            n.op.as_deref().unwrap_or("<unresolved>"),
+            n.sessions,
+            n.cpu_ns as f64 / 1e6,
+            n.logical_reads
+        );
+    }
+}
+
 fn main() {
     let args = parse_args();
     let scale = WorkloadScale {
@@ -325,6 +448,10 @@ fn main() {
         query_limit: usize::MAX,
         seed: args.seed,
     };
+    if let Some(dir) = &args.fleet {
+        fleet_view(&args, dir);
+        return;
+    }
     if let Some(dir) = &args.journal {
         replay_journal(&args, dir);
         return;

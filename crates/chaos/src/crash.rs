@@ -20,7 +20,11 @@
 //! down, and corrupts tails. A final full recovery asserts all K×Q
 //! sessions are accounted for and that every `Succeeded` session recovered
 //! from the journal replays through a fresh estimator **bit-identically**
-//! to an uninterrupted re-execution of the same plan.
+//! to an uninterrupted re-execution of the same plan. The soak then scans
+//! the same hostile directory through `lqs-history` twice, checking the
+//! analytics invariants (bounded curves, attribution totals, accuracy
+//! replays on every surviving `Succeeded` session) and that both scans
+//! render identical summaries.
 //!
 //! Everything keys off the config seed, virtual-clock counters, and
 //! session names — never wall-clock state — so [`CrashSoakReport::summary`]
@@ -28,6 +32,7 @@
 //! per seed).
 
 use lqs_exec::{DmvSnapshot, ExecOptions, QueryRun};
+use lqs_history::{scan_history, HistoryResolver, ResolvedPlan};
 use lqs_journal::{Journal, JournalConfig, JournalMetrics, SessionMeta, WriteCrashPoint};
 use lqs_metrics::MetricsRegistry;
 use lqs_plan::PhysicalPlan;
@@ -393,6 +398,80 @@ fn soak_resolver(queries: NamedPlans) -> impl Fn(&SessionMeta) -> Option<Arc<Phy
     }
 }
 
+/// The [`HistoryResolver`] twin of [`soak_resolver`]: same name-based plan
+/// lookup, paired with the workload database so history analytics can run
+/// accuracy replays.
+fn history_resolver(
+    db: Arc<Database>,
+    queries: NamedPlans,
+) -> impl Fn(&SessionMeta) -> Option<ResolvedPlan> {
+    let resolve = soak_resolver(queries);
+    move |meta: &SessionMeta| {
+        resolve(meta).map(|plan| ResolvedPlan {
+            plan,
+            db: Arc::clone(&db),
+        })
+    }
+}
+
+/// Scan the soaked directory through `lqs-history` and check its
+/// invariants on hostile (torn, bit-flipped, multi-epoch) input: curves
+/// stay bounded, per-node attribution totals match the session totals, and
+/// every session whose terminal record survived gets an accuracy replay.
+/// Returns a deterministic one-line summary for the report.
+fn check_history(
+    dir: &Path,
+    resolver: &dyn HistoryResolver,
+    violations: &mut Vec<String>,
+) -> String {
+    let fleet = match scan_history(dir, None, Some(resolver)) {
+        Ok(f) => f,
+        Err(e) => {
+            violations.push(format!("history scan failed: {e}"));
+            return "history: scan failed".to_string();
+        }
+    };
+    let (mut succeeded, mut scored) = (0usize, 0usize);
+    for s in &fleet.sessions {
+        for p in &s.curve {
+            if !in_bounds(p.progress) {
+                violations.push(format!(
+                    "history {}: curve progress {} out of [0,1]",
+                    s.key(),
+                    p.progress
+                ));
+            }
+        }
+        let node_cpu: u64 = s.nodes.iter().map(|n| n.cpu_ns).sum();
+        if node_cpu != s.total_cpu_ns {
+            violations.push(format!(
+                "history {}: node attribution {} != session total {}",
+                s.key(),
+                node_cpu,
+                s.total_cpu_ns
+            ));
+        }
+        if s.succeeded() {
+            succeeded += 1;
+            if s.error_avg.is_some() && s.error_time.is_some() {
+                scored += 1;
+            } else {
+                violations.push(format!(
+                    "history {} ({}): succeeded session without an accuracy replay",
+                    s.key(),
+                    s.name
+                ));
+            }
+        }
+    }
+    format!(
+        "history: sessions={} succeeded={succeeded} scored={scored} corrupt={} workloads={}",
+        fleet.sessions.len(),
+        fleet.corrupt_records,
+        fleet.percentiles().len(),
+    )
+}
+
 /// Run the kill/recover soak. See the module docs for the invariants.
 pub fn run_crash_soak(cfg: &CrashSoakConfig) -> CrashSoakReport {
     let (wl_name, db, queries) = prepare_workload(cfg);
@@ -543,6 +622,20 @@ pub fn run_crash_soak(cfg: &CrashSoakConfig) -> CrashSoakReport {
         }
         Err(e) => violations.push(format!("final recovery scan failed: {e}")),
     }
+
+    // History analytics over the same hostile directory: invariants must
+    // hold, and two scans of the now-unchanged journals must render the
+    // exact same summary (the history layer is a pure function of the
+    // bytes on disk).
+    let resolver = history_resolver(Arc::clone(&db), queries.clone());
+    let h1 = check_history(&cfg.dir, &resolver, &mut violations);
+    let h2 = check_history(&cfg.dir, &resolver, &mut violations);
+    if h1 != h2 {
+        violations.push(format!(
+            "history scans of an unchanged soak dir differ: {h1:?} vs {h2:?}"
+        ));
+    }
+    lines.push(h1);
 
     lines.push(format!(
         "sessions={} violations={}",

@@ -8,8 +8,10 @@
 //! workloads ([`workloads`]), experiment harness ([`harness`]), and a
 //! Prometheus-style telemetry subsystem ([`metrics`]) threaded through
 //! the multi-session query service ([`server`]), a durable per-session
-//! snapshot journal with crash recovery ([`journal`]), plus a
-//! deterministic fault-injection layer ([`chaos`]) for robustness testing.
+//! snapshot journal with crash recovery ([`journal`]), fleet-wide
+//! progress analytics and resource prediction over those journals
+//! ([`history`]), plus a deterministic fault-injection layer ([`chaos`])
+//! for robustness testing.
 //!
 //! ## Quickstart
 //!
@@ -52,6 +54,7 @@
 pub use lqs_chaos as chaos;
 pub use lqs_exec as exec;
 pub use lqs_harness as harness;
+pub use lqs_history as history;
 pub use lqs_journal as journal;
 pub use lqs_metrics as metrics;
 pub use lqs_obs as obs;
@@ -68,6 +71,10 @@ pub mod prelude {
         execute, execute_traced, plan_node_names, DmvSnapshot, ExecMetrics, ExecOptions,
         NodeCounters, QueryRun,
     };
+    pub use lqs_history::{
+        scan_history, FleetHistory, HistoryMetrics, HistoryResolver, HistoryStore, ResolvedPlan,
+        ResourcePrediction, SessionHistory,
+    };
     pub use lqs_journal::{FsyncPolicy, Journal, JournalConfig, SessionJournal};
     pub use lqs_metrics::{Counter, Gauge, Histogram, MetricsRegistry};
     pub use lqs_obs::{
@@ -83,8 +90,9 @@ pub mod prelude {
         PerOperatorError, ProgressEstimator, ProgressReport, QueryModel, RefinementSource,
     };
     pub use lqs_server::{
-        MetricsServer, PollerMetrics, QueryService, QuerySpec, RecoveryManager, RecoveryReport,
-        RegistryPoller, ServiceMetrics, SessionProgress, SessionRegistry, SessionState,
+        HistoryEndpoints, MetricsServer, PollerMetrics, QueryService, QuerySpec, RecoveryManager,
+        RecoveryReport, RegistryPoller, ServerConfig, ServiceMetrics, SessionProgress,
+        SessionRegistry, SessionState,
     };
     pub use lqs_storage::{Column, DataType, Database, Row, Schema, Table, TableId, Value};
 }

@@ -23,7 +23,7 @@ pub mod record;
 pub mod writer;
 
 pub use metrics::JournalMetrics;
-pub use reader::{scan_dir, JournalScan, RecoveredSession};
+pub use reader::{scan_dir, scan_dir_window, JournalScan, RecoveredSession};
 pub use record::{
     crc32, plan_fingerprint, Record, SegmentHeader, SessionMeta, TerminalKind, TerminalRecord,
     FORMAT_VERSION, MAX_PAYLOAD_BYTES, SEGMENT_HEADER_BYTES, SEGMENT_MAGIC,

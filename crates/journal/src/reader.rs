@@ -51,6 +51,28 @@ impl RecoveredSession {
     pub fn last_ts_ns(&self) -> Option<u64> {
         self.snapshots.last().map(|s| s.ts_ns)
     }
+
+    /// Virtual timestamp of the oldest surviving snapshot (the start of
+    /// this session's observable activity window). 0 when nothing survived.
+    pub fn start_ts_ns(&self) -> u64 {
+        self.snapshots.first().map_or(0, |s| s.ts_ns)
+    }
+
+    /// Virtual timestamp this session's activity ends at: the terminal
+    /// record's time when one reached disk, else the newest snapshot.
+    pub fn end_ts_ns(&self) -> u64 {
+        self.terminal
+            .as_ref()
+            .map(|t| t.at_ns)
+            .or_else(|| self.last_ts_ns())
+            .unwrap_or(0)
+    }
+
+    /// Whether this session's `[start_ts_ns, end_ts_ns]` activity window
+    /// intersects the closed window `[since_ns, until_ns]`.
+    pub fn overlaps_window(&self, since_ns: u64, until_ns: u64) -> bool {
+        self.start_ts_ns() <= until_ns && self.end_ts_ns() >= since_ns
+    }
 }
 
 /// Result of scanning one journal directory.
@@ -62,6 +84,21 @@ pub struct JournalScan {
     pub corrupt_records: u64,
     /// Total bytes read.
     pub bytes_scanned: u64,
+    /// Sessions whose files vanished mid-scan (a concurrent retention
+    /// sweep deleted them between directory listing and read). Not an
+    /// error and not corruption — the sweep won the race.
+    pub sessions_swept: u64,
+}
+
+impl JournalScan {
+    /// Drop every session whose activity window does not intersect the
+    /// closed virtual-time window `[since_ns, until_ns]`. Journals carry
+    /// only virtual timestamps, so this is the windowing primitive for
+    /// history queries ("what ran between t₀ and t₁").
+    pub fn retain_window(&mut self, since_ns: u64, until_ns: u64) {
+        self.sessions
+            .retain(|s| s.overlaps_window(since_ns, until_ns));
+    }
 }
 
 /// Read every session journal under `dir`. I/O errors on the directory
@@ -94,21 +131,37 @@ pub fn scan_dir(dir: &Path) -> std::io::Result<JournalScan> {
             corrupt_records: 0,
         };
         let mut truncated = false;
+        let mut swept = false;
         for expect in 0.. {
             // Stop at the first gap in the segment chain: anything past a
             // missing segment is unordered and untrusted.
             let Some(path) = segments.get(&expect) else {
                 break;
             };
-            if truncated {
+            if truncated || swept {
                 // A corrupt segment invalidates everything after it; later
                 // segments exist but their records follow a hole. Count
-                // each skipped segment as one corrupt record.
-                recovered.corrupt_records += 1;
+                // each skipped segment as one corrupt record. (After a
+                // sweep race the rest of the session is gone too, but that
+                // is deletion, not damage — nothing is tallied.)
+                if truncated {
+                    recovered.corrupt_records += 1;
+                }
                 continue;
             }
             let bytes = match std::fs::read(path) {
                 Ok(b) => b,
+                // The file was listed but is gone by the time we read it: a
+                // concurrent retention sweep deleted this session. Sweeps
+                // remove whole session journals oldest-epoch-first, so
+                // treat the session as swept — truncate what we have
+                // without tallying corruption; if nothing was read yet the
+                // whole session is dropped below, exactly as if the sweep
+                // had finished before the scan started.
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                    swept = true;
+                    continue;
+                }
                 Err(_) => {
                     recovered.corrupt_records += 1;
                     truncated = true;
@@ -143,9 +196,25 @@ pub fn scan_dir(dir: &Path) -> std::io::Result<JournalScan> {
                 }
             }
         }
+        if swept && recovered.meta.is_none() && recovered.snapshots.is_empty() {
+            // The sweep removed the session before any of it was read:
+            // report it as swept rather than as an empty (and apparently
+            // corrupt) session — a scan racing retention must agree with a
+            // scan run after it.
+            scan.sessions_swept += 1;
+            continue;
+        }
         scan.corrupt_records += recovered.corrupt_records;
         scan.sessions.push(recovered);
     }
+    Ok(scan)
+}
+
+/// [`scan_dir`] restricted to sessions whose activity intersects the
+/// closed virtual-time window `[since_ns, until_ns]`.
+pub fn scan_dir_window(dir: &Path, since_ns: u64, until_ns: u64) -> std::io::Result<JournalScan> {
+    let mut scan = scan_dir(dir)?;
+    scan.retain_window(since_ns, until_ns);
     Ok(scan)
 }
 

@@ -30,5 +30,5 @@
 pub mod primitives;
 pub mod registry;
 
-pub use primitives::{Counter, Gauge, Histogram};
+pub use primitives::{percentile, Counter, Gauge, Histogram};
 pub use registry::{MetricKind, MetricsRegistry};

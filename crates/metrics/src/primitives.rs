@@ -253,9 +253,41 @@ impl Histogram {
     }
 }
 
+/// Exact sample percentile over an **ascending-sorted** slice, by linear
+/// interpolation between closest ranks (the common "type 7" estimator).
+/// Unlike [`Histogram::quantile`] this is exact, not bucketed — the history
+/// layer uses it for per-workload p50/p90/p99 curves computed offline from
+/// journal scans, where the full sample set is in hand and byte-for-byte
+/// deterministic output matters. Returns 0.0 on an empty slice.
+pub fn percentile(sorted: &[f64], q: f64) -> f64 {
+    match sorted {
+        [] => 0.0,
+        [only] => *only,
+        _ => {
+            let q = q.clamp(0.0, 1.0);
+            let pos = q * (sorted.len() - 1) as f64;
+            let lo = pos.floor() as usize;
+            let hi = pos.ceil() as usize;
+            let frac = pos - lo as f64;
+            sorted[lo] + (sorted[hi] - sorted[lo]) * frac
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn percentile_exact_interpolated() {
+        assert_eq!(percentile(&[], 0.5), 0.0);
+        assert_eq!(percentile(&[7.0], 0.99), 7.0);
+        let v = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&v, 0.0), 1.0);
+        assert_eq!(percentile(&v, 1.0), 4.0);
+        assert_eq!(percentile(&v, 0.5), 2.5);
+        assert!((percentile(&v, 0.9) - 3.7).abs() < 1e-12);
+    }
 
     #[test]
     fn counter_and_gauge_basics() {

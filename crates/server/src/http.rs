@@ -1,14 +1,30 @@
 //! The scrape endpoint: a minimal HTTP/1.1 server over
-//! `std::net::TcpListener` exposing the metrics registry and the session
-//! registry. Hand-rolled on purpose — the workspace is vendor-only, and a
-//! scrape server needs exactly two GET routes, not a framework.
+//! `std::net::TcpListener` exposing the metrics registry, the session
+//! registry, service health, and the journal-backed history layer.
+//! Hand-rolled on purpose — the workspace is vendor-only, and a scrape
+//! server needs a handful of GET routes, not a framework.
 //!
 //! Routes:
 //! * `GET /metrics` — Prometheus text exposition (0.0.4) of the shared
 //!   [`MetricsRegistry`].
 //! * `GET /sessions` — JSON array of every registered session's id, name,
 //!   workload, lifecycle state, and latest-snapshot position.
-//! * `GET /` — plain-text index naming the two above.
+//! * `GET /healthz` — liveness + build info: version, uptime, session
+//!   counts, journal-directory status, recovered-session count.
+//! * `GET /history/sessions[?since=NS&until=NS]` — journaled sessions in
+//!   the window, as JSON (scanned fresh from the journal directory).
+//! * `GET /history/session/{key}/curve` — one session's progress-over-time
+//!   curve and per-node time attribution (`key` is `e{epoch}-s{id}` or a
+//!   bare session id).
+//! * `GET /history/percentiles[?workload=W]` — per-workload p50/p90/p99 of
+//!   runtime, CPU, logical reads, ErrorAvg, ErrorTime.
+//! * `GET /history/predict?fingerprint=F` — predicted CPU/IO/runtime for a
+//!   plan fingerprint from the live [`HistoryStore`]; answers an explicit
+//!   `no_history` (never a zero estimate) when the store can't help.
+//!
+//! The three journal-backed routes re-scan the journal directory on every
+//! request, so they are computed purely from journal bytes: two scrapes
+//! over an unchanged directory return byte-for-byte identical bodies.
 //!
 //! Connections are handled serially on one acceptor thread with short
 //! read/write timeouts: scrapers poll every few seconds, bodies are small,
@@ -16,14 +32,19 @@
 
 use crate::metrics::state_label;
 use crate::registry::SessionRegistry;
+use lqs_history::{
+    scan_history, FleetHistory, HistoryMetrics, HistoryResolver, HistoryStore, Pctls,
+    ResourcePrediction, SessionHistory,
+};
 use lqs_metrics::MetricsRegistry;
 use serde::Value;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Per-connection read/write budget. Generous for a localhost scrape,
 /// short enough that a stuck client can't wedge the acceptor for long.
@@ -32,7 +53,40 @@ const IO_TIMEOUT: Duration = Duration::from_secs(2);
 /// Largest request head accepted; anything longer is rejected with 431.
 const MAX_HEAD_BYTES: usize = 8 * 1024;
 
-/// A background HTTP server exposing `/metrics` and `/sessions`.
+/// Configuration for the `/history/*` routes.
+pub struct HistoryEndpoints {
+    /// Journal directory scanned (fresh) on every history request.
+    pub journal_dir: PathBuf,
+    /// Plan resolver for estimator-grade analytics (operator names,
+    /// ErrorAvg/ErrorTime in percentiles). `None` serves journal-pure
+    /// curves and attribution only.
+    pub resolver: Option<Arc<dyn HistoryResolver + Send + Sync>>,
+    /// The live prediction store behind `/history/predict`. `None` makes
+    /// that one route answer 404.
+    pub store: Option<Arc<HistoryStore>>,
+    /// Prediction telemetry for HTTP-issued predictions and cold misses.
+    pub metrics: Option<HistoryMetrics>,
+}
+
+/// Optional server state beyond the two original routes.
+#[derive(Default)]
+pub struct ServerConfig {
+    /// Enables the `/history/*` routes when set.
+    pub history: Option<HistoryEndpoints>,
+    /// Sessions rebuilt from the journal at startup, surfaced in
+    /// `/healthz`.
+    pub recovered_sessions: u64,
+}
+
+struct ServerState {
+    metrics: Arc<MetricsRegistry>,
+    sessions: Arc<SessionRegistry>,
+    config: ServerConfig,
+    started: Instant,
+}
+
+/// A background HTTP server exposing `/metrics`, `/sessions`, `/healthz`,
+/// and (when configured) `/history/*`.
 ///
 /// Bind to port 0 for an ephemeral port ([`MetricsServer::addr`] reports
 /// the one chosen). The server stops — promptly, via a self-connect that
@@ -45,20 +99,36 @@ pub struct MetricsServer {
 
 impl MetricsServer {
     /// Bind `addr` and start serving `metrics` and `sessions` on a
-    /// background thread.
+    /// background thread, with no history routes.
     pub fn start(
         addr: impl ToSocketAddrs,
         metrics: Arc<MetricsRegistry>,
         sessions: Arc<SessionRegistry>,
     ) -> std::io::Result<Self> {
+        Self::start_with(addr, metrics, sessions, ServerConfig::default())
+    }
+
+    /// [`MetricsServer::start`] with history routes and health detail.
+    pub fn start_with(
+        addr: impl ToSocketAddrs,
+        metrics: Arc<MetricsRegistry>,
+        sessions: Arc<SessionRegistry>,
+        config: ServerConfig,
+    ) -> std::io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
+        let state = ServerState {
+            metrics,
+            sessions,
+            config,
+            started: Instant::now(),
+        };
         let thread = {
             let stop = Arc::clone(&stop);
             std::thread::Builder::new()
                 .name("lqs-metrics-http".into())
-                .spawn(move || accept_loop(&listener, &stop, &metrics, &sessions))?
+                .spawn(move || accept_loop(&listener, &stop, &state))?
         };
         Ok(MetricsServer {
             addr: local,
@@ -100,12 +170,7 @@ impl Drop for MetricsServer {
     }
 }
 
-fn accept_loop(
-    listener: &TcpListener,
-    stop: &AtomicBool,
-    metrics: &MetricsRegistry,
-    sessions: &SessionRegistry,
-) {
+fn accept_loop(listener: &TcpListener, stop: &AtomicBool, state: &ServerState) {
     for stream in listener.incoming() {
         if stop.load(Ordering::Acquire) {
             return;
@@ -113,15 +178,11 @@ fn accept_loop(
         let Ok(stream) = stream else { continue };
         // Serve inline: requests are tiny, responses are one render, and
         // the timeout bounds the damage of a stalled client.
-        let _ = serve_connection(stream, metrics, sessions);
+        let _ = serve_connection(stream, state);
     }
 }
 
-fn serve_connection(
-    mut stream: TcpStream,
-    metrics: &MetricsRegistry,
-    sessions: &SessionRegistry,
-) -> std::io::Result<()> {
+fn serve_connection(mut stream: TcpStream, state: &ServerState) -> std::io::Result<()> {
     stream.set_read_timeout(Some(IO_TIMEOUT))?;
     stream.set_write_timeout(Some(IO_TIMEOUT))?;
     let head = match read_head(&mut stream)? {
@@ -133,23 +194,154 @@ fn serve_connection(
     if method != "GET" {
         return respond(&mut stream, 405, "text/plain", "only GET is supported\n");
     }
-    // Ignore any query string; route on the path alone.
-    let path = target.split('?').next().unwrap_or("");
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (target, ""),
+    };
     match path {
         "/metrics" => respond(
             &mut stream,
             200,
             "text/plain; version=0.0.4; charset=utf-8",
-            &metrics.render(),
+            &state.metrics.render(),
         ),
-        "/sessions" => respond(&mut stream, 200, "application/json", &sessions_json(sessions)),
+        "/sessions" => respond(
+            &mut stream,
+            200,
+            "application/json",
+            &sessions_json(&state.sessions),
+        ),
+        "/healthz" => respond(&mut stream, 200, "application/json", &healthz_json(state)),
+        _ if path.starts_with("/history/") => serve_history(&mut stream, state, path, query),
         "/" => respond(
             &mut stream,
             200,
             "text/plain",
-            "lqs metrics server\n  GET /metrics   Prometheus text exposition\n  GET /sessions  session registry as JSON\n",
+            "lqs metrics server\n\
+             \x20 GET /metrics                        Prometheus text exposition\n\
+             \x20 GET /sessions                       session registry as JSON\n\
+             \x20 GET /healthz                        liveness and build info\n\
+             \x20 GET /history/sessions               journaled sessions (since=, until=)\n\
+             \x20 GET /history/session/{key}/curve    one session's progress curve\n\
+             \x20 GET /history/percentiles            per-workload p50/p90/p99 (workload=)\n\
+             \x20 GET /history/predict                predicted resources (fingerprint=)\n",
         ),
         _ => respond(&mut stream, 404, "text/plain", "not found\n"),
+    }
+}
+
+fn serve_history(
+    stream: &mut TcpStream,
+    state: &ServerState,
+    path: &str,
+    query: &str,
+) -> std::io::Result<()> {
+    let Some(history) = &state.config.history else {
+        return respond(stream, 404, "text/plain", "history not configured\n");
+    };
+    if path == "/history/predict" {
+        return serve_predict(stream, history, query);
+    }
+    // The remaining routes are journal scans. Parse the window first so a
+    // bad parameter fails before any I/O.
+    let since = match query_u64(query, "since") {
+        Ok(v) => v.unwrap_or(0),
+        Err(bad) => return bad_param(stream, "since", &bad),
+    };
+    let until = match query_u64(query, "until") {
+        Ok(v) => v.unwrap_or(u64::MAX),
+        Err(bad) => return bad_param(stream, "until", &bad),
+    };
+    let resolver = history
+        .resolver
+        .as_deref()
+        .map(|r| r as &dyn HistoryResolver);
+    let fleet = match scan_history(&history.journal_dir, Some((since, until)), resolver) {
+        Ok(fleet) => fleet,
+        Err(e) => {
+            return respond(
+                stream,
+                500,
+                "text/plain",
+                &format!("journal scan failed: {e}\n"),
+            )
+        }
+    };
+    match path {
+        "/history/sessions" => respond(
+            stream,
+            200,
+            "application/json",
+            &history_sessions_json(&fleet),
+        ),
+        "/history/percentiles" => {
+            let workload = query_param(query, "workload");
+            respond(
+                stream,
+                200,
+                "application/json",
+                &percentiles_json(&fleet, workload.as_deref()),
+            )
+        }
+        _ => {
+            if let Some(key) = path
+                .strip_prefix("/history/session/")
+                .and_then(|rest| rest.strip_suffix("/curve"))
+            {
+                return match fleet.session(key) {
+                    Some(s) => respond(stream, 200, "application/json", &curve_json(s)),
+                    None => respond(stream, 404, "text/plain", "no such journaled session\n"),
+                };
+            }
+            respond(stream, 404, "text/plain", "not found\n")
+        }
+    }
+}
+
+fn serve_predict(
+    stream: &mut TcpStream,
+    history: &HistoryEndpoints,
+    query: &str,
+) -> std::io::Result<()> {
+    let Some(store) = &history.store else {
+        return respond(
+            stream,
+            404,
+            "text/plain",
+            "prediction store not configured\n",
+        );
+    };
+    let fingerprint = match query_u64(query, "fingerprint") {
+        Ok(Some(fp)) => fp,
+        Ok(None) => return bad_param(stream, "fingerprint", "missing"),
+        Err(bad) => return bad_param(stream, "fingerprint", &bad),
+    };
+    match store.predict_fingerprint(fingerprint) {
+        Some(p) => {
+            if let Some(m) = &history.metrics {
+                m.prediction_issued(p.basis);
+            }
+            respond(
+                stream,
+                200,
+                "application/json",
+                &(prediction_json(fingerprint, &p).to_json() + "\n"),
+            )
+        }
+        None => {
+            // The explicit no-history answer: admission control and
+            // clients must fall back to their cold-start policy, not
+            // treat the plan as free.
+            if let Some(m) = &history.metrics {
+                m.cold_miss();
+            }
+            let body = Value::Object(vec![
+                ("fingerprint".into(), Value::String(fingerprint.to_string())),
+                ("no_history".into(), Value::Bool(true)),
+                ("prediction".into(), Value::Null),
+            ]);
+            respond(stream, 200, "application/json", &(body.to_json() + "\n"))
+        }
     }
 }
 
@@ -182,6 +374,7 @@ fn respond(
 ) -> std::io::Result<()> {
     let reason = match status {
         200 => "OK",
+        400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
         431 => "Request Header Fields Too Large",
@@ -194,6 +387,35 @@ fn respond(
     )?;
     stream.write_all(body.as_bytes())?;
     stream.flush()
+}
+
+fn bad_param(stream: &mut TcpStream, name: &str, detail: &str) -> std::io::Result<()> {
+    respond(
+        stream,
+        400,
+        "text/plain",
+        &format!("bad query parameter {name:?}: {detail}\n"),
+    )
+}
+
+/// First value of `key` in a raw query string (no percent-decoding; the
+/// parameters this server takes are numbers and workload labels).
+fn query_param(query: &str, key: &str) -> Option<String> {
+    query.split('&').find_map(|pair| {
+        let (k, v) = pair.split_once('=')?;
+        (k == key).then(|| v.to_owned())
+    })
+}
+
+/// `Ok(None)` = absent, `Ok(Some)` = parsed, `Err` = present but invalid.
+fn query_u64(query: &str, key: &str) -> Result<Option<u64>, String> {
+    match query_param(query, key) {
+        None => Ok(None),
+        Some(raw) => raw
+            .parse::<u64>()
+            .map(Some)
+            .map_err(|_| format!("{raw:?} is not a u64")),
+    }
 }
 
 /// The session registry as a JSON array, submission order.
@@ -220,4 +442,214 @@ fn sessions_json(sessions: &SessionRegistry) -> String {
     let mut out = Value::Array(rows).to_json();
     out.push('\n');
     out
+}
+
+/// `/healthz`: liveness plus enough context to triage a sick instance.
+fn healthz_json(state: &ServerState) -> String {
+    let journal = match &state.config.history {
+        Some(h) => {
+            let exists = h.journal_dir.is_dir();
+            let segments = if exists {
+                std::fs::read_dir(&h.journal_dir)
+                    .map(|entries| {
+                        entries
+                            .filter_map(|e| e.ok())
+                            .filter(|e| e.path().extension().is_some_and(|x| x == "lqsj"))
+                            .count() as i64
+                    })
+                    .unwrap_or(-1)
+            } else {
+                -1
+            };
+            Value::Object(vec![
+                (
+                    "dir".into(),
+                    Value::String(h.journal_dir.display().to_string()),
+                ),
+                ("dir_exists".into(), Value::Bool(exists)),
+                ("segments".into(), Value::Int(segments)),
+                ("prediction_store".into(), Value::Bool(h.store.is_some())),
+            ])
+        }
+        None => Value::Null,
+    };
+    let body = Value::Object(vec![
+        ("status".into(), Value::String("ok".into())),
+        ("service".into(), Value::String("lqs-server".into())),
+        (
+            "version".into(),
+            Value::String(env!("CARGO_PKG_VERSION").into()),
+        ),
+        (
+            "uptime_seconds".into(),
+            Value::Int(state.started.elapsed().as_secs() as i64),
+        ),
+        ("sessions".into(), Value::Int(state.sessions.len() as i64)),
+        (
+            "sessions_running".into(),
+            Value::Int(state.sessions.running_now() as i64),
+        ),
+        (
+            "sessions_recovered".into(),
+            Value::Int(state.config.recovered_sessions as i64),
+        ),
+        ("journal".into(), journal),
+    ]);
+    body.to_json() + "\n"
+}
+
+fn pctls_json(p: &Pctls) -> Value {
+    Value::Object(vec![
+        ("p50".into(), Value::Float(p.p50)),
+        ("p90".into(), Value::Float(p.p90)),
+        ("p99".into(), Value::Float(p.p99)),
+    ])
+}
+
+fn opt_float(v: Option<f64>) -> Value {
+    v.map_or(Value::Null, Value::Float)
+}
+
+fn session_row(s: &SessionHistory) -> Value {
+    Value::Object(vec![
+        ("key".into(), Value::String(s.key())),
+        ("epoch".into(), Value::Int(s.epoch as i64)),
+        ("session_id".into(), Value::Int(s.session_id as i64)),
+        ("name".into(), Value::String(s.name.clone())),
+        ("workload".into(), Value::String(s.workload.clone())),
+        (
+            "plan_fingerprint".into(),
+            Value::String(s.plan_fingerprint.to_string()),
+        ),
+        ("outcome".into(), Value::String(s.outcome.into())),
+        ("runtime_ns".into(), Value::Int(s.runtime_ns as i64)),
+        ("total_cpu_ns".into(), Value::Int(s.total_cpu_ns as i64)),
+        (
+            "total_logical_reads".into(),
+            Value::Int(s.total_logical_reads as i64),
+        ),
+        ("rows_returned".into(), Value::Int(s.rows_returned as i64)),
+        ("snapshots".into(), Value::Int(s.snapshots as i64)),
+        (
+            "corrupt_records".into(),
+            Value::Int(s.corrupt_records as i64),
+        ),
+        ("error_avg".into(), opt_float(s.error_avg)),
+        ("error_time".into(), opt_float(s.error_time)),
+    ])
+}
+
+fn history_sessions_json(fleet: &FleetHistory) -> String {
+    let body = Value::Object(vec![
+        (
+            "sessions".into(),
+            Value::Array(fleet.sessions.iter().map(session_row).collect()),
+        ),
+        (
+            "corrupt_records".into(),
+            Value::Int(fleet.corrupt_records as i64),
+        ),
+        (
+            "sessions_swept".into(),
+            Value::Int(fleet.sessions_swept as i64),
+        ),
+    ]);
+    body.to_json() + "\n"
+}
+
+fn curve_json(s: &SessionHistory) -> String {
+    let curve: Vec<Value> = s
+        .curve
+        .iter()
+        .map(|p| {
+            Value::Object(vec![
+                ("ts_ns".into(), Value::Int(p.ts_ns as i64)),
+                ("cpu_ns".into(), Value::Int(p.cpu_ns as i64)),
+                ("logical_reads".into(), Value::Int(p.logical_reads as i64)),
+                ("progress".into(), Value::Float(p.progress)),
+            ])
+        })
+        .collect();
+    let nodes: Vec<Value> = s
+        .slowest_nodes()
+        .into_iter()
+        .map(|n| {
+            Value::Object(vec![
+                ("node".into(), Value::Int(n.node as i64)),
+                ("op".into(), n.op.clone().map_or(Value::Null, Value::String)),
+                ("cpu_ns".into(), Value::Int(n.cpu_ns as i64)),
+                ("logical_reads".into(), Value::Int(n.logical_reads as i64)),
+                ("rows_output".into(), Value::Int(n.rows_output as i64)),
+                ("share".into(), Value::Float(n.share)),
+            ])
+        })
+        .collect();
+    let body = Value::Object(vec![
+        ("key".into(), Value::String(s.key())),
+        ("name".into(), Value::String(s.name.clone())),
+        ("workload".into(), Value::String(s.workload.clone())),
+        ("outcome".into(), Value::String(s.outcome.into())),
+        ("curve".into(), Value::Array(curve)),
+        ("slowest_nodes".into(), Value::Array(nodes)),
+    ]);
+    body.to_json() + "\n"
+}
+
+fn percentiles_json(fleet: &FleetHistory, workload: Option<&str>) -> String {
+    let summaries = match workload {
+        Some(w) => vec![fleet.percentiles_for(w)],
+        None => fleet.percentiles(),
+    };
+    let rows: Vec<Value> = summaries
+        .iter()
+        .map(|w| {
+            Value::Object(vec![
+                ("workload".into(), Value::String(w.workload.clone())),
+                ("sessions".into(), Value::Int(w.sessions as i64)),
+                ("succeeded".into(), Value::Int(w.succeeded as i64)),
+                ("runtime_ns".into(), pctls_json(&w.runtime_ns)),
+                ("cpu_ns".into(), pctls_json(&w.cpu_ns)),
+                ("logical_reads".into(), pctls_json(&w.logical_reads)),
+                (
+                    "error_avg".into(),
+                    w.error_avg.as_ref().map_or(Value::Null, pctls_json),
+                ),
+                (
+                    "error_time".into(),
+                    w.error_time.as_ref().map_or(Value::Null, pctls_json),
+                ),
+            ])
+        })
+        .collect();
+    Value::Array(rows).to_json() + "\n"
+}
+
+fn prediction_json(fingerprint: u64, p: &ResourcePrediction) -> Value {
+    let basis = match p.basis {
+        lqs_history::PredictionBasis::Exact => {
+            Value::Object(vec![("kind".into(), Value::String("exact".into()))])
+        }
+        lqs_history::PredictionBasis::Similar {
+            fingerprint: nb,
+            distance,
+        } => Value::Object(vec![
+            ("kind".into(), Value::String("similar".into())),
+            ("neighbor".into(), Value::String(nb.to_string())),
+            ("distance".into(), Value::Float(distance)),
+        ]),
+    };
+    Value::Object(vec![
+        ("fingerprint".into(), Value::String(fingerprint.to_string())),
+        ("no_history".into(), Value::Bool(false)),
+        (
+            "prediction".into(),
+            Value::Object(vec![
+                ("cpu_ns".into(), Value::Float(p.cpu_ns)),
+                ("logical_reads".into(), Value::Float(p.logical_reads)),
+                ("runtime_ns".into(), Value::Float(p.runtime_ns)),
+                ("runs".into(), Value::Int(p.runs as i64)),
+            ]),
+        ),
+        ("basis".into(), basis),
+    ])
 }

@@ -80,7 +80,7 @@ pub mod registry;
 pub mod service;
 pub mod session;
 
-pub use http::MetricsServer;
+pub use http::{HistoryEndpoints, MetricsServer, ServerConfig};
 pub use metrics::{state_label, PollerMetrics, ServiceMetrics};
 pub use recovery::{
     PlanResolver, RecoveredOutcome, RecoveredSessionSummary, RecoveryManager, RecoveryReport,

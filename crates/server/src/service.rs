@@ -7,12 +7,14 @@
 
 use crate::metrics::ServiceMetrics;
 use crate::registry::SessionRegistry;
-use crate::session::{FilteredPublisher, QuerySpec, SessionHandle, SessionState};
-use lqs_exec::{execute_hooked, ExecHooks, FaultInjector, QueryFault, SnapshotPublisher};
+use crate::session::{FilteredPublisher, QuerySpec, SessionCost, SessionHandle, SessionState};
+use lqs_exec::{execute_hooked, ExecHooks, FaultInjector, QueryFault, QueryRun, SnapshotPublisher};
+use lqs_history::{plan_features, HistoryMetrics, HistoryStore, ObservedRun, ResourcePrediction};
 use lqs_journal::{plan_fingerprint, Journal, SessionMeta};
 use lqs_obs::EventSink;
+use lqs_plan::PhysicalPlan;
 use lqs_storage::Database;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
@@ -38,6 +40,84 @@ pub struct QueryService {
     /// here when set; shutdown flushes all writers, stamps the
     /// clean-shutdown sentinel, and sweeps retention.
     journal: Option<Arc<Journal>>,
+    /// Predicted-cost admission: when set, submissions whose plan has
+    /// journaled history are admitted against a CPU-cost pool instead of
+    /// the fixed queue-depth limit. Cold plans (no history) fall back to
+    /// the fixed limit.
+    cost_admission: Option<Arc<CostAdmission>>,
+}
+
+/// Service-wide predicted-cost admission state: the shared history store,
+/// the CPU-cost pool, and the outstanding predicted cost of admitted,
+/// not-yet-terminal sessions.
+pub(crate) struct CostAdmission {
+    store: Arc<HistoryStore>,
+    pool_cpu_ns: u64,
+    outstanding_cpu_ns: AtomicU64,
+    metrics: Option<HistoryMetrics>,
+}
+
+impl CostAdmission {
+    /// Try to take `cost_ns` from the pool. A session that alone exceeds
+    /// the whole pool is still admitted when the pool is idle — otherwise
+    /// any query predicted over the budget would starve forever.
+    fn try_admit(&self, cost_ns: u64) -> bool {
+        let mut current = self.outstanding_cpu_ns.load(Ordering::Acquire);
+        loop {
+            let next = current.saturating_add(cost_ns);
+            if next > self.pool_cpu_ns && current != 0 {
+                return false;
+            }
+            match self.outstanding_cpu_ns.compare_exchange_weak(
+                current,
+                next,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => return true,
+                Err(seen) => current = seen,
+            }
+        }
+    }
+
+    /// Return `cost_ns` to the pool (terminal settlement).
+    pub(crate) fn release(&self, cost_ns: u64) {
+        let _ = self
+            .outstanding_cpu_ns
+            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |v| {
+                Some(v.saturating_sub(cost_ns))
+            });
+    }
+
+    /// Outstanding predicted CPU cost of admitted, unfinished sessions.
+    pub(crate) fn outstanding_cpu_ns(&self) -> u64 {
+        self.outstanding_cpu_ns.load(Ordering::Acquire)
+    }
+
+    /// Fold a completed run into the history store (warming predictions
+    /// online) and score the admission-time prediction, if one was made,
+    /// against the now-known ground truth.
+    pub(crate) fn observe_completed(
+        &self,
+        plan: &PhysicalPlan,
+        run: &QueryRun,
+        prediction: Option<&ResourcePrediction>,
+    ) {
+        let features = plan_features(plan);
+        let cpu: Vec<u64> = run.final_counters.iter().map(|n| n.cpu_ns).collect();
+        let reads: Vec<u64> = run.final_counters.iter().map(|n| n.logical_reads).collect();
+        let observed = ObservedRun::from_totals(&features, run.duration_ns, &cpu, &reads);
+        if let (Some(m), Some(pred)) = (&self.metrics, prediction) {
+            m.observe_prediction(
+                pred,
+                observed.cpu_ns,
+                observed.logical_reads,
+                observed.runtime_ns,
+            );
+        }
+        self.store
+            .observe(plan_fingerprint(plan), &features, observed);
+    }
 }
 
 impl QueryService {
@@ -76,6 +156,7 @@ impl QueryService {
             admission_limit: None,
             queued_depth,
             journal: None,
+            cost_admission: None,
         }
     }
 
@@ -101,6 +182,42 @@ impl QueryService {
     pub fn with_admission_limit(mut self, limit: usize) -> Self {
         self.admission_limit = Some(limit.max(1));
         self
+    }
+
+    /// Admit by *predicted cost*: a submission whose plan has journaled
+    /// history in `store` takes its predicted CPU cost from a pool of
+    /// `pool_cpu_ns`; when the pool can't cover it, the session is shed
+    /// ([`SessionState::Rejected`]) exactly like a full fixed queue. Plans
+    /// the store has never seen (explicit no-history — a cold store never
+    /// fabricates a zero estimate) fall back to the fixed
+    /// [`QueryService::with_admission_limit`] policy, and their completed
+    /// runs warm the store for next time. `metrics`, when given, records
+    /// predictions issued, cold misses, cost rejections, and — once a
+    /// predicted session completes — prediction error.
+    pub fn with_cost_admission(
+        mut self,
+        store: Arc<HistoryStore>,
+        pool_cpu_ns: u64,
+        metrics: Option<HistoryMetrics>,
+    ) -> Self {
+        self.cost_admission = Some(Arc::new(CostAdmission {
+            store,
+            pool_cpu_ns: pool_cpu_ns.max(1),
+            outstanding_cpu_ns: AtomicU64::new(0),
+            metrics,
+        }));
+        self
+    }
+
+    /// The shared history store, when running predicted-cost admission.
+    pub fn history_store(&self) -> Option<&Arc<HistoryStore>> {
+        self.cost_admission.as_ref().map(|c| &c.store)
+    }
+
+    /// Outstanding predicted CPU cost of admitted, unfinished sessions
+    /// (`None` unless running predicted-cost admission).
+    pub fn predicted_outstanding_ns(&self) -> Option<u64> {
+        self.cost_admission.as_ref().map(|c| c.outstanding_cpu_ns())
     }
 
     /// Sessions currently admitted and waiting for a worker.
@@ -154,7 +271,57 @@ impl QueryService {
                 ),
             }
         }
-        if let Some(limit) = self.admission_limit {
+        // Predicted-cost admission runs first: when the plan has history,
+        // the prediction replaces the fixed queue-depth policy entirely.
+        // Cold plans (explicit no-history) fall through to the fixed limit.
+        let mut admitted_by_cost = false;
+        if let Some(cost) = &self.cost_admission {
+            match cost.store.predict_plan(handle.plan()) {
+                Some(prediction) => {
+                    if let Some(m) = &cost.metrics {
+                        m.prediction_issued(prediction.basis);
+                    }
+                    let cost_ns = prediction.cpu_ns.max(1.0).ceil() as u64;
+                    let admitted = cost.try_admit(cost_ns);
+                    handle.attach_cost(
+                        SessionCost {
+                            admission: Arc::clone(cost),
+                            prediction: Some(prediction),
+                        },
+                        if admitted { cost_ns } else { 0 },
+                    );
+                    if !admitted {
+                        if let Some(m) = &cost.metrics {
+                            m.cost_rejection();
+                        }
+                        if let Some(metrics) = &self.metrics {
+                            metrics.rejected.inc();
+                            metrics.finished(SessionState::Rejected);
+                        }
+                        handle.reject();
+                        return handle;
+                    }
+                    admitted_by_cost = true;
+                }
+                None => {
+                    if let Some(m) = &cost.metrics {
+                        m.cold_miss();
+                    }
+                    // Still attach the admission state (with no admitted
+                    // cost): the completed run must warm the store.
+                    handle.attach_cost(
+                        SessionCost {
+                            admission: Arc::clone(cost),
+                            prediction: None,
+                        },
+                        0,
+                    );
+                }
+            }
+        }
+        if admitted_by_cost {
+            self.queued_depth.fetch_add(1, Ordering::AcqRel);
+        } else if let Some(limit) = self.admission_limit {
             // CAS loop so two racing submissions cannot both take the last
             // queue slot.
             let mut depth = self.queued_depth.load(Ordering::Acquire);

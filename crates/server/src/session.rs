@@ -7,10 +7,12 @@
 //! boundaries (via the [`SnapshotPublisher`] hook), and any number of
 //! pollers read it concurrently without touching the execution.
 
+use crate::service::CostAdmission;
 use lqs_exec::{
     AbortReason, AbortedQuery, CancellationToken, DmvSnapshot, ExecOptions, FaultInjector,
     QueryRun, SnapshotFilter, SnapshotPublisher,
 };
+use lqs_history::ResourcePrediction;
 use lqs_journal::{SessionJournal, TerminalKind, TerminalRecord};
 use lqs_obs::SharedSessionSink;
 use lqs_plan::PhysicalPlan;
@@ -233,6 +235,22 @@ pub struct SessionHandle {
     /// Whether this handle was rebuilt from a journal by recovery rather
     /// than submitted live.
     recovered: AtomicBool,
+    /// Predicted-cost admission state, attached at submit time when the
+    /// owning service runs cost-based admission. Lives on the handle (not
+    /// in worker captures) because workers spawn before `with_*` builders
+    /// run.
+    cost: OnceLock<SessionCost>,
+    /// Predicted CPU cost this session holds from the admission pool.
+    /// Swapped to zero (and released back to the pool) exactly once, on
+    /// the terminal transition.
+    admitted_cost_ns: AtomicU64,
+}
+
+/// Cost-admission state one session carries: the service-wide admission
+/// pool and the prediction (if any) it was admitted on.
+pub(crate) struct SessionCost {
+    pub(crate) admission: Arc<CostAdmission>,
+    pub(crate) prediction: Option<ResourcePrediction>,
 }
 
 impl SessionHandle {
@@ -251,7 +269,23 @@ impl SessionHandle {
             last_publish_ns: AtomicU64::new(u64::MAX),
             journal: OnceLock::new(),
             recovered: AtomicBool::new(false),
+            cost: OnceLock::new(),
+            admitted_cost_ns: AtomicU64::new(0),
         }
+    }
+
+    /// Attach cost-admission state. At most once, at submit time;
+    /// `admitted_cpu_ns` is what this session took from the pool (zero for
+    /// cold-start and rejected sessions).
+    pub(crate) fn attach_cost(&self, cost: SessionCost, admitted_cpu_ns: u64) {
+        self.admitted_cost_ns
+            .store(admitted_cpu_ns, Ordering::Release);
+        let _ = self.cost.set(cost);
+    }
+
+    /// The resource prediction this session was admitted on, if any.
+    pub fn predicted_cost(&self) -> Option<&ResourcePrediction> {
+        self.cost.get().and_then(|c| c.prediction.as_ref())
     }
 
     /// Attach this session's journal writer. At most once, before the
@@ -407,6 +441,19 @@ impl SessionHandle {
         }
         *state = next;
         self.state_changed.notify_all();
+        drop(state);
+        // Every terminal path funnels through here exactly once, so this
+        // is the one place predicted cost is returned to the admission
+        // pool — completion, abort, failure, rejection, and
+        // cancelled-while-queued all settle identically.
+        if next.is_terminal() {
+            if let Some(cost) = self.cost.get() {
+                let admitted = self.admitted_cost_ns.swap(0, Ordering::AcqRel);
+                if admitted > 0 {
+                    cost.admission.release(admitted);
+                }
+            }
+        }
     }
 
     /// Record a completed run: publish the final counters as the last
@@ -423,6 +470,12 @@ impl SessionHandle {
             run.rows_returned,
             "",
         );
+        // Warm the prediction history with the now-known ground truth and
+        // score this session's admission-time prediction against it.
+        if let Some(cost) = self.cost.get() {
+            cost.admission
+                .observe_completed(self.plan(), &run, cost.prediction.as_ref());
+        }
         *self.result.lock().expect("result slot poisoned") = Some(SessionResult::Completed(run));
         self.set_state(SessionState::Succeeded);
     }

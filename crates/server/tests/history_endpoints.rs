@@ -1,0 +1,323 @@
+//! End-to-end history stack: sessions journal themselves under a live
+//! service, the `/history/*` endpoints serve deterministic journal-pure
+//! analytics, prediction answers an explicit "no history" on unseen plans,
+//! and predicted-cost admission falls back to the fixed limit until the
+//! store warms.
+
+use lqs_history::{HistoryResolver, HistoryStore, ResolvedPlan};
+use lqs_journal::{plan_fingerprint, Journal, JournalConfig, SessionMeta};
+use lqs_metrics::MetricsRegistry;
+use lqs_plan::{AggFunc, Aggregate, Expr, PhysicalPlan, PlanBuilder, SortKey};
+use lqs_server::{
+    HistoryEndpoints, MetricsServer, QueryService, QuerySpec, ServerConfig, SessionRegistry,
+    SessionState,
+};
+use lqs_storage::{Column, DataType, Database, Schema, Table, TableId, Value};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("lqs-hist-http-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+fn db() -> (Database, TableId) {
+    let mut t = Table::new(
+        "t",
+        Schema::new(vec![
+            Column::new("a", DataType::Int),
+            Column::new("b", DataType::Int),
+        ]),
+    );
+    for i in 0..4000 {
+        t.insert(vec![Value::Int(i), Value::Int(i % 97)]).unwrap();
+    }
+    let mut db = Database::new();
+    let id = db.add_table_analyzed(t);
+    (db, id)
+}
+
+fn plans(db: &Database, t: TableId) -> Vec<Arc<PhysicalPlan>> {
+    let scan_sort = {
+        let mut b = PlanBuilder::new(db);
+        let scan = b.table_scan_filtered(t, Expr::col(1).lt(Expr::lit(60i64)), true);
+        let sort = b.sort(scan, vec![SortKey::desc(0)]);
+        Arc::new(b.finish(sort))
+    };
+    let agg = {
+        let mut b = PlanBuilder::new(db);
+        let scan = b.table_scan(t);
+        let agg = b.hash_aggregate(scan, vec![1], vec![Aggregate::of_col(AggFunc::Sum, 0)]);
+        Arc::new(b.finish(agg))
+    };
+    let plain = {
+        let mut b = PlanBuilder::new(db);
+        let scan = b.table_scan(t);
+        Arc::new(b.finish(scan))
+    };
+    vec![scan_sort, agg, plain]
+}
+
+/// Blocking GET over a raw socket; returns the full response (head + body).
+fn http_get(addr: SocketAddr, path: &str) -> String {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    write!(
+        stream,
+        "GET {path} HTTP/1.1\r\nHost: lqs\r\nConnection: close\r\n\r\n"
+    )
+    .unwrap();
+    let mut out = String::new();
+    stream.read_to_string(&mut out).expect("read response");
+    out
+}
+
+/// The pool is released just *after* the terminal-state notify, so a
+/// waiter can observe Succeeded a beat before the settlement lands; spin
+/// briefly for it.
+fn wait_settled(service: &QueryService) {
+    for _ in 0..1000 {
+        if service.predicted_outstanding_ns() == Some(0) {
+            return;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(1));
+    }
+    panic!(
+        "predicted-cost pool never settled: {:?}",
+        service.predicted_outstanding_ns()
+    );
+}
+
+fn body_of(response: &str) -> &str {
+    response.split_once("\r\n\r\n").expect("head/body split").1
+}
+
+/// GET twice and assert the journal-backed response is byte-for-byte
+/// reproducible; returns the body.
+fn get_deterministic(addr: SocketAddr, path: &str) -> String {
+    let a = http_get(addr, path);
+    let b = http_get(addr, path);
+    assert!(a.starts_with("HTTP/1.1 200 OK"), "{path}: {a}");
+    assert_eq!(body_of(&a), body_of(&b), "{path} not deterministic");
+    body_of(&a).to_string()
+}
+
+/// A resolver over the test catalog: journaled session names are the
+/// query names they were submitted under.
+fn resolver(db: Arc<Database>, plans: Vec<(String, Arc<PhysicalPlan>)>) -> impl HistoryResolver {
+    move |meta: &SessionMeta| {
+        plans
+            .iter()
+            .find(|(n, _)| *n == meta.name)
+            .map(|(_, plan)| ResolvedPlan {
+                plan: Arc::clone(plan),
+                db: Arc::clone(&db),
+            })
+    }
+}
+
+#[test]
+fn cold_prediction_is_explicit_no_history_and_admission_falls_back() {
+    let (db, t) = db();
+    let db = Arc::new(db);
+    let plans = plans(&db, t);
+    let dir = tmpdir("predict");
+    let store = Arc::new(HistoryStore::new());
+    let journal = Journal::open(JournalConfig::new(&dir)).expect("open journal");
+    let service = QueryService::new(Arc::clone(&db), 2)
+        .with_journal(journal)
+        .with_admission_limit(8)
+        .with_cost_admission(Arc::clone(&store), 10u64.pow(12), None);
+
+    // Cold store: nothing is predicted (all three land before any
+    // completion can warm the store), yet everything runs — the fixed
+    // admission limit is the fallback policy for no-history plans.
+    let handles: Vec<_> = plans
+        .iter()
+        .enumerate()
+        .map(|(i, plan)| service.submit(QuerySpec::new(format!("q{i}"), Arc::clone(plan))))
+        .collect();
+    // Only the first submission is *guaranteed* to find the store empty
+    // (a fast early completion may warm it mid-batch); the first is the
+    // cold-start contract under test.
+    assert!(
+        handles[0].predicted_cost().is_none(),
+        "cold store must not fabricate a prediction"
+    );
+    for h in &handles {
+        h.wait_terminal();
+        assert_eq!(h.state(), SessionState::Succeeded);
+    }
+    assert_eq!(store.total_runs(), 3, "completions warm the store");
+
+    // Warm store: the same plans now come with predictions attached.
+    let h = service.submit(QuerySpec::new("q0-again", Arc::clone(&plans[0])));
+    h.wait_terminal();
+    assert_eq!(h.state(), SessionState::Succeeded);
+    let p = h.predicted_cost().expect("second sight is predicted");
+    assert!(p.cpu_ns > 0.0 && p.runtime_ns > 0.0);
+    wait_settled(&service);
+
+    // A warm store and a starved pool shed by predicted cost: with one
+    // worker busy on an admitted-while-idle session, the next predicted
+    // submissions exceed the 1ns pool and are rejected at submit time.
+    let dir2 = tmpdir("predict-shed");
+    let journal2 = Journal::open(JournalConfig::new(&dir2)).expect("open journal");
+    let shed = QueryService::new(Arc::clone(&db), 1)
+        .with_journal(journal2)
+        .with_admission_limit(8)
+        .with_cost_admission(Arc::clone(&store), 1, None);
+    let first = shed.submit(QuerySpec::new("s0", Arc::clone(&plans[1])));
+    let second = shed.submit(QuerySpec::new("s1", Arc::clone(&plans[1])));
+    assert_eq!(
+        second.state(),
+        SessionState::Rejected,
+        "predicted cost over an exhausted pool is shed at submit"
+    );
+    first.wait_terminal();
+    assert_eq!(first.state(), SessionState::Succeeded);
+    wait_settled(&shed);
+    shed.shutdown();
+
+    // The HTTP prediction surface over the same store.
+    let server = MetricsServer::start_with(
+        "127.0.0.1:0",
+        Arc::new(MetricsRegistry::new()),
+        Arc::new(SessionRegistry::new()),
+        ServerConfig {
+            history: Some(HistoryEndpoints {
+                journal_dir: dir.clone(),
+                resolver: None,
+                store: Some(Arc::clone(&store)),
+                metrics: None,
+            }),
+            recovered_sessions: 0,
+        },
+    )
+    .expect("bind ephemeral port");
+    let addr = server.addr();
+
+    // Known fingerprint: an exact-basis prediction.
+    let fp = plan_fingerprint(&plans[0]);
+    let body = get_deterministic(addr, &format!("/history/predict?fingerprint={fp}"));
+    let parsed = serde_json::from_str(&body).expect("valid JSON");
+    assert_eq!(parsed["no_history"].as_bool(), Some(false));
+    assert_eq!(parsed["basis"]["kind"].as_str(), Some("exact"));
+    assert!(parsed["prediction"]["cpu_ns"].as_f64().unwrap() > 0.0);
+
+    // Unseen fingerprint: explicitly no history, never a zero estimate.
+    let body = get_deterministic(addr, "/history/predict?fingerprint=987654321");
+    let parsed = serde_json::from_str(&body).expect("valid JSON");
+    assert_eq!(parsed["no_history"].as_bool(), Some(true));
+    assert!(
+        matches!(parsed["prediction"], serde_json::Value::Null),
+        "no fabricated numbers"
+    );
+
+    // Malformed / missing parameters are 400s, not scans.
+    assert!(http_get(addr, "/history/predict").starts_with("HTTP/1.1 400"));
+    assert!(http_get(addr, "/history/predict?fingerprint=nope").starts_with("HTTP/1.1 400"));
+
+    server.stop();
+    service.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::remove_dir_all(&dir2);
+}
+
+#[test]
+fn history_endpoints_are_deterministic_and_healthz_reports() {
+    let (db, t) = db();
+    let db = Arc::new(db);
+    let plans = plans(&db, t);
+    let dir = tmpdir("endpoints");
+    let journal = Journal::open(JournalConfig::new(&dir)).expect("open journal");
+    let service = QueryService::new(Arc::clone(&db), 2).with_journal(journal);
+    for (i, plan) in plans.iter().enumerate() {
+        service.submit(
+            QuerySpec::new(format!("q{i}"), Arc::clone(plan)).with_workload(format!("w{}", i % 2)),
+        );
+    }
+    service.wait_all();
+    service.shutdown();
+
+    let catalog: Vec<(String, Arc<PhysicalPlan>)> = plans
+        .iter()
+        .enumerate()
+        .map(|(i, p)| (format!("q{i}"), Arc::clone(p)))
+        .collect();
+    let server = MetricsServer::start_with(
+        "127.0.0.1:0",
+        Arc::new(MetricsRegistry::new()),
+        Arc::new(SessionRegistry::new()),
+        ServerConfig {
+            history: Some(HistoryEndpoints {
+                journal_dir: dir.clone(),
+                resolver: Some(Arc::new(resolver(Arc::clone(&db), catalog))),
+                store: None,
+                metrics: None,
+            }),
+            recovered_sessions: 3,
+        },
+    )
+    .expect("bind ephemeral port");
+    let addr = server.addr();
+
+    // /history/sessions: every journaled session, accuracy scored via the
+    // resolver, byte-for-byte reproducible across scans.
+    let body = get_deterministic(addr, "/history/sessions");
+    let parsed = serde_json::from_str(&body).expect("valid JSON");
+    let rows = parsed["sessions"].as_array().expect("sessions array");
+    assert_eq!(rows.len(), plans.len());
+    for row in rows {
+        assert_eq!(row["outcome"].as_str(), Some("succeeded"));
+        assert!(row["total_cpu_ns"].as_i64().unwrap() > 0);
+        assert!(
+            row["error_avg"].as_f64().is_some(),
+            "resolver enables the accuracy replay"
+        );
+    }
+
+    // A windowed scan past every session is empty but still well-formed.
+    let empty = get_deterministic(addr, "/history/sessions?since=99999999999999");
+    let parsed = serde_json::from_str(&empty).expect("valid JSON");
+    assert_eq!(parsed["sessions"].as_array().unwrap().len(), 0);
+
+    // Per-session curve, addressed by the key the session listing gave us.
+    let key = rows[0]["key"].as_str().expect("session key").to_string();
+    let body = get_deterministic(addr, &format!("/history/session/{key}/curve"));
+    let parsed = serde_json::from_str(&body).expect("valid JSON");
+    let curve = parsed["curve"].as_array().expect("curve array");
+    assert!(!curve.is_empty());
+    let last = curve.last().unwrap();
+    assert!((last["progress"].as_f64().unwrap() - 1.0).abs() < 1e-9);
+    let nodes = parsed["slowest_nodes"].as_array().expect("nodes array");
+    assert!(
+        nodes[0]["op"].as_str().is_some(),
+        "resolver names operators"
+    );
+    assert!(http_get(addr, "/history/session/e9-s9/curve").starts_with("HTTP/1.1 404"));
+
+    // Per-workload percentiles, with §5 accuracy columns.
+    let body = get_deterministic(addr, "/history/percentiles");
+    assert!(body.contains("\"error_avg\""));
+    let filtered = get_deterministic(addr, "/history/percentiles?workload=w0");
+    assert!(filtered.contains("w0") && !filtered.contains("w1"));
+
+    // Parameter validation happens before any journal I/O.
+    assert!(http_get(addr, "/history/sessions?since=abc").starts_with("HTTP/1.1 400"));
+
+    // /healthz: liveness plus journal-dir status and recovery count.
+    let health = http_get(addr, "/healthz");
+    assert!(health.starts_with("HTTP/1.1 200 OK"));
+    let parsed = serde_json::from_str(body_of(&health)).expect("valid JSON");
+    assert_eq!(parsed["status"].as_str(), Some("ok"));
+    assert_eq!(parsed["sessions_recovered"].as_u64(), Some(3));
+    assert_eq!(parsed["journal"]["dir_exists"].as_bool(), Some(true));
+    assert!(parsed["journal"]["segments"].as_i64().unwrap() >= 3);
+
+    server.stop();
+    let _ = std::fs::remove_dir_all(&dir);
+}
