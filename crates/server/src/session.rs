@@ -205,10 +205,12 @@ impl QuerySpec {
 /// Shared per-session state: the registry, the executing worker, and every
 /// poller hold an `Arc` of this.
 ///
-/// Locking is deliberately cheap and fine-grained: the worker takes the
-/// `latest` mutex only long enough to clone one snapshot in, pollers only
-/// long enough to clone it out; `published_seq` lets a poller skip
-/// re-estimating a session that has not published since its last poll.
+/// Locking is deliberately cheap and fine-grained: the `latest` mutex is
+/// only ever held for an `Arc` pointer swap (publish) or an `Arc` clone
+/// (poll) — both O(1), never for the duration of a snapshot copy — so a
+/// poller mid-read can never stall the executing worker; `published_seq`
+/// lets a poller skip re-estimating a session that has not published since
+/// its last poll.
 pub struct SessionHandle {
     id: SessionId,
     spec: QuerySpec,
@@ -216,7 +218,10 @@ pub struct SessionHandle {
     state: Mutex<SessionState>,
     state_changed: Condvar,
     /// Latest published snapshot — the DMV row family for this session.
-    latest: Mutex<Option<DmvSnapshot>>,
+    /// Behind an `Arc` so the critical section is a pointer swap: the
+    /// worker deep-copies *outside* the lock, and a poller holding the
+    /// previous snapshot open keeps a reference, not the lock.
+    latest: Mutex<Option<Arc<DmvSnapshot>>>,
     /// Count of snapshots published so far (monotone; `Relaxed` reads are
     /// only ever used as a staleness hint).
     published_seq: AtomicU64,
@@ -421,8 +426,19 @@ impl SessionHandle {
         self.published_seq.load(Ordering::Acquire)
     }
 
-    /// The most recently published snapshot, if any.
+    /// The most recently published snapshot, if any. The deep copy happens
+    /// after the lock is released; use [`latest_snapshot_arc`] to avoid the
+    /// copy entirely.
+    ///
+    /// [`latest_snapshot_arc`]: SessionHandle::latest_snapshot_arc
     pub fn latest_snapshot(&self) -> Option<DmvSnapshot> {
+        self.latest_snapshot_arc().map(|s| (*s).clone())
+    }
+
+    /// The most recently published snapshot as a shared reference. Holding
+    /// the returned `Arc` open (e.g. across a long estimator pass) costs
+    /// the publisher nothing: the lock is held only for the pointer clone.
+    pub fn latest_snapshot_arc(&self) -> Option<Arc<DmvSnapshot>> {
         self.latest.lock().expect("latest slot poisoned").clone()
     }
 
@@ -562,7 +578,10 @@ impl SnapshotPublisher for SessionHandle {
         if let Some(journal) = self.journal.get() {
             journal.append_snapshot(snapshot);
         }
-        *self.latest.lock().expect("latest slot poisoned") = Some(snapshot.clone());
+        // Deep-copy outside the lock; the critical section is one pointer
+        // swap, so publish latency is independent of concurrent pollers.
+        let next = Arc::new(snapshot.clone());
+        *self.latest.lock().expect("latest slot poisoned") = Some(next);
         // `u64::MAX` is the never-published sentinel; a >584-year uptime
         // would be needed to collide with it.
         let elapsed = self
@@ -626,6 +645,69 @@ mod tests {
             Arc::default(),
         );
         assert_eq!(labelled.workload(), "tpch-q01");
+    }
+
+    /// Regression: `publish` used to deep-copy the snapshot while holding
+    /// the `latest` mutex, and `latest_snapshot` deep-copied it back out
+    /// under the same lock — so a poller mid-copy stalled the executing
+    /// worker for the whole clone. Publish latency must be independent of
+    /// a poller holding a snapshot read open.
+    #[test]
+    fn publish_is_o1_while_poller_holds_read_open() {
+        use std::sync::atomic::AtomicBool;
+        use std::time::{Duration, Instant};
+
+        let h = SessionHandle::new(
+            SessionId(7),
+            QuerySpec::new("q", dummy_plan()),
+            Arc::default(),
+        );
+        // A snapshot large enough that a deep copy is observable work.
+        let big = DmvSnapshot {
+            ts_ns: 1,
+            nodes: vec![NodeCounters::default(); 20_000],
+        };
+        h.publish(&big);
+
+        // Reads share one allocation: no per-read deep copy.
+        let a = h.latest_snapshot_arc().expect("published");
+        let b = h.latest_snapshot_arc().expect("published");
+        assert!(Arc::ptr_eq(&a, &b), "poll reads must not copy the snapshot");
+
+        // A poller holds `a` open while the worker keeps publishing; the
+        // held read keeps its contents and never blocks the publisher.
+        let stop = AtomicBool::new(false);
+        let elapsed = std::thread::scope(|s| {
+            s.spawn(|| {
+                // Aggressive poller: read and walk the snapshot in a loop.
+                while !stop.load(Ordering::Acquire) {
+                    if let Some(snap) = h.latest_snapshot_arc() {
+                        assert!(snap.nodes.len() == big.nodes.len());
+                    }
+                }
+            });
+            let started = Instant::now();
+            for i in 0..200u64 {
+                let mut next = big.clone();
+                next.ts_ns = 2 + i;
+                h.publish(&next);
+            }
+            let elapsed = started.elapsed();
+            stop.store(true, Ordering::Release);
+            elapsed
+        });
+        // The held read is intact (the publisher replaced the slot, not
+        // the snapshot the poller is looking at).
+        assert_eq!(a.ts_ns, 1);
+        assert_eq!(a.nodes.len(), 20_000);
+        assert_eq!(h.published_seq(), 201);
+        // Generous liveness bound: 200 publishes of a 20k-node snapshot
+        // are deep copies on the publisher side only, far under a second
+        // each even on a loaded CI machine.
+        assert!(
+            elapsed < Duration::from_secs(20),
+            "publish stalled behind a poller: {elapsed:?}"
+        );
     }
 
     #[test]
