@@ -167,6 +167,26 @@ pub(crate) fn install_quiet_abort_hook() {
     });
 }
 
+/// One node's published counters plus engine-internal charging state, kept
+/// side by side so the per-tuple hot path updates both under a single
+/// `RefCell` borrow.
+///
+/// The carry is deliberately *not* a [`NodeCounters`] field: it is
+/// sub-nanosecond bookkeeping, and `NodeCounters` is the journaled,
+/// serialized, `PartialEq`-compared DMV row format.
+#[derive(Debug, Clone, Default)]
+struct NodeAccount {
+    /// The node's DMV counter row.
+    counters: NodeCounters,
+    /// Fractional virtual nanoseconds charged but not yet applied. CPU
+    /// charges are f64 (e.g. batch-mode `25.0 × 0.3 = 7.5`); truncating
+    /// each charge individually would leak up to 1 ns per call and drift
+    /// long runs measurably below the f64 optimizer estimates. Invariant:
+    /// always in `[0, 1)` (debug-asserted on every charge), so batched
+    /// charging cannot silently drift the clock.
+    cpu_carry: f64,
+}
+
 /// Shared execution state, passed to every operator call.
 pub struct ExecContext<'a> {
     /// The database being queried.
@@ -174,17 +194,12 @@ pub struct ExecContext<'a> {
     /// Cost/charging constants.
     pub cost: CostModel,
     clock_ns: Cell<u64>,
-    counters: RefCell<Vec<NodeCounters>>,
+    accounts: RefCell<Vec<NodeAccount>>,
     snapshots: RefCell<Vec<DmvSnapshot>>,
     snapshot_interval_ns: Cell<u64>,
     next_snapshot_ns: Cell<u64>,
     /// Snapshots recorded so far, counting ones later thinned away.
     snapshot_seq: Cell<u64>,
-    /// Fractional virtual nanoseconds charged but not yet applied, per
-    /// node. CPU charges are f64 (e.g. batch-mode `25.0 × 0.3 = 7.5`);
-    /// truncating each charge individually would leak up to 1 ns per call
-    /// and drift long runs measurably below the f64 optimizer estimates.
-    cpu_frac: RefCell<Vec<f64>>,
     /// Trace event sink; `None` when the run is untraced.
     sink: Option<&'a dyn EventSink>,
     /// Live snapshot publisher; `None` for post-hoc-only runs.
@@ -218,12 +233,11 @@ impl<'a> ExecContext<'a> {
             db,
             cost,
             clock_ns: Cell::new(0),
-            counters: RefCell::new(vec![NodeCounters::default(); node_count]),
+            accounts: RefCell::new(vec![NodeAccount::default(); node_count]),
             snapshots: RefCell::new(Vec::new()),
             snapshot_interval_ns: Cell::new(interval),
             next_snapshot_ns: Cell::new(interval),
             snapshot_seq: Cell::new(0),
-            cpu_frac: RefCell::new(vec![0.0; node_count]),
             sink: None,
             publisher: None,
             cancel: None,
@@ -361,15 +375,18 @@ impl<'a> ExecContext<'a> {
         while self.next_snapshot_ns.get() <= now {
             let ts = self.next_snapshot_ns.get();
             {
+                let nodes: Vec<NodeCounters> = self
+                    .accounts
+                    .borrow()
+                    .iter()
+                    .map(|a| a.counters.clone())
+                    .collect();
                 let mut snaps = self.snapshots.borrow_mut();
                 #[cfg(debug_assertions)]
                 if let Some(prev) = snaps.last() {
-                    Self::assert_counters_monotone(prev, &self.counters.borrow());
+                    Self::assert_counters_monotone(prev, &nodes);
                 }
-                snaps.push(DmvSnapshot {
-                    ts_ns: ts,
-                    nodes: self.counters.borrow().clone(),
-                });
+                snaps.push(DmvSnapshot { ts_ns: ts, nodes });
                 if let Some(publisher) = self.publisher {
                     publisher.publish(snaps.last().expect("just pushed"));
                 }
@@ -419,13 +436,20 @@ impl<'a> ExecContext<'a> {
     /// are sliced.
     pub fn charge_cpu(&self, node: NodeId, ns: f64) {
         let whole = {
-            let mut frac = self.cpu_frac.borrow_mut();
-            let total = frac[node.0] + ns.max(0.0);
+            let mut accounts = self.accounts.borrow_mut();
+            let a = &mut accounts[node.0];
+            let total = a.cpu_carry + ns.max(0.0);
             let whole = total as u64;
-            frac[node.0] = total - whole as f64;
+            a.cpu_carry = total - whole as f64;
+            debug_assert!(
+                (0.0..1.0).contains(&a.cpu_carry),
+                "node {}: cpu carry {} left [0,1)",
+                node.0,
+                a.cpu_carry
+            );
+            a.counters.cpu_ns += whole;
             whole
         };
-        self.counters.borrow_mut()[node.0].cpu_ns += whole;
         self.advance(whole);
     }
 
@@ -440,9 +464,10 @@ impl<'a> ExecContext<'a> {
             return;
         }
         let total = {
-            let mut c = self.counters.borrow_mut();
-            c[node.0].logical_reads += pages;
-            c[node.0].logical_reads
+            let mut accounts = self.accounts.borrow_mut();
+            let c = &mut accounts[node.0].counters;
+            c.logical_reads += pages;
+            c.logical_reads
         };
         let mut io_ns = (pages as f64 * self.cost.io_page_ns) as u64;
         if let Some(fault) = self.fault {
@@ -467,7 +492,7 @@ impl<'a> ExecContext<'a> {
 
     /// Record `n` rows consumed from children.
     pub fn count_input(&self, node: NodeId, n: u64) {
-        self.counters.borrow_mut()[node.0].rows_input += n;
+        self.accounts.borrow_mut()[node.0].counters.rows_input += n;
     }
 
     /// Record one row output (a successful GetNext — increments `kᵢ`).
@@ -477,8 +502,8 @@ impl<'a> ExecContext<'a> {
     /// [`FaultInjector`] panics the operator at this GetNext count.
     pub fn count_output(&self, node: NodeId) {
         let (first, k) = {
-            let mut c = self.counters.borrow_mut();
-            let c = &mut c[node.0];
+            let mut accounts = self.accounts.borrow_mut();
+            let c = &mut accounts[node.0].counters;
             c.rows_output += 1;
             let first = if c.first_row_ns.is_none() {
                 c.first_row_ns = Some(self.clock_ns.get());
@@ -513,14 +538,16 @@ impl<'a> ExecContext<'a> {
 
     /// Record one columnstore segment fully processed.
     pub fn count_segment(&self, node: NodeId) {
-        self.counters.borrow_mut()[node.0].segments_processed += 1;
+        self.accounts.borrow_mut()[node.0]
+            .counters
+            .segments_processed += 1;
     }
 
     /// Update the buffered-rows gauge for a semi-blocking operator. When
     /// tracing, a rise past the node's previous maximum emits a
     /// [`EventKind::BufferHighWater`] event.
     pub fn set_buffered(&self, node: NodeId, buffered: u64) {
-        self.counters.borrow_mut()[node.0].rows_buffered = buffered;
+        self.accounts.borrow_mut()[node.0].counters.rows_buffered = buffered;
         if self.trace_enabled() {
             let rose = {
                 let mut hw = self.buffered_hw.borrow_mut();
@@ -539,15 +566,15 @@ impl<'a> ExecContext<'a> {
 
     /// Record outer rows fully processed by a buffering nested-loops join.
     pub fn count_processed(&self, node: NodeId, n: u64) {
-        self.counters.borrow_mut()[node.0].rows_processed += n;
+        self.accounts.borrow_mut()[node.0].counters.rows_processed += n;
     }
 
     /// Mark `Open()`: records the open time on first execution and
     /// increments the execution count.
     pub fn mark_open(&self, node: NodeId) {
         {
-            let mut c = self.counters.borrow_mut();
-            let c = &mut c[node.0];
+            let mut accounts = self.accounts.borrow_mut();
+            let c = &mut accounts[node.0].counters;
             if c.open_ns.is_none() {
                 c.open_ns = Some(self.clock_ns.get());
             }
@@ -563,8 +590,8 @@ impl<'a> ExecContext<'a> {
     /// the operator actually finished producing rows).
     pub fn mark_close(&self, node: NodeId) {
         let stamped = {
-            let mut c = self.counters.borrow_mut();
-            let c = &mut c[node.0];
+            let mut accounts = self.accounts.borrow_mut();
+            let c = &mut accounts[node.0].counters;
             if c.close_ns.is_none() {
                 c.close_ns = Some(self.clock_ns.get());
                 true
@@ -579,13 +606,21 @@ impl<'a> ExecContext<'a> {
 
     /// Read a copy of a node's counters (test/inspection helper).
     pub fn counters_of(&self, node: NodeId) -> NodeCounters {
-        self.counters.borrow()[node.0].clone()
+        self.accounts.borrow()[node.0].counters.clone()
     }
 
     /// Consume the context, returning (snapshots, final counters, end time).
     pub fn into_results(self) -> (Vec<DmvSnapshot>, Vec<NodeCounters>, u64) {
         let end = self.clock_ns.get();
-        (self.snapshots.into_inner(), self.counters.into_inner(), end)
+        (
+            self.snapshots.into_inner(),
+            self.accounts
+                .into_inner()
+                .into_iter()
+                .map(|a| a.counters)
+                .collect(),
+            end,
+        )
     }
 
     // ---- bitmaps --------------------------------------------------------
