@@ -1,11 +1,23 @@
 //! Engine substrate throughput: virtual-clock row rates through the core
 //! operators, to document the simulator's own cost (distinct from the
 //! virtual time it models).
+//!
+//! Each workload runs in both execution modes — `tuple` is the reference
+//! Volcano loop, `batch` the vectorized drive path — so the criterion
+//! report shows the tuple-vs-batch spread per operator. The committed
+//! before/after numbers live in `BENCH_engine.json` (see
+//! `lqs_engine_bench`); this bench is for interactive profiling. A final
+//! group measures snapshot publishing: the `SnapshotSlot` seqlock against
+//! the mutex-over-`Arc` design it replaced, with an aggressive poller
+//! hammering reads while the publisher runs.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use lqs::exec::{execute, ExecOptions};
-use lqs::plan::{AggFunc, Aggregate, Expr, JoinKind, PlanBuilder, SortKey};
+use lqs::exec::{execute, DmvSnapshot, ExecMode, ExecOptions, NodeCounters};
+use lqs::plan::{AggFunc, Aggregate, Expr, JoinKind, PhysicalPlan, PlanBuilder, SortKey};
+use lqs::server::SnapshotSlot;
 use lqs::storage::{Column, DataType, Database, Schema, Table, Value};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
 
 fn db(rows: i64) -> (Database, lqs::storage::TableId) {
     let mut t = Table::new(
@@ -23,53 +35,172 @@ fn db(rows: i64) -> (Database, lqs::storage::TableId) {
     (d, id)
 }
 
+fn opts(mode: ExecMode) -> ExecOptions {
+    ExecOptions {
+        mode,
+        ..ExecOptions::default()
+    }
+}
+
+fn bench_modes(
+    g: &mut criterion::BenchmarkGroup<'_>,
+    name: &str,
+    d: &Database,
+    plan: &PhysicalPlan,
+) {
+    g.bench_function(&format!("{name}/tuple"), |b| {
+        b.iter(|| execute(d, plan, &opts(ExecMode::Tuple)))
+    });
+    g.bench_function(&format!("{name}/batch"), |b| {
+        b.iter(|| execute(d, plan, &opts(ExecMode::Batch)))
+    });
+}
+
 fn bench_engine(c: &mut Criterion) {
     const ROWS: i64 = 50_000;
     let (d, t) = db(ROWS);
     let mut g = c.benchmark_group("engine");
     g.throughput(Throughput::Elements(ROWS as u64));
 
-    g.bench_function("table_scan", |b| {
+    {
         let mut pb = PlanBuilder::new(&d);
         let scan = pb.table_scan(t);
         let plan = pb.finish(scan);
-        b.iter(|| execute(&d, &plan, &ExecOptions::default()))
-    });
-
-    g.bench_function("filter_scan", |b| {
+        bench_modes(&mut g, "table_scan", &d, &plan);
+    }
+    {
         let mut pb = PlanBuilder::new(&d);
         let scan = pb.table_scan_filtered(t, Expr::col(1).lt(Expr::lit(50i64)), true);
         let plan = pb.finish(scan);
-        b.iter(|| execute(&d, &plan, &ExecOptions::default()))
-    });
-
-    g.bench_function("hash_aggregate", |b| {
+        bench_modes(&mut g, "filter_scan", &d, &plan);
+    }
+    // Deep row-mode pipeline: scan under stacked filters, where per-operator
+    // overhead dominates — the headline case for the vectorized path.
+    for depth in [6usize, 12] {
+        let mut pb = PlanBuilder::new(&d);
+        let mut node = pb.table_scan(t);
+        for k in 0..depth {
+            node = pb.filter(node, Expr::col(1).lt(Expr::lit(97 - k as i64)));
+        }
+        let plan = pb.finish(node);
+        bench_modes(&mut g, &format!("pipeline{depth}"), &d, &plan);
+    }
+    {
         let mut pb = PlanBuilder::new(&d);
         let scan = pb.table_scan(t);
         let agg = pb.hash_aggregate(scan, vec![1], vec![Aggregate::of_col(AggFunc::Sum, 0)]);
         let plan = pb.finish(agg);
-        b.iter(|| execute(&d, &plan, &ExecOptions::default()))
-    });
-
-    g.bench_function("sort", |b| {
+        bench_modes(&mut g, "hash_aggregate", &d, &plan);
+    }
+    {
         let mut pb = PlanBuilder::new(&d);
         let scan = pb.table_scan(t);
         let sort = pb.sort(scan, vec![SortKey::desc(1), SortKey::asc(0)]);
         let plan = pb.finish(sort);
-        b.iter(|| execute(&d, &plan, &ExecOptions::default()))
-    });
-
-    g.bench_function("hash_join", |b| {
+        bench_modes(&mut g, "sort", &d, &plan);
+    }
+    {
         let mut pb = PlanBuilder::new(&d);
         let l = pb.table_scan(t);
         let r = pb.table_scan(t);
         let j = pb.hash_join(JoinKind::LeftSemi, l, r, vec![0], vec![0]);
         let plan = pb.finish(j);
-        b.iter(|| execute(&d, &plan, &ExecOptions::default()))
+        bench_modes(&mut g, "hash_join", &d, &plan);
+    }
+
+    g.finish();
+}
+
+const SNAP_NODES: usize = 8;
+
+fn snapshot() -> DmvSnapshot {
+    DmvSnapshot {
+        ts_ns: 7,
+        nodes: vec![
+            NodeCounters {
+                rows_output: 42,
+                rows_input: 42,
+                cpu_ns: 1234,
+                ..NodeCounters::default()
+            };
+            SNAP_NODES
+        ],
+    }
+}
+
+/// Spawn `n` threads spinning on `read()`; returns a guard that stops and
+/// joins them on drop.
+struct Pollers {
+    stop: Arc<AtomicBool>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl Pollers {
+    fn spawn(n: usize, read: impl Fn() + Send + Clone + 'static) -> Self {
+        let stop = Arc::new(AtomicBool::new(false));
+        let handles = (0..n)
+            .map(|_| {
+                let stop = Arc::clone(&stop);
+                let read = read.clone();
+                std::thread::spawn(move || {
+                    while !stop.load(Ordering::Relaxed) {
+                        read();
+                    }
+                })
+            })
+            .collect();
+        Pollers { stop, handles }
+    }
+}
+
+impl Drop for Pollers {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        for h in self.handles.drain(..) {
+            h.join().unwrap();
+        }
+    }
+}
+
+fn bench_publish(c: &mut Criterion) {
+    let mut g = c.benchmark_group("snapshot_publish");
+    let snap = snapshot();
+
+    g.bench_function("seqlock/idle", |b| {
+        let slot = SnapshotSlot::new(SNAP_NODES);
+        b.iter(|| slot.publish(&snap))
+    });
+    g.bench_function("seqlock/2_pollers", |b| {
+        let slot = Arc::new(SnapshotSlot::new(SNAP_NODES));
+        let reader = Arc::clone(&slot);
+        let _pollers = Pollers::spawn(2, move || {
+            let mut buf = DmvSnapshot {
+                ts_ns: 0,
+                nodes: Vec::new(),
+            };
+            let _ = reader.read_into(&mut buf);
+        });
+        b.iter(|| slot.publish(&snap))
+    });
+    g.bench_function("mutex_arc/idle", |b| {
+        let slot = Mutex::new(Arc::new(snapshot()));
+        b.iter(|| *slot.lock().unwrap() = Arc::new(snap.clone()))
+    });
+    g.bench_function("mutex_arc/2_pollers", |b| {
+        let slot = Arc::new(Mutex::new(Arc::new(snapshot())));
+        let reader = Arc::clone(&slot);
+        let _pollers = Pollers::spawn(2, move || {
+            let shared = Arc::clone(&reader.lock().unwrap());
+            let _copy = DmvSnapshot {
+                ts_ns: shared.ts_ns,
+                nodes: shared.nodes.clone(),
+            };
+        });
+        b.iter(|| *slot.lock().unwrap() = Arc::new(snap.clone()))
     });
 
     g.finish();
 }
 
-criterion_group!(benches, bench_engine);
+criterion_group!(benches, bench_engine, bench_publish);
 criterion_main!(benches);

@@ -210,6 +210,11 @@ pub struct ExecContext<'a> {
     deadline_ns: Option<u64>,
     /// Deterministic fault oracle, consulted on I/O charges and GetNexts.
     fault: Option<&'a dyn FaultInjector>,
+    /// Number of live [`BatchCharge`] scopes (0 or 1). Debug-asserted
+    /// against per-tuple charging and scope nesting: a scope caches its
+    /// flush budget, which is only exact while nothing else moves the
+    /// clock.
+    live_scopes: Cell<u32>,
     /// Per-node high-water marks of the buffered-rows gauge (tracing only).
     buffered_hw: RefCell<Vec<u64>>,
     bitmaps: RefCell<Vec<Option<BloomFilter>>>,
@@ -243,6 +248,7 @@ impl<'a> ExecContext<'a> {
             cancel: None,
             deadline_ns: None,
             fault: None,
+            live_scopes: Cell::new(0),
             buffered_hw: RefCell::new(vec![0; node_count]),
             bitmaps: RefCell::new((0..bitmap_count).map(|_| None).collect()),
             outer_rows: RefCell::new(Vec::new()),
@@ -435,6 +441,11 @@ impl<'a> ExecContext<'a> {
     /// tracks the exact f64 sum to within 1 ns per node however the charges
     /// are sliced.
     pub fn charge_cpu(&self, node: NodeId, ns: f64) {
+        debug_assert_eq!(
+            self.live_scopes.get(),
+            0,
+            "per-tuple charge_cpu while a BatchCharge scope is live"
+        );
         let whole = {
             let mut accounts = self.accounts.borrow_mut();
             let a = &mut accounts[node.0];
@@ -460,6 +471,11 @@ impl<'a> ExecContext<'a> {
     /// Unwinds with a [`QueryFault`] payload when an attached
     /// [`FaultInjector`] fails the read.
     pub fn charge_io(&self, node: NodeId, pages: u64) {
+        debug_assert_eq!(
+            self.live_scopes.get(),
+            0,
+            "per-tuple charge_io while a BatchCharge scope is live"
+        );
         if pages == 0 {
             return;
         }
@@ -488,6 +504,101 @@ impl<'a> ExecContext<'a> {
             }
         }
         self.advance(io_ns);
+    }
+
+    /// Whether the per-row hooks (trace sink, fault injector) are absent —
+    /// the condition under which the batched execution path is
+    /// charge-equivalent to the per-tuple path. The executor's `Auto` mode
+    /// only picks batch execution when this holds.
+    pub fn batch_hooks_absent(&self) -> bool {
+        self.sink.is_none() && self.fault.is_none()
+    }
+
+    /// Open a batched charging scope for `node`: CPU/I/O charges accumulate
+    /// in locals (no `RefCell` traffic, no `advance` call per row) and are
+    /// applied to the counters and the clock when a snapshot boundary or
+    /// the deadline is crossed, when [`BatchCharge::finish`] is called, or
+    /// when the scope drops.
+    ///
+    /// The scope takes the node's fractional-carry state with it and
+    /// returns it on flush, and it iterates the carry arithmetic per
+    /// charge, so the whole-nanosecond sequence — and therefore the final
+    /// clock, the snapshot cadence, and any deadline-abort tick — is
+    /// bit-identical to issuing the same charges through
+    /// [`charge_cpu`]/[`charge_io`] one at a time.
+    ///
+    /// The scope also carries deferred row counts
+    /// ([`BatchCharge::rows_in`]/[`BatchCharge::rows_out`]): they settle at
+    /// every flush *before* the clock advances, so each snapshot observes
+    /// the node's row counters in step with its charges — required by the
+    /// progress estimator's cardinality bounds, which assume at most one
+    /// in-flight consumed-but-unemitted row per operator.
+    ///
+    /// Contract: scopes are exclusive. While a scope is live, nothing else
+    /// may move the clock — no second scope (for any node), and no
+    /// [`charge_cpu`]/[`charge_io`] calls (which for the same node would
+    /// also double-count the carry). Operators therefore pull their
+    /// children *first* and open the scope only for the charging loop over
+    /// rows already in hand. Exclusivity is what lets the scope cache its
+    /// flush budget ([`BatchCharge::flush_at`]) instead of re-reading the
+    /// clock and snapshot cells on every charge — the budget can only
+    /// change at the scope's own flushes. Debug builds assert it.
+    ///
+    /// [`charge_cpu`]: ExecContext::charge_cpu
+    /// [`charge_io`]: ExecContext::charge_io
+    pub fn batch_charge(&self, node: NodeId) -> BatchCharge<'_, 'a> {
+        debug_assert_eq!(
+            self.live_scopes.get(),
+            0,
+            "BatchCharge scopes must not nest"
+        );
+        self.live_scopes.set(self.live_scopes.get() + 1);
+        let carry = std::mem::take(&mut self.accounts.borrow_mut()[node.0].cpu_carry);
+        BatchCharge {
+            ctx: self,
+            node,
+            carry,
+            cpu_pending: 0,
+            reads_pending: 0,
+            rows_in_pending: 0,
+            rows_out_pending: 0,
+            clock_pending: 0,
+            flush_at: self.flush_budget(),
+        }
+    }
+
+    /// Clock nanoseconds until the next snapshot boundary or the deadline,
+    /// whichever comes first (0 when already at or past it).
+    fn flush_budget(&self) -> u64 {
+        self.next_snapshot_ns
+            .get()
+            .min(self.deadline_ns.unwrap_or(u64::MAX))
+            .saturating_sub(self.clock_ns.get())
+    }
+
+    /// Charge `rows` CPU charges of `per_row_ns` each to `node` in one
+    /// call, bit-identical to `rows` separate [`ExecContext::charge_cpu`]
+    /// calls (the fractional carry is iterated per row; snapshot boundaries
+    /// and the deadline fire at the exact same ticks).
+    pub fn charge_cpu_batch(&self, node: NodeId, per_row_ns: f64, rows: u64) {
+        let mut scope = self.batch_charge(node);
+        for _ in 0..rows {
+            scope.cpu(per_row_ns);
+        }
+        scope.finish();
+    }
+
+    /// Charge `reads` I/O charges of `pages_per_read` pages each to `node`
+    /// in one call, bit-identical to `reads` separate
+    /// [`ExecContext::charge_io`] calls (the per-call truncation of
+    /// `pages × io_page_ns` is preserved). Batch execution runs without a
+    /// fault injector, so no I/O fault hook fires here.
+    pub fn charge_io_batch(&self, node: NodeId, pages_per_read: u64, reads: u64) {
+        let mut scope = self.batch_charge(node);
+        for _ in 0..reads {
+            scope.io(pages_per_read);
+        }
+        scope.finish();
     }
 
     /// Record `n` rows consumed from children.
@@ -533,6 +644,31 @@ impl<'a> ExecContext<'a> {
                     });
                 }
             }
+        }
+    }
+
+    /// Record `n` rows output in one call. With no trace sink or fault
+    /// injector attached this is `n` [`count_output`] calls collapsed into
+    /// one borrow (same `first_row_ns` stamp, same final `rows_output`);
+    /// when either hook is present it falls back to the per-row path so
+    /// every GetNext still reaches the hook.
+    ///
+    /// [`count_output`]: ExecContext::count_output
+    pub fn count_output_batch(&self, node: NodeId, n: u64) {
+        if n == 0 {
+            return;
+        }
+        if !self.batch_hooks_absent() {
+            for _ in 0..n {
+                self.count_output(node);
+            }
+            return;
+        }
+        let mut accounts = self.accounts.borrow_mut();
+        let c = &mut accounts[node.0].counters;
+        c.rows_output += n;
+        if c.first_row_ns.is_none() {
+            c.first_row_ns = Some(self.clock_ns.get());
         }
     }
 
@@ -675,6 +811,173 @@ impl<'a> ExecContext<'a> {
             .last()
             .cloned()
             .expect("correlated seek executed outside a nested-loops inner subtree")
+    }
+}
+
+/// A batched charging scope (see [`ExecContext::batch_charge`]).
+///
+/// Charges accumulate in plain locals and are flushed — written to the
+/// node's counters and applied to the virtual clock in one `advance` —
+/// only when a snapshot boundary or the deadline would be crossed, on
+/// [`finish`](BatchCharge::finish), or on drop. Because the fractional
+/// carry is iterated per charge, every flush leaves the clock, counters,
+/// and carry exactly where the equivalent sequence of per-tuple
+/// `charge_cpu`/`charge_io` calls would have left them.
+pub struct BatchCharge<'s, 'a> {
+    ctx: &'s ExecContext<'a>,
+    node: NodeId,
+    /// The node's fractional carry, held locally while the scope is live
+    /// (taken from the account in `batch_charge`, written back on flush).
+    carry: f64,
+    /// Whole CPU nanoseconds charged but not yet in the counters.
+    cpu_pending: u64,
+    /// Logical reads charged but not yet in the counters.
+    reads_pending: u64,
+    /// Rows consumed but not yet in the counters.
+    rows_in_pending: u64,
+    /// Rows output but not yet in the counters.
+    rows_out_pending: u64,
+    /// Clock nanoseconds (CPU + I/O) not yet applied via `advance`.
+    clock_pending: u64,
+    /// Pending clock nanoseconds at which the next snapshot boundary (or
+    /// the deadline) is crossed. Cached at scope creation and refreshed at
+    /// every flush; exact because scopes are exclusive (see
+    /// [`ExecContext::batch_charge`]) — nothing else moves the clock while
+    /// one is live. Turns the per-charge due-check into one integer
+    /// compare on the hot path.
+    flush_at: u64,
+}
+
+impl BatchCharge<'_, '_> {
+    /// Charge fractional CPU nanoseconds (same semantics as
+    /// [`ExecContext::charge_cpu`]).
+    #[inline]
+    pub fn cpu(&mut self, ns: f64) {
+        let total = self.carry + ns.max(0.0);
+        let whole = total as u64;
+        self.carry = total - whole as f64;
+        debug_assert!(
+            (0.0..1.0).contains(&self.carry),
+            "node {}: cpu carry {} left [0,1)",
+            self.node.0,
+            self.carry
+        );
+        self.cpu_pending += whole;
+        self.clock_pending += whole;
+        if whole > 0 && self.due() {
+            self.flush();
+        }
+    }
+
+    /// Charge logical page reads (same per-call `pages × io_page_ns`
+    /// truncation as [`ExecContext::charge_io`]; no fault hook — batch
+    /// execution runs without a fault injector).
+    #[inline]
+    pub fn io(&mut self, pages: u64) {
+        if pages == 0 {
+            return;
+        }
+        self.reads_pending += pages;
+        let io_ns = (pages as f64 * self.ctx.cost.io_page_ns) as u64;
+        self.clock_pending += io_ns;
+        if io_ns > 0 && self.due() {
+            self.flush();
+        }
+    }
+
+    /// Record rows consumed from children (deferred
+    /// [`ExecContext::count_input`]). Pending counts settle into the
+    /// counters at every flush *before* the clock advances, so any snapshot
+    /// the flush records already sees them — the row counters stay in step
+    /// with the charges at every observable instant, which the §4.2 bounds
+    /// rely on (at most one consumed-but-unemitted row per operator).
+    #[inline]
+    pub fn rows_in(&mut self, n: u64) {
+        self.rows_in_pending += n;
+    }
+
+    /// Record rows output (deferred [`ExecContext::count_output`]; same
+    /// settle-before-advance visibility as [`rows_in`](BatchCharge::rows_in)).
+    /// `first_row_ns` is stamped at the settling flush, not at the exact
+    /// per-row clock — the one documented counter divergence between the
+    /// batched and per-tuple paths.
+    #[inline]
+    pub fn rows_out(&mut self, n: u64) {
+        self.rows_out_pending += n;
+    }
+
+    /// Would applying the pending clock time cross the next snapshot
+    /// boundary or the deadline? Compares against the cached
+    /// [`flush_at`](BatchCharge::flush_at) budget — exclusive scopes mean
+    /// the live cells cannot have changed since it was computed.
+    #[inline]
+    fn due(&self) -> bool {
+        self.clock_pending >= self.flush_at
+    }
+
+    /// Write pending counters back to the account, then advance the clock.
+    /// Counters land *before* `advance` so a snapshot (or abort unwind)
+    /// triggered by the advance observes them. The carry stays in the
+    /// scope — it is written back when the scope ends.
+    /// Write pending counters (charges *and* row counts) back to the
+    /// account. Split out so the unwind path in `Drop` can settle without
+    /// advancing the clock.
+    fn settle(&mut self) {
+        if self.cpu_pending > 0
+            || self.reads_pending > 0
+            || self.rows_in_pending > 0
+            || self.rows_out_pending > 0
+        {
+            let mut accounts = self.ctx.accounts.borrow_mut();
+            let a = &mut accounts[self.node.0];
+            a.counters.cpu_ns += self.cpu_pending;
+            a.counters.logical_reads += self.reads_pending;
+            a.counters.rows_input += self.rows_in_pending;
+            a.counters.rows_output += self.rows_out_pending;
+            if self.rows_out_pending > 0 && a.counters.first_row_ns.is_none() {
+                a.counters.first_row_ns = Some(self.ctx.clock_ns.get());
+            }
+            self.cpu_pending = 0;
+            self.reads_pending = 0;
+            self.rows_in_pending = 0;
+            self.rows_out_pending = 0;
+        }
+    }
+
+    fn flush(&mut self) {
+        self.settle();
+        let pending = std::mem::take(&mut self.clock_pending);
+        if pending > 0 {
+            self.ctx.advance(pending);
+        }
+        // The advance may have recorded snapshots (moving the boundary)
+        // and has moved the clock: recompute the budget.
+        self.flush_at = self.ctx.flush_budget();
+    }
+
+    /// Flush and consume the scope. Equivalent to dropping it, spelled out
+    /// so call sites show where the batch settles.
+    pub fn finish(self) {}
+}
+
+impl Drop for BatchCharge<'_, '_> {
+    fn drop(&mut self) {
+        // Both the normal path (`finish`/end of scope) and the unwind path
+        // (abort raised by a flush inside `cpu`/`io`, or a plain panic)
+        // land here: settle pending counters and the carry first, then —
+        // only when not unwinding — apply the pending clock time.
+        // Advancing during an unwind could re-raise the abort and turn it
+        // into a double panic; skipping it loses at most the clock slice
+        // of an already-aborted run's final partial state.
+        self.settle();
+        self.ctx.accounts.borrow_mut()[self.node.0].cpu_carry = self.carry;
+        self.ctx.live_scopes.set(self.ctx.live_scopes.get() - 1);
+        if !std::thread::panicking() {
+            let pending = std::mem::take(&mut self.clock_pending);
+            if pending > 0 {
+                self.ctx.advance(pending);
+            }
+        }
     }
 }
 

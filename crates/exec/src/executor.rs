@@ -10,6 +10,23 @@ use lqs_obs::EventSink;
 use lqs_plan::{CostModel, PhysicalOp, PhysicalPlan};
 use lqs_storage::Database;
 
+/// Which GetNext loop drives the operator tree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecMode {
+    /// Batch when the run is charge-equivalent (no trace sink, no fault
+    /// injector — their hooks are per-row), per-tuple otherwise.
+    #[default]
+    Auto,
+    /// Always the per-tuple Volcano loop.
+    Tuple,
+    /// Always the vectorized loop. With a trace sink or fault injector
+    /// attached this degrades hook fidelity — trace timestamps coarsen to
+    /// flush granularity and batched I/O charges skip the injector's
+    /// per-read check — which is why `Auto` falls back to `Tuple` for
+    /// those runs. Counters and the clock stay exact regardless.
+    Batch,
+}
+
 /// Execution options.
 #[derive(Debug, Clone)]
 pub struct ExecOptions {
@@ -21,6 +38,10 @@ pub struct ExecOptions {
     pub snapshot_interval_ns: Option<u64>,
     /// Cost/charging constants.
     pub cost_model: CostModel,
+    /// Per-tuple vs vectorized drive loop (see [`ExecMode`]).
+    pub mode: ExecMode,
+    /// Rows per batch on the vectorized path (clamped to ≥ 1).
+    pub batch_size: usize,
 }
 
 impl Default for ExecOptions {
@@ -29,6 +50,8 @@ impl Default for ExecOptions {
             snapshot_target: 192,
             snapshot_interval_ns: None,
             cost_model: CostModel::default(),
+            mode: ExecMode::Auto,
+            batch_size: 1024,
         }
     }
 }
@@ -244,12 +267,30 @@ fn execute_inner(
     // payload; catching it here (and only it) turns the unwind into a
     // structured error while leaving real panics fatal. The context lives
     // outside the catch, so the partial trace survives the unwind.
+    let use_batch = match opts.mode {
+        ExecMode::Tuple => false,
+        ExecMode::Batch => true,
+        ExecMode::Auto => ctx.batch_hooks_absent(),
+    };
     let drive = crate::context::catch_query_abort(|| {
         let mut root = build_operator(plan, db, plan.root());
         root.open(&ctx);
         let mut rows_returned = 0u64;
-        while root.next(&ctx).is_some() {
-            rows_returned += 1;
+        if use_batch {
+            let limit = opts.batch_size.max(1);
+            let mut batch = crate::ops::RowBatch::with_capacity(limit);
+            loop {
+                let more = root.next_batch(&ctx, &mut batch, limit);
+                rows_returned += batch.len() as u64;
+                batch.clear();
+                if !more {
+                    break;
+                }
+            }
+        } else {
+            while root.next(&ctx).is_some() {
+                rows_returned += 1;
+            }
         }
         root.close(&ctx);
         rows_returned

@@ -31,17 +31,19 @@ pub mod executor;
 pub mod fault;
 pub mod metrics;
 pub mod ops;
+mod pred;
 
 pub use context::{
-    AbortReason, CancellationToken, ExecContext, QueryAborted, SnapshotPublisher, TeePublisher,
+    AbortReason, BatchCharge, CancellationToken, ExecContext, QueryAborted, SnapshotPublisher,
+    TeePublisher,
 };
 pub use dmv::{DmvSnapshot, NodeCounters};
 pub use executor::{
     estimated_duration_ns, execute, execute_hooked, execute_traced, plan_node_names, AbortedQuery,
-    ExecHooks, ExecOptions, QueryRun,
+    ExecHooks, ExecMode, ExecOptions, QueryRun,
 };
 pub use fault::{
     FaultInjector, GetNextFault, IdentityFilter, IoVerdict, QueryFault, SnapshotFilter,
 };
 pub use metrics::ExecMetrics;
-pub use ops::{build_operator, BoxedOperator, Operator};
+pub use ops::{build_operator, BoxedOperator, Operator, RowBatch};

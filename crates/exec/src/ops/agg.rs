@@ -7,7 +7,8 @@
 //! therefore the ones the two-phase model of §4.5 targets — `rows_input`
 //! climbs during the build while `rows_output` stays 0.
 
-use super::{key_of, BoxedOperator, Operator};
+use super::sort::CONSUME_BATCH;
+use super::{key_of, BoxedOperator, Operator, RowBatch};
 use crate::context::ExecContext;
 use lqs_plan::{AggState, Aggregate, NodeId};
 use lqs_storage::{Row, Value};
@@ -37,6 +38,7 @@ pub struct StreamAggregateOp {
     aggs: Vec<Aggregate>,
     child: BoxedOperator,
     current: Option<(Vec<Value>, Vec<AggState>)>,
+    scratch: RowBatch,
     input_done: bool,
     emitted_scalar: bool,
     done: bool,
@@ -55,6 +57,7 @@ impl StreamAggregateOp {
             aggs,
             child,
             current: None,
+            scratch: RowBatch::default(),
             input_done: false,
             emitted_scalar: false,
             done: false,
@@ -132,6 +135,79 @@ impl Operator for StreamAggregateOp {
         }
     }
 
+    fn next_batch(&mut self, ctx: &ExecContext, out: &mut RowBatch, limit: usize) -> bool {
+        if self.done {
+            return false;
+        }
+        if limit == 0 {
+            return true;
+        }
+        let row_cpu =
+            ctx.cost.stream_agg_row_ns + self.aggs.len() as f64 * ctx.cost.compute_expr_ns;
+        loop {
+            if !self.scratch.is_empty() {
+                let mut appended = 0u64;
+                let mut consumed = 0u64;
+                let mut scope = ctx.batch_charge(self.id);
+                while (appended as usize) < limit {
+                    let Some(row) = self.scratch.pop_front() else {
+                        break;
+                    };
+                    consumed += 1;
+                    scope.cpu(row_cpu);
+                    let key = key_of(&row, &self.group_by);
+                    match &mut self.current {
+                        Some((cur_key, states)) if *cur_key == key => {
+                            fold(&self.aggs, states, &row);
+                        }
+                        Some(_) => {
+                            let (done_key, done_states) =
+                                self.current.take().expect("checked Some");
+                            let mut states = make_states(&self.aggs);
+                            fold(&self.aggs, &mut states, &row);
+                            self.current = Some((key, states));
+                            self.emitted_scalar = true;
+                            out.push(finish_group(done_key, &done_states));
+                            appended += 1;
+                        }
+                        None => {
+                            let mut states = make_states(&self.aggs);
+                            fold(&self.aggs, &mut states, &row);
+                            self.current = Some((key, states));
+                            self.emitted_scalar = true;
+                        }
+                    }
+                }
+                scope.finish();
+                ctx.count_input(self.id, consumed);
+                if appended > 0 {
+                    ctx.count_output_batch(self.id, appended);
+                    return true;
+                }
+                continue;
+            }
+            if self.input_done {
+                if let Some((key, states)) = self.current.take() {
+                    out.push(finish_group(key, &states));
+                    ctx.count_output_batch(self.id, 1);
+                    return true;
+                }
+                if self.group_by.is_empty() && !self.emitted_scalar {
+                    self.emitted_scalar = true;
+                    out.push(finish_group(Vec::new(), &make_states(&self.aggs)));
+                    ctx.count_output_batch(self.id, 1);
+                    return true;
+                }
+                self.done = true;
+                ctx.mark_close(self.id);
+                return false;
+            }
+            if !self.child.next_batch(ctx, &mut self.scratch, limit) {
+                self.input_done = true;
+            }
+        }
+    }
+
     fn close(&mut self, ctx: &ExecContext) {
         self.child.close(ctx);
         ctx.mark_close(self.id);
@@ -141,6 +217,7 @@ impl Operator for StreamAggregateOp {
         ctx.mark_open(self.id);
         self.child.rewind(ctx);
         self.current = None;
+        self.scratch.clear();
         self.input_done = false;
         self.emitted_scalar = false;
         self.done = false;
@@ -182,17 +259,32 @@ impl HashAggregateOp {
 
     fn build(&mut self, ctx: &ExecContext) {
         let factor = if self.batch { 0.3 } else { 1.0 };
+        let row_cpu = (ctx.cost.hash_build_row_ns
+            + self.aggs.len() as f64 * ctx.cost.compute_expr_ns)
+            * factor;
         let mut table: HashMap<Vec<Value>, Vec<AggState>> = HashMap::new();
-        while let Some(row) = self.child.next(ctx) {
-            ctx.count_input(self.id, 1);
-            ctx.charge_cpu(
-                self.id,
-                (ctx.cost.hash_build_row_ns + self.aggs.len() as f64 * ctx.cost.compute_expr_ns)
-                    * factor,
-            );
-            let key = key_of(&row, &self.group_by);
-            let states = table.entry(key).or_insert_with(|| make_states(&self.aggs));
-            fold(&self.aggs, states, &row);
+        if ctx.batch_hooks_absent() {
+            let mut scratch = RowBatch::with_capacity(CONSUME_BATCH);
+            while self.child.next_batch(ctx, &mut scratch, CONSUME_BATCH) {
+                ctx.count_input(self.id, scratch.len() as u64);
+                let mut scope = ctx.batch_charge(self.id);
+                for row in scratch.iter() {
+                    scope.cpu(row_cpu);
+                    let key = key_of(row, &self.group_by);
+                    let states = table.entry(key).or_insert_with(|| make_states(&self.aggs));
+                    fold(&self.aggs, states, row);
+                }
+                scope.finish();
+                scratch.clear();
+            }
+        } else {
+            while let Some(row) = self.child.next(ctx) {
+                ctx.count_input(self.id, 1);
+                ctx.charge_cpu(self.id, row_cpu);
+                let key = key_of(&row, &self.group_by);
+                let states = table.entry(key).or_insert_with(|| make_states(&self.aggs));
+                fold(&self.aggs, states, &row);
+            }
         }
         if self.group_by.is_empty() && table.is_empty() {
             table.insert(Vec::new(), make_states(&self.aggs));
@@ -235,6 +327,36 @@ impl Operator for HashAggregateOp {
         ctx.charge_cpu(self.id, ctx.cost.hash_output_row_ns * factor);
         ctx.count_output(self.id);
         Some(row)
+    }
+
+    fn next_batch(&mut self, ctx: &ExecContext, out: &mut RowBatch, limit: usize) -> bool {
+        if self.done {
+            return false;
+        }
+        if limit == 0 {
+            return true;
+        }
+        if self.output.is_none() {
+            self.build(ctx);
+        }
+        let rows = self.output.as_ref().expect("built above");
+        let n = (rows.len() - self.pos).min(limit);
+        if n == 0 {
+            self.done = true;
+            ctx.mark_close(self.id);
+            return false;
+        }
+        let factor = if self.batch { 0.3 } else { 1.0 };
+        let row_cpu = ctx.cost.hash_output_row_ns * factor;
+        let mut scope = ctx.batch_charge(self.id);
+        for row in &rows[self.pos..self.pos + n] {
+            scope.cpu(row_cpu);
+            out.push(row.clone());
+        }
+        scope.finish();
+        self.pos += n;
+        ctx.count_output_batch(self.id, n as u64);
+        true
     }
 
     fn close(&mut self, ctx: &ExecContext) {

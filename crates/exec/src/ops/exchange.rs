@@ -8,7 +8,8 @@
 //! prefetching a large initial block on first demand and `degree` child rows
 //! per `next()` thereafter.
 
-use super::{BoxedOperator, Operator};
+use super::sort::CONSUME_BATCH;
+use super::{BoxedOperator, Operator, RowBatch};
 use crate::context::ExecContext;
 use lqs_plan::{ExchangeKind, NodeId};
 use lqs_storage::Row;
@@ -58,16 +59,38 @@ impl ExchangeOp {
 
     fn pull(&mut self, ctx: &ExecContext, n: usize) {
         let cap = MAX_BUFFER_PER_DOP * self.degree;
-        for _ in 0..n {
-            if self.child_done || self.queue.len() >= cap {
-                break;
-            }
-            match self.child.next(ctx) {
-                Some(r) => {
-                    ctx.count_input(self.id, 1);
-                    self.queue.push_back(r);
+        if ctx.batch_hooks_absent() {
+            // Producers fill in chunks; the pull never charges CPU, so the
+            // child's counters and close time match the per-tuple loop
+            // exactly.
+            let mut remaining = n.min(cap.saturating_sub(self.queue.len()));
+            let mut scratch = RowBatch::with_capacity(remaining.min(CONSUME_BATCH));
+            while remaining > 0 && !self.child_done {
+                let want = remaining.min(CONSUME_BATCH);
+                scratch.clear();
+                if !self.child.next_batch(ctx, &mut scratch, want) {
+                    self.child_done = true;
+                    break;
                 }
-                None => self.child_done = true,
+                let got = scratch.len();
+                ctx.count_input(self.id, got as u64);
+                while let Some(row) = scratch.pop_front() {
+                    self.queue.push_back(row);
+                }
+                remaining -= got;
+            }
+        } else {
+            for _ in 0..n {
+                if self.child_done || self.queue.len() >= cap {
+                    break;
+                }
+                match self.child.next(ctx) {
+                    Some(r) => {
+                        ctx.count_input(self.id, 1);
+                        self.queue.push_back(r);
+                    }
+                    None => self.child_done = true,
+                }
             }
         }
         ctx.set_buffered(self.id, self.queue.len() as u64);
@@ -164,6 +187,37 @@ mod tests {
         assert!(ctx.counters_of(NodeId(1)).rows_buffered > 0);
         ex.rewind(&ctx);
         assert_eq!(ctx.counters_of(NodeId(1)).rows_buffered, 0);
+        ex.close(&ctx);
+    }
+
+    #[test]
+    fn rewind_mid_batch_resets_queue_and_gauge() {
+        // Batched path: the queue is filled by the vectorized pull; a rewind
+        // with rows still queued must discard them, zero the gauge, and
+        // restart the child from the top.
+        let (db, rows, degree) = make(4, 3000);
+        let ctx = ExecContext::new(&db, 2, 0, u64::MAX, CostModel::default());
+        let child = Box::new(ConstantScanOp::new(NodeId(0), rows));
+        let mut ex = ExchangeOp::new(NodeId(1), ExchangeKind::GatherStreams, degree, false, child);
+        ex.open(&ctx);
+        let mut batch = RowBatch::default();
+        assert!(ex.next_batch(&ctx, &mut batch, 16));
+        assert!(ctx.counters_of(NodeId(1)).rows_buffered > 0);
+        ex.rewind(&ctx);
+        assert_eq!(ctx.counters_of(NodeId(1)).rows_buffered, 0);
+        batch.clear();
+        let mut seen = 0i64;
+        loop {
+            batch.clear();
+            if !ex.next_batch(&ctx, &mut batch, 256) {
+                break;
+            }
+            for r in &batch {
+                assert_eq!(r[0], Value::Int(seen));
+                seen += 1;
+            }
+        }
+        assert_eq!(seen, 3000);
         ex.close(&ctx);
     }
 

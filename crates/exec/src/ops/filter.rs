@@ -1,7 +1,8 @@
 //! Row-at-a-time pipelined operators: Filter, Compute Scalar, Top, Segment.
 
-use super::{BoxedOperator, Operator};
+use super::{BoxedOperator, Operator, RowBatch};
 use crate::context::ExecContext;
+use crate::pred::CompiledPredicate;
 use lqs_plan::{Expr, NodeId};
 use lqs_storage::{Row, Value};
 
@@ -12,6 +13,8 @@ const BATCH_FACTOR: f64 = 0.2;
 pub struct FilterOp {
     id: NodeId,
     predicate: Expr,
+    /// Specialized form of `predicate` for the batch loop (same results).
+    compiled: CompiledPredicate,
     batch: bool,
     child: BoxedOperator,
     done: bool,
@@ -21,6 +24,7 @@ impl FilterOp {
     pub(crate) fn new(id: NodeId, predicate: Expr, batch: bool, child: BoxedOperator) -> Self {
         FilterOp {
             id,
+            compiled: CompiledPredicate::compile(&predicate),
             predicate,
             batch,
             child,
@@ -51,6 +55,54 @@ impl Operator for FilterOp {
             if self.predicate.matches(&row) {
                 ctx.count_output(self.id);
                 return Some(row);
+            }
+        }
+    }
+
+    fn next_batch(&mut self, ctx: &ExecContext, out: &mut RowBatch, limit: usize) -> bool {
+        if self.done {
+            return false;
+        }
+        if limit == 0 {
+            return true;
+        }
+        let factor = if self.batch { BATCH_FACTOR } else { 1.0 };
+        let row_cpu = ctx.cost.filter_row_ns * factor;
+        // In-place filtering: the child appends straight into `out` (no
+        // staging buffer, no per-row move between batches) and survivors
+        // are compacted over rejected rows with swaps. A child appends at
+        // most `limit` rows per call, so the appended range is always
+        // fully processed before the next pull — no leftover carries
+        // across calls, exactly like a staged scratch would behave.
+        let before = out.len();
+        loop {
+            if !self.child.next_batch(ctx, out, limit) {
+                self.done = true;
+                ctx.mark_close(self.id);
+                return false;
+            }
+            // Row counts go through the scope, interleaved per row, so
+            // any snapshot a flush records sees input and output in
+            // step — the filter's UB bound treats every input-counted
+            // row beyond the first in-flight one as fully emitted.
+            let mut scope = ctx.batch_charge(self.id);
+            let mut kept = before;
+            let rows = out.contiguous_mut();
+            for i in before..rows.len() {
+                scope.rows_in(1);
+                scope.cpu(row_cpu);
+                if self.compiled.matches(&rows[i]) {
+                    if kept != i {
+                        rows.swap(kept, i);
+                    }
+                    kept += 1;
+                    scope.rows_out(1);
+                }
+            }
+            out.truncate(kept);
+            scope.finish();
+            if kept > before {
+                return true;
             }
         }
     }
@@ -117,6 +169,40 @@ impl Operator for ComputeScalarOp {
         Some(out.into())
     }
 
+    fn next_batch(&mut self, ctx: &ExecContext, out: &mut RowBatch, limit: usize) -> bool {
+        if self.done {
+            return false;
+        }
+        if limit == 0 {
+            return true;
+        }
+        let factor = if self.batch { BATCH_FACTOR } else { 1.0 };
+        let row_cpu = ctx.cost.compute_expr_ns * self.exprs.len() as f64 * factor;
+        // 1:1 transform rewritten in place over the child's appended range
+        // (see FilterOp::next_batch for why no rows carry across calls).
+        let before = out.len();
+        if !self.child.next_batch(ctx, out, limit) {
+            self.done = true;
+            ctx.mark_close(self.id);
+            return false;
+        }
+        let n = out.len() - before;
+        let mut scope = ctx.batch_charge(self.id);
+        let rows = out.contiguous_mut();
+        for row in &mut rows[before..] {
+            scope.cpu(row_cpu);
+            let mut v: Vec<Value> = row.to_vec();
+            for e in &self.exprs {
+                v.push(e.eval(row));
+            }
+            *row = v.into();
+        }
+        scope.finish();
+        ctx.count_input(self.id, n as u64);
+        ctx.count_output_batch(self.id, n as u64);
+        true
+    }
+
     fn close(&mut self, ctx: &ExecContext) {
         self.child.close(ctx);
         ctx.mark_close(self.id);
@@ -174,6 +260,42 @@ impl Operator for TopOp {
         self.emitted += 1;
         ctx.count_output(self.id);
         Some(row)
+    }
+
+    fn next_batch(&mut self, ctx: &ExecContext, out: &mut RowBatch, limit: usize) -> bool {
+        if self.done {
+            return false;
+        }
+        if self.emitted >= self.n {
+            self.done = true;
+            ctx.mark_close(self.id);
+            return false;
+        }
+        if limit == 0 {
+            return true;
+        }
+        // Rows pass through unchanged, so pull the child straight into
+        // `out`, clamped to the remaining demand — the child never
+        // overproduces past the TOP bound.
+        let want = limit.min(self.n - self.emitted);
+        let before = out.len();
+        if !self.child.next_batch(ctx, out, want) {
+            self.done = true;
+            ctx.mark_close(self.id);
+            return false;
+        }
+        let got = (out.len() - before) as u64;
+        if got > 0 {
+            let mut scope = ctx.batch_charge(self.id);
+            for _ in 0..got {
+                scope.cpu(2.0);
+            }
+            scope.finish();
+            ctx.count_input(self.id, got);
+            self.emitted += got as usize;
+            ctx.count_output_batch(self.id, got);
+        }
+        true
     }
 
     fn close(&mut self, ctx: &ExecContext) {
@@ -235,6 +357,39 @@ impl Operator for SegmentOp {
         out.push(Value::Int(boundary as i64));
         ctx.count_output(self.id);
         Some(out.into())
+    }
+
+    fn next_batch(&mut self, ctx: &ExecContext, out: &mut RowBatch, limit: usize) -> bool {
+        if self.done {
+            return false;
+        }
+        if limit == 0 {
+            return true;
+        }
+        // 1:1 transform rewritten in place over the child's appended range
+        // (see FilterOp::next_batch for why no rows carry across calls).
+        let before = out.len();
+        if !self.child.next_batch(ctx, out, limit) {
+            self.done = true;
+            ctx.mark_close(self.id);
+            return false;
+        }
+        let n = out.len() - before;
+        let mut scope = ctx.batch_charge(self.id);
+        let rows = out.contiguous_mut();
+        for row in &mut rows[before..] {
+            scope.cpu(5.0);
+            let key = super::key_of(row, &self.group_by);
+            let boundary = self.prev_key.as_ref() != Some(&key);
+            self.prev_key = Some(key);
+            let mut v: Vec<Value> = row.to_vec();
+            v.push(Value::Int(boundary as i64));
+            *row = v.into();
+        }
+        scope.finish();
+        ctx.count_input(self.id, n as u64);
+        ctx.count_output_batch(self.id, n as u64);
+        true
     }
 
     fn close(&mut self, ctx: &ExecContext) {

@@ -6,7 +6,8 @@
 //! is attached, the build phase also populates a Bloom filter that
 //! probe-side scans consult (§4.3, Figure 6).
 
-use super::{concat_rows, key_has_null, key_of, BoxedOperator, Operator};
+use super::sort::CONSUME_BATCH;
+use super::{concat_rows, key_has_null, key_of, BoxedOperator, Operator, RowBatch};
 use crate::context::ExecContext;
 use lqs_plan::{BitmapId, JoinKind, NodeId};
 use lqs_storage::{Row, Value};
@@ -33,6 +34,8 @@ pub struct HashJoinOp {
     pending: Vec<usize>,
     pending_probe: Option<Row>,
     pending_pos: usize,
+    /// Probe rows pulled but not yet joined (vectorized path only).
+    scratch: RowBatch,
     probe_done: bool,
     /// For FullOuter: cursor over unmatched build rows.
     unmatched_pos: usize,
@@ -73,6 +76,7 @@ impl HashJoinOp {
             pending: Vec::new(),
             pending_probe: None,
             pending_pos: 0,
+            scratch: RowBatch::default(),
             probe_done: false,
             unmatched_pos: 0,
             done: false,
@@ -89,19 +93,45 @@ impl HashJoinOp {
 
     fn build_phase(&mut self, ctx: &ExecContext) {
         let factor = self.factor();
-        while let Some(row) = self.build.next(ctx) {
-            ctx.count_input(self.id, 1);
-            ctx.charge_cpu(self.id, ctx.cost.hash_build_row_ns * factor);
-            let key = key_of(&row, &self.build_keys);
-            let idx = self.build_rows.len();
-            self.build_rows.push(row);
-            self.matched.push(false);
-            if !key_has_null(&key) {
-                if let Some(bm) = self.bitmap {
-                    ctx.charge_cpu(self.id, ctx.cost.bitmap_row_ns * factor);
-                    ctx.bitmap_insert(bm, &key, self.build_capacity_hint);
+        if ctx.batch_hooks_absent() {
+            let mut scratch = RowBatch::with_capacity(CONSUME_BATCH);
+            while self.build.next_batch(ctx, &mut scratch, CONSUME_BATCH) {
+                // Input counted through the scope, per row: the join bound
+                // derives "probe rows processed" from rows_input, so it
+                // must never lead the rows actually folded into the table.
+                let mut scope = ctx.batch_charge(self.id);
+                while let Some(row) = scratch.pop_front() {
+                    scope.rows_in(1);
+                    scope.cpu(ctx.cost.hash_build_row_ns * factor);
+                    let key = key_of(&row, &self.build_keys);
+                    let idx = self.build_rows.len();
+                    self.build_rows.push(row);
+                    self.matched.push(false);
+                    if !key_has_null(&key) {
+                        if let Some(bm) = self.bitmap {
+                            scope.cpu(ctx.cost.bitmap_row_ns * factor);
+                            ctx.bitmap_insert(bm, &key, self.build_capacity_hint);
+                        }
+                        self.map.entry(key).or_default().push(idx);
+                    }
                 }
-                self.map.entry(key).or_default().push(idx);
+                scope.finish();
+            }
+        } else {
+            while let Some(row) = self.build.next(ctx) {
+                ctx.count_input(self.id, 1);
+                ctx.charge_cpu(self.id, ctx.cost.hash_build_row_ns * factor);
+                let key = key_of(&row, &self.build_keys);
+                let idx = self.build_rows.len();
+                self.build_rows.push(row);
+                self.matched.push(false);
+                if !key_has_null(&key) {
+                    if let Some(bm) = self.bitmap {
+                        ctx.charge_cpu(self.id, ctx.cost.bitmap_row_ns * factor);
+                        ctx.bitmap_insert(bm, &key, self.build_capacity_hint);
+                    }
+                    self.map.entry(key).or_default().push(idx);
+                }
             }
         }
         self.built = true;
@@ -210,6 +240,130 @@ impl Operator for HashJoinOp {
         }
     }
 
+    fn next_batch(&mut self, ctx: &ExecContext, out: &mut RowBatch, limit: usize) -> bool {
+        if self.done {
+            return false;
+        }
+        if limit == 0 {
+            return true;
+        }
+        let factor = self.factor();
+        let mut appended = 0usize;
+        loop {
+            // Drain matches queued for the current probe row first; a wide
+            // match set may span several calls without overshooting `limit`.
+            // No charges run inside the drain, so the clock is frozen:
+            // counting the drained rows right after the loop is atomic with
+            // respect to snapshots, keeping at most one probe row's matches
+            // uncounted at any observable instant (the +1 the join bound
+            // allows).
+            let mut drained = 0u64;
+            while self.pending_pos < self.pending.len() && appended < limit {
+                let bidx = self.pending[self.pending_pos];
+                self.pending_pos += 1;
+                self.matched[bidx] = true;
+                let probe = self.pending_probe.as_ref().expect("probe row queued");
+                out.push(concat_rows(probe, &self.build_rows[bidx]));
+                appended += 1;
+                drained += 1;
+            }
+            ctx.count_output_batch(self.id, drained);
+            if appended >= limit {
+                break;
+            }
+            if !self.scratch.is_empty() {
+                let mut scope = ctx.batch_charge(self.id);
+                while appended < limit && self.pending_pos >= self.pending.len() {
+                    let Some(probe_row) = self.scratch.pop_front() else {
+                        break;
+                    };
+                    scope.rows_in(1);
+                    scope.cpu(ctx.cost.hash_probe_row_ns * factor);
+                    let key = key_of(&probe_row, &self.probe_keys);
+                    let matches: &[usize] = if key_has_null(&key) {
+                        &[]
+                    } else {
+                        self.map.get(&key).map_or(&[][..], |v| &v[..])
+                    };
+                    match self.kind {
+                        JoinKind::Inner => {
+                            if !matches.is_empty() {
+                                self.pending = matches.to_vec();
+                                self.pending_pos = 0;
+                                self.pending_probe = Some(probe_row);
+                            }
+                        }
+                        JoinKind::LeftOuter | JoinKind::FullOuter => {
+                            if matches.is_empty() {
+                                out.push(concat_rows(
+                                    &probe_row,
+                                    &super::null_row(self.build_arity),
+                                ));
+                                scope.rows_out(1);
+                                appended += 1;
+                            } else {
+                                self.pending = matches.to_vec();
+                                self.pending_pos = 0;
+                                self.pending_probe = Some(probe_row);
+                            }
+                        }
+                        JoinKind::LeftSemi => {
+                            if !matches.is_empty() {
+                                for m in matches.iter().copied() {
+                                    self.matched[m] = true;
+                                }
+                                out.push(probe_row);
+                                scope.rows_out(1);
+                                appended += 1;
+                            }
+                        }
+                        JoinKind::LeftAnti => {
+                            if matches.is_empty() {
+                                out.push(probe_row);
+                                scope.rows_out(1);
+                                appended += 1;
+                            }
+                        }
+                    }
+                }
+                scope.finish();
+                continue;
+            }
+            if appended > 0 {
+                break;
+            }
+            if self.probe_done {
+                // FullOuter tail: unmatched build rows padded with NULLs on
+                // the probe side. The tail charges nothing, so the post-loop
+                // count is snapshot-atomic like the pending drain above.
+                if self.kind == JoinKind::FullOuter {
+                    let mut padded = 0u64;
+                    while self.unmatched_pos < self.build_rows.len() && appended < limit {
+                        let i = self.unmatched_pos;
+                        self.unmatched_pos += 1;
+                        if !self.matched[i] {
+                            let pad = super::null_row(self.probe_arity);
+                            out.push(concat_rows(&pad, &self.build_rows[i]));
+                            appended += 1;
+                            padded += 1;
+                        }
+                    }
+                    ctx.count_output_batch(self.id, padded);
+                }
+                if appended > 0 {
+                    break;
+                }
+                self.done = true;
+                ctx.mark_close(self.id);
+                return false;
+            }
+            if !self.probe.next_batch(ctx, &mut self.scratch, limit) {
+                self.probe_done = true;
+            }
+        }
+        true
+    }
+
     fn close(&mut self, ctx: &ExecContext) {
         self.build.close(ctx);
         self.probe.close(ctx);
@@ -227,6 +381,7 @@ impl Operator for HashJoinOp {
         self.pending.clear();
         self.pending_probe = None;
         self.pending_pos = 0;
+        self.scratch.clear();
         self.probe_done = false;
         self.unmatched_pos = 0;
         self.done = false;
@@ -338,6 +493,50 @@ mod tests {
         let out = run_join(JoinKind::LeftOuter, build, probe);
         assert_eq!(out.len(), 1);
         assert_eq!(out[0][2], Value::Null);
+    }
+
+    #[test]
+    fn rewind_mid_batch_discards_scratch_and_pending() {
+        // Batched path: a small limit against a multi-match build leaves
+        // probe rows staged in scratch and matches queued in pending; a
+        // rewind at that point must discard both, rebuild, and replay the
+        // complete join output.
+        let db = Database::new();
+        let ctx = ExecContext::new(&db, 3, 1, u64::MAX, CostModel::default());
+        let build: Vec<Vec<Value>> = (0..4).map(|v| vec![Value::Int(1), Value::Int(v)]).collect();
+        let probe: Vec<Vec<Value>> = (0..8).map(|v| vec![Value::Int(1), Value::Int(v)]).collect();
+        let b = Box::new(ConstantScanOp::new(NodeId(0), build));
+        let p = Box::new(ConstantScanOp::new(NodeId(1), probe));
+        let mut j = HashJoinOp::new(
+            NodeId(2),
+            JoinKind::Inner,
+            vec![0],
+            vec![0],
+            None,
+            2,
+            2,
+            16,
+            false,
+            b,
+            p,
+        );
+        j.open(&ctx);
+        let mut batch = RowBatch::default();
+        // Each probe row matches 4 build rows; limit 2 leaves pending
+        // matches queued and probe rows staged in scratch.
+        assert!(j.next_batch(&ctx, &mut batch, 2));
+        assert_eq!(batch.len(), 2);
+        j.rewind(&ctx);
+        let mut total = 0usize;
+        loop {
+            batch.clear();
+            if !j.next_batch(&ctx, &mut batch, 5) {
+                break;
+            }
+            total += batch.len();
+        }
+        assert_eq!(total, 8 * 4);
+        j.close(&ctx);
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Concatenation (UNION ALL) and Bitmap Create.
 
-use super::{key_of, BoxedOperator, Operator};
+use super::{key_of, BoxedOperator, Operator, RowBatch};
 use crate::context::ExecContext;
 use lqs_plan::{BitmapId, NodeId};
 use lqs_storage::Row;
@@ -50,6 +50,38 @@ impl Operator for ConcatOp {
         self.done = true;
         ctx.mark_close(self.id);
         None
+    }
+
+    fn next_batch(&mut self, ctx: &ExecContext, out: &mut RowBatch, limit: usize) -> bool {
+        if self.done {
+            return false;
+        }
+        if limit == 0 {
+            return true;
+        }
+        while self.current < self.children.len() {
+            // Rows pass through unchanged, so the child appends straight
+            // into `out`.
+            let before = out.len();
+            if !self.children[self.current].next_batch(ctx, out, limit) {
+                self.current += 1;
+                continue;
+            }
+            let got = (out.len() - before) as u64;
+            if got > 0 {
+                let mut scope = ctx.batch_charge(self.id);
+                for _ in 0..got {
+                    scope.cpu(2.0);
+                }
+                scope.finish();
+                ctx.count_input(self.id, got);
+                ctx.count_output_batch(self.id, got);
+            }
+            return true;
+        }
+        self.done = true;
+        ctx.mark_close(self.id);
+        false
     }
 
     fn close(&mut self, ctx: &ExecContext) {
@@ -127,6 +159,40 @@ impl Operator for BitmapCreateOp {
         }
         ctx.count_output(self.id);
         Some(row)
+    }
+
+    fn next_batch(&mut self, ctx: &ExecContext, out: &mut RowBatch, limit: usize) -> bool {
+        if self.done {
+            return false;
+        }
+        if limit == 0 {
+            return true;
+        }
+        // Rows pass through unchanged; pull straight into `out`, then fold
+        // the appended slice into the bitmap.
+        let before = out.len();
+        if !self.child.next_batch(ctx, out, limit) {
+            self.done = true;
+            ctx.emit_bitmap_built(self.id, self.keys_inserted);
+            ctx.mark_close(self.id);
+            return false;
+        }
+        let got = (out.len() - before) as u64;
+        if got > 0 {
+            let mut scope = ctx.batch_charge(self.id);
+            for i in before..out.len() {
+                scope.cpu(ctx.cost.bitmap_row_ns);
+                let key = key_of(out.get(i), &self.key_columns);
+                if !super::key_has_null(&key) {
+                    ctx.bitmap_insert(self.bitmap, &key, self.capacity_hint);
+                    self.keys_inserted += 1;
+                }
+            }
+            scope.finish();
+            ctx.count_input(self.id, got);
+            ctx.count_output_batch(self.id, got);
+        }
+        true
     }
 
     fn close(&mut self, ctx: &ExecContext) {

@@ -24,12 +24,152 @@ mod seek;
 mod sort;
 mod spool;
 
+/// A batch of rows flowing between operators on the vectorized path.
+///
+/// A thin wrapper over `VecDeque<Row>` so the batch contract is visible in
+/// signatures: producers append with [`push`](RowBatch::push), consumers
+/// take rows *by move* with [`pop_front`](RowBatch::pop_front). Moving
+/// rather than cloning matters: a `Row` is an `Arc`, and a pipeline that
+/// cloned at every staging buffer would pay two atomic refcount operations
+/// per row per operator — which is most of what the vectorized path exists
+/// to avoid.
+#[derive(Debug, Default)]
+pub struct RowBatch {
+    rows: std::collections::VecDeque<Row>,
+}
+
+impl RowBatch {
+    /// An empty batch with room for `cap` rows.
+    pub fn with_capacity(cap: usize) -> Self {
+        RowBatch {
+            rows: std::collections::VecDeque::with_capacity(cap),
+        }
+    }
+
+    /// Append a row.
+    #[inline]
+    pub fn push(&mut self, row: Row) {
+        self.rows.push_back(row);
+    }
+
+    /// Take the oldest row out of the batch, transferring ownership (no
+    /// refcount traffic).
+    #[inline]
+    pub fn pop_front(&mut self) -> Option<Row> {
+        self.rows.pop_front()
+    }
+
+    /// Rows currently in the batch.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the batch is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Drop all rows, keeping the allocation.
+    #[inline]
+    pub fn clear(&mut self) {
+        self.rows.clear();
+    }
+
+    /// The `i`-th row (front = 0).
+    #[inline]
+    pub fn get(&self, i: usize) -> &Row {
+        &self.rows[i]
+    }
+
+    /// Replace the `i`-th row, returning nothing (the old row is dropped).
+    /// Used by 1:1 transform operators rewriting a child's output in place.
+    #[inline]
+    pub fn replace(&mut self, i: usize, row: Row) {
+        self.rows[i] = row;
+    }
+
+    /// Swap two rows. Used by in-place filtering to compact survivors.
+    #[inline]
+    pub fn swap(&mut self, i: usize, j: usize) {
+        self.rows.swap(i, j);
+    }
+
+    /// Drop rows from the back until `len` remain.
+    #[inline]
+    pub fn truncate(&mut self, len: usize) {
+        self.rows.truncate(len);
+    }
+
+    /// The rows as one contiguous mutable slice (front = index 0).
+    ///
+    /// In-place operators index the appended range heavily; a slice skips
+    /// the per-access wrap-around arithmetic of deque indexing. Rearranges
+    /// the ring buffer only when it has wrapped, which a freshly filled
+    /// batch never has.
+    #[inline]
+    pub fn contiguous_mut(&mut self) -> &mut [Row] {
+        self.rows.make_contiguous()
+    }
+
+    /// Iterate over the rows, front to back.
+    pub fn iter(&self) -> std::collections::vec_deque::Iter<'_, Row> {
+        self.rows.iter()
+    }
+
+    /// Move all rows out into a `Vec`, leaving the batch empty.
+    pub fn take_rows(&mut self) -> Vec<Row> {
+        std::mem::take(&mut self.rows).into()
+    }
+}
+
+impl<'b> IntoIterator for &'b RowBatch {
+    type Item = &'b Row;
+    type IntoIter = std::collections::vec_deque::Iter<'b, Row>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.rows.iter()
+    }
+}
+
 /// The iterator interface every physical operator implements.
 pub trait Operator {
     /// Prepare for execution. Parents open children.
     fn open(&mut self, ctx: &ExecContext);
     /// Produce the next row, or `None` when exhausted.
     fn next(&mut self, ctx: &ExecContext) -> Option<Row>;
+    /// Vectorized `GetNext`: append up to `limit` rows to `out`, charging
+    /// through the batched context methods. Returns `false` exactly when
+    /// this call appended **zero** rows and the operator is exhausted (the
+    /// per-batch analogue of `next() == None`).
+    ///
+    /// Contract, relied on for close-time equivalence with the per-tuple
+    /// path:
+    /// * a call returns as soon as it has appended at least one row — it
+    ///   never pulls a child again once `out` has grown this call, so when
+    ///   an operator observes its input exhausted (and stamps its close
+    ///   time), no rows of that input are still buffered in an ancestor's
+    ///   in-progress batch;
+    /// * `false` is only returned by a call that appended nothing, and the
+    ///   operator marks itself closed on that call, exactly like `next()`
+    ///   returning `None`.
+    ///
+    /// The default implementation bridges to `next()` one row per call, so
+    /// operators gain batch support incrementally; single-row bridging (not
+    /// a fill loop) is what preserves the zero-rows-in-flight guarantee for
+    /// unconverted operators.
+    fn next_batch(&mut self, ctx: &ExecContext, out: &mut RowBatch, limit: usize) -> bool {
+        if limit == 0 {
+            return true;
+        }
+        match self.next(ctx) {
+            Some(row) => {
+                out.push(row);
+                true
+            }
+            None => false,
+        }
+    }
     /// Release resources at end of query.
     fn close(&mut self, ctx: &ExecContext);
     /// Re-execute for a new correlation binding (the inner side of a

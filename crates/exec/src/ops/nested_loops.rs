@@ -11,7 +11,8 @@
 //! buffer the outer driver node can reach 100% while the join has barely
 //! started (the failure mode the paper describes for driver-node progress).
 
-use super::{concat_rows, null_row, BoxedOperator, Operator};
+use super::sort::CONSUME_BATCH;
+use super::{concat_rows, null_row, BoxedOperator, Operator, RowBatch};
 use crate::context::ExecContext;
 use lqs_plan::{Expr, JoinKind, NodeId};
 use lqs_storage::Row;
@@ -69,14 +70,33 @@ impl NestedLoopsOp {
 
     /// Prefetch up to `outer_buffer` outer rows (semi-blocking behaviour).
     fn refill(&mut self, ctx: &ExecContext) {
-        while self.buffer.len() < self.outer_buffer && !self.outer_done {
-            match self.outer.next(ctx) {
-                Some(r) => {
-                    ctx.count_input(self.id, 1);
-                    ctx.charge_cpu(self.id, ctx.cost.nl_outer_row_ns);
-                    self.buffer.push_back(r);
+        if ctx.batch_hooks_absent() {
+            let mut scratch = RowBatch::with_capacity(CONSUME_BATCH.min(self.outer_buffer));
+            while self.buffer.len() < self.outer_buffer && !self.outer_done {
+                let want = (self.outer_buffer - self.buffer.len()).min(CONSUME_BATCH);
+                scratch.clear();
+                if !self.outer.next_batch(ctx, &mut scratch, want) {
+                    self.outer_done = true;
+                    break;
                 }
-                None => self.outer_done = true,
+                ctx.count_input(self.id, scratch.len() as u64);
+                let mut scope = ctx.batch_charge(self.id);
+                while let Some(row) = scratch.pop_front() {
+                    scope.cpu(ctx.cost.nl_outer_row_ns);
+                    self.buffer.push_back(row);
+                }
+                scope.finish();
+            }
+        } else {
+            while self.buffer.len() < self.outer_buffer && !self.outer_done {
+                match self.outer.next(ctx) {
+                    Some(r) => {
+                        ctx.count_input(self.id, 1);
+                        ctx.charge_cpu(self.id, ctx.cost.nl_outer_row_ns);
+                        self.buffer.push_back(r);
+                    }
+                    None => self.outer_done = true,
+                }
             }
         }
         ctx.set_buffered(self.id, self.buffer.len() as u64);
@@ -318,6 +338,36 @@ mod tests {
         assert!(ctx.counters_of(NodeId(2)).rows_buffered > 0);
         j.rewind(&ctx);
         assert_eq!(ctx.counters_of(NodeId(2)).rows_buffered, 0);
+        j.close(&ctx);
+    }
+
+    #[test]
+    fn rewind_mid_batch_restarts_outer() {
+        // Batched path: the outer prefetch buffer is filled by the
+        // vectorized refill; a rewind with rows still buffered must discard
+        // them, zero the gauge, and replay the full cross product.
+        let db = Database::new();
+        let ctx = ExecContext::new(&db, 3, 0, u64::MAX, CostModel::default());
+        let o = Box::new(ConstantScanOp::new(NodeId(0), rows(&[1, 2, 3, 4, 5])));
+        let i = Box::new(ConstantScanOp::new(NodeId(1), rows(&[7])));
+        let mut j = NestedLoopsOp::new(NodeId(2), JoinKind::Inner, None, 64, 1, o, i);
+        j.open(&ctx);
+        let mut batch = RowBatch::default();
+        assert!(j.next_batch(&ctx, &mut batch, 2));
+        assert!(ctx.counters_of(NodeId(2)).rows_buffered > 0);
+        j.rewind(&ctx);
+        assert_eq!(ctx.counters_of(NodeId(2)).rows_buffered, 0);
+        let mut seen = Vec::new();
+        loop {
+            batch.clear();
+            if !j.next_batch(&ctx, &mut batch, 16) {
+                break;
+            }
+            for r in &batch {
+                seen.push(r[0].as_int().unwrap());
+            }
+        }
+        assert_eq!(seen, vec![1, 2, 3, 4, 5]);
         j.close(&ctx);
     }
 

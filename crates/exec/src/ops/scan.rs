@@ -1,8 +1,9 @@
 //! Scan operators: heap table scan, ordered index scan, batch-mode
 //! columnstore scan, and constant scan.
 
-use super::{key_of, Operator};
+use super::{key_of, Operator, RowBatch};
 use crate::context::ExecContext;
+use crate::pred::CompiledPredicate;
 use lqs_plan::{BitmapProbe, CmpOp, Expr, IndexOutput, NodeId};
 use lqs_storage::{ColumnstoreId, IndexId, Row, RowId, TableId, Value};
 
@@ -14,6 +15,8 @@ pub struct TableScanOp {
     id: NodeId,
     table: TableId,
     predicate: Option<Expr>,
+    /// Specialized form of `predicate` for the batch loop (same results).
+    compiled: Option<CompiledPredicate>,
     bitmap: Option<BitmapProbe>,
     pos: RowId,
     last_page: Option<usize>,
@@ -30,6 +33,7 @@ impl TableScanOp {
         TableScanOp {
             id,
             table,
+            compiled: predicate.as_ref().map(CompiledPredicate::compile),
             predicate,
             bitmap,
             pos: 0,
@@ -81,6 +85,56 @@ impl Operator for TableScanOp {
         }
     }
 
+    fn next_batch(&mut self, ctx: &ExecContext, out: &mut RowBatch, limit: usize) -> bool {
+        if self.done {
+            return false;
+        }
+        if limit == 0 {
+            return true;
+        }
+        let table = ctx.db.table(self.table);
+        let preds = self.predicate.is_some() as u8 as f64;
+        let row_cpu = ctx.cost.scan_row_ns + preds * ctx.cost.pred_row_ns;
+        let mut appended = 0usize;
+        let mut scope = ctx.batch_charge(self.id);
+        while appended < limit {
+            if self.pos >= table.row_count() {
+                if appended == 0 {
+                    scope.finish();
+                    self.done = true;
+                    ctx.mark_close(self.id);
+                    return false;
+                }
+                break;
+            }
+            let rid = self.pos;
+            self.pos += 1;
+            let page = table.page_of(rid);
+            if self.last_page != Some(page) {
+                self.last_page = Some(page);
+                scope.io(1);
+            }
+            scope.cpu(row_cpu);
+            let row = table.row(rid);
+            if let Some(p) = &self.compiled {
+                if !p.matches(row) {
+                    continue;
+                }
+            }
+            if let Some(bp) = &self.bitmap {
+                let key = key_of(row, &bp.key_columns);
+                if !ctx.bitmap_may_contain(bp.bitmap, &key) {
+                    continue;
+                }
+            }
+            out.push(row.clone());
+            appended += 1;
+        }
+        scope.finish();
+        ctx.count_output_batch(self.id, appended as u64);
+        true
+    }
+
     fn close(&mut self, ctx: &ExecContext) {
         ctx.mark_close(self.id);
     }
@@ -99,6 +153,8 @@ pub struct IndexScanOp {
     id: NodeId,
     index: IndexId,
     predicate: Option<Expr>,
+    /// Specialized form of `predicate` for the batch loop (same results).
+    compiled: Option<CompiledPredicate>,
     bitmap: Option<BitmapProbe>,
     output: IndexOutput,
     /// Materialized `(leaf_ordinal, rid)` in key order (lazily filled).
@@ -119,6 +175,7 @@ impl IndexScanOp {
         IndexScanOp {
             id,
             index,
+            compiled: predicate.as_ref().map(CompiledPredicate::compile),
             predicate,
             bitmap,
             output,
@@ -199,6 +256,66 @@ impl Operator for IndexScanOp {
             ctx.count_output(self.id);
             return Some(self.emit_row(ctx, rid));
         }
+    }
+
+    fn next_batch(&mut self, ctx: &ExecContext, out: &mut RowBatch, limit: usize) -> bool {
+        if self.done {
+            return false;
+        }
+        if limit == 0 {
+            return true;
+        }
+        if self.entries.is_none() {
+            self.entries = Some(
+                ctx.db
+                    .btree(self.index)
+                    .scan()
+                    .map(|(leaf, _, rid)| (leaf, rid))
+                    .collect(),
+            );
+        }
+        let table_id = ctx.db.btree_table(self.index);
+        let preds = self.predicate.is_some() as u8 as f64;
+        let row_cpu = ctx.cost.scan_row_ns + preds * ctx.cost.pred_row_ns;
+        let mut appended = 0usize;
+        let mut scope = ctx.batch_charge(self.id);
+        while appended < limit {
+            let entries = self.entries.as_ref().expect("filled above");
+            if self.pos >= entries.len() {
+                if appended == 0 {
+                    scope.finish();
+                    self.done = true;
+                    ctx.mark_close(self.id);
+                    return false;
+                }
+                break;
+            }
+            let (leaf, rid) = entries[self.pos];
+            self.pos += 1;
+            if self.last_leaf != Some(leaf) {
+                self.last_leaf = Some(leaf);
+                scope.io(1);
+            }
+            scope.cpu(row_cpu);
+            let base = ctx.db.table(table_id).row(rid);
+            if let Some(p) = &self.compiled {
+                if !p.matches(base) {
+                    continue;
+                }
+            }
+            let out_row = self.emit_row(ctx, rid);
+            if let Some(bp) = &self.bitmap {
+                let key = key_of(&out_row, &bp.key_columns);
+                if !ctx.bitmap_may_contain(bp.bitmap, &key) {
+                    continue;
+                }
+            }
+            out.push(out_row);
+            appended += 1;
+        }
+        scope.finish();
+        ctx.count_output_batch(self.id, appended as u64);
+        true
     }
 
     fn close(&mut self, ctx: &ExecContext) {
@@ -345,6 +462,32 @@ impl Operator for ColumnstoreScanOp {
         }
     }
 
+    fn next_batch(&mut self, ctx: &ExecContext, out: &mut RowBatch, limit: usize) -> bool {
+        if self.done {
+            return false;
+        }
+        if limit == 0 {
+            return true;
+        }
+        loop {
+            let avail = self.pending.len() - self.pending_pos;
+            if avail > 0 {
+                let n = avail.min(limit);
+                for _ in 0..n {
+                    out.push(self.pending[self.pending_pos].clone());
+                    self.pending_pos += 1;
+                }
+                ctx.count_output_batch(self.id, n as u64);
+                return true;
+            }
+            if !self.load_segment(ctx) {
+                self.done = true;
+                ctx.mark_close(self.id);
+                return false;
+            }
+        }
+    }
+
     fn close(&mut self, ctx: &ExecContext) {
         ctx.mark_close(self.id);
     }
@@ -395,6 +538,30 @@ impl Operator for ConstantScanOp {
         ctx.charge_cpu(self.id, 2.0);
         ctx.count_output(self.id);
         Some(row)
+    }
+
+    fn next_batch(&mut self, ctx: &ExecContext, out: &mut RowBatch, limit: usize) -> bool {
+        if self.done {
+            return false;
+        }
+        if limit == 0 {
+            return true;
+        }
+        let n = (self.rows.len() - self.pos).min(limit);
+        if n == 0 {
+            self.done = true;
+            ctx.mark_close(self.id);
+            return false;
+        }
+        let mut scope = ctx.batch_charge(self.id);
+        for _ in 0..n {
+            scope.cpu(2.0);
+            out.push(self.rows[self.pos].clone().into());
+            self.pos += 1;
+        }
+        scope.finish();
+        ctx.count_output_batch(self.id, n as u64);
+        true
     }
 
     fn close(&mut self, ctx: &ExecContext) {

@@ -1,6 +1,6 @@
 //! Index seeks (point, range, and correlated) and RID lookups.
 
-use super::Operator;
+use super::{Operator, RowBatch};
 use crate::context::ExecContext;
 use lqs_plan::{Expr, IndexOutput, NodeId, SeekKey, SeekRange};
 use lqs_storage::{IndexId, Row, RowId, TableId, Value};
@@ -132,6 +132,43 @@ impl Operator for IndexSeekOp {
         None
     }
 
+    fn next_batch(&mut self, ctx: &ExecContext, out: &mut RowBatch, limit: usize) -> bool {
+        if self.done {
+            return false;
+        }
+        if limit == 0 {
+            return true;
+        }
+        if !self.executed {
+            self.executed = true;
+            self.run_seek(ctx);
+        }
+        let table_id = ctx.db.btree_table(self.index);
+        let mut appended = 0u64;
+        let mut scope = ctx.batch_charge(self.id);
+        while self.pos < self.rids.len() && (appended as usize) < limit {
+            let rid = self.rids[self.pos];
+            self.pos += 1;
+            scope.cpu(ctx.cost.seek_row_ns);
+            if let Some(r) = &self.residual {
+                let base = ctx.db.table(table_id).row(rid);
+                if !r.matches(base) {
+                    continue;
+                }
+            }
+            out.push(self.emit_row(ctx, rid));
+            appended += 1;
+        }
+        scope.finish();
+        if appended == 0 {
+            self.done = true;
+            ctx.mark_close(self.id);
+            return false;
+        }
+        ctx.count_output_batch(self.id, appended);
+        true
+    }
+
     fn close(&mut self, ctx: &ExecContext) {
         ctx.mark_close(self.id);
     }
@@ -152,6 +189,7 @@ pub struct RidLookupOp {
     id: NodeId,
     table: TableId,
     child: super::BoxedOperator,
+    scratch: RowBatch,
     done: bool,
 }
 
@@ -161,6 +199,7 @@ impl RidLookupOp {
             id,
             table,
             child,
+            scratch: RowBatch::default(),
             done: false,
         }
     }
@@ -193,6 +232,40 @@ impl Operator for RidLookupOp {
         Some(base)
     }
 
+    fn next_batch(&mut self, ctx: &ExecContext, out: &mut RowBatch, limit: usize) -> bool {
+        if self.done {
+            return false;
+        }
+        if limit == 0 {
+            return true;
+        }
+        // 1:1 transform rewritten in place over the child's appended range
+        // (see FilterOp::next_batch for why no rows carry across calls).
+        let before = out.len();
+        if !self.child.next_batch(ctx, out, limit) {
+            self.done = true;
+            ctx.mark_close(self.id);
+            return false;
+        }
+        let n = out.len() - before;
+        let mut scope = ctx.batch_charge(self.id);
+        let rows = out.contiguous_mut();
+        for row in &mut rows[before..] {
+            let rid = row
+                .last()
+                .and_then(Value::as_int)
+                .expect("RID Lookup child must emit a trailing integer RID")
+                as RowId;
+            scope.io(ctx.cost.rid_lookup_pages as u64);
+            scope.cpu(ctx.cost.seek_row_ns);
+            *row = ctx.db.table(self.table).row(rid).clone();
+        }
+        scope.finish();
+        ctx.count_input(self.id, n as u64);
+        ctx.count_output_batch(self.id, n as u64);
+        true
+    }
+
     fn close(&mut self, ctx: &ExecContext) {
         self.child.close(ctx);
         ctx.mark_close(self.id);
@@ -201,6 +274,7 @@ impl Operator for RidLookupOp {
     fn rewind(&mut self, ctx: &ExecContext) {
         ctx.mark_open(self.id);
         self.child.rewind(ctx);
+        self.scratch.clear();
         self.done = false;
     }
 }

@@ -7,11 +7,14 @@
 //! output phase, so DMV snapshots observe the same two-phase counter shape
 //! as the real engine (input rows climbing while `k = 0`, then `k` climbing).
 
-use super::{key_of, BoxedOperator, Operator};
+use super::{key_of, BoxedOperator, Operator, RowBatch};
 use crate::context::ExecContext;
 use lqs_plan::{CostModel, NodeId, SortKey};
 use lqs_storage::Row;
 use std::cmp::Ordering;
+
+/// Chunk size for internally batched blocking phases.
+pub(crate) const CONSUME_BATCH: usize = 1024;
 
 enum Phase {
     Input,
@@ -58,19 +61,35 @@ impl SortOp {
         // Per-row input cost: comparisons against the run being built. The
         // log factor uses the limit for Top N sorts (bounded heap).
         let top_n_depth = self.top_n.map(|n| CostModel::log2_rows(n as f64));
-        let mut consumed = 0u64;
-        while let Some(row) = self.child.next(ctx) {
-            consumed += 1;
-            ctx.count_input(self.id, 1);
-            let depth =
-                top_n_depth.unwrap_or_else(|| CostModel::log2_rows((self.buffer.len() + 1) as f64));
-            ctx.charge_cpu(
-                self.id,
-                ctx.cost.sort_cmp_ns * depth * ctx.cost.sort_input_fraction,
-            );
-            self.buffer.push(row);
+        if ctx.batch_hooks_absent() {
+            // Blocking consume already multi-pulls within one `next()`, so
+            // batching it changes no close event; charge totals are
+            // order-independent, keeping the clock and final counters
+            // bit-identical to the per-tuple loop.
+            let mut scratch = super::RowBatch::with_capacity(CONSUME_BATCH);
+            while self.child.next_batch(ctx, &mut scratch, CONSUME_BATCH) {
+                ctx.count_input(self.id, scratch.len() as u64);
+                let mut scope = ctx.batch_charge(self.id);
+                while let Some(row) = scratch.pop_front() {
+                    let depth = top_n_depth
+                        .unwrap_or_else(|| CostModel::log2_rows((self.buffer.len() + 1) as f64));
+                    scope.cpu(ctx.cost.sort_cmp_ns * depth * ctx.cost.sort_input_fraction);
+                    self.buffer.push(row);
+                }
+                scope.finish();
+            }
+        } else {
+            while let Some(row) = self.child.next(ctx) {
+                ctx.count_input(self.id, 1);
+                let depth = top_n_depth
+                    .unwrap_or_else(|| CostModel::log2_rows((self.buffer.len() + 1) as f64));
+                ctx.charge_cpu(
+                    self.id,
+                    ctx.cost.sort_cmp_ns * depth * ctx.cost.sort_input_fraction,
+                );
+                self.buffer.push(row);
+            }
         }
-        let _ = consumed;
         let keys = self.keys.clone();
         self.buffer.sort_by(|a, b| compare_rows(&keys, a, b));
         if self.distinct {
@@ -126,6 +145,35 @@ impl Operator for SortOp {
         );
         ctx.count_output(self.id);
         Some(row)
+    }
+
+    fn next_batch(&mut self, ctx: &ExecContext, out: &mut RowBatch, limit: usize) -> bool {
+        if self.done {
+            return false;
+        }
+        if limit == 0 {
+            return true;
+        }
+        if matches!(self.phase, Phase::Input) {
+            self.consume_input(ctx);
+        }
+        let n = (self.buffer.len() - self.pos).min(limit);
+        if n == 0 {
+            self.done = true;
+            ctx.mark_close(self.id);
+            return false;
+        }
+        let log_n = CostModel::log2_rows(self.buffer.len() as f64);
+        let row_cpu = ctx.cost.sort_cmp_ns * log_n * (1.0 - ctx.cost.sort_input_fraction);
+        let mut scope = ctx.batch_charge(self.id);
+        for row in &self.buffer[self.pos..self.pos + n] {
+            scope.cpu(row_cpu);
+            out.push(row.clone());
+        }
+        scope.finish();
+        self.pos += n;
+        ctx.count_output_batch(self.id, n as u64);
+        true
     }
 
     fn close(&mut self, ctx: &ExecContext) {

@@ -6,7 +6,8 @@
 //! through incrementally. Both charge spill I/O at a configurable
 //! rows-per-page rate.
 
-use super::{BoxedOperator, Operator};
+use super::sort::CONSUME_BATCH;
+use super::{BoxedOperator, Operator, RowBatch};
 use crate::context::ExecContext;
 use lqs_plan::NodeId;
 use lqs_storage::Row;
@@ -20,6 +21,8 @@ pub struct SpoolOp {
     write_pending: f64,
     read_pending: f64,
     pos: usize,
+    /// Child rows staged during the lazy first pass (vectorized path only).
+    scratch: RowBatch,
     /// True once the child is exhausted and `buffer` is complete.
     populated: bool,
     /// True when a rewind switched us to replay mode.
@@ -37,6 +40,7 @@ impl SpoolOp {
             write_pending: 0.0,
             read_pending: 0.0,
             pos: 0,
+            scratch: RowBatch::default(),
             populated: false,
             replaying: false,
             done: false,
@@ -62,10 +66,28 @@ impl SpoolOp {
     }
 
     fn populate_all(&mut self, ctx: &ExecContext) {
-        while let Some(row) = self.child.next(ctx) {
-            ctx.count_input(self.id, 1);
-            self.charge_write(ctx);
-            self.buffer.push(row);
+        if ctx.batch_hooks_absent() {
+            let mut scratch = RowBatch::with_capacity(CONSUME_BATCH);
+            while self.child.next_batch(ctx, &mut scratch, CONSUME_BATCH) {
+                ctx.count_input(self.id, scratch.len() as u64);
+                let mut scope = ctx.batch_charge(self.id);
+                while let Some(row) = scratch.pop_front() {
+                    scope.cpu(ctx.cost.spool_write_row_ns);
+                    self.write_pending += 1.0;
+                    if self.write_pending >= ctx.cost.spool_rows_per_page {
+                        self.write_pending -= ctx.cost.spool_rows_per_page;
+                        scope.io(1);
+                    }
+                    self.buffer.push(row);
+                }
+                scope.finish();
+            }
+        } else {
+            while let Some(row) = self.child.next(ctx) {
+                ctx.count_input(self.id, 1);
+                self.charge_write(ctx);
+                self.buffer.push(row);
+            }
         }
         if !self.populated {
             self.populated = true;
@@ -123,6 +145,71 @@ impl Operator for SpoolOp {
         }
     }
 
+    fn next_batch(&mut self, ctx: &ExecContext, out: &mut RowBatch, limit: usize) -> bool {
+        if self.done {
+            return false;
+        }
+        if limit == 0 {
+            return true;
+        }
+        if !self.lazy && !self.populated {
+            self.populate_all(ctx);
+            self.pos = 0;
+        }
+        if self.replaying || !self.lazy || self.populated {
+            // Serving from the buffer.
+            let n = (self.buffer.len() - self.pos).min(limit);
+            if n > 0 {
+                let mut scope = ctx.batch_charge(self.id);
+                for i in self.pos..self.pos + n {
+                    scope.cpu(ctx.cost.spool_read_row_ns);
+                    self.read_pending += 1.0;
+                    if self.read_pending >= ctx.cost.spool_rows_per_page {
+                        self.read_pending -= ctx.cost.spool_rows_per_page;
+                        scope.io(1);
+                    }
+                    out.push(self.buffer[i].clone());
+                }
+                scope.finish();
+                self.pos += n;
+                ctx.count_output_batch(self.id, n as u64);
+                return true;
+            }
+            if !self.lazy || self.populated || self.replaying {
+                self.done = true;
+                ctx.mark_close(self.id);
+                return false;
+            }
+        }
+        // Lazy first pass: copy a chunk through.
+        self.scratch.clear();
+        if !self.child.next_batch(ctx, &mut self.scratch, limit) {
+            self.populated = true;
+            ctx.emit_phase(self.id, "write", "replay");
+            self.done = true;
+            ctx.mark_close(self.id);
+            return false;
+        }
+        let n = self.scratch.len() as u64;
+        ctx.count_input(self.id, n);
+        let mut scope = ctx.batch_charge(self.id);
+        while let Some(row) = self.scratch.pop_front() {
+            scope.cpu(ctx.cost.spool_write_row_ns);
+            self.write_pending += 1.0;
+            if self.write_pending >= ctx.cost.spool_rows_per_page {
+                self.write_pending -= ctx.cost.spool_rows_per_page;
+                scope.io(1);
+            }
+            // One clone is inherent: the spool keeps a replayable copy.
+            self.buffer.push(row.clone());
+            out.push(row);
+        }
+        scope.finish();
+        self.pos = self.buffer.len();
+        ctx.count_output_batch(self.id, n);
+        true
+    }
+
     fn close(&mut self, ctx: &ExecContext) {
         self.child.close(ctx);
         ctx.mark_close(self.id);
@@ -140,6 +227,7 @@ impl Operator for SpoolOp {
             self.populate_all(ctx);
         }
         self.replaying = true;
+        self.scratch.clear();
         self.pos = 0;
         self.done = false;
     }

@@ -8,8 +8,15 @@
 //! The table below follows the paper's Appendix A, tightened where the
 //! printed table is loose or ambiguous and made *sound* for mid-flight
 //! evaluation (e.g. joins add one in-flight outer row whose matches may not
-//! all have been emitted yet). The invariant — `LB ≤ N_true ≤ UB` at every
-//! snapshot — is enforced by property tests in `tests/bounds_invariant.rs`.
+//! all have been emitted yet). Where a bound needs "rows this operator has
+//! processed", it reads the operator's *own* counters (`rows_input`,
+//! `rows_processed`) rather than the child's `rows_output`: consumption and
+//! production coincide per-tuple, but any buffering — exchange queues,
+//! nested-loops outer buffers, batched execution's scratch staging — lets
+//! the child's counter race ahead of what the consumer has actually looked
+//! at, which would shrink the "remaining input" term unsoundly. The
+//! invariant — `LB ≤ N_true ≤ UB` at every snapshot — is enforced by
+//! property tests in `tests/bounds_invariant.rs`.
 
 use crate::statics::{BoundKind, PlanStatics};
 use lqs_exec::DmvSnapshot;
@@ -109,10 +116,24 @@ fn node_bounds(statics: &PlanStatics, s: &DmvSnapshot, i: usize, computed: &[Bou
             }
         }
         BoundKind::Stream => {
-            // Filter-like: each remaining child row yields at most one row;
-            // +1 covers the row consumed but not yet emitted mid-GetNext.
             let cb = child(0);
-            (k, remaining(cb.ub, child_k(0)) + k + 1.0)
+            if st.blocking {
+                // Distinct Sort: like a grouped aggregate, distinct rows
+                // already materialized in the sort buffer but not yet
+                // emitted are invisible to k, so a "remaining input + k"
+                // bound is unsound mid-flight. Total distinct rows never
+                // exceed total input (per buffer replay).
+                (k, (cb.ub * execs_ub).max(1.0))
+            } else {
+                // Filter-like: each remaining input row yields at most one
+                // row; +1 covers the row consumed but not yet emitted
+                // mid-GetNext. Consumption is measured by the node's *own*
+                // rows_input counter, not the child's rows_output: batched
+                // execution stages child rows in a scratch buffer, letting
+                // the child's counter run a whole batch ahead of the rows
+                // this node has actually filtered.
+                (k, remaining(cb.ub, c.rows_input as f64) + k + 1.0)
+            }
         }
         BoundKind::SortLike => {
             // Output = input, eventually: at least the rows already consumed
@@ -164,11 +185,15 @@ fn node_bounds(statics: &PlanStatics, s: &DmvSnapshot, i: usize, computed: &[Bou
             let ob = child(outer);
             // Outer rows the join has *finished*: buffering nested loops can
             // consume far ahead of processing, so they report via the
-            // rows_processed counter; other joins process as they consume.
+            // rows_processed counter. Other joins derive it from their own
+            // input counter minus the rows consumed from the inner side —
+            // the outer child's rows_output is not usable, since batched
+            // execution stages outer rows in a scratch buffer the child has
+            // already counted but the join has not yet probed.
             let ok = if buffers_outer {
                 c.rows_processed as f64
             } else {
-                child_k(outer)
+                (c.rows_input as f64 - child_k(inner)).max(0.0)
             };
             // Remaining outer rows, plus one in-flight row whose matches may
             // be partially emitted.
@@ -188,12 +213,17 @@ fn node_bounds(statics: &PlanStatics, s: &DmvSnapshot, i: usize, computed: &[Bou
         }
         BoundKind::Spool => {
             // Table 1 lists ∞ for spools; we tighten: stored rows (≤ child
-            // UB) replayed at most once per enclosing-NL outer row.
+            // UB) replayed at most once per enclosing-NL outer row. Outside
+            // a nested loop, a spool emits its input exactly once, so the
+            // child's UB bounds it directly — tighter than a "remaining
+            // input + k" form and, unlike it, sound for eager spools (which
+            // consume everything before emitting anything) and under
+            // batched consumption.
             let cb = child(0);
             if st.enclosing_nl.is_some() {
                 (k, cb.ub * execs_ub)
             } else {
-                (k, remaining(cb.ub, child_k(0)) + k + 1.0)
+                (k, cb.ub)
             }
         }
         BoundKind::Concat => {

@@ -424,7 +424,9 @@ fn sessions_json(sessions: &SessionRegistry) -> String {
         .sessions()
         .iter()
         .map(|h| {
-            let snapshot = h.latest_snapshot();
+            // Only the position is listed, so read just the slot header —
+            // no counter copy.
+            let snapshot_ts = h.latest_snapshot_ts();
             Value::Object(vec![
                 ("id".into(), Value::Int(h.id().0 as i64)),
                 ("name".into(), Value::String(h.name().into())),
@@ -434,7 +436,7 @@ fn sessions_json(sessions: &SessionRegistry) -> String {
                 ("published_seq".into(), Value::Int(h.published_seq() as i64)),
                 (
                     "snapshot_ts_ns".into(),
-                    snapshot.map_or(Value::Null, |s| Value::Int(s.ts_ns as i64)),
+                    snapshot_ts.map_or(Value::Null, |ts| Value::Int(ts as i64)),
                 ),
             ])
         })

@@ -8,11 +8,13 @@
 //! * [`QueryService`] — a bounded worker pool executing many queries in
 //!   parallel. Each query stays single-threaded and deterministic on its
 //!   own virtual clock; concurrency never perturbs a session's trace.
-//! * [`SessionRegistry`] + [`SessionHandle`] — the shared, lock-cheap
+//! * [`SessionRegistry`] + [`SessionHandle`] — the shared, lock-free
 //!   counter surface. The executing worker publishes every
-//!   [`lqs_exec::DmvSnapshot`] into its session's latest-snapshot slot at
-//!   snapshot boundaries (the [`lqs_exec::SnapshotPublisher`] hook);
-//!   pollers clone it out without touching execution.
+//!   [`lqs_exec::DmvSnapshot`] into its session's latest-snapshot slot
+//!   (a [`SnapshotSlot`] seqlock — wait-free, allocation-free) at snapshot
+//!   boundaries (the [`lqs_exec::SnapshotPublisher`] hook); pollers copy
+//!   it out into reusable buffers, retrying on torn reads, without ever
+//!   blocking execution.
 //! * [`RegistryPoller`] — the SSMS-client analog: turns each session's
 //!   latest snapshot into a [`lqs_progress::ProgressReport`], reusing one
 //!   [`lqs_progress::ProgressEstimator`] per session across polls.
@@ -77,6 +79,7 @@ pub mod http;
 pub mod metrics;
 pub mod recovery;
 pub mod registry;
+pub mod seqslot;
 pub mod service;
 pub mod session;
 
@@ -86,5 +89,6 @@ pub use recovery::{
     PlanResolver, RecoveredOutcome, RecoveredSessionSummary, RecoveryManager, RecoveryReport,
 };
 pub use registry::{PollFaultInjector, RegistryPoller, SessionProgress, SessionRegistry};
+pub use seqslot::SnapshotSlot;
 pub use service::QueryService;
 pub use session::{QuerySpec, SessionHandle, SessionId, SessionResult, SessionState};

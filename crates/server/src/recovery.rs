@@ -234,6 +234,7 @@ impl RecoveryManager {
                 snapshot_target: meta.snapshot_target as usize,
                 snapshot_interval_ns: meta.snapshot_interval_ns,
                 cost_model: meta.cost_model.clone(),
+                ..ExecOptions::default()
             });
         let handle = registry.register(spec);
         summary.id = Some(handle.id());

@@ -165,6 +165,10 @@ pub struct RegistryPoller {
     round: u64,
     /// Snapshot age beyond which a served report is downgraded to `Stale`.
     stale_after: Duration,
+    /// Reusable snapshot buffer: every poll copies the session's seqlock
+    /// slot into this instead of allocating a fresh snapshot per session
+    /// per round.
+    scratch: lqs_exec::DmvSnapshot,
 }
 
 impl RegistryPoller {
@@ -182,6 +186,10 @@ impl RegistryPoller {
             backoff: HashMap::new(),
             round: 0,
             stale_after: Duration::from_secs(1),
+            scratch: lqs_exec::DmvSnapshot {
+                ts_ns: 0,
+                nodes: Vec::new(),
+            },
         }
     }
 
@@ -277,43 +285,56 @@ impl RegistryPoller {
                 return self.cached_progress(handle, EstimateQuality::Fresh);
             }
         }
+        // Pooled read: the seqlock slot is copied into the poller's scratch
+        // buffer (taken out of `self` for the duration to keep the borrow
+        // checker happy alongside the estimator map), so steady-state polls
+        // allocate nothing.
+        let mut scratch = std::mem::replace(
+            &mut self.scratch,
+            lqs_exec::DmvSnapshot {
+                ts_ns: 0,
+                nodes: Vec::new(),
+            },
+        );
+        let have_snapshot = handle.read_snapshot_into(&mut scratch);
         // A snapshot whose node count does not match the plan (possible only
-        // from a buggy publisher) would make the estimator index out of
-        // bounds; the guard counts it as malformed and the poller keeps its
-        // previous view rather than panicking.
-        let snapshot = handle.latest_snapshot();
-        let (report, ts_ns) = match snapshot {
-            Some(snap) => {
-                let n_nodes = handle.plan().len();
-                let db = &self.db;
-                let config = &self.config;
-                let guarded = self.estimators.entry(id).or_insert_with(|| {
-                    // Matching weights require the session's cost model
-                    // (the same parity rule as the harness's
-                    // `estimator_for_run`).
-                    GuardedEstimator::new(
-                        ProgressEstimator::with_cost_model(
-                            handle.plan(),
-                            db,
-                            config.clone(),
-                            &handle.opts().cost_model,
-                        ),
-                        n_nodes,
-                    )
-                });
-                if snap.nodes.len() == n_nodes {
-                    (Some(guarded.observe(&snap)), Some(snap.ts_ns))
-                } else {
-                    let _ = guarded; // keep the estimator; drop the snapshot
-                    let prev = self.last_seen.get(&id);
-                    (
-                        prev.and_then(|(_, r, _)| r.clone()),
-                        prev.and_then(|(_, _, t)| *t),
-                    )
-                }
+        // from a reshaping snapshot filter or a buggy publisher) would make
+        // the estimator index out of bounds; the guard counts it as
+        // malformed and the poller keeps its previous view rather than
+        // panicking.
+        let (report, ts_ns) = if have_snapshot {
+            let snap = &scratch;
+            let n_nodes = handle.plan().len();
+            let db = &self.db;
+            let config = &self.config;
+            let guarded = self.estimators.entry(id).or_insert_with(|| {
+                // Matching weights require the session's cost model
+                // (the same parity rule as the harness's
+                // `estimator_for_run`).
+                GuardedEstimator::new(
+                    ProgressEstimator::with_cost_model(
+                        handle.plan(),
+                        db,
+                        config.clone(),
+                        &handle.opts().cost_model,
+                    ),
+                    n_nodes,
+                )
+            });
+            if snap.nodes.len() == n_nodes {
+                (Some(guarded.observe(snap)), Some(snap.ts_ns))
+            } else {
+                let _ = guarded; // keep the estimator; drop the snapshot
+                let prev = self.last_seen.get(&id);
+                (
+                    prev.and_then(|(_, r, _)| r.clone()),
+                    prev.and_then(|(_, _, t)| *t),
+                )
             }
-            None => (None, None),
+        } else {
+            (None, None)
         };
+        self.scratch = scratch;
         let state = handle.state();
         // An orphaned session's snapshot is the last thing a dead process
         // managed to journal: serve it, but never as anything better than

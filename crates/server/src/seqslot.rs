@@ -1,0 +1,368 @@
+//! Wait-free latest-snapshot slot: a seqlock over plain atomic words.
+//!
+//! The DMV slot is written by exactly one executing worker at snapshot
+//! cadence and read by any number of pollers. The previous implementation
+//! kept an `Arc<DmvSnapshot>` behind a mutex: publishes were O(1) in the
+//! critical section but still took a lock, deep-copied the snapshot into a
+//! fresh allocation every publish, and left the publisher exposed to an
+//! unlucky poller being preempted inside the lock.
+//!
+//! This slot removes the lock and the per-publish allocation entirely. All
+//! counter state lives in a fixed array of `AtomicU64` words (the node
+//! count is known from the plan at session creation), and a generation
+//! counter (`seq`) brackets every write, following the classic seqlock
+//! recipe adapted to the C++11/Rust memory model (Boehm, *Can seqlocks get
+//! along with programming language memory models?*, MSPC '12):
+//!
+//! * **Publish** (wait-free w.r.t. pollers): bump `seq` to odd, store the
+//!   words, bump `seq` to even. No allocation, no poller can block it —
+//!   a writer-only mutex serializes the rare case of two publishers (a
+//!   terminal publish racing recovery) and is never touched by readers.
+//! * **Read** (lock-free, retry on torn data): load `seq` (even or spin),
+//!   copy the words into a caller-provided buffer, reload `seq`; if it
+//!   moved, the copy may be torn — throw it away and retry. Readers pay a
+//!   copy per successful read but reuse their buffer across polls, so the
+//!   steady state allocates nothing on either side.
+//!
+//! Snapshots whose node count differs from the preallocated capacity (a
+//! reshaping [`lqs_exec::SnapshotFilter`] can truncate or pad) fall back to
+//! a mutex-guarded overflow slot. The fallback participates in the same
+//! `seq` protocol, so mixed publishes still read consistently; only this
+//! degraded path ever takes a lock on the read side.
+
+use lqs_exec::{DmvSnapshot, NodeCounters};
+use std::sync::atomic::{fence, AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Words per node: every [`NodeCounters`] field flattened to one `u64`.
+const NODE_WORDS: usize = 11;
+
+/// `None` sentinel for the three `Option<u64>` timestamp fields. Virtual
+/// timestamps are elapsed nanoseconds and never reach `u64::MAX`; publishes
+/// clamp to `u64::MAX - 1` so the sentinel stays unambiguous.
+const NONE: u64 = u64::MAX;
+
+/// A single-slot seqlock holding the most recently published
+/// [`DmvSnapshot`].
+pub struct SnapshotSlot {
+    /// Generation counter: even = stable, odd = publish in progress.
+    /// Zero means never published.
+    seq: AtomicU64,
+    /// Virtual timestamp of the stable snapshot.
+    ts_ns: AtomicU64,
+    /// Flattened counters, `NODE_WORDS` per node.
+    words: Box<[AtomicU64]>,
+    /// Whether the stable generation lives in `fallback` instead of
+    /// `words` (node-count mismatch).
+    in_fallback: AtomicBool,
+    /// Overflow for shape-changing snapshots; see module docs.
+    fallback: Mutex<Option<DmvSnapshot>>,
+    /// Serializes publishers only. Pollers never touch it, so a reader
+    /// preempted mid-copy cannot stall a publish.
+    writer: Mutex<()>,
+}
+
+impl SnapshotSlot {
+    /// A slot sized for plans of `nodes` operators.
+    pub fn new(nodes: usize) -> Self {
+        SnapshotSlot {
+            seq: AtomicU64::new(0),
+            ts_ns: AtomicU64::new(0),
+            words: (0..nodes * NODE_WORDS).map(|_| AtomicU64::new(0)).collect(),
+            in_fallback: AtomicBool::new(false),
+            fallback: Mutex::new(None),
+            writer: Mutex::new(()),
+        }
+    }
+
+    /// Node capacity of the word array.
+    pub fn capacity(&self) -> usize {
+        self.words.len() / NODE_WORDS
+    }
+
+    /// Whether at least one snapshot has been published.
+    pub fn published(&self) -> bool {
+        self.seq.load(Ordering::Acquire) != 0
+    }
+
+    /// Publish `snapshot` as the new stable generation. Wait-free with
+    /// respect to readers; allocation-free when the node count matches the
+    /// slot capacity.
+    pub fn publish(&self, snapshot: &DmvSnapshot) {
+        let _w = self.writer.lock().expect("snapshot slot writer poisoned");
+        // Enter the odd (write-in-progress) generation. The release fence
+        // orders the seq bump before the data stores for readers that
+        // acquire-load seq.
+        let s = self.seq.load(Ordering::Relaxed);
+        self.seq.store(s.wrapping_add(1), Ordering::Relaxed);
+        fence(Ordering::Release);
+        if snapshot.nodes.len() == self.capacity() {
+            self.ts_ns.store(snapshot.ts_ns, Ordering::Relaxed);
+            for (i, n) in snapshot.nodes.iter().enumerate() {
+                let w = &self.words[i * NODE_WORDS..];
+                w[0].store(n.rows_output, Ordering::Relaxed);
+                w[1].store(n.rows_input, Ordering::Relaxed);
+                w[2].store(n.logical_reads, Ordering::Relaxed);
+                w[3].store(n.segments_processed, Ordering::Relaxed);
+                w[4].store(n.cpu_ns, Ordering::Relaxed);
+                w[5].store(encode_opt(n.open_ns), Ordering::Relaxed);
+                w[6].store(encode_opt(n.first_row_ns), Ordering::Relaxed);
+                w[7].store(encode_opt(n.close_ns), Ordering::Relaxed);
+                w[8].store(n.rows_buffered, Ordering::Relaxed);
+                w[9].store(n.rows_processed, Ordering::Relaxed);
+                w[10].store(n.executions, Ordering::Relaxed);
+            }
+            self.in_fallback.store(false, Ordering::Relaxed);
+        } else {
+            *self.fallback.lock().expect("snapshot slot poisoned") = Some(snapshot.clone());
+            self.ts_ns.store(snapshot.ts_ns, Ordering::Relaxed);
+            self.in_fallback.store(true, Ordering::Relaxed);
+        }
+        // Leave the odd generation: the release store publishes the data
+        // to readers that see the new (even) seq.
+        self.seq.store(s.wrapping_add(2), Ordering::Release);
+    }
+
+    /// Copy the stable snapshot into `buf`, reusing its allocations.
+    /// Returns `false` if nothing has been published yet. Retries on torn
+    /// reads (a publish that landed mid-copy); each attempt is one pass
+    /// over the words, and the writer can tear at most one in-flight read
+    /// per publish, so the loop terminates unless publishes outrun copies
+    /// indefinitely.
+    pub fn read_into(&self, buf: &mut DmvSnapshot) -> bool {
+        loop {
+            let s1 = self.seq.load(Ordering::Acquire);
+            if s1 == 0 {
+                return false;
+            }
+            if s1 & 1 == 1 {
+                std::hint::spin_loop();
+                continue;
+            }
+            if self.in_fallback.load(Ordering::Relaxed) {
+                let copy = self
+                    .fallback
+                    .lock()
+                    .expect("snapshot slot poisoned")
+                    .clone();
+                fence(Ordering::Acquire);
+                if self.seq.load(Ordering::Relaxed) == s1 {
+                    if let Some(snap) = copy {
+                        *buf = snap;
+                        return true;
+                    }
+                    // in_fallback was itself torn; retry.
+                }
+                continue;
+            }
+            let cap = self.capacity();
+            buf.ts_ns = self.ts_ns.load(Ordering::Relaxed);
+            buf.nodes.resize(cap, NodeCounters::default());
+            for (i, n) in buf.nodes.iter_mut().enumerate() {
+                let w = &self.words[i * NODE_WORDS..];
+                n.rows_output = w[0].load(Ordering::Relaxed);
+                n.rows_input = w[1].load(Ordering::Relaxed);
+                n.logical_reads = w[2].load(Ordering::Relaxed);
+                n.segments_processed = w[3].load(Ordering::Relaxed);
+                n.cpu_ns = w[4].load(Ordering::Relaxed);
+                n.open_ns = decode_opt(w[5].load(Ordering::Relaxed));
+                n.first_row_ns = decode_opt(w[6].load(Ordering::Relaxed));
+                n.close_ns = decode_opt(w[7].load(Ordering::Relaxed));
+                n.rows_buffered = w[8].load(Ordering::Relaxed);
+                n.rows_processed = w[9].load(Ordering::Relaxed);
+                n.executions = w[10].load(Ordering::Relaxed);
+            }
+            // The acquire fence orders the data loads before the seq
+            // re-check; an equal seq proves no publish overlapped the copy.
+            fence(Ordering::Acquire);
+            if self.seq.load(Ordering::Relaxed) == s1 {
+                return true;
+            }
+        }
+    }
+
+    /// The stable snapshot's virtual timestamp without copying the nodes
+    /// (for listings that only need the position). `None` before the first
+    /// publish.
+    pub fn read_ts(&self) -> Option<u64> {
+        loop {
+            let s1 = self.seq.load(Ordering::Acquire);
+            if s1 == 0 {
+                return None;
+            }
+            if s1 & 1 == 1 {
+                std::hint::spin_loop();
+                continue;
+            }
+            let ts = self.ts_ns.load(Ordering::Relaxed);
+            fence(Ordering::Acquire);
+            if self.seq.load(Ordering::Relaxed) == s1 {
+                return Some(ts);
+            }
+        }
+    }
+}
+
+fn encode_opt(v: Option<u64>) -> u64 {
+    match v {
+        Some(x) => x.min(NONE - 1),
+        None => NONE,
+    }
+}
+
+fn decode_opt(w: u64) -> Option<u64> {
+    (w != NONE).then_some(w)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicBool;
+
+    /// A snapshot where every word of every node equals `g` — any torn
+    /// mix of two generations is detectable field-by-field.
+    fn uniform(nodes: usize, g: u64) -> DmvSnapshot {
+        DmvSnapshot {
+            ts_ns: g,
+            nodes: (0..nodes)
+                .map(|_| NodeCounters {
+                    rows_output: g,
+                    rows_input: g,
+                    logical_reads: g,
+                    segments_processed: g,
+                    cpu_ns: g,
+                    open_ns: Some(g),
+                    first_row_ns: Some(g),
+                    close_ns: Some(g),
+                    rows_buffered: g,
+                    rows_processed: g,
+                    executions: g,
+                })
+                .collect(),
+        }
+    }
+
+    fn assert_uniform(s: &DmvSnapshot, nodes: usize) {
+        let g = s.ts_ns;
+        assert_eq!(s.nodes.len(), nodes);
+        for n in &s.nodes {
+            assert_eq!(
+                (n.rows_output, n.rows_input, n.logical_reads, n.cpu_ns),
+                (g, g, g, g),
+                "torn read: node mixes generations"
+            );
+            assert_eq!(n.open_ns, Some(g));
+            assert_eq!(n.first_row_ns, Some(g));
+            assert_eq!(n.close_ns, Some(g));
+            assert_eq!(
+                (
+                    n.segments_processed,
+                    n.rows_buffered,
+                    n.rows_processed,
+                    n.executions
+                ),
+                (g, g, g, g)
+            );
+        }
+    }
+
+    #[test]
+    fn roundtrips_all_fields() {
+        let slot = SnapshotSlot::new(3);
+        let mut buf = DmvSnapshot {
+            ts_ns: 0,
+            nodes: vec![],
+        };
+        assert!(!slot.read_into(&mut buf));
+        assert_eq!(slot.read_ts(), None);
+
+        let mut snap = uniform(3, 7);
+        snap.nodes[1].first_row_ns = None;
+        snap.nodes[2].open_ns = None;
+        slot.publish(&snap);
+        assert!(slot.read_into(&mut buf));
+        assert_eq!(buf, snap);
+        assert_eq!(slot.read_ts(), Some(7));
+    }
+
+    #[test]
+    fn mismatched_node_count_falls_back() {
+        let slot = SnapshotSlot::new(2);
+        // A truncating filter shrinks the snapshot below the plan size.
+        let small = uniform(1, 5);
+        slot.publish(&small);
+        let mut buf = DmvSnapshot {
+            ts_ns: 0,
+            nodes: vec![],
+        };
+        assert!(slot.read_into(&mut buf));
+        assert_eq!(buf, small);
+        assert_eq!(slot.read_ts(), Some(5));
+        // A matching publish moves the slot back to the word path.
+        let full = uniform(2, 6);
+        slot.publish(&full);
+        assert!(slot.read_into(&mut buf));
+        assert_eq!(buf, full);
+    }
+
+    #[test]
+    fn buffer_is_reused_across_reads() {
+        let slot = SnapshotSlot::new(64);
+        slot.publish(&uniform(64, 1));
+        let mut buf = DmvSnapshot {
+            ts_ns: 0,
+            nodes: vec![],
+        };
+        assert!(slot.read_into(&mut buf));
+        let ptr = buf.nodes.as_ptr();
+        let cap = buf.nodes.capacity();
+        slot.publish(&uniform(64, 2));
+        assert!(slot.read_into(&mut buf));
+        assert_eq!(buf.ts_ns, 2);
+        assert_eq!(buf.nodes.as_ptr(), ptr, "poll read reallocated its buffer");
+        assert_eq!(buf.nodes.capacity(), cap);
+    }
+
+    /// The seqlock contract under real contention: concurrent readers must
+    /// never observe a snapshot mixing two publishes, and the publisher
+    /// must finish a fixed batch of publishes while readers hammer the
+    /// slot (pollers cannot block it).
+    #[test]
+    fn concurrent_reads_are_never_torn() {
+        const NODES: usize = 32;
+        const PUBLISHES: u64 = 20_000;
+        let slot = SnapshotSlot::new(NODES);
+        slot.publish(&uniform(NODES, 0));
+        let stop = AtomicBool::new(false);
+        std::thread::scope(|s| {
+            for _ in 0..3 {
+                s.spawn(|| {
+                    let mut buf = DmvSnapshot {
+                        ts_ns: 0,
+                        nodes: vec![],
+                    };
+                    let mut last = 0u64;
+                    while !stop.load(Ordering::Acquire) {
+                        assert!(slot.read_into(&mut buf));
+                        assert_uniform(&buf, NODES);
+                        // Generations are monotone: a reader can never go
+                        // back in time.
+                        assert!(buf.ts_ns >= last, "snapshot went backwards");
+                        last = buf.ts_ns;
+                    }
+                });
+            }
+            let snaps: Vec<DmvSnapshot> = (1..=PUBLISHES).map(|g| uniform(NODES, g)).collect();
+            for snap in &snaps {
+                slot.publish(snap);
+            }
+            stop.store(true, Ordering::Release);
+        });
+        let mut buf = DmvSnapshot {
+            ts_ns: 0,
+            nodes: vec![],
+        };
+        assert!(slot.read_into(&mut buf));
+        assert_eq!(buf.ts_ns, PUBLISHES);
+    }
+}

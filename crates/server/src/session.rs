@@ -7,6 +7,7 @@
 //! boundaries (via the [`SnapshotPublisher`] hook), and any number of
 //! pollers read it concurrently without touching the execution.
 
+use crate::seqslot::SnapshotSlot;
 use crate::service::CostAdmission;
 use lqs_exec::{
     AbortReason, AbortedQuery, CancellationToken, DmvSnapshot, ExecOptions, FaultInjector,
@@ -205,12 +206,13 @@ impl QuerySpec {
 /// Shared per-session state: the registry, the executing worker, and every
 /// poller hold an `Arc` of this.
 ///
-/// Locking is deliberately cheap and fine-grained: the `latest` mutex is
-/// only ever held for an `Arc` pointer swap (publish) or an `Arc` clone
-/// (poll) — both O(1), never for the duration of a snapshot copy — so a
-/// poller mid-read can never stall the executing worker; `published_seq`
-/// lets a poller skip re-estimating a session that has not published since
-/// its last poll.
+/// The hot path is lock-free on both sides: the `latest` slot is a seqlock
+/// ([`SnapshotSlot`]), so the worker's publish is wait-free (no lock, no
+/// allocation — the counters are stored into preallocated atomic words) and
+/// a poller mid-read can never stall it; pollers copy into a reusable
+/// buffer and retry if a publish tore the copy. `published_seq` lets a
+/// poller skip re-estimating a session that has not published since its
+/// last poll.
 pub struct SessionHandle {
     id: SessionId,
     spec: QuerySpec,
@@ -218,10 +220,7 @@ pub struct SessionHandle {
     state: Mutex<SessionState>,
     state_changed: Condvar,
     /// Latest published snapshot — the DMV row family for this session.
-    /// Behind an `Arc` so the critical section is a pointer swap: the
-    /// worker deep-copies *outside* the lock, and a poller holding the
-    /// previous snapshot open keeps a reference, not the lock.
-    latest: Mutex<Option<Arc<DmvSnapshot>>>,
+    latest: SnapshotSlot,
     /// Count of snapshots published so far (monotone; `Relaxed` reads are
     /// only ever used as a staleness hint).
     published_seq: AtomicU64,
@@ -260,13 +259,14 @@ pub(crate) struct SessionCost {
 
 impl SessionHandle {
     pub(crate) fn new(id: SessionId, spec: QuerySpec, gauge: Arc<RunningGauge>) -> Self {
+        let plan_nodes = spec.plan.len();
         SessionHandle {
             id,
             spec,
             cancel: CancellationToken::new(),
             state: Mutex::new(SessionState::Queued),
             state_changed: Condvar::new(),
-            latest: Mutex::new(None),
+            latest: SnapshotSlot::new(plan_nodes),
             published_seq: AtomicU64::new(0),
             result: Mutex::new(None),
             gauge,
@@ -426,20 +426,32 @@ impl SessionHandle {
         self.published_seq.load(Ordering::Acquire)
     }
 
-    /// The most recently published snapshot, if any. The deep copy happens
-    /// after the lock is released; use [`latest_snapshot_arc`] to avoid the
-    /// copy entirely.
+    /// The most recently published snapshot, if any, as a fresh copy. For
+    /// repeated polls, [`read_snapshot_into`] reuses one buffer instead of
+    /// allocating per call.
     ///
-    /// [`latest_snapshot_arc`]: SessionHandle::latest_snapshot_arc
+    /// [`read_snapshot_into`]: SessionHandle::read_snapshot_into
     pub fn latest_snapshot(&self) -> Option<DmvSnapshot> {
-        self.latest_snapshot_arc().map(|s| (*s).clone())
+        let mut buf = DmvSnapshot {
+            ts_ns: 0,
+            nodes: Vec::new(),
+        };
+        self.read_snapshot_into(&mut buf).then_some(buf)
     }
 
-    /// The most recently published snapshot as a shared reference. Holding
-    /// the returned `Arc` open (e.g. across a long estimator pass) costs
-    /// the publisher nothing: the lock is held only for the pointer clone.
-    pub fn latest_snapshot_arc(&self) -> Option<Arc<DmvSnapshot>> {
-        self.latest.lock().expect("latest slot poisoned").clone()
+    /// Copy the most recently published snapshot into `buf`, reusing its
+    /// allocations. Returns `false` (leaving `buf` untouched in content
+    /// terms) before the first publish. Lock-free: a publish landing
+    /// mid-copy is detected by the slot's generation counter and the copy
+    /// retried, and the read can never block the publisher.
+    pub fn read_snapshot_into(&self, buf: &mut DmvSnapshot) -> bool {
+        self.latest.read_into(buf)
+    }
+
+    /// Virtual timestamp of the most recently published snapshot, without
+    /// copying the counters (for listings that only need the position).
+    pub fn latest_snapshot_ts(&self) -> Option<u64> {
+        self.latest.read_ts()
     }
 
     /// The session's outcome, once terminal.
@@ -578,10 +590,9 @@ impl SnapshotPublisher for SessionHandle {
         if let Some(journal) = self.journal.get() {
             journal.append_snapshot(snapshot);
         }
-        // Deep-copy outside the lock; the critical section is one pointer
-        // swap, so publish latency is independent of concurrent pollers.
-        let next = Arc::new(snapshot.clone());
-        *self.latest.lock().expect("latest slot poisoned") = Some(next);
+        // Wait-free, allocation-free store into the seqlock slot: pollers
+        // mid-read retry, they never make the publisher wait.
+        self.latest.publish(snapshot);
         // `u64::MAX` is the never-published sentinel; a >584-year uptime
         // would be needed to collide with it.
         let elapsed = self
@@ -647,13 +658,13 @@ mod tests {
         assert_eq!(labelled.workload(), "tpch-q01");
     }
 
-    /// Regression: `publish` used to deep-copy the snapshot while holding
-    /// the `latest` mutex, and `latest_snapshot` deep-copied it back out
-    /// under the same lock — so a poller mid-copy stalled the executing
-    /// worker for the whole clone. Publish latency must be independent of
-    /// a poller holding a snapshot read open.
+    /// The publish path must stay wait-free under aggressive polling: a
+    /// poller mid-read retries on a torn copy, it never makes the worker
+    /// wait, and a copy a poller already holds is unaffected by later
+    /// publishes. (The seqlock slot's torn-read detection itself is
+    /// stress-tested in `seqslot::tests`.)
     #[test]
-    fn publish_is_o1_while_poller_holds_read_open() {
+    fn publish_is_wait_free_while_pollers_hammer_reads() {
         use std::sync::atomic::AtomicBool;
         use std::time::{Duration, Instant};
 
@@ -662,48 +673,48 @@ mod tests {
             QuerySpec::new("q", dummy_plan()),
             Arc::default(),
         );
-        // A snapshot large enough that a deep copy is observable work.
-        let big = DmvSnapshot {
+        h.publish(&DmvSnapshot {
             ts_ns: 1,
-            nodes: vec![NodeCounters::default(); 20_000],
-        };
-        h.publish(&big);
+            nodes: vec![NodeCounters::default()],
+        });
+        let held = h.latest_snapshot().expect("published");
 
-        // Reads share one allocation: no per-read deep copy.
-        let a = h.latest_snapshot_arc().expect("published");
-        let b = h.latest_snapshot_arc().expect("published");
-        assert!(Arc::ptr_eq(&a, &b), "poll reads must not copy the snapshot");
-
-        // A poller holds `a` open while the worker keeps publishing; the
-        // held read keeps its contents and never blocks the publisher.
         let stop = AtomicBool::new(false);
         let elapsed = std::thread::scope(|s| {
             s.spawn(|| {
-                // Aggressive poller: read and walk the snapshot in a loop.
+                // Aggressive poller: pooled reads in a tight loop.
+                let mut buf = DmvSnapshot {
+                    ts_ns: 0,
+                    nodes: Vec::new(),
+                };
                 while !stop.load(Ordering::Acquire) {
-                    if let Some(snap) = h.latest_snapshot_arc() {
-                        assert!(snap.nodes.len() == big.nodes.len());
-                    }
+                    assert!(h.read_snapshot_into(&mut buf));
+                    // Counters within one read are from one publish.
+                    assert_eq!(buf.nodes[0].rows_output, buf.nodes[0].rows_input);
                 }
             });
             let started = Instant::now();
-            for i in 0..200u64 {
-                let mut next = big.clone();
-                next.ts_ns = 2 + i;
-                h.publish(&next);
+            for i in 0..10_000u64 {
+                let n = NodeCounters {
+                    rows_output: i,
+                    rows_input: i,
+                    ..NodeCounters::default()
+                };
+                h.publish(&DmvSnapshot {
+                    ts_ns: 2 + i,
+                    nodes: vec![n],
+                });
             }
             let elapsed = started.elapsed();
             stop.store(true, Ordering::Release);
             elapsed
         });
-        // The held read is intact (the publisher replaced the slot, not
-        // the snapshot the poller is looking at).
-        assert_eq!(a.ts_ns, 1);
-        assert_eq!(a.nodes.len(), 20_000);
-        assert_eq!(h.published_seq(), 201);
-        // Generous liveness bound: 200 publishes of a 20k-node snapshot
-        // are deep copies on the publisher side only, far under a second
-        // each even on a loaded CI machine.
+        // The copy taken before the storm is untouched by it.
+        assert_eq!(held.ts_ns, 1);
+        assert_eq!(h.published_seq(), 10_001);
+        assert_eq!(h.latest_snapshot_ts(), Some(10_001));
+        // Generous liveness bound: 10k wait-free word stores are
+        // microseconds of work even on a loaded CI machine.
         assert!(
             elapsed < Duration::from_secs(20),
             "publish stalled behind a poller: {elapsed:?}"
