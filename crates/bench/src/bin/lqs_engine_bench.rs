@@ -23,7 +23,12 @@
 //! Checks (exit non-zero on failure):
 //! * always: the seqlock publisher must not stall under a hammering
 //!   poller (contended publish ≤ 3× idle publish — "executor stall
-//!   ~zero");
+//!   ~zero"; re-measured up to twice to rule out scheduling dips);
+//! * always: batch-native profiling must stay cheap — the headline
+//!   pipeline run vectorized *with a recording event sink attached* must
+//!   keep its throughput within 10% of the bare batch run (re-measured up
+//!   to twice to rule out scheduling dips). This is the "observable
+//!   without de-vectorizing" gate;
 //! * with `--out FILE`: headline batch/tuple speedup ≥ 2.0 — a committed
 //!   baseline must demonstrate the claimed improvement;
 //! * with `--check FILE`: the measured headline speedup must not fall
@@ -31,7 +36,8 @@
 //!   to twice to rule out scheduling dips). Ratios, not absolute rates,
 //!   so the check is meaningful across machines.
 
-use lqs::exec::{execute, DmvSnapshot, ExecMode, ExecOptions, NodeCounters};
+use lqs::exec::{execute, execute_traced, DmvSnapshot, ExecMode, ExecOptions, NodeCounters};
+use lqs::obs::RingBufferSink;
 use lqs::plan::{AggFunc, Aggregate, Expr, JoinKind, PhysicalPlan, PlanBuilder, SortKey};
 use lqs::server::SnapshotSlot;
 use lqs::storage::{Column, DataType, Database, Schema, Table, Value};
@@ -44,6 +50,8 @@ const HEADLINE: &str = "pipeline12";
 const MIN_HEADLINE_SPEEDUP: f64 = 2.0;
 const MAX_CONTENDED_STALL: f64 = 3.0;
 const CHECK_TOLERANCE: f64 = 0.9;
+/// Batch-traced throughput may cost at most this fraction of bare batch.
+const MAX_TRACED_OVERHEAD: f64 = 0.10;
 
 struct Args {
     rows: i64,
@@ -165,6 +173,16 @@ fn run_workload(
     r
 }
 
+/// The headline plan: a table scan under twelve stacked filters.
+fn headline_plan(d: &Database, t: lqs::storage::TableId) -> PhysicalPlan {
+    let mut pb = PlanBuilder::new(d);
+    let mut node = pb.table_scan(t);
+    for k in 0..12 {
+        node = pb.filter(node, Expr::col(1).lt(Expr::lit(97 - k as i64)));
+    }
+    pb.finish(node)
+}
+
 /// Re-measure just the headline pipeline (used by `--check` to rule out a
 /// transient scheduling dip before declaring a regression).
 fn headline_workload(
@@ -173,13 +191,52 @@ fn headline_workload(
     rows: i64,
     reps: usize,
 ) -> WorkloadResult {
-    let mut pb = PlanBuilder::new(d);
-    let mut node = pb.table_scan(t);
-    for k in 0..12 {
-        node = pb.filter(node, Expr::col(1).lt(Expr::lit(97 - k as i64)));
-    }
-    let plan = pb.finish(node);
+    let plan = headline_plan(d, t);
     run_workload(HEADLINE, rows, reps, d, &plan)
+}
+
+struct ProfilingResult {
+    bare_melem_s: f64,
+    traced_melem_s: f64,
+    /// Fractional slowdown of traced vs bare (0.03 = 3% slower).
+    overhead: f64,
+}
+
+/// The batch-native profiling overhead gate: the headline pipeline run
+/// vectorized bare vs vectorized with a recording event sink attached
+/// (batch spans land in a ring buffer, the shape `lqs_live --profile`
+/// uses). Interleaved best-of, same as the throughput rows, so the gate
+/// checks a ratio rather than machine-dependent rates.
+fn profiling_overhead(
+    d: &Database,
+    t: lqs::storage::TableId,
+    rows: i64,
+    reps: usize,
+) -> ProfilingResult {
+    let plan = headline_plan(d, t);
+    let (mut bare, mut traced) = (f64::INFINITY, f64::INFINITY);
+    for _ in 0..reps {
+        bare = bare.min(timed(&mut || {
+            execute(d, &plan, &opts(ExecMode::Batch));
+        }));
+        traced = traced.min(timed(&mut || {
+            let sink = RingBufferSink::new(1 << 16);
+            execute_traced(d, &plan, &opts(ExecMode::Batch), &sink);
+        }));
+    }
+    let r = ProfilingResult {
+        bare_melem_s: rows as f64 / bare / 1e6,
+        traced_melem_s: rows as f64 / traced / 1e6,
+        overhead: traced / bare - 1.0,
+    };
+    println!(
+        "{:14} batch {:8.1} Melem/s   traced {:8.1} Melem/s   overhead {:+.1}%",
+        "batch_traced",
+        r.bare_melem_s,
+        r.traced_melem_s,
+        r.overhead * 100.0
+    );
+    r
 }
 
 fn workloads(
@@ -353,7 +410,12 @@ fn obj(fields: Vec<(&str, Json)>) -> Json {
     )
 }
 
-fn emit_json(rows: i64, results: &[WorkloadResult], contention: &[(String, f64)]) -> Json {
+fn emit_json(
+    rows: i64,
+    results: &[WorkloadResult],
+    profiling: &ProfilingResult,
+    contention: &[(String, f64)],
+) -> Json {
     obj(vec![
         ("generated_by", Json::String("lqs_engine_bench".into())),
         ("rows", Json::Int(rows)),
@@ -373,6 +435,18 @@ fn emit_json(rows: i64, results: &[WorkloadResult], contention: &[(String, f64)]
                     })
                     .collect(),
             ),
+        ),
+        (
+            "profiling",
+            obj(vec![
+                ("workload", Json::String(HEADLINE.into())),
+                ("batch_melem_per_s", Json::Float(profiling.bare_melem_s)),
+                (
+                    "batch_traced_melem_per_s",
+                    Json::Float(profiling.traced_melem_s),
+                ),
+                ("traced_overhead_frac", Json::Float(profiling.overhead)),
+            ]),
         ),
         (
             "contention",
@@ -395,9 +469,49 @@ fn main() {
     let (d, t) = db(args.rows);
     let results = workloads(&d, t, args.rows, args.reps);
 
+    println!("\nbatch-native profiling overhead ({HEADLINE}, recording sink attached)");
+    let mut profiling = profiling_overhead(&d, t, args.rows, args.reps);
+    // Same noise policy as the headline check: re-measure up to twice
+    // before declaring the tracing path too slow — the gate is a tight
+    // ratio and a single scheduling dip on either arm can blow it.
+    let mut prof_attempts = 0;
+    while profiling.overhead > MAX_TRACED_OVERHEAD && prof_attempts < 2 {
+        prof_attempts += 1;
+        println!(
+            "traced overhead above gate ({:+.1}%) — re-measuring ({prof_attempts}/2)",
+            profiling.overhead * 100.0
+        );
+        let retry = profiling_overhead(&d, t, args.rows, args.reps);
+        if retry.overhead < profiling.overhead {
+            profiling = retry;
+        }
+    }
+    if profiling.overhead > MAX_TRACED_OVERHEAD {
+        failures.push(format!(
+            "batch tracing de-vectorizes the hot path: {:+.1}% overhead with a recording \
+             sink attached (allowed {:.0}%)",
+            profiling.overhead * 100.0,
+            MAX_TRACED_OVERHEAD * 100.0
+        ));
+    }
+
     println!("\nsnapshot publishing: {CONTENTION_PUBLISHES} publishes, {CONTENTION_NODES} nodes");
-    let seq_idle = seqlock_publish_ns(0);
-    let seq_contended = seqlock_publish_ns(2);
+    let mut seq_idle = seqlock_publish_ns(0);
+    let mut seq_contended = seqlock_publish_ns(2);
+    // Same noise policy as the headline and profiling checks: a scheduler
+    // hiccup during the contended run inflates the ratio far more often
+    // than a real publisher stall does, so re-measure up to twice while
+    // the gate would fail and keep the better pair.
+    for _ in 0..2 {
+        if seq_contended <= seq_idle * MAX_CONTENDED_STALL {
+            break;
+        }
+        let (idle, contended) = (seqlock_publish_ns(0), seqlock_publish_ns(2));
+        if contended / idle < seq_contended / seq_idle {
+            seq_idle = idle;
+            seq_contended = contended;
+        }
+    }
     let mutex_idle = mutex_publish_ns(0);
     let mutex_contended = mutex_publish_ns(2);
     println!("seqlock  publish: idle {seq_idle:7.1} ns   2 pollers {seq_contended:7.1} ns");
@@ -469,7 +583,7 @@ fn main() {
     }
 
     if let Some(path) = &args.out {
-        let json = emit_json(args.rows, &results, &contention);
+        let json = emit_json(args.rows, &results, &profiling, &contention);
         let mut text = serde_json::to_string_pretty(&json).expect("serialize");
         text.push('\n');
         std::fs::write(path, text).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));

@@ -259,6 +259,7 @@ fn main() {
                 metrics: Some(history_metrics.clone()),
             }),
             recovered_sessions: 0,
+            watchdog: None,
         },
     )
     .unwrap_or_else(|e| fail(&format!("cannot start server: {e}")));

@@ -7,6 +7,7 @@
 //!
 //! ```text
 //! lqs_live [--query tpch-q01] [--frames 8] [--scale 0.5] [--seed 42] [--trace out.json]
+//! lqs_live --profile [--query NAME] [--collapsed FILE] [--scale F] [--seed N]
 //! lqs_live --journal DIR [--query NAME] [--frames 8] [--scale 0.5] [--seed 42]
 //! lqs_live --fleet DIR [--scale F] [--seed N]
 //! ```
@@ -15,6 +16,13 @@
 //! exported as a Chrome trace (open in `chrome://tracing` or Perfetto). If
 //! the buffer overflows, the export carries a truncation marker and a
 //! warning goes to stderr.
+//!
+//! With `--profile`, the per-frame progress replay is replaced by the
+//! per-operator time-attribution view (see `lqs::prof`): a hottest-first
+//! self-time table whose rows sum exactly to the query's virtual elapsed
+//! time — the virtual clock makes attribution a conservation law, not a
+//! sampling estimate. `--collapsed FILE` additionally writes the
+//! collapsed-stack text that `flamegraph.pl` / speedscope consume.
 //!
 //! With `--journal DIR`, nothing executes: the snapshot stream is read
 //! back from a crash-recovery journal directory (see `lqs::journal`) and
@@ -50,6 +58,8 @@ struct Args {
     trace: Option<String>,
     journal: Option<String>,
     fleet: Option<String>,
+    profile: bool,
+    collapsed: Option<String>,
 }
 
 fn parse_args() -> Args {
@@ -61,6 +71,8 @@ fn parse_args() -> Args {
         trace: None,
         journal: None,
         fleet: None,
+        profile: false,
+        collapsed: None,
     };
     let args: Vec<String> = std::env::args().collect();
     let mut i = 1;
@@ -94,11 +106,19 @@ fn parse_args() -> Args {
                 out.fleet = Some(args[i + 1].clone());
                 i += 2;
             }
+            "--profile" => {
+                out.profile = true;
+                i += 1;
+            }
+            "--collapsed" => {
+                out.collapsed = Some(args[i + 1].clone());
+                i += 2;
+            }
             other => {
                 eprintln!("unknown argument {other}");
                 eprintln!(
                     "usage: lqs_live [--query NAME] [--frames N] [--scale F] [--seed N] \
-                     [--trace FILE] [--journal DIR] [--fleet DIR]"
+                     [--trace FILE] [--profile] [--collapsed FILE] [--journal DIR] [--fleet DIR]"
                 );
                 std::process::exit(2);
             }
@@ -330,6 +350,7 @@ fn replay_journal(args: &Args, dir: &str) {
             .map(|t| t.rows_returned)
             .unwrap_or(0),
         cost_model: meta.cost_model.clone(),
+        node_elapsed_ns: Vec::new(),
     };
     render_run(plan, db, &run, args.frames);
     match &session.terminal {
@@ -492,6 +513,33 @@ fn main() {
         }
         None => run_query(&t.db, &q.plan, &ExecOptions::default()),
     };
+    if args.profile {
+        // The attribution view: live runs always carry per-node elapsed
+        // time, so from_run only fails on a plan/run shape mismatch.
+        let report = lqs::prof::ProfileReport::from_run(&q.plan, &run)
+            .expect("live run carries attribution");
+        report
+            .check_exact()
+            .expect("attribution conservation laws hold");
+        print!("{}", report.render_text());
+        println!(
+            "query returned {} rows in {:.2}ms (virtual); self-times above sum exactly to total",
+            run.rows_returned,
+            run.duration_ns as f64 / 1e6
+        );
+        if let Some(path) = &args.collapsed {
+            let text = report.collapsed_stacks();
+            if let Err(e) = std::fs::write(path, &text) {
+                eprintln!("lqs_live: cannot write collapsed stacks to {path}: {e}");
+                std::process::exit(1);
+            }
+            eprintln!(
+                "lqs_live: wrote {} collapsed-stack line(s) to {path}",
+                text.lines().count()
+            );
+        }
+        return;
+    }
     if run.snapshots.is_empty() {
         println!("(query finished before the first DMV poll — nothing to replay)");
         return;

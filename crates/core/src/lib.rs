@@ -10,8 +10,9 @@
 //! the multi-session query service ([`server`]), a durable per-session
 //! snapshot journal with crash recovery ([`journal`]), fleet-wide
 //! progress analytics and resource prediction over those journals
-//! ([`history`]), plus a deterministic fault-injection layer ([`chaos`])
-//! for robustness testing.
+//! ([`history`]), exact per-operator time attribution with flamegraph
+//! export ([`prof`]), plus a deterministic fault-injection layer
+//! ([`chaos`]) for robustness testing.
 //!
 //! ## Quickstart
 //!
@@ -59,6 +60,7 @@ pub use lqs_journal as journal;
 pub use lqs_metrics as metrics;
 pub use lqs_obs as obs;
 pub use lqs_plan as plan;
+pub use lqs_prof as prof;
 pub use lqs_progress as progress;
 pub use lqs_server as server;
 pub use lqs_storage as storage;
@@ -85,14 +87,16 @@ pub mod prelude {
         AggFunc, Aggregate, ArithOp, CmpOp, CostModel, ExchangeKind, Expr, IndexOutput, JoinKind,
         NodeId, PhysicalOp, PhysicalPlan, PipelineSet, PlanBuilder, SeekKey, SeekRange, SortKey,
     };
+    pub use lqs_prof::{NodeProfile, ProfileReport};
     pub use lqs_progress::{
         error_count, error_time, EstimationPath, EstimatorConfig, ExplainCounters, Explanation,
         PerOperatorError, ProgressEstimator, ProgressReport, QueryModel, RefinementSource,
     };
     pub use lqs_server::{
-        HistoryEndpoints, MetricsServer, PollerMetrics, QueryService, QuerySpec, RecoveryManager,
-        RecoveryReport, RegistryPoller, ServerConfig, ServiceMetrics, SessionProgress,
-        SessionRegistry, SessionState,
+        Health, HistoryEndpoints, MetricsServer, PollerMetrics, QueryService, QuerySpec,
+        RecoveryManager, RecoveryReport, RegistryPoller, ServerConfig, ServiceMetrics,
+        SessionAlert, SessionProgress, SessionRegistry, SessionResult, SessionState, Watchdog,
+        WatchdogConfig,
     };
     pub use lqs_storage::{Column, DataType, Database, Row, Schema, Table, TableId, Value};
 }

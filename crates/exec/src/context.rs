@@ -185,6 +185,14 @@ struct NodeAccount {
     /// always in `[0, 1)` (debug-asserted on every charge), so batched
     /// charging cannot silently drift the clock.
     cpu_carry: f64,
+    /// Whole virtual nanoseconds of clock advance attributed to this node:
+    /// CPU, I/O, and injected stalls. Every [`ExecContext::advance`] call
+    /// is preceded by crediting its exact nanoseconds here, so the sum over
+    /// all nodes equals the clock at every instant — including the abort
+    /// tick of a cancelled or deadline-exceeded run. This is the profiler's
+    /// exclusive (self-time) figure; unlike `cpu_ns` it also covers I/O
+    /// wait and stall time.
+    elapsed_ns: u64,
 }
 
 /// Shared execution state, passed to every operator call.
@@ -459,6 +467,7 @@ impl<'a> ExecContext<'a> {
                 a.cpu_carry
             );
             a.counters.cpu_ns += whole;
+            a.elapsed_ns += whole;
             whole
         };
         self.advance(whole);
@@ -493,6 +502,7 @@ impl<'a> ExecContext<'a> {
                 IoVerdict::Error { message, transient } => {
                     // Clock and counters up to the failed read stay charged:
                     // the pages were requested, the time was spent.
+                    self.accounts.borrow_mut()[node.0].elapsed_ns += io_ns;
                     self.advance(io_ns);
                     std::panic::panic_any(QueryFault {
                         node,
@@ -503,15 +513,19 @@ impl<'a> ExecContext<'a> {
                 }
             }
         }
+        self.accounts.borrow_mut()[node.0].elapsed_ns += io_ns;
         self.advance(io_ns);
     }
 
-    /// Whether the per-row hooks (trace sink, fault injector) are absent —
-    /// the condition under which the batched execution path is
-    /// charge-equivalent to the per-tuple path. The executor's `Auto` mode
-    /// only picks batch execution when this holds.
-    pub fn batch_hooks_absent(&self) -> bool {
-        self.sink.is_none() && self.fault.is_none()
+    /// Whether the batched execution path may be used: true unless a fault
+    /// injector is attached. Faults are consulted per I/O charge and per
+    /// GetNext, so they force the per-tuple path; a trace sink does *not* —
+    /// batch execution emits batch-granularity span events from the
+    /// [`BatchCharge`] flush path instead of per-row lifecycle events, with
+    /// final counters and clock still bit-identical to per-tuple. The
+    /// executor's `Auto` mode picks batch execution exactly when this holds.
+    pub fn batch_path_ok(&self) -> bool {
+        self.fault.is_none()
     }
 
     /// Open a batched charging scope for `node`: CPU/I/O charges accumulate
@@ -564,6 +578,7 @@ impl<'a> ExecContext<'a> {
             rows_out_pending: 0,
             clock_pending: 0,
             flush_at: self.flush_budget(),
+            span_start_ns: self.clock_ns.get(),
         }
     }
 
@@ -632,7 +647,9 @@ impl<'a> ExecContext<'a> {
                 None => {}
                 Some(GetNextFault::Stall { ns }) => {
                     // A stall is pure elapsed time: the clock advances (and
-                    // snapshots keep being recorded) with no counter moving.
+                    // snapshots keep being recorded) with no counter moving
+                    // — but the time is still the stalled node's to own.
+                    self.accounts.borrow_mut()[node.0].elapsed_ns += ns;
                     self.advance(ns);
                 }
                 Some(GetNextFault::Panic { message, transient }) => {
@@ -647,28 +664,37 @@ impl<'a> ExecContext<'a> {
         }
     }
 
-    /// Record `n` rows output in one call. With no trace sink or fault
-    /// injector attached this is `n` [`count_output`] calls collapsed into
-    /// one borrow (same `first_row_ns` stamp, same final `rows_output`);
-    /// when either hook is present it falls back to the per-row path so
-    /// every GetNext still reaches the hook.
+    /// Record `n` rows output in one call. With no fault injector attached
+    /// this is `n` [`count_output`] calls collapsed into one borrow (same
+    /// `first_row_ns` stamp, same final `rows_output`), emitting one
+    /// [`EventKind::OperatorFirstRow`] if the stamp lands; when a fault
+    /// injector is present it falls back to the per-row path so every
+    /// GetNext still reaches the hook.
     ///
     /// [`count_output`]: ExecContext::count_output
     pub fn count_output_batch(&self, node: NodeId, n: u64) {
         if n == 0 {
             return;
         }
-        if !self.batch_hooks_absent() {
+        if !self.batch_path_ok() {
             for _ in 0..n {
                 self.count_output(node);
             }
             return;
         }
-        let mut accounts = self.accounts.borrow_mut();
-        let c = &mut accounts[node.0].counters;
-        c.rows_output += n;
-        if c.first_row_ns.is_none() {
-            c.first_row_ns = Some(self.clock_ns.get());
+        let first = {
+            let mut accounts = self.accounts.borrow_mut();
+            let c = &mut accounts[node.0].counters;
+            c.rows_output += n;
+            if c.first_row_ns.is_none() {
+                c.first_row_ns = Some(self.clock_ns.get());
+                true
+            } else {
+                false
+            }
+        };
+        if first {
+            self.emit(Some(node), EventKind::OperatorFirstRow);
         }
     }
 
@@ -745,18 +771,24 @@ impl<'a> ExecContext<'a> {
         self.accounts.borrow()[node.0].counters.clone()
     }
 
-    /// Consume the context, returning (snapshots, final counters, end time).
-    pub fn into_results(self) -> (Vec<DmvSnapshot>, Vec<NodeCounters>, u64) {
+    /// Read a copy of a node's attributed self-time (test/inspection helper).
+    pub fn elapsed_of(&self, node: NodeId) -> u64 {
+        self.accounts.borrow()[node.0].elapsed_ns
+    }
+
+    /// Consume the context, returning (snapshots, final counters, per-node
+    /// attributed self-time, end time). Every clock advance (CPU, I/O,
+    /// injected stall) is credited to exactly one node, so the self-times
+    /// sum exactly to the end time — even for aborted runs.
+    pub fn into_results(self) -> (Vec<DmvSnapshot>, Vec<NodeCounters>, Vec<u64>, u64) {
         let end = self.clock_ns.get();
-        (
-            self.snapshots.into_inner(),
-            self.accounts
-                .into_inner()
-                .into_iter()
-                .map(|a| a.counters)
-                .collect(),
-            end,
-        )
+        let (counters, elapsed) = self
+            .accounts
+            .into_inner()
+            .into_iter()
+            .map(|a| (a.counters, a.elapsed_ns))
+            .unzip();
+        (self.snapshots.into_inner(), counters, elapsed, end)
     }
 
     // ---- bitmaps --------------------------------------------------------
@@ -846,6 +878,12 @@ pub struct BatchCharge<'s, 'a> {
     /// one is live. Turns the per-charge due-check into one integer
     /// compare on the hot path.
     flush_at: u64,
+    /// Virtual time at which the current trace span began: the clock at
+    /// scope open, reset after every flush. Traced batch runs emit one
+    /// [`EventKind::OperatorBatch`] span per flush instead of per-row
+    /// events — timestamps are coarsened to flush boundaries, counters are
+    /// not.
+    span_start_ns: u64,
 }
 
 impl BatchCharge<'_, '_> {
@@ -928,31 +966,62 @@ impl BatchCharge<'_, '_> {
             || self.rows_in_pending > 0
             || self.rows_out_pending > 0
         {
-            let mut accounts = self.ctx.accounts.borrow_mut();
-            let a = &mut accounts[self.node.0];
-            a.counters.cpu_ns += self.cpu_pending;
-            a.counters.logical_reads += self.reads_pending;
-            a.counters.rows_input += self.rows_in_pending;
-            a.counters.rows_output += self.rows_out_pending;
-            if self.rows_out_pending > 0 && a.counters.first_row_ns.is_none() {
-                a.counters.first_row_ns = Some(self.ctx.clock_ns.get());
-            }
+            let first = {
+                let mut accounts = self.ctx.accounts.borrow_mut();
+                let a = &mut accounts[self.node.0];
+                a.counters.cpu_ns += self.cpu_pending;
+                a.counters.logical_reads += self.reads_pending;
+                a.counters.rows_input += self.rows_in_pending;
+                a.counters.rows_output += self.rows_out_pending;
+                if self.rows_out_pending > 0 && a.counters.first_row_ns.is_none() {
+                    a.counters.first_row_ns = Some(self.ctx.clock_ns.get());
+                    true
+                } else {
+                    false
+                }
+            };
             self.cpu_pending = 0;
             self.reads_pending = 0;
             self.rows_in_pending = 0;
             self.rows_out_pending = 0;
+            if first {
+                self.ctx.emit(Some(self.node), EventKind::OperatorFirstRow);
+            }
+        }
+    }
+
+    /// Close the current trace span: emit one [`EventKind::OperatorBatch`]
+    /// covering everything since the previous flush (or scope open) and
+    /// start the next span at the current clock. `rows_in`/`rows_out` are
+    /// the counts settled by this flush, `advanced` the clock nanoseconds
+    /// it applied; all-zero flushes emit nothing.
+    fn emit_span(&mut self, rows_in: u64, rows_out: u64, advanced: u64) {
+        let end = self.ctx.clock_ns.get();
+        let start = std::mem::replace(&mut self.span_start_ns, end);
+        if (advanced > 0 || rows_in > 0 || rows_out > 0) && self.ctx.trace_enabled() {
+            self.ctx.emit(
+                Some(self.node),
+                EventKind::OperatorBatch {
+                    start_ns: start,
+                    rows_in,
+                    rows_out,
+                },
+            );
         }
     }
 
     fn flush(&mut self) {
+        let (rows_in, rows_out) = (self.rows_in_pending, self.rows_out_pending);
         self.settle();
         let pending = std::mem::take(&mut self.clock_pending);
         if pending > 0 {
+            self.ctx.accounts.borrow_mut()[self.node.0].elapsed_ns += pending;
             self.ctx.advance(pending);
         }
         // The advance may have recorded snapshots (moving the boundary)
         // and has moved the clock: recompute the budget.
         self.flush_at = self.ctx.flush_budget();
+        self.emit_span(rows_in, rows_out, pending);
     }
 
     /// Flush and consume the scope. Equivalent to dropping it, spelled out
@@ -969,14 +1038,17 @@ impl Drop for BatchCharge<'_, '_> {
         // Advancing during an unwind could re-raise the abort and turn it
         // into a double panic; skipping it loses at most the clock slice
         // of an already-aborted run's final partial state.
+        let (rows_in, rows_out) = (self.rows_in_pending, self.rows_out_pending);
         self.settle();
         self.ctx.accounts.borrow_mut()[self.node.0].cpu_carry = self.carry;
         self.ctx.live_scopes.set(self.ctx.live_scopes.get() - 1);
         if !std::thread::panicking() {
             let pending = std::mem::take(&mut self.clock_pending);
             if pending > 0 {
+                self.ctx.accounts.borrow_mut()[self.node.0].elapsed_ns += pending;
                 self.ctx.advance(pending);
             }
+            self.emit_span(rows_in, rows_out, pending);
         }
     }
 }
@@ -996,7 +1068,8 @@ mod tests {
         let c = ctx(&db);
         c.charge_cpu(NodeId(0), 2500.0);
         // Crossed boundaries at 1000 and 2000.
-        let (snaps, counters, end) = c.into_results();
+        let (snaps, counters, elapsed, end) = c.into_results();
+        assert_eq!(elapsed.iter().sum::<u64>(), end);
         assert_eq!(snaps.len(), 2);
         assert_eq!(snaps[0].ts_ns, 1000);
         assert_eq!(snaps[1].ts_ns, 2000);
@@ -1033,7 +1106,7 @@ mod tests {
         for _ in 0..(MAX_SNAPSHOTS * 3) {
             c.charge_cpu(NodeId(0), 1000.0);
         }
-        let (snaps, _, _) = c.into_results();
+        let (snaps, _, _, _) = c.into_results();
         assert!(snaps.len() <= MAX_SNAPSHOTS);
         assert!(snaps.len() > MAX_SNAPSHOTS / 4);
         // Still ordered.
@@ -1145,10 +1218,45 @@ mod tests {
         let capture = Capture(Mutex::new(Vec::new()));
         let c = ctx(&db).with_publisher(&capture);
         c.charge_cpu(NodeId(0), 3500.0);
-        let (snaps, _, _) = c.into_results();
+        let (snaps, _, _, _) = c.into_results();
         let published = capture.0.into_inner().unwrap();
         assert_eq!(published, vec![1000, 2000, 3000]);
         assert_eq!(snaps.len(), published.len());
+    }
+
+    #[test]
+    fn elapsed_attribution_sums_to_clock() {
+        let db = Database::new();
+        let c = ctx(&db);
+        c.charge_cpu(NodeId(0), 1234.5);
+        c.charge_io(NodeId(1), 3);
+        let mut scope = c.batch_charge(NodeId(2));
+        for _ in 0..100 {
+            scope.cpu(7.5);
+        }
+        scope.io(1);
+        scope.finish();
+        let (_, _, elapsed, end) = c.into_results();
+        assert_eq!(elapsed.iter().sum::<u64>(), end);
+        assert_eq!(elapsed[0], 1234);
+        assert!(elapsed[1] > 0 && elapsed[2] > 0);
+    }
+
+    #[test]
+    fn elapsed_attribution_survives_abort() {
+        let db = Database::new();
+        let c = ctx(&db).with_deadline(2_000);
+        c.charge_cpu(NodeId(0), 500.0);
+        let err = catch_query_abort(|| {
+            c.charge_cpu(NodeId(1), 5_000.0);
+        })
+        .expect_err("deadline must abort");
+        err.downcast::<QueryAborted>()
+            .expect("QueryAborted payload");
+        // The aborting advance fully moved the clock before unwinding, and
+        // its nanoseconds were credited to node 1 first: the invariant
+        // holds even on the abort tick.
+        assert_eq!(c.elapsed_of(NodeId(0)) + c.elapsed_of(NodeId(1)), 5_500);
     }
 
     #[test]

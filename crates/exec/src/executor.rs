@@ -13,17 +13,21 @@ use lqs_storage::Database;
 /// Which GetNext loop drives the operator tree.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum ExecMode {
-    /// Batch when the run is charge-equivalent (no trace sink, no fault
-    /// injector — their hooks are per-row), per-tuple otherwise.
+    /// Batch unless a fault injector is attached (its hooks fire per I/O
+    /// charge and per GetNext, which only the per-tuple loop visits). A
+    /// trace sink does *not* force tuple mode: the batched path emits
+    /// batch-granularity span events instead of per-row lifecycle events,
+    /// so tracing no longer de-vectorizes the engine.
     #[default]
     Auto,
     /// Always the per-tuple Volcano loop.
     Tuple,
-    /// Always the vectorized loop. With a trace sink or fault injector
-    /// attached this degrades hook fidelity — trace timestamps coarsen to
-    /// flush granularity and batched I/O charges skip the injector's
-    /// per-read check — which is why `Auto` falls back to `Tuple` for
-    /// those runs. Counters and the clock stay exact regardless.
+    /// Always the vectorized loop. Trace timestamps coarsen to flush
+    /// granularity (one `OperatorBatch` span per settled charging scope,
+    /// `first_row_ns` stamped at the settling flush); with a fault injector
+    /// attached, batched I/O charges skip the injector's per-read check —
+    /// which is why `Auto` falls back to `Tuple` for fault-injected runs.
+    /// Counters and the clock stay exact regardless.
     Batch,
 }
 
@@ -109,6 +113,12 @@ pub struct QueryRun {
     /// (operator weights, time-to-completion) silently diverge from the
     /// observed counters.
     pub cost_model: CostModel,
+    /// Per-node attributed self-time (virtual ns), indexed by `NodeId`:
+    /// every clock advance — CPU, I/O, injected stall — credited to the
+    /// node that charged it, summing exactly to `duration_ns`. Empty for
+    /// runs reconstructed from journals (the journal format carries
+    /// counters, not attribution).
+    pub node_elapsed_ns: Vec<u64>,
 }
 
 impl QueryRun {
@@ -270,7 +280,7 @@ fn execute_inner(
     let use_batch = match opts.mode {
         ExecMode::Tuple => false,
         ExecMode::Batch => true,
-        ExecMode::Auto => ctx.batch_hooks_absent(),
+        ExecMode::Auto => ctx.batch_path_ok(),
     };
     let drive = crate::context::catch_query_abort(|| {
         let mut root = build_operator(plan, db, plan.root());
@@ -297,13 +307,14 @@ fn execute_inner(
     });
     match drive {
         Ok(rows_returned) => {
-            let (snapshots, final_counters, duration_ns) = ctx.into_results();
+            let (snapshots, final_counters, node_elapsed_ns, duration_ns) = ctx.into_results();
             let run = QueryRun {
                 snapshots,
                 final_counters,
                 duration_ns,
                 rows_returned,
                 cost_model: opts.cost_model.clone(),
+                node_elapsed_ns,
             };
             if let Some(metrics) = hooks.metrics {
                 metrics.record_run(plan, &run);
@@ -312,7 +323,7 @@ fn execute_inner(
         }
         Err(payload) => match payload.downcast::<QueryAborted>() {
             Ok(aborted) => {
-                let (snapshots, partial_counters, _) = ctx.into_results();
+                let (snapshots, partial_counters, _, _) = ctx.into_results();
                 Err(AbortedQuery {
                     reason: aborted.reason,
                     at_ns: aborted.at_ns,

@@ -263,7 +263,7 @@ impl HashAggregateOp {
             + self.aggs.len() as f64 * ctx.cost.compute_expr_ns)
             * factor;
         let mut table: HashMap<Vec<Value>, Vec<AggState>> = HashMap::new();
-        if ctx.batch_hooks_absent() {
+        if ctx.batch_path_ok() {
             let mut scratch = RowBatch::with_capacity(CONSUME_BATCH);
             while self.child.next_batch(ctx, &mut scratch, CONSUME_BATCH) {
                 ctx.count_input(self.id, scratch.len() as u64);

@@ -59,7 +59,7 @@ impl ExchangeOp {
 
     fn pull(&mut self, ctx: &ExecContext, n: usize) {
         let cap = MAX_BUFFER_PER_DOP * self.degree;
-        if ctx.batch_hooks_absent() {
+        if ctx.batch_path_ok() {
             // Producers fill in chunks; the pull never charges CPU, so the
             // child's counters and close time match the per-tuple loop
             // exactly.

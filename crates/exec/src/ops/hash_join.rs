@@ -93,7 +93,7 @@ impl HashJoinOp {
 
     fn build_phase(&mut self, ctx: &ExecContext) {
         let factor = self.factor();
-        if ctx.batch_hooks_absent() {
+        if ctx.batch_path_ok() {
             let mut scratch = RowBatch::with_capacity(CONSUME_BATCH);
             while self.build.next_batch(ctx, &mut scratch, CONSUME_BATCH) {
                 // Input counted through the scope, per row: the join bound
@@ -250,84 +250,90 @@ impl Operator for HashJoinOp {
         let factor = self.factor();
         let mut appended = 0usize;
         loop {
-            // Drain matches queued for the current probe row first; a wide
-            // match set may span several calls without overshooting `limit`.
-            // No charges run inside the drain, so the clock is frozen:
-            // counting the drained rows right after the loop is atomic with
-            // respect to snapshots, keeping at most one probe row's matches
-            // uncounted at any observable instant (the +1 the join bound
-            // allows).
-            let mut drained = 0u64;
-            while self.pending_pos < self.pending.len() && appended < limit {
-                let bidx = self.pending[self.pending_pos];
-                self.pending_pos += 1;
-                self.matched[bidx] = true;
-                let probe = self.pending_probe.as_ref().expect("probe row queued");
-                out.push(concat_rows(probe, &self.build_rows[bidx]));
-                appended += 1;
-                drained += 1;
-            }
-            ctx.count_output_batch(self.id, drained);
-            if appended >= limit {
-                break;
-            }
-            if !self.scratch.is_empty() {
+            // One charging scope covers the whole drain↔probe alternation
+            // over the current probe batch — one trace span per batch, not
+            // one per matching probe row. Drained matches count through the
+            // scope: pending row counts settle at every flush *before* the
+            // clock advances, so any snapshot still sees the counters in
+            // step with the charges, and the queued match set belongs to at
+            // most one probe row at any instant (the +1 the §4.2 join bound
+            // allows). The scope must end before pulling the probe child,
+            // which opens its own exclusive scope.
+            if self.pending_pos < self.pending.len() || !self.scratch.is_empty() {
                 let mut scope = ctx.batch_charge(self.id);
-                while appended < limit && self.pending_pos >= self.pending.len() {
-                    let Some(probe_row) = self.scratch.pop_front() else {
+                loop {
+                    // Drain matches queued for the current probe row first;
+                    // a wide match set may span several calls without
+                    // overshooting `limit`.
+                    let mut drained = 0u64;
+                    while self.pending_pos < self.pending.len() && appended < limit {
+                        let bidx = self.pending[self.pending_pos];
+                        self.pending_pos += 1;
+                        self.matched[bidx] = true;
+                        let probe = self.pending_probe.as_ref().expect("probe row queued");
+                        out.push(concat_rows(probe, &self.build_rows[bidx]));
+                        appended += 1;
+                        drained += 1;
+                    }
+                    scope.rows_out(drained);
+                    if appended >= limit || self.scratch.is_empty() {
                         break;
-                    };
-                    scope.rows_in(1);
-                    scope.cpu(ctx.cost.hash_probe_row_ns * factor);
-                    let key = key_of(&probe_row, &self.probe_keys);
-                    let matches: &[usize] = if key_has_null(&key) {
-                        &[]
-                    } else {
-                        self.map.get(&key).map_or(&[][..], |v| &v[..])
-                    };
-                    match self.kind {
-                        JoinKind::Inner => {
-                            if !matches.is_empty() {
-                                self.pending = matches.to_vec();
-                                self.pending_pos = 0;
-                                self.pending_probe = Some(probe_row);
-                            }
-                        }
-                        JoinKind::LeftOuter | JoinKind::FullOuter => {
-                            if matches.is_empty() {
-                                out.push(concat_rows(
-                                    &probe_row,
-                                    &super::null_row(self.build_arity),
-                                ));
-                                scope.rows_out(1);
-                                appended += 1;
-                            } else {
-                                self.pending = matches.to_vec();
-                                self.pending_pos = 0;
-                                self.pending_probe = Some(probe_row);
-                            }
-                        }
-                        JoinKind::LeftSemi => {
-                            if !matches.is_empty() {
-                                for m in matches.iter().copied() {
-                                    self.matched[m] = true;
+                    }
+                    while appended < limit && self.pending_pos >= self.pending.len() {
+                        let Some(probe_row) = self.scratch.pop_front() else {
+                            break;
+                        };
+                        scope.rows_in(1);
+                        scope.cpu(ctx.cost.hash_probe_row_ns * factor);
+                        let key = key_of(&probe_row, &self.probe_keys);
+                        let matches: &[usize] = if key_has_null(&key) {
+                            &[]
+                        } else {
+                            self.map.get(&key).map_or(&[][..], |v| &v[..])
+                        };
+                        match self.kind {
+                            JoinKind::Inner => {
+                                if !matches.is_empty() {
+                                    self.pending = matches.to_vec();
+                                    self.pending_pos = 0;
+                                    self.pending_probe = Some(probe_row);
                                 }
-                                out.push(probe_row);
-                                scope.rows_out(1);
-                                appended += 1;
                             }
-                        }
-                        JoinKind::LeftAnti => {
-                            if matches.is_empty() {
-                                out.push(probe_row);
-                                scope.rows_out(1);
-                                appended += 1;
+                            JoinKind::LeftOuter | JoinKind::FullOuter => {
+                                if matches.is_empty() {
+                                    out.push(concat_rows(
+                                        &probe_row,
+                                        &super::null_row(self.build_arity),
+                                    ));
+                                    scope.rows_out(1);
+                                    appended += 1;
+                                } else {
+                                    self.pending = matches.to_vec();
+                                    self.pending_pos = 0;
+                                    self.pending_probe = Some(probe_row);
+                                }
+                            }
+                            JoinKind::LeftSemi => {
+                                if !matches.is_empty() {
+                                    for m in matches.iter().copied() {
+                                        self.matched[m] = true;
+                                    }
+                                    out.push(probe_row);
+                                    scope.rows_out(1);
+                                    appended += 1;
+                                }
+                            }
+                            JoinKind::LeftAnti => {
+                                if matches.is_empty() {
+                                    out.push(probe_row);
+                                    scope.rows_out(1);
+                                    appended += 1;
+                                }
                             }
                         }
                     }
                 }
                 scope.finish();
-                continue;
             }
             if appended > 0 {
                 break;

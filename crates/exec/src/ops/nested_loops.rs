@@ -70,7 +70,7 @@ impl NestedLoopsOp {
 
     /// Prefetch up to `outer_buffer` outer rows (semi-blocking behaviour).
     fn refill(&mut self, ctx: &ExecContext) {
-        if ctx.batch_hooks_absent() {
+        if ctx.batch_path_ok() {
             let mut scratch = RowBatch::with_capacity(CONSUME_BATCH.min(self.outer_buffer));
             while self.buffer.len() < self.outer_buffer && !self.outer_done {
                 let want = (self.outer_buffer - self.buffer.len()).min(CONSUME_BATCH);

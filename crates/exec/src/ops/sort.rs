@@ -61,7 +61,7 @@ impl SortOp {
         // Per-row input cost: comparisons against the run being built. The
         // log factor uses the limit for Top N sorts (bounded heap).
         let top_n_depth = self.top_n.map(|n| CostModel::log2_rows(n as f64));
-        if ctx.batch_hooks_absent() {
+        if ctx.batch_path_ok() {
             // Blocking consume already multi-pulls within one `next()`, so
             // batching it changes no close event; charge totals are
             // order-independent, keeping the clock and final counters

@@ -66,7 +66,7 @@ impl SpoolOp {
     }
 
     fn populate_all(&mut self, ctx: &ExecContext) {
-        if ctx.batch_hooks_absent() {
+        if ctx.batch_path_ok() {
             let mut scratch = RowBatch::with_capacity(CONSUME_BATCH);
             while self.child.next_batch(ctx, &mut scratch, CONSUME_BATCH) {
                 ctx.count_input(self.id, scratch.len() as u64);

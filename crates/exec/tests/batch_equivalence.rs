@@ -4,7 +4,8 @@
 //! `ExecMode::Tuple` — except `first_row_ns`, which the vectorized path
 //! stamps at flush granularity (the one documented divergence).
 
-use lqs_exec::{execute, ExecMode, ExecOptions};
+use lqs_exec::{execute, execute_traced, ExecMode, ExecOptions};
+use lqs_obs::{EventKind, RingBufferSink};
 use lqs_plan::{
     AggFunc, Aggregate, ExchangeKind, Expr, JoinKind, NodeId, PhysicalPlan, PlanBuilder, SeekKey,
     SeekRange, SortKey,
@@ -282,6 +283,52 @@ fn check_equivalent(plan: &PhysicalPlan, db: &Database, batch_size: usize) {
             t,
             b,
             "final counters diverged at node {i}\nplan:\n{}",
+            plan.display_tree()
+        );
+    }
+
+    // Per-node time attribution is part of the contract too: both modes
+    // credit identical self-time to every node, and either mode's credits
+    // sum exactly to its virtual duration (no lost or double-counted ns).
+    assert_eq!(
+        tup.node_elapsed_ns,
+        bat.node_elapsed_ns,
+        "per-node attribution diverged\nplan:\n{}",
+        plan.display_tree()
+    );
+    assert_eq!(
+        tup.node_elapsed_ns.iter().sum::<u64>(),
+        tup.duration_ns,
+        "attribution does not sum to the clock\nplan:\n{}",
+        plan.display_tree()
+    );
+
+    // Attaching an event sink must not perturb the batch run: same rows,
+    // same clock, same counters, same attribution — tracing observes the
+    // flush path, it never de-vectorizes or re-times it.
+    let sink = RingBufferSink::new(1 << 20);
+    let traced = execute_traced(db, plan, &opts(ExecMode::Batch, batch_size), &sink);
+    assert_eq!(traced.rows_returned, bat.rows_returned);
+    assert_eq!(traced.duration_ns, bat.duration_ns);
+    assert_eq!(traced.final_counters, bat.final_counters);
+    assert_eq!(traced.node_elapsed_ns, bat.node_elapsed_ns);
+
+    // And the batch spans it emitted are well-formed: coarsened to flush
+    // granularity (documented), but always inside the run and never
+    // time-reversed.
+    let mut batch_spans = 0usize;
+    for e in sink.events() {
+        if let EventKind::OperatorBatch { start_ns, .. } = e.kind {
+            batch_spans += 1;
+            assert!(start_ns <= e.ts_ns, "span ends before it starts");
+            assert!(e.ts_ns <= traced.duration_ns, "span past end of run");
+            assert!(e.node.is_some(), "batch span without a node");
+        }
+    }
+    if traced.rows_returned > 0 {
+        assert!(
+            batch_spans > 0,
+            "a producing batch run must emit batch spans\nplan:\n{}",
             plan.display_tree()
         );
     }

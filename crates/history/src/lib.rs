@@ -44,7 +44,7 @@ pub mod store;
 pub use metrics::HistoryMetrics;
 pub use scan::{
     history_from_scan, scan_history, CurvePoint, FleetHistory, FleetNode, HistoryResolver,
-    NodeAttribution, Pctls, ResolvedPlan, SessionHistory, WorkloadPercentiles,
+    ModeThroughput, NodeAttribution, Pctls, ResolvedPlan, SessionHistory, WorkloadPercentiles,
 };
 pub use store::{
     plan_features, HistoryStore, ObservedRun, PlanFeatures, PredictionBasis, ResourcePrediction,

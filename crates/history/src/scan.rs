@@ -11,7 +11,9 @@
 //! never panics on hostile input either.
 
 use crate::store::{plan_features, PlanFeatures};
-use lqs_journal::{scan_dir, JournalScan, RecoveredSession, SessionMeta, TerminalKind};
+use lqs_journal::{
+    scan_dir, JournalExecMode, JournalScan, RecoveredSession, SessionMeta, TerminalKind,
+};
 use lqs_metrics::percentile;
 use lqs_plan::PhysicalPlan;
 use lqs_progress::{error_count, error_time, EstimatorConfig, ProgressEstimator};
@@ -130,6 +132,11 @@ pub struct SessionHistory {
     pub error_avg: Option<f64>,
     /// Paper §5 ErrorTime, same conditions as `error_avg`.
     pub error_time: Option<f64>,
+    /// Execution mode the run was journaled under (`Unknown` for journals
+    /// written before the meta carried it, or when the meta was lost).
+    pub exec_mode: JournalExecMode,
+    /// Watchdog alerts journaled for this session.
+    pub alerts: usize,
 }
 
 impl SessionHistory {
@@ -221,6 +228,26 @@ pub struct FleetNode {
     pub logical_reads: u64,
 }
 
+/// Throughput of the fleet's sessions segmented by the execution mode
+/// their journals record — the number that shows whether the vectorized
+/// path's speedup survives in production, not just in benches.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModeThroughput {
+    /// The journaled execution mode.
+    pub mode: JournalExecMode,
+    /// All sessions journaled under this mode, any outcome.
+    pub sessions: usize,
+    /// Sessions that ran to completion (the throughput population).
+    pub succeeded: usize,
+    /// Rows returned across succeeded sessions.
+    pub total_rows: u64,
+    /// Virtual runtime summed across succeeded sessions.
+    pub total_runtime_ns: u64,
+    /// Rows returned per virtual second across succeeded sessions
+    /// (0 when no succeeded session or zero runtime).
+    pub rows_per_virtual_sec: f64,
+}
+
 /// The cross-session history view of one journal directory.
 #[derive(Debug, Clone, Default)]
 pub struct FleetHistory {
@@ -286,6 +313,43 @@ impl FleetHistory {
             error_avg: (!errors.is_empty()).then(|| Pctls::from_samples(errors)),
             error_time: (!error_times.is_empty()).then(|| Pctls::from_samples(error_times)),
         }
+    }
+
+    /// Throughput segmented by journaled execution mode, in stable
+    /// `unknown, tuple, batch` order; modes with no sessions are omitted.
+    pub fn throughput_by_mode(&self) -> Vec<ModeThroughput> {
+        [
+            JournalExecMode::Unknown,
+            JournalExecMode::Tuple,
+            JournalExecMode::Batch,
+        ]
+        .into_iter()
+        .filter_map(|mode| {
+            let all: Vec<&SessionHistory> = self
+                .sessions
+                .iter()
+                .filter(|s| s.exec_mode == mode)
+                .collect();
+            if all.is_empty() {
+                return None;
+            }
+            let done: Vec<&&SessionHistory> = all.iter().filter(|s| s.succeeded()).collect();
+            let total_rows: u64 = done.iter().map(|s| s.rows_returned).sum();
+            let total_runtime_ns: u64 = done.iter().map(|s| s.runtime_ns).sum();
+            Some(ModeThroughput {
+                mode,
+                sessions: all.len(),
+                succeeded: done.len(),
+                total_rows,
+                total_runtime_ns,
+                rows_per_virtual_sec: if total_runtime_ns == 0 {
+                    0.0
+                } else {
+                    total_rows as f64 * 1e9 / total_runtime_ns as f64
+                },
+            })
+        })
+        .collect()
     }
 
     /// Fleet-wide slowest-node ranking: per-node CPU totals aggregated
@@ -423,6 +487,7 @@ fn session_history(
                 duration_ns: terminal.at_ns,
                 rows_returned: terminal.rows_returned,
                 cost_model: meta.cost_model.clone(),
+                node_elapsed_ns: Vec::new(),
             };
             let est = ProgressEstimator::with_cost_model(
                 &r.plan,
@@ -473,6 +538,11 @@ fn session_history(
         features: resolved.as_ref().map(|r| plan_features(&r.plan)),
         error_avg,
         error_time: error_time_v,
+        exec_mode: session
+            .meta
+            .as_ref()
+            .map_or(JournalExecMode::Unknown, |m| m.exec_mode),
+        alerts: session.alerts.len(),
     }
 }
 

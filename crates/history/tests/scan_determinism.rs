@@ -27,6 +27,7 @@ fn meta(id: u64, name: &str, workload: &str) -> SessionMeta {
         snapshot_target: 64,
         snapshot_interval_ns: Some(1_000),
         cost_model: CostModel::default(),
+        exec_mode: lqs_journal::JournalExecMode::Tuple,
     }
 }
 

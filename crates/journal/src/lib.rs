@@ -25,8 +25,9 @@ pub mod writer;
 pub use metrics::JournalMetrics;
 pub use reader::{scan_dir, scan_dir_window, JournalScan, RecoveredSession};
 pub use record::{
-    crc32, plan_fingerprint, Record, SegmentHeader, SessionMeta, TerminalKind, TerminalRecord,
-    FORMAT_VERSION, MAX_PAYLOAD_BYTES, SEGMENT_HEADER_BYTES, SEGMENT_MAGIC,
+    crc32, plan_fingerprint, AlertKind, AlertRecord, JournalExecMode, Record, SegmentHeader,
+    SessionMeta, TerminalKind, TerminalRecord, FORMAT_VERSION, MAX_PAYLOAD_BYTES,
+    SEGMENT_HEADER_BYTES, SEGMENT_MAGIC,
 };
 pub use writer::{
     parse_segment_file_name, segment_file_name, FsyncPolicy, Journal, JournalConfig,

@@ -10,7 +10,8 @@
 //! the session.
 
 use crate::record::{
-    Record, SegmentHeader, SessionMeta, TerminalRecord, MAX_PAYLOAD_BYTES, SEGMENT_HEADER_BYTES,
+    AlertRecord, Record, SegmentHeader, SessionMeta, TerminalRecord, MAX_PAYLOAD_BYTES,
+    SEGMENT_HEADER_BYTES,
 };
 use crate::writer::parse_segment_file_name;
 use lqs_exec::DmvSnapshot;
@@ -32,6 +33,8 @@ pub struct RecoveredSession {
     pub snapshots: Vec<DmvSnapshot>,
     /// The terminal-state record, if it reached disk.
     pub terminal: Option<TerminalRecord>,
+    /// Watchdog alerts journaled for this session, in write order.
+    pub alerts: Vec<AlertRecord>,
     /// Whether the clean-shutdown sentinel reached disk.
     pub clean_shutdown: bool,
     /// Records discarded while reading this session (torn tails, CRC
@@ -127,6 +130,7 @@ pub fn scan_dir(dir: &Path) -> std::io::Result<JournalScan> {
             meta: None,
             snapshots: Vec::new(),
             terminal: None,
+            alerts: Vec::new(),
             clean_shutdown: false,
             corrupt_records: 0,
         };
@@ -193,6 +197,7 @@ pub fn scan_dir(dir: &Path) -> std::io::Result<JournalScan> {
                         }
                     }
                     Record::CleanShutdown => recovered.clean_shutdown = true,
+                    Record::Alert(a) => recovered.alerts.push(a),
                 }
             }
         }

@@ -42,6 +42,8 @@ pub const TAG_SNAPSHOT: u8 = 2;
 pub const TAG_TERMINAL: u8 = 3;
 /// Clean-shutdown sentinel tag.
 pub const TAG_CLEAN_SHUTDOWN: u8 = 4;
+/// Watchdog alert record tag.
+pub const TAG_ALERT: u8 = 5;
 
 /// CRC32 (IEEE 802.3, reflected) over `data`. Table-free bitwise variant —
 /// journal records are small and this keeps the implementation auditable.
@@ -119,6 +121,105 @@ pub struct SessionMeta {
     pub snapshot_interval_ns: Option<u64>,
     /// Cost model the run was charged under.
     pub cost_model: CostModel,
+    /// Execution mode the engine resolved for this run (tuple or batch).
+    /// Journals written before this field existed decode as
+    /// [`JournalExecMode::Unknown`] — the field is optional-trailing on the
+    /// wire, so old readers reject new metas loudly (trailing bytes) and
+    /// new readers accept old metas.
+    pub exec_mode: JournalExecMode,
+}
+
+/// The execution mode a journaled run actually used, for segmenting
+/// history analytics by engine path. `Unknown` covers journals written
+/// before the field existed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum JournalExecMode {
+    /// Journal predates the field (or the writer did not know).
+    #[default]
+    Unknown,
+    /// Tuple-at-a-time (GetNext) execution.
+    Tuple,
+    /// Vectorized batch execution.
+    Batch,
+}
+
+impl JournalExecMode {
+    /// Stable lowercase label (metric/JSON value).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            JournalExecMode::Unknown => "unknown",
+            JournalExecMode::Tuple => "tuple",
+            JournalExecMode::Batch => "batch",
+        }
+    }
+
+    fn to_tag(self) -> u8 {
+        match self {
+            JournalExecMode::Unknown => 0,
+            JournalExecMode::Tuple => 1,
+            JournalExecMode::Batch => 2,
+        }
+    }
+
+    fn from_tag(tag: u8) -> Option<Self> {
+        Some(match tag {
+            0 => JournalExecMode::Unknown,
+            1 => JournalExecMode::Tuple,
+            2 => JournalExecMode::Batch,
+            _ => return None,
+        })
+    }
+}
+
+/// Kind of a journaled watchdog alert.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AlertKind {
+    /// Session is running but its published snapshot sequence has not
+    /// advanced for longer than the watchdog's stall window.
+    Stalled,
+    /// The model's progress estimate and the observed-rows progress have
+    /// drifted apart beyond the watchdog's divergence band.
+    Diverging,
+}
+
+impl AlertKind {
+    /// Stable lowercase label (metric/JSON value).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            AlertKind::Stalled => "stalled",
+            AlertKind::Diverging => "diverging",
+        }
+    }
+
+    fn to_tag(self) -> u8 {
+        match self {
+            AlertKind::Stalled => 0,
+            AlertKind::Diverging => 1,
+        }
+    }
+
+    fn from_tag(tag: u8) -> Option<Self> {
+        Some(match tag {
+            0 => AlertKind::Stalled,
+            1 => AlertKind::Diverging,
+            _ => return None,
+        })
+    }
+}
+
+/// One watchdog alert, journaled when the live watchdog classifies the
+/// session as unhealthy. Alerts are diagnostic annotations: recovery
+/// ignores them, history surfaces them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AlertRecord {
+    /// What the watchdog concluded.
+    pub kind: AlertKind,
+    /// Virtual timestamp of the newest snapshot when the alert was raised.
+    pub ts_ns: u64,
+    /// Snapshot sequence number the session was at when the alert fired.
+    pub seq: u64,
+    /// Deterministic human-readable explanation.
+    pub detail: String,
 }
 
 /// Terminal state of a journaled session, mirroring the server's terminal
@@ -187,6 +288,8 @@ pub enum Record {
     Terminal(TerminalRecord),
     /// Clean-shutdown sentinel (last record of a cleanly closed journal).
     CleanShutdown,
+    /// Watchdog alert annotation.
+    Alert(AlertRecord),
 }
 
 /// Structural fingerprint of a plan: FNV-1a over operator names, tree
@@ -439,6 +542,9 @@ impl Record {
                 for f in fields {
                     e.f64(f);
                 }
+                // Optional trailing field (added after FORMAT_VERSION 1
+                // shipped): absent on old journals, always written now.
+                e.u8(m.exec_mode.to_tag());
                 e.buf
             }
             Record::Snapshot(s) => {
@@ -459,6 +565,14 @@ impl Record {
                 e.buf
             }
             Record::CleanShutdown => vec![TAG_CLEAN_SHUTDOWN],
+            Record::Alert(a) => {
+                let mut e = Enc::new(TAG_ALERT);
+                e.u8(a.kind.to_tag());
+                e.u64(a.ts_ns);
+                e.u64(a.seq);
+                e.str(&a.detail);
+                e.buf
+            }
         }
     }
 
@@ -499,6 +613,13 @@ impl Record {
                 for _ in 0..n_fields {
                     fields.push(d.f64()?);
                 }
+                // Optional trailing field: journals written before it
+                // existed simply end here.
+                let exec_mode = if d.done() {
+                    JournalExecMode::Unknown
+                } else {
+                    JournalExecMode::from_tag(d.u8()?)?
+                };
                 Record::Meta(Box::new(SessionMeta {
                     session_id,
                     name,
@@ -508,6 +629,7 @@ impl Record {
                     snapshot_target,
                     snapshot_interval_ns,
                     cost_model: cost_model_from_fields(&fields)?,
+                    exec_mode,
                 }))
             }
             TAG_SNAPSHOT => {
@@ -529,6 +651,12 @@ impl Record {
                 message: d.str()?,
             }),
             TAG_CLEAN_SHUTDOWN => Record::CleanShutdown,
+            TAG_ALERT => Record::Alert(AlertRecord {
+                kind: AlertKind::from_tag(d.u8()?)?,
+                ts_ns: d.u64()?,
+                seq: d.u64()?,
+                detail: d.str()?,
+            }),
             _ => return None,
         };
         if !d.done() {
@@ -552,6 +680,7 @@ mod tests {
             snapshot_target: 192,
             snapshot_interval_ns: Some(500_000),
             cost_model: CostModel::default(),
+            exec_mode: JournalExecMode::Batch,
         }
     }
 
@@ -591,11 +720,30 @@ mod tests {
                 message: "boom".into(),
             }),
             Record::CleanShutdown,
+            Record::Alert(AlertRecord {
+                kind: AlertKind::Diverging,
+                ts_ns: 9_000,
+                seq: 17,
+                detail: "estimate 0.90 vs observed 0.20".into(),
+            }),
         ];
         for r in &records {
             let payload = r.encode_payload();
             assert_eq!(Record::decode_payload(&payload).as_ref(), Some(r));
         }
+    }
+
+    #[test]
+    fn meta_without_exec_mode_decodes_as_unknown() {
+        // A FORMAT_VERSION 1 meta written before the exec-mode field: the
+        // same payload minus its last byte.
+        let mut payload = Record::Meta(Box::new(sample_meta())).encode_payload();
+        payload.pop();
+        let Some(Record::Meta(m)) = Record::decode_payload(&payload) else {
+            panic!("old-format meta must decode");
+        };
+        assert_eq!(m.exec_mode, JournalExecMode::Unknown);
+        assert_eq!(m.session_id, sample_meta().session_id);
     }
 
     #[test]

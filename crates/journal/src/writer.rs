@@ -416,6 +416,17 @@ impl SessionJournal {
         }
     }
 
+    /// Append a watchdog alert annotation. Fsyncs per the snapshot policy's
+    /// spirit: alerts are diagnostics, not the recovery contract, so they
+    /// ride the next forced flush rather than forcing one themselves.
+    pub fn append_alert(&self, alert: &crate::record::AlertRecord) {
+        let frame = Record::Alert(alert.clone()).encode_frame();
+        self.with_inner(|inner| inner.append_frame(&frame));
+        if let Some(m) = &self.metrics {
+            m.records_appended.inc();
+        }
+    }
+
     /// Append the clean-shutdown sentinel and flush — called by the service
     /// at orderly shutdown so recovery can tell a clean exit from a crash.
     pub fn append_clean_shutdown(&self) {
@@ -501,6 +512,7 @@ mod tests {
             snapshot_target: 8,
             snapshot_interval_ns: None,
             cost_model: CostModel::default(),
+            exec_mode: crate::record::JournalExecMode::Unknown,
         }
     }
 

@@ -23,6 +23,7 @@ fn meta() -> SessionMeta {
         snapshot_target: 32,
         snapshot_interval_ns: Some(250_000),
         cost_model: CostModel::default(),
+        exec_mode: lqs_journal::JournalExecMode::Tuple,
     }
 }
 

@@ -63,6 +63,15 @@ pub fn to_jsonl_with_drops(events: &[TraceEvent], names: &[String], dropped: u64
             EventKind::SnapshotTick { index } => {
                 fields.push(("index".into(), Value::Int(*index as i64)));
             }
+            EventKind::OperatorBatch {
+                start_ns,
+                rows_in,
+                rows_out,
+            } => {
+                fields.push(("start_ns".into(), Value::Int(*start_ns as i64)));
+                fields.push(("rows_in".into(), Value::Int(*rows_in as i64)));
+                fields.push(("rows_out".into(), Value::Int(*rows_out as i64)));
+            }
             EventKind::OperatorOpen | EventKind::OperatorFirstRow | EventKind::OperatorClose => {}
         }
         out.push_str(&Value::Object(fields).to_json());
@@ -110,6 +119,11 @@ pub fn from_jsonl(s: &str) -> Result<Vec<TraceEvent>, String> {
             "snapshot_tick" => EventKind::SnapshotTick {
                 index: get_u64("index")?,
             },
+            "operator_batch" => EventKind::OperatorBatch {
+                start_ns: get_u64("start_ns")?,
+                rows_in: get_u64("rows_in")?,
+                rows_out: get_u64("rows_out")?,
+            },
             other => return Err(format!("line {}: unknown kind {other:?}", lineno + 1)),
         };
         events.push(TraceEvent {
@@ -132,6 +146,32 @@ pub fn jsonl_dropped(s: &str) -> u64 {
         .find(|v: &Value| v.get("kind").and_then(Value::as_str) == Some("trace_dropped"))
         .and_then(|v| v.get("dropped").and_then(Value::as_u64))
         .unwrap_or(0)
+}
+
+// ---- Collapsed stacks (flamegraph) --------------------------------------
+
+/// Render weighted stacks as collapsed-stack text — the line format
+/// `frame;frame;frame weight` consumed by `flamegraph.pl`, `inferno`, and
+/// speedscope. Frames are root-first; weights are whatever unit the caller
+/// attributes (the profiler uses virtual nanoseconds of per-node
+/// self-time). Zero-weight stacks are skipped, `;` inside a frame name is
+/// replaced with `,` (it is the separator), and lines are sorted
+/// lexicographically so the same stacks always render byte-identically.
+pub fn to_collapsed_stacks(stacks: &[(Vec<String>, u64)]) -> String {
+    let mut lines: Vec<String> = stacks
+        .iter()
+        .filter(|(frames, weight)| *weight > 0 && !frames.is_empty())
+        .map(|(frames, weight)| {
+            let path: Vec<String> = frames.iter().map(|f| f.replace(';', ",")).collect();
+            format!("{} {weight}", path.join(";"))
+        })
+        .collect();
+    lines.sort_unstable();
+    let mut out = lines.join("\n");
+    if !out.is_empty() {
+        out.push('\n');
+    }
+    out
 }
 
 // ---- Chrome trace-event JSON --------------------------------------------
@@ -362,6 +402,23 @@ fn emit_stream(out: &mut Vec<Value>, pid: i64, events: &[TraceEvent], names: &[S
                     vec![("index".into(), Value::Int(*index as i64))],
                 );
             }
+            EventKind::OperatorBatch {
+                start_ns,
+                rows_in,
+                rows_out,
+            } => {
+                let node = n.expect("operator event without node");
+                complete(
+                    format!("{} batch", node_name(names, node)),
+                    n,
+                    *start_ns,
+                    e.ts_ns.saturating_sub(*start_ns),
+                    vec![
+                        ("rows_in".into(), Value::Int(*rows_in as i64)),
+                        ("rows_out".into(), Value::Int(*rows_out as i64)),
+                    ],
+                );
+            }
         }
     }
     // Spans still open when the trace ends (e.g. a truncated ring buffer).
@@ -456,6 +513,15 @@ mod tests {
                 ts_ns: 700,
                 node: Some(NodeId(2)),
                 kind: EventKind::BufferHighWater { rows: 64 },
+            },
+            TraceEvent {
+                ts_ns: 800,
+                node: Some(NodeId(1)),
+                kind: EventKind::OperatorBatch {
+                    start_ns: 520,
+                    rows_in: 1024,
+                    rows_out: 512,
+                },
             },
             TraceEvent {
                 ts_ns: 900,
@@ -647,6 +713,37 @@ mod tests {
         for s in op_spans {
             assert!((s["dur"].as_f64().unwrap() - 0.1).abs() < 1e-9);
         }
+    }
+
+    #[test]
+    fn batch_spans_render_with_duration_and_rows() {
+        let events = sample_events();
+        let names = vec!["Gather".into(), "Hash Join".into(), "Exchange".into()];
+        let text = to_chrome_trace(&events, &names);
+        let parsed = serde_json::from_str(&text).unwrap();
+        let spans = parsed["traceEvents"].as_array().unwrap();
+        let batch = spans
+            .iter()
+            .find(|e| e["name"] == "Hash Join batch")
+            .expect("batch span");
+        // 520 → 800 ns = 0.28 µs, starting at 0.52 µs.
+        assert!((batch["ts"].as_f64().unwrap() - 0.52).abs() < 1e-9);
+        assert!((batch["dur"].as_f64().unwrap() - 0.28).abs() < 1e-9);
+        assert_eq!(batch["args"]["rows_in"].as_u64(), Some(1024));
+        assert_eq!(batch["args"]["rows_out"].as_u64(), Some(512));
+    }
+
+    #[test]
+    fn collapsed_stacks_are_sorted_and_escaped() {
+        let stacks = vec![
+            (vec!["query".into(), "Sort".into()], 300u64),
+            (vec!["query".into(), "Sort".into(), "Scan;odd".into()], 700),
+            (vec!["query".into()], 0), // zero weight: skipped
+            (Vec::new(), 42),          // empty stack: skipped
+        ];
+        let text = to_collapsed_stacks(&stacks);
+        assert_eq!(text, "query;Sort 300\nquery;Sort;Scan,odd 700\n");
+        assert_eq!(to_collapsed_stacks(&[]), "");
     }
 
     #[test]

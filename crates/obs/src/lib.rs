@@ -26,7 +26,8 @@ pub mod sink;
 
 pub use export::{
     from_jsonl, jsonl_dropped, split_sessions, to_chrome_trace, to_chrome_trace_sessions,
-    to_chrome_trace_with_drops, to_jsonl, to_jsonl_with_drops, SessionTraceExport,
+    to_chrome_trace_with_drops, to_collapsed_stacks, to_jsonl, to_jsonl_with_drops,
+    SessionTraceExport,
 };
 pub use sink::{
     EventKind, EventSink, NullSink, RingBufferSink, SessionEvent, SessionTap, SharedRingSink,

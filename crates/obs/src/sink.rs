@@ -39,6 +39,20 @@ pub enum EventKind {
         /// Zero-based index of the snapshot in the trace.
         index: u64,
     },
+    /// One batched charging span settled: everything the operator did
+    /// between two flush boundaries of its `BatchCharge` scope. The event's
+    /// `ts_ns` is the span's end; timestamps are coarsened to flush
+    /// granularity (snapshot/deadline boundaries and scope ends), but the
+    /// row counts and the covered virtual time are exact — this is how the
+    /// vectorized path stays traceable without per-row events.
+    OperatorBatch {
+        /// Virtual time at which the span began.
+        start_ns: u64,
+        /// Rows consumed from children within the span.
+        rows_in: u64,
+        /// Rows output within the span.
+        rows_out: u64,
+    },
 }
 
 impl EventKind {
@@ -52,6 +66,7 @@ impl EventKind {
             EventKind::BufferHighWater { .. } => "buffer_high_water",
             EventKind::BitmapBuilt { .. } => "bitmap_built",
             EventKind::SnapshotTick { .. } => "snapshot_tick",
+            EventKind::OperatorBatch { .. } => "operator_batch",
         }
     }
 }

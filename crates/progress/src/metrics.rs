@@ -161,6 +161,7 @@ mod tests {
             duration_ns: (n_snaps * 100) as u64,
             rows_returned: total_rows,
             cost_model: lqs_plan::CostModel::default(),
+            node_elapsed_ns: Vec::new(),
         }
     }
 

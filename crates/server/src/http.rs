@@ -21,6 +21,14 @@
 //! * `GET /history/predict?fingerprint=F` — predicted CPU/IO/runtime for a
 //!   plan fingerprint from the live [`HistoryStore`]; answers an explicit
 //!   `no_history` (never a zero estimate) when the store can't help.
+//! * `GET /profile/{session}` — a completed session's exact per-operator
+//!   time attribution as JSON (self/inclusive virtual ns, collapsed
+//!   flamegraph stacks inline); `?format=collapsed` serves the bare
+//!   collapsed-stack text for flamegraph tooling. Sessions without a
+//!   completed run answer an explicit `available: false`, never a guess.
+//! * `GET /alerts` — the live watchdog's current stalled/diverging
+//!   classifications as JSON, ordered by session id (requires a
+//!   [`crate::Watchdog`] wired via [`ServerConfig::watchdog`]).
 //!
 //! The three journal-backed routes re-scan the journal directory on every
 //! request, so they are computed purely from journal bytes: two scrapes
@@ -32,6 +40,8 @@
 
 use crate::metrics::state_label;
 use crate::registry::SessionRegistry;
+use crate::session::{SessionHandle, SessionId, SessionResult};
+use crate::watchdog::Watchdog;
 use lqs_history::{
     scan_history, FleetHistory, HistoryMetrics, HistoryResolver, HistoryStore, Pctls,
     ResourcePrediction, SessionHistory,
@@ -42,7 +52,7 @@ use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -76,6 +86,10 @@ pub struct ServerConfig {
     /// Sessions rebuilt from the journal at startup, surfaced in
     /// `/healthz`.
     pub recovered_sessions: u64,
+    /// Enables the `/alerts` route when set. The server only *reads* the
+    /// watchdog's current alerts; whoever owns the sweep loop shares the
+    /// same handle and drives [`Watchdog::sweep`] on its own cadence.
+    pub watchdog: Option<Arc<Mutex<Watchdog>>>,
 }
 
 struct ServerState {
@@ -212,7 +226,9 @@ fn serve_connection(mut stream: TcpStream, state: &ServerState) -> std::io::Resu
             &sessions_json(&state.sessions),
         ),
         "/healthz" => respond(&mut stream, 200, "application/json", &healthz_json(state)),
+        "/alerts" => serve_alerts(&mut stream, state),
         _ if path.starts_with("/history/") => serve_history(&mut stream, state, path, query),
+        _ if path.starts_with("/profile/") => serve_profile(&mut stream, state, path, query),
         "/" => respond(
             &mut stream,
             200,
@@ -224,7 +240,9 @@ fn serve_connection(mut stream: TcpStream, state: &ServerState) -> std::io::Resu
              \x20 GET /history/sessions               journaled sessions (since=, until=)\n\
              \x20 GET /history/session/{key}/curve    one session's progress curve\n\
              \x20 GET /history/percentiles            per-workload p50/p90/p99 (workload=)\n\
-             \x20 GET /history/predict                predicted resources (fingerprint=)\n",
+             \x20 GET /history/predict                predicted resources (fingerprint=)\n\
+             \x20 GET /profile/{session}              per-operator time attribution (format=collapsed)\n\
+             \x20 GET /alerts                         live watchdog alerts as JSON\n",
         ),
         _ => respond(&mut stream, 404, "text/plain", "not found\n"),
     }
@@ -343,6 +361,130 @@ fn serve_predict(
             respond(stream, 200, "application/json", &(body.to_json() + "\n"))
         }
     }
+}
+
+/// `GET /profile/{session}`: a completed session's exact per-operator
+/// time attribution. `{session}` is a bare id or `session-N`. Sessions
+/// without a completed, attribution-carrying run answer an explicit
+/// `available: false` with the reason — never a partial or guessed
+/// profile.
+fn serve_profile(
+    stream: &mut TcpStream,
+    state: &ServerState,
+    path: &str,
+    query: &str,
+) -> std::io::Result<()> {
+    let raw = &path["/profile/".len()..];
+    let raw = raw.strip_prefix("session-").unwrap_or(raw);
+    let Ok(id) = raw.parse::<u64>() else {
+        return bad_param(stream, "session", &format!("{raw:?} is not a session id"));
+    };
+    let Some(handle) = state.sessions.session(SessionId(id)) else {
+        return respond(stream, 404, "text/plain", "no such session\n");
+    };
+    let report = match handle.result() {
+        Some(SessionResult::Completed(run)) => {
+            lqs_prof::ProfileReport::from_run(handle.plan(), &run)
+        }
+        _ => None,
+    };
+    let collapsed_only = query_param(query, "format").as_deref() == Some("collapsed");
+    let Some(report) = report else {
+        let reason = if !handle.state().is_terminal() {
+            "session not terminal yet"
+        } else if matches!(handle.result(), Some(SessionResult::Completed(_))) {
+            // A completed run without attribution exists only on the
+            // recovery path: journals carry counters, not self-times.
+            "no attribution recorded (journal-reconstructed run)"
+        } else {
+            "no completed run"
+        };
+        if collapsed_only {
+            return respond(stream, 404, "text/plain", &format!("{reason}\n"));
+        }
+        let body = Value::Object(vec![
+            ("session_id".into(), Value::Int(id as i64)),
+            ("name".into(), Value::String(handle.name().into())),
+            ("available".into(), Value::Bool(false)),
+            ("reason".into(), Value::String(reason.into())),
+        ]);
+        return respond(stream, 200, "application/json", &(body.to_json() + "\n"));
+    };
+    if collapsed_only {
+        respond(stream, 200, "text/plain", &report.collapsed_stacks())
+    } else {
+        respond(
+            stream,
+            200,
+            "application/json",
+            &profile_json(&handle, &report),
+        )
+    }
+}
+
+fn profile_json(handle: &SessionHandle, report: &lqs_prof::ProfileReport) -> String {
+    let nodes: Vec<Value> = report
+        .nodes
+        .iter()
+        .map(|n| {
+            Value::Object(vec![
+                ("node".into(), Value::Int(n.node as i64)),
+                ("name".into(), Value::String(n.name.clone())),
+                (
+                    "parent".into(),
+                    n.parent.map_or(Value::Null, |p| Value::Int(p as i64)),
+                ),
+                ("self_ns".into(), Value::Int(n.self_ns as i64)),
+                ("inclusive_ns".into(), Value::Int(n.inclusive_ns as i64)),
+                ("rows_output".into(), Value::Int(n.rows_output as i64)),
+                ("cpu_ns".into(), Value::Int(n.cpu_ns as i64)),
+                ("logical_reads".into(), Value::Int(n.logical_reads as i64)),
+                ("executions".into(), Value::Int(n.executions as i64)),
+            ])
+        })
+        .collect();
+    let body = Value::Object(vec![
+        ("session_id".into(), Value::Int(handle.id().0 as i64)),
+        ("name".into(), Value::String(handle.name().into())),
+        ("workload".into(), Value::String(handle.workload().into())),
+        ("available".into(), Value::Bool(true)),
+        ("total_ns".into(), Value::Int(report.total_ns as i64)),
+        ("root".into(), Value::Int(report.root as i64)),
+        ("nodes".into(), Value::Array(nodes)),
+        ("collapsed".into(), Value::String(report.collapsed_stacks())),
+    ]);
+    body.to_json() + "\n"
+}
+
+/// `GET /alerts`: the live watchdog's current classifications. The server
+/// never sweeps — it reads whatever the owning sweep loop last computed,
+/// so a scrape can't perturb classification determinism.
+fn serve_alerts(stream: &mut TcpStream, state: &ServerState) -> std::io::Result<()> {
+    let Some(watchdog) = &state.config.watchdog else {
+        return respond(stream, 404, "text/plain", "watchdog not configured\n");
+    };
+    let (sweeps, alerts) = {
+        let w = watchdog.lock().expect("watchdog poisoned");
+        (w.sweeps(), w.alerts())
+    };
+    let rows: Vec<Value> = alerts
+        .iter()
+        .map(|a| {
+            Value::Object(vec![
+                ("session_id".into(), Value::Int(a.id.0 as i64)),
+                ("name".into(), Value::String(a.name.clone())),
+                ("kind".into(), Value::String(a.kind.as_str().into())),
+                ("ts_ns".into(), Value::Int(a.ts_ns as i64)),
+                ("seq".into(), Value::Int(a.seq as i64)),
+                ("detail".into(), Value::String(a.detail.clone())),
+            ])
+        })
+        .collect();
+    let body = Value::Object(vec![
+        ("sweeps".into(), Value::Int(sweeps as i64)),
+        ("alerts".into(), Value::Array(rows)),
+    ]);
+    respond(stream, 200, "application/json", &(body.to_json() + "\n"))
 }
 
 /// Read up to the end of the request head (`\r\n\r\n`). `Ok(None)` means

@@ -41,6 +41,13 @@
 //!   them bit-identically), interrupted ones come back
 //!   [`SessionState::Orphaned`] with their last journaled snapshot served
 //!   at degraded quality.
+//! * Live diagnosis — a [`Watchdog`] sweeps the registry and classifies
+//!   running sessions Healthy / Stalled / Diverging (estimate vs
+//!   observed-rows drift beyond a band), journaling every alert and
+//!   serving the live set on `GET /alerts`; completed sessions' exact
+//!   per-operator time attribution is served as a
+//!   [`lqs_prof::ProfileReport`] (flamegraph-ready collapsed stacks
+//!   included) on `GET /profile/{session}`.
 //!
 //! ```
 //! use lqs_server::{QueryService, QuerySpec, RegistryPoller, SessionState};
@@ -82,6 +89,7 @@ pub mod registry;
 pub mod seqslot;
 pub mod service;
 pub mod session;
+pub mod watchdog;
 
 pub use http::{HistoryEndpoints, MetricsServer, ServerConfig};
 pub use metrics::{state_label, PollerMetrics, ServiceMetrics};
@@ -92,3 +100,4 @@ pub use registry::{PollFaultInjector, RegistryPoller, SessionProgress, SessionRe
 pub use seqslot::SnapshotSlot;
 pub use service::QueryService;
 pub use session::{QuerySpec, SessionHandle, SessionId, SessionResult, SessionState};
+pub use watchdog::{Health, SessionAlert, Watchdog, WatchdogConfig};

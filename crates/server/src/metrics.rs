@@ -42,6 +42,7 @@ pub struct ServiceMetrics {
     pub(crate) trace_events_dropped: Arc<Gauge>,
     pub(crate) rejected: Arc<Counter>,
     pub(crate) retries: Arc<Counter>,
+    pub(crate) tuple_fallback: Arc<Counter>,
 }
 
 impl ServiceMetrics {
@@ -87,6 +88,11 @@ impl ServiceMetrics {
             "Re-executions of sessions that hit a transient fault within their retry budget",
             &[],
         );
+        let tuple_fallback = registry.counter(
+            "lqs_exec_tuple_fallback_total",
+            "Auto-mode sessions that degraded to tuple-at-a-time execution (fault injector attached)",
+            &[],
+        );
         Arc::new(ServiceMetrics {
             exec: ExecMetrics::new(Arc::clone(&registry)),
             registry,
@@ -98,6 +104,7 @@ impl ServiceMetrics {
             trace_events_dropped,
             rejected,
             retries,
+            tuple_fallback,
         })
     }
 
@@ -209,6 +216,28 @@ impl PollerMetrics {
         self.registry
             .remove("lqs_session_progress_percent", &labels);
         self.registry.remove("lqs_session_snapshot_age_us", &labels);
+    }
+
+    /// Publish the registry-wide seqlock contention totals (summed across
+    /// the currently registered sessions' snapshot slots). Gauges, not
+    /// counters: sessions carry their slot totals with them when evicted,
+    /// so the sum can step down — the interesting signal is the rate while
+    /// a population is live.
+    pub(crate) fn set_snapshot_contention(&self, torn: u64, fallback: u64) {
+        self.registry
+            .gauge(
+                "lqs_snapshot_torn_reads_total",
+                "Snapshot-slot reads discarded because a publish landed mid-copy, summed over registered sessions",
+                &[],
+            )
+            .set(torn.min(i64::MAX as u64) as i64);
+        self.registry
+            .gauge(
+                "lqs_snapshot_fallback_reads_total",
+                "Snapshot-slot reads served through the mutex-guarded shape-mismatch fallback, summed over registered sessions",
+                &[],
+            )
+            .set(fallback.min(i64::MAX as u64) as i64);
     }
 
     /// Refresh the derived quantile gauges from the latency/staleness

@@ -278,13 +278,14 @@ fn restore_handle(
     let (state, result, snapshot) = match terminal.kind {
         TerminalKind::Succeeded => (
             SessionState::Succeeded,
-            SessionResult::Completed(QueryRun {
+            SessionResult::Completed(Box::new(QueryRun {
                 snapshots: trace,
                 final_counters: last.nodes.clone(),
                 duration_ns: terminal.at_ns,
                 rows_returned: terminal.rows_returned,
                 cost_model: meta.cost_model.clone(),
-            }),
+                node_elapsed_ns: Vec::new(),
+            })),
             Some(last),
         ),
         TerminalKind::Cancelled | TerminalKind::DeadlineExceeded => {

@@ -220,6 +220,15 @@ impl RegistryPoller {
         self.round += 1;
         let sessions = self.registry.sessions();
         let mut out = Vec::with_capacity(sessions.len());
+        let (mut torn, mut fallback) = (0u64, 0u64);
+        for handle in &sessions {
+            let (t, f) = handle.snapshot_contention();
+            torn += t;
+            fallback += f;
+        }
+        if let Some(metrics) = &self.metrics {
+            metrics.set_snapshot_contention(torn, fallback);
+        }
         for handle in sessions {
             if let Some(metrics) = &self.metrics {
                 // Staleness of the poller's view: age of the snapshot this

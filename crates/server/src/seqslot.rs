@@ -60,6 +60,14 @@ pub struct SnapshotSlot {
     /// Serializes publishers only. Pollers never touch it, so a reader
     /// preempted mid-copy cannot stall a publish.
     writer: Mutex<()>,
+    /// Reads discarded because a publish landed mid-copy (the seqlock
+    /// retry). A high rate means pollers are hammering a slot that
+    /// publishes faster than they can copy it.
+    torn_reads: AtomicU64,
+    /// Reads served from the mutex-guarded overflow slot (shape-changing
+    /// snapshot published by a reshaping filter) — the only read path that
+    /// takes a lock.
+    fallback_reads: AtomicU64,
 }
 
 impl SnapshotSlot {
@@ -72,7 +80,22 @@ impl SnapshotSlot {
             in_fallback: AtomicBool::new(false),
             fallback: Mutex::new(None),
             writer: Mutex::new(()),
+            torn_reads: AtomicU64::new(0),
+            fallback_reads: AtomicU64::new(0),
         }
+    }
+
+    /// Reads retried because a concurrent publish tore the copy, over the
+    /// slot's lifetime. Contention telemetry — not part of the snapshot
+    /// contract.
+    pub fn torn_reads(&self) -> u64 {
+        self.torn_reads.load(Ordering::Relaxed)
+    }
+
+    /// Reads served through the mutex-guarded fallback path (mismatched
+    /// node count), over the slot's lifetime.
+    pub fn fallback_reads(&self) -> u64 {
+        self.fallback_reads.load(Ordering::Relaxed)
     }
 
     /// Node capacity of the word array.
@@ -149,10 +172,12 @@ impl SnapshotSlot {
                 if self.seq.load(Ordering::Relaxed) == s1 {
                     if let Some(snap) = copy {
                         *buf = snap;
+                        self.fallback_reads.fetch_add(1, Ordering::Relaxed);
                         return true;
                     }
                     // in_fallback was itself torn; retry.
                 }
+                self.torn_reads.fetch_add(1, Ordering::Relaxed);
                 continue;
             }
             let cap = self.capacity();
@@ -178,6 +203,7 @@ impl SnapshotSlot {
             if self.seq.load(Ordering::Relaxed) == s1 {
                 return true;
             }
+            self.torn_reads.fetch_add(1, Ordering::Relaxed);
         }
     }
 
@@ -199,6 +225,7 @@ impl SnapshotSlot {
             if self.seq.load(Ordering::Relaxed) == s1 {
                 return Some(ts);
             }
+            self.torn_reads.fetch_add(1, Ordering::Relaxed);
         }
     }
 }
@@ -321,6 +348,23 @@ mod tests {
         assert_eq!(buf.ts_ns, 2);
         assert_eq!(buf.nodes.as_ptr(), ptr, "poll read reallocated its buffer");
         assert_eq!(buf.nodes.capacity(), cap);
+    }
+
+    #[test]
+    fn contention_counters_track_fallback_reads() {
+        let slot = SnapshotSlot::new(2);
+        slot.publish(&uniform(1, 5));
+        let mut buf = DmvSnapshot {
+            ts_ns: 0,
+            nodes: vec![],
+        };
+        assert!(slot.read_into(&mut buf));
+        assert_eq!(slot.fallback_reads(), 1);
+        assert_eq!(slot.torn_reads(), 0);
+        // Back on the word path: no further fallback reads.
+        slot.publish(&uniform(2, 6));
+        assert!(slot.read_into(&mut buf));
+        assert_eq!(slot.fallback_reads(), 1);
     }
 
     /// The seqlock contract under real contention: concurrent readers must

@@ -8,9 +8,11 @@
 use crate::metrics::ServiceMetrics;
 use crate::registry::SessionRegistry;
 use crate::session::{FilteredPublisher, QuerySpec, SessionCost, SessionHandle, SessionState};
-use lqs_exec::{execute_hooked, ExecHooks, FaultInjector, QueryFault, QueryRun, SnapshotPublisher};
+use lqs_exec::{
+    execute_hooked, ExecHooks, ExecMode, FaultInjector, QueryFault, QueryRun, SnapshotPublisher,
+};
 use lqs_history::{plan_features, HistoryMetrics, HistoryStore, ObservedRun, ResourcePrediction};
-use lqs_journal::{plan_fingerprint, Journal, SessionMeta};
+use lqs_journal::{plan_fingerprint, Journal, JournalExecMode, SessionMeta};
 use lqs_obs::EventSink;
 use lqs_plan::PhysicalPlan;
 use lqs_storage::Database;
@@ -262,6 +264,7 @@ impl QueryService {
                 snapshot_target: handle.opts().snapshot_target as u64,
                 snapshot_interval_ns: handle.opts().snapshot_interval_ns,
                 cost_model: handle.opts().cost_model.clone(),
+                exec_mode: resolved_exec_mode(&handle),
             };
             match journal.writer(meta) {
                 Ok(writer) => handle.attach_journal(Arc::new(writer)),
@@ -423,6 +426,25 @@ fn worker_loop(
     }
 }
 
+/// The execution mode this session will actually run under, decidable at
+/// submit time: the engine's `Auto` resolution depends only on whether a
+/// fault injector is attached (fault hooks are per-GetNext and per-I/O
+/// charge, so they force the tuple loop). Journaled in the session meta so
+/// history analytics can segment throughput by engine path.
+pub(crate) fn resolved_exec_mode(handle: &SessionHandle) -> JournalExecMode {
+    match handle.opts().mode {
+        ExecMode::Tuple => JournalExecMode::Tuple,
+        ExecMode::Batch => JournalExecMode::Batch,
+        ExecMode::Auto => {
+            if handle.fault_injector().is_some() {
+                JournalExecMode::Tuple
+            } else {
+                JournalExecMode::Batch
+            }
+        }
+    }
+}
+
 /// Execute one session on the calling thread, publishing snapshots into its
 /// handle and recording the outcome.
 fn run_session(db: &Database, handle: &SessionHandle, metrics: Option<&ServiceMetrics>) {
@@ -449,6 +471,15 @@ fn run_session(db: &Database, handle: &SessionHandle, metrics: Option<&ServiceMe
         metrics.running.inc();
     }
     let started = Instant::now();
+    // Mode-fallback visibility: an Auto session with a fault injector runs
+    // the tuple loop, not the vectorized one — count the degradation so a
+    // fleet quietly running de-vectorized is a dashboard fact, not a
+    // surprise in a flamegraph.
+    if matches!(handle.opts().mode, ExecMode::Auto) && handle.fault_injector().is_some() {
+        if let Some(metrics) = metrics {
+            metrics.tuple_fallback.inc();
+        }
+    }
     let tap = handle.trace_sink().map(|sink| sink.tap(handle.id().0));
     let filter = handle.snapshot_filter().cloned();
     // Mid-run publishes go through the session's snapshot filter (the

@@ -69,8 +69,9 @@ impl SessionState {
 /// What a session left behind when it finished.
 #[derive(Debug, Clone)]
 pub enum SessionResult {
-    /// Completed run: full trace plus ground truth.
-    Completed(QueryRun),
+    /// Completed run: full trace plus ground truth (boxed — a [`QueryRun`]
+    /// dwarfs every other variant).
+    Completed(Box<QueryRun>),
     /// Aborted run: partial trace up to the abort tick.
     Aborted(AbortedQuery),
     /// Execution panicked; the payload is the panic message.
@@ -454,6 +455,14 @@ impl SessionHandle {
         self.latest.read_ts()
     }
 
+    /// Seqlock contention counters of this session's snapshot slot, as
+    /// `(torn_reads, fallback_reads)`: copies discarded because a publish
+    /// landed mid-read, and reads served through the mutex-guarded
+    /// shape-mismatch fallback.
+    pub fn snapshot_contention(&self) -> (u64, u64) {
+        (self.latest.torn_reads(), self.latest.fallback_reads())
+    }
+
     /// The session's outcome, once terminal.
     pub fn result(&self) -> Option<SessionResult> {
         self.result.lock().expect("result slot poisoned").clone()
@@ -504,7 +513,8 @@ impl SessionHandle {
             cost.admission
                 .observe_completed(self.plan(), &run, cost.prediction.as_ref());
         }
-        *self.result.lock().expect("result slot poisoned") = Some(SessionResult::Completed(run));
+        *self.result.lock().expect("result slot poisoned") =
+            Some(SessionResult::Completed(Box::new(run)));
         self.set_state(SessionState::Succeeded);
     }
 

@@ -1,0 +1,351 @@
+//! The live stall watchdog: a sweeper over the [`SessionRegistry`] that
+//! classifies every running session as healthy, **stalled**, or
+//! **diverging** — the "is the progress bar lying to me" question the
+//! paper's DMV consumers (SSMS operators watching Live Query Statistics)
+//! answer by eyeball, answered mechanically.
+//!
+//! * **Stalled** — the session is [`SessionState::Running`] but its
+//!   publish sequence has not moved for [`WatchdogConfig::stall_sweeps`]
+//!   consecutive sweeps *and* the wall-clock window
+//!   [`WatchdogConfig::stall_wall`] has elapsed since the last observed
+//!   change. The sweep count is the deterministic axis (tests zero the
+//!   wall window); the wall window keeps a production watchdog sweeping
+//!   faster than the snapshot cadence from crying wolf.
+//! * **Diverging** — the GetNext-model estimate and the raw observed-rows
+//!   progress disagree by more than [`WatchdogConfig::divergence_band`]
+//!   for [`WatchdogConfig::divergence_sweeps`] consecutive sweeps. The
+//!   estimate is the paper's Equation 2 figure from the session's
+//!   [`GuardedEstimator`]; the observed figure is the unweighted row
+//!   fraction Σ min(rows_output, N̂) / Σ N̂ over the same refined
+//!   cardinalities, so the comparison uses the estimator's own world
+//!   model and drifts only when *work-weighting* and *row counts* tell
+//!   different stories (the §3.3 failure mode: a mis-costed operator
+//!   dominating the weighted figure).
+//!
+//! Stalled takes priority over diverging: a wedged session's snapshot is
+//! frozen, so any divergence it shows is an artifact of the stall.
+//!
+//! Each transition *into* an unhealthy state raises one alert: counted on
+//! `lqs_watchdog_alerts_total{kind=...}`, appended to the session's
+//! journal as an [`AlertRecord`] (so post-mortem scans see what the
+//! watchdog saw, with virtual timestamps), and surfaced on
+//! `GET /alerts`. Returning to health clears the live alert; the journal
+//! record stays, as history.
+
+use crate::registry::SessionRegistry;
+use crate::session::{SessionId, SessionState};
+use lqs_exec::DmvSnapshot;
+use lqs_journal::{AlertKind, AlertRecord};
+use lqs_metrics::MetricsRegistry;
+use lqs_progress::{EstimatorConfig, GuardedEstimator, ProgressEstimator};
+use lqs_storage::Database;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Classification thresholds for one [`Watchdog`].
+#[derive(Debug, Clone)]
+pub struct WatchdogConfig {
+    /// Consecutive sweeps the publish sequence must stay unchanged before
+    /// a running session is stalled.
+    pub stall_sweeps: u64,
+    /// Wall-clock time the publish sequence must stay unchanged before a
+    /// running session is stalled (on top of the sweep count). Zero makes
+    /// classification purely sweep-driven — what deterministic tests use.
+    pub stall_wall: Duration,
+    /// How far (in absolute progress, `[0, 1]`) the estimate may sit from
+    /// the observed-rows figure before a sweep counts as divergent.
+    pub divergence_band: f64,
+    /// Consecutive divergent sweeps before the session is flagged.
+    pub divergence_sweeps: u64,
+}
+
+impl Default for WatchdogConfig {
+    fn default() -> Self {
+        WatchdogConfig {
+            stall_sweeps: 3,
+            stall_wall: Duration::from_secs(2),
+            divergence_band: 0.35,
+            divergence_sweeps: 2,
+        }
+    }
+}
+
+/// One session's health as of the latest sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Health {
+    /// Publishing and telling a consistent story.
+    Healthy,
+    /// Running but not publishing progress.
+    Stalled,
+    /// Estimate and observed rows disagree beyond the band.
+    Diverging,
+}
+
+impl Health {
+    /// Lower-snake label for JSON and metric output.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Health::Healthy => "healthy",
+            Health::Stalled => "stalled",
+            Health::Diverging => "diverging",
+        }
+    }
+}
+
+/// A live alert: one session currently classified unhealthy.
+#[derive(Debug, Clone)]
+pub struct SessionAlert {
+    /// The unhealthy session.
+    pub id: SessionId,
+    /// Its display name.
+    pub name: String,
+    /// What kind of unhealth.
+    pub kind: AlertKind,
+    /// Virtual timestamp of the session's latest snapshot when the alert
+    /// was raised (0 before any publish).
+    pub ts_ns: u64,
+    /// Publish sequence when the alert was raised.
+    pub seq: u64,
+    /// Human-readable specifics (sweep counts, progress figures).
+    pub detail: String,
+}
+
+/// Per-session sweep state.
+struct Track {
+    /// Publish sequence at the last sweep (`None` on the first).
+    last_seq: Option<u64>,
+    /// Sweeps since the sequence last moved.
+    unchanged_sweeps: u64,
+    /// Wall instant the sequence last moved (or was first observed).
+    changed_at: Instant,
+    /// Consecutive sweeps outside the divergence band.
+    diverging_sweeps: u64,
+    /// Latest (estimate, observed) pair, for alert detail.
+    last_drift: Option<(f64, f64)>,
+    /// Classification as of the previous sweep.
+    health: Health,
+    /// The session's progress estimator, persistent across sweeps (its
+    /// anomaly state must accumulate, same as the poller's).
+    estimator: GuardedEstimator,
+}
+
+/// Sweeps a [`SessionRegistry`], classifying running sessions and raising
+/// alerts on transitions into [`Health::Stalled`] / [`Health::Diverging`].
+///
+/// Classification is deterministic given the snapshot sequence each sweep
+/// observes: with [`WatchdogConfig::stall_wall`] zeroed, two watchdogs
+/// sweeping the same published states reach identical verdicts.
+pub struct Watchdog {
+    db: Arc<Database>,
+    registry: Arc<SessionRegistry>,
+    config: WatchdogConfig,
+    estimator_config: EstimatorConfig,
+    metrics: Option<Arc<MetricsRegistry>>,
+    track: HashMap<SessionId, Track>,
+    /// Current alerts, keyed (and therefore served) by session id.
+    alerts: BTreeMap<SessionId, SessionAlert>,
+    /// Completed sweeps — the deterministic time axis.
+    sweeps: u64,
+    /// Reusable snapshot buffer (same pooling as the poller's).
+    scratch: DmvSnapshot,
+}
+
+impl Watchdog {
+    /// A watchdog over `registry`, estimating with `estimator_config` and
+    /// classifying with `config`.
+    pub fn new(
+        db: Arc<Database>,
+        registry: Arc<SessionRegistry>,
+        estimator_config: EstimatorConfig,
+        config: WatchdogConfig,
+    ) -> Self {
+        Watchdog {
+            db,
+            registry,
+            config,
+            estimator_config,
+            metrics: None,
+            track: HashMap::new(),
+            alerts: BTreeMap::new(),
+            sweeps: 0,
+            scratch: DmvSnapshot {
+                ts_ns: 0,
+                nodes: Vec::new(),
+            },
+        }
+    }
+
+    /// Count raised alerts on `lqs_watchdog_alerts_total{kind=...}` in
+    /// `registry`.
+    pub fn with_metrics(mut self, registry: Arc<MetricsRegistry>) -> Self {
+        self.metrics = Some(registry);
+        self
+    }
+
+    /// Completed sweeps so far.
+    pub fn sweeps(&self) -> u64 {
+        self.sweeps
+    }
+
+    /// The latest classification of `id`, if it was running at the last
+    /// sweep.
+    pub fn health(&self, id: SessionId) -> Option<Health> {
+        self.track.get(&id).map(|t| t.health)
+    }
+
+    /// Current alerts, ordered by session id. An alert stays listed until
+    /// its session returns to health or leaves the running state.
+    pub fn alerts(&self) -> Vec<SessionAlert> {
+        self.alerts.values().cloned().collect()
+    }
+
+    /// Sweep every registered session once, returning the alerts *newly
+    /// raised* by this sweep (transitions into an unhealthy state only —
+    /// a session that stays stalled raises nothing new).
+    pub fn sweep(&mut self) -> Vec<SessionAlert> {
+        self.sweeps += 1;
+        let mut raised = Vec::new();
+        let sessions = self.registry.sessions();
+        for handle in &sessions {
+            let id = handle.id();
+            if handle.state() != SessionState::Running {
+                // Queued sessions have nothing to classify yet; terminal
+                // ones end the episode — drop tracking and any live alert
+                // (the journal keeps the permanent record).
+                self.track.remove(&id);
+                self.alerts.remove(&id);
+                continue;
+            }
+            let seq = handle.published_seq();
+            let n_nodes = handle.plan().len();
+            let have_snapshot = handle.read_snapshot_into(&mut self.scratch);
+            let db = &self.db;
+            let estimator_config = &self.estimator_config;
+            let track = self.track.entry(id).or_insert_with(|| Track {
+                last_seq: None,
+                unchanged_sweeps: 0,
+                changed_at: Instant::now(),
+                diverging_sweeps: 0,
+                last_drift: None,
+                health: Health::Healthy,
+                estimator: GuardedEstimator::new(
+                    ProgressEstimator::with_cost_model(
+                        handle.plan(),
+                        db,
+                        estimator_config.clone(),
+                        &handle.opts().cost_model,
+                    ),
+                    n_nodes,
+                ),
+            });
+
+            // Stall bookkeeping: the publish sequence is the heartbeat.
+            if track.last_seq == Some(seq) {
+                track.unchanged_sweeps += 1;
+            } else {
+                track.last_seq = Some(seq);
+                track.unchanged_sweeps = 0;
+                track.changed_at = Instant::now();
+            }
+
+            // Divergence bookkeeping: compare the work-weighted estimate
+            // with the unweighted observed-rows fraction over the same
+            // refined cardinalities. No snapshot (or a shape-mismatched
+            // one from a reshaping filter) leaves the divergence state
+            // untouched — stall detection covers silence.
+            if have_snapshot && self.scratch.nodes.len() == n_nodes {
+                let report = track.estimator.observe(&self.scratch);
+                let mut expected = 0.0f64;
+                let mut done = 0.0f64;
+                for (i, node) in report.nodes.iter().enumerate() {
+                    let refined = node.refined_n.max(0.0);
+                    expected += refined;
+                    done += (self.scratch.nodes[i].rows_output as f64).min(refined);
+                }
+                if expected > 0.0 {
+                    let observed = (done / expected).clamp(0.0, 1.0);
+                    let estimate = report.query_progress.clamp(0.0, 1.0);
+                    track.last_drift = Some((estimate, observed));
+                    if (estimate - observed).abs() > self.config.divergence_band {
+                        track.diverging_sweeps += 1;
+                    } else {
+                        track.diverging_sweeps = 0;
+                    }
+                }
+            }
+
+            let stalled = track.unchanged_sweeps >= self.config.stall_sweeps
+                && track.changed_at.elapsed() >= self.config.stall_wall;
+            let diverging = track.diverging_sweeps >= self.config.divergence_sweeps;
+            let health = if stalled {
+                Health::Stalled
+            } else if diverging {
+                Health::Diverging
+            } else {
+                Health::Healthy
+            };
+            if health == track.health {
+                continue;
+            }
+            track.health = health;
+            let (kind, detail) = match health {
+                Health::Healthy => {
+                    self.alerts.remove(&id);
+                    continue;
+                }
+                Health::Stalled => (
+                    AlertKind::Stalled,
+                    format!(
+                        "no snapshot progress for {} sweeps (published_seq {} unchanged)",
+                        track.unchanged_sweeps, seq
+                    ),
+                ),
+                Health::Diverging => {
+                    let (estimate, observed) = track.last_drift.unwrap_or((0.0, 0.0));
+                    (
+                        AlertKind::Diverging,
+                        format!(
+                            "estimated progress {:.3} vs observed-rows progress {:.3} \
+                             beyond band {:.3} for {} sweeps",
+                            estimate, observed, self.config.divergence_band, track.diverging_sweeps
+                        ),
+                    )
+                }
+            };
+            let alert = SessionAlert {
+                id,
+                name: handle.name().to_string(),
+                kind,
+                ts_ns: handle.latest_snapshot_ts().unwrap_or(0),
+                seq,
+                detail,
+            };
+            if let Some(metrics) = &self.metrics {
+                metrics
+                    .counter(
+                        "lqs_watchdog_alerts_total",
+                        "Watchdog alerts raised on transitions into an unhealthy state, by kind",
+                        &[("kind", kind.as_str())],
+                    )
+                    .inc();
+            }
+            if let Some(journal) = handle.journal() {
+                journal.append_alert(&AlertRecord {
+                    kind: alert.kind,
+                    ts_ns: alert.ts_ns,
+                    seq: alert.seq,
+                    detail: alert.detail.clone(),
+                });
+            }
+            self.alerts.insert(id, alert.clone());
+            raised.push(alert);
+        }
+        // Sessions gone from the registry entirely (evicted) end their
+        // episodes too.
+        let live: std::collections::HashSet<SessionId> = sessions.iter().map(|h| h.id()).collect();
+        self.track.retain(|id, _| live.contains(id));
+        self.alerts.retain(|id, _| live.contains(id));
+        raised
+    }
+}

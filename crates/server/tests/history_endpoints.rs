@@ -195,6 +195,7 @@ fn cold_prediction_is_explicit_no_history_and_admission_falls_back() {
                 metrics: None,
             }),
             recovered_sessions: 0,
+            watchdog: None,
         },
     )
     .expect("bind ephemeral port");
@@ -260,6 +261,7 @@ fn history_endpoints_are_deterministic_and_healthz_reports() {
                 metrics: None,
             }),
             recovered_sessions: 3,
+            watchdog: None,
         },
     )
     .expect("bind ephemeral port");

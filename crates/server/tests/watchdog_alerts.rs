@@ -1,0 +1,281 @@
+//! Deterministic watchdog classification: a chaos-injected stalled
+//! session and a divergence-mangled session each raise exactly the right
+//! `/alerts` entry, the alert is journaled, and recovery clears when the
+//! session finishes.
+//!
+//! Determinism contract: classification depends only on sweep counts and
+//! the published snapshot sequence (the tests zero / inflate the wall
+//! windows), so the same injected chaos always yields the same alerts.
+
+use lqs_exec::{DmvSnapshot, ExecOptions, FaultInjector, IoVerdict, SnapshotFilter};
+use lqs_journal::{scan_dir, AlertKind, Journal, JournalConfig};
+use lqs_metrics::MetricsRegistry;
+use lqs_plan::{NodeId, PhysicalPlan, PlanBuilder, SortKey};
+use lqs_progress::EstimatorConfig;
+use lqs_server::{Health, QueryService, QuerySpec, SessionState, Watchdog, WatchdogConfig};
+use lqs_storage::{Column, DataType, Database, Schema, Table, Value};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn build_db() -> Database {
+    let mut orders = Table::new(
+        "orders",
+        Schema::new(vec![
+            Column::new("id", DataType::Int),
+            Column::new("amount", DataType::Int),
+        ]),
+    );
+    for i in 0..6000i64 {
+        orders
+            .insert(vec![Value::Int(i), Value::Int((i * 7) % 1000)])
+            .unwrap();
+    }
+    let mut db = Database::new();
+    db.add_table_analyzed(orders);
+    db
+}
+
+/// scan → sort, returning (plan, scan node id).
+fn scan_sort_plan(db: &Database) -> (Arc<PhysicalPlan>, NodeId) {
+    let orders = db.table_by_name("orders").expect("orders table");
+    let mut b = PlanBuilder::new(db);
+    let scan = b.table_scan(orders);
+    let sort = b.sort(scan, vec![SortKey::desc(1)]);
+    (Arc::new(b.finish(sort)), scan)
+}
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("lqs-watchdog-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+/// Blocks the executing worker inside an I/O charge once `after_pages`
+/// cumulative logical reads have passed, until released. The session stays
+/// `Running` with a frozen publish sequence — the stall shape.
+struct Gate {
+    after_pages: u64,
+    release: AtomicBool,
+}
+
+impl Gate {
+    fn new(after_pages: u64) -> Arc<Self> {
+        Arc::new(Gate {
+            after_pages,
+            release: AtomicBool::new(false),
+        })
+    }
+
+    fn open(&self) {
+        self.release.store(true, Ordering::Release);
+    }
+}
+
+impl FaultInjector for Gate {
+    fn on_io(&self, _node: NodeId, total_pages: u64, _now_ns: u64) -> IoVerdict {
+        if total_pages > self.after_pages {
+            while !self.release.load(Ordering::Acquire) {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        }
+        IoVerdict::Ok
+    }
+}
+
+/// Telemetry mangler: every mid-run snapshot claims the scan is fully
+/// done and everything downstream has produced nothing — the counters a
+/// buggy publisher (or a wildly mis-costed plan) would show. The
+/// work-weighted estimate and the raw observed-rows fraction then tell
+/// different stories sweep after sweep.
+struct Mangler {
+    scan_node: usize,
+    scan_rows: u64,
+}
+
+impl SnapshotFilter for Mangler {
+    fn filter(&self, snapshot: &DmvSnapshot) -> Vec<DmvSnapshot> {
+        let mut m = snapshot.clone();
+        for (i, n) in m.nodes.iter_mut().enumerate() {
+            if i == self.scan_node {
+                n.rows_output = self.scan_rows;
+            } else {
+                n.rows_output = 0;
+                n.rows_input = 0;
+            }
+        }
+        vec![m]
+    }
+}
+
+/// Sweep until the watchdog raises something (bounded), sleeping between
+/// sweeps so the gated worker thread gets scheduled.
+fn sweep_until_raised(wd: &mut Watchdog, max_sweeps: u64) -> Vec<lqs_server::SessionAlert> {
+    for _ in 0..max_sweeps {
+        let raised = wd.sweep();
+        if !raised.is_empty() {
+            return raised;
+        }
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    Vec::new()
+}
+
+#[test]
+fn stalled_session_raises_one_journaled_alert_and_clears_on_finish() {
+    let dir = tmpdir("stalled");
+    let db = Arc::new(build_db());
+    let (plan, _) = scan_sort_plan(&db);
+
+    let journal = Journal::open(JournalConfig::new(&dir)).expect("open journal");
+    let service = QueryService::new(Arc::clone(&db), 1).with_journal(journal);
+    let metrics = Arc::new(MetricsRegistry::new());
+    let mut wd = Watchdog::new(
+        Arc::clone(&db),
+        Arc::clone(service.registry()),
+        EstimatorConfig::full(),
+        WatchdogConfig {
+            stall_sweeps: 3,
+            stall_wall: Duration::ZERO,
+            ..WatchdogConfig::default()
+        },
+    )
+    .with_metrics(Arc::clone(&metrics));
+
+    // Gate on the very first page: the session blocks before it can
+    // publish a single snapshot.
+    let gate = Gate::new(0);
+    let handle = service
+        .submit(QuerySpec::new("wedged", Arc::clone(&plan)).with_fault(Arc::clone(&gate) as _));
+    while handle.state() != SessionState::Running {
+        std::thread::sleep(Duration::from_millis(1));
+    }
+
+    let raised = sweep_until_raised(&mut wd, 200);
+    assert_eq!(raised.len(), 1, "exactly one alert per stall episode");
+    assert_eq!(raised[0].kind, AlertKind::Stalled);
+    assert_eq!(raised[0].id, handle.id());
+    assert_eq!(raised[0].seq, 0, "stalled before the first publish");
+    assert_eq!(wd.health(handle.id()), Some(Health::Stalled));
+    assert_eq!(wd.alerts().len(), 1);
+
+    // Staying stalled raises nothing new.
+    for _ in 0..3 {
+        assert!(wd.sweep().is_empty());
+    }
+    let rendered = metrics.render();
+    assert!(
+        rendered.contains("lqs_watchdog_alerts_total{kind=\"stalled\"} 1"),
+        "metric missing from:\n{rendered}"
+    );
+
+    // Release the gate; the session finishes and the live alert clears.
+    gate.open();
+    assert_eq!(handle.wait_terminal(), SessionState::Succeeded);
+    wd.sweep();
+    assert!(wd.alerts().is_empty());
+    assert_eq!(wd.health(handle.id()), None);
+
+    // The alert is durable: the journal scan surfaces it post-mortem.
+    service.shutdown();
+    let scan = scan_dir(&dir).expect("scan journal dir");
+    let session = scan
+        .sessions
+        .iter()
+        .find(|s| s.meta.as_ref().is_some_and(|m| m.name == "wedged"))
+        .expect("journaled session");
+    assert_eq!(session.alerts.len(), 1);
+    assert_eq!(session.alerts[0].kind, AlertKind::Stalled);
+    assert_eq!(session.alerts[0].seq, 0);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn divergence_mangled_session_raises_diverging_alert() {
+    let db = Arc::new(build_db());
+    let (plan, scan) = scan_sort_plan(&db);
+
+    let service = QueryService::new(Arc::clone(&db), 1);
+    let metrics = Arc::new(MetricsRegistry::new());
+    let mut wd = Watchdog::new(
+        Arc::clone(&db),
+        Arc::clone(service.registry()),
+        EstimatorConfig::full(),
+        WatchdogConfig {
+            // Never stall-classify: this session's sequence freezes at the
+            // gate too, and stalled would take priority.
+            stall_sweeps: u64::MAX,
+            stall_wall: Duration::ZERO,
+            divergence_band: 0.15,
+            divergence_sweeps: 2,
+        },
+    )
+    .with_metrics(Arc::clone(&metrics));
+
+    // Let some I/O through first so mangled snapshots actually publish,
+    // then hold the session mid-scan while the watchdog inspects them.
+    // The 6000-row table packs into 18 pages (24-byte rows, 8 KiB pages),
+    // so the gate must sit well below that or it never engages and the
+    // session races to completion under the sweeper.
+    let gate = Gate::new(8);
+    let opts = ExecOptions {
+        snapshot_interval_ns: Some(1),
+        ..Default::default()
+    };
+    let handle = service.submit(
+        QuerySpec::new("gaslit", Arc::clone(&plan))
+            .with_opts(opts)
+            .with_fault(Arc::clone(&gate) as _)
+            .with_snapshot_filter(Arc::new(Mangler {
+                scan_node: scan.0,
+                scan_rows: 6000,
+            })),
+    );
+    while handle.published_seq() == 0 {
+        std::thread::sleep(Duration::from_millis(1));
+    }
+
+    let raised = sweep_until_raised(&mut wd, 200);
+    assert_eq!(raised.len(), 1, "exactly one alert per divergence episode");
+    assert_eq!(raised[0].kind, AlertKind::Diverging);
+    assert_eq!(raised[0].id, handle.id());
+    assert!(raised[0].detail.contains("estimated progress"));
+    assert_eq!(wd.health(handle.id()), Some(Health::Diverging));
+    assert!(metrics
+        .render()
+        .contains("lqs_watchdog_alerts_total{kind=\"diverging\"} 1"));
+
+    gate.open();
+    assert_eq!(handle.wait_terminal(), SessionState::Succeeded);
+    wd.sweep();
+    assert!(wd.alerts().is_empty());
+}
+
+#[test]
+fn healthy_sessions_never_alert() {
+    let db = Arc::new(build_db());
+    let (plan, _) = scan_sort_plan(&db);
+    let service = QueryService::new(Arc::clone(&db), 1);
+    let mut wd = Watchdog::new(
+        Arc::clone(&db),
+        Arc::clone(service.registry()),
+        EstimatorConfig::full(),
+        WatchdogConfig {
+            // Generous stall window: a healthy run on a loaded CI box may
+            // legitimately publish slower than we sweep.
+            stall_sweeps: u64::MAX,
+            ..WatchdogConfig::default()
+        },
+    );
+    let handle = service.submit(QuerySpec::new("fine", Arc::clone(&plan)));
+    while !handle.state().is_terminal() {
+        assert!(wd.sweep().is_empty());
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    assert_eq!(handle.state(), SessionState::Succeeded);
+    wd.sweep();
+    assert!(wd.alerts().is_empty());
+    assert!(wd.sweeps() >= 1);
+}
