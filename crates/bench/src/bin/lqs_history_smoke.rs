@@ -260,6 +260,7 @@ fn main() {
             }),
             recovered_sessions: 0,
             watchdog: None,
+            ..ServerConfig::default()
         },
     )
     .unwrap_or_else(|e| fail(&format!("cannot start server: {e}")));

@@ -1,0 +1,109 @@
+//! `lqs_overload_soak` — the self-healing overload soak.
+//!
+//! Runs the four overload scenes (see `lqs::chaos::run_overload_soak`):
+//! journal-fault storms that must drive at least one full circuit-breaker
+//! open → half-open → closed cycle per workload while every session still
+//! lands terminal; watchdog remediation cancelling a stalled session
+//! without spending its retry budget; an HTTP storm of concurrent scrape
+//! clients plus slow-loris clients against the hardened ingress (honest
+//! scrapes all complete, lorises are cut off with 408, `/sessions` shows
+//! `durable: false`, `/healthz` shows the open breaker, zero hangs); and
+//! brownout queue-wait shedding plus snapshot-cadence widening.
+//!
+//! The printed summary is deterministic for a given `--seed` — it is built
+//! only from seeded fault windows and virtual-clock outcomes, never from
+//! wall-clock-dependent counts — so CI runs the binary twice per seed and
+//! diffs the outputs byte-for-byte.
+//!
+//! ```text
+//! lqs_overload_soak [--seed 42] [--quick] [--dir PATH] [--out PATH]
+//! ```
+//!
+//! The default is the full storm (all five workloads, 64 pollers of which
+//! two are slow-loris clients); `--quick` shrinks it for smoke runs.
+//! `--dir` defaults to a fresh directory under the system temp dir; it is
+//! wiped before the run so stale journals never leak into the summary. An
+//! explicitly passed `--dir` is kept afterwards for post-mortem
+//! inspection. Exit status is nonzero when any invariant is violated.
+
+use lqs::chaos::{run_overload_soak, OverloadSoakConfig};
+use std::path::PathBuf;
+
+struct Args {
+    seed: u64,
+    quick: bool,
+    dir: Option<PathBuf>,
+    out: Option<String>,
+}
+
+fn parse_args() -> Args {
+    let mut out = Args {
+        seed: 42,
+        quick: false,
+        dir: None,
+        out: None,
+    };
+    let args: Vec<String> = std::env::args().collect();
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--seed" => {
+                out.seed = args[i + 1].parse().expect("--seed takes an integer");
+                i += 2;
+            }
+            "--quick" => {
+                out.quick = true;
+                i += 1;
+            }
+            "--dir" => {
+                out.dir = Some(PathBuf::from(&args[i + 1]));
+                i += 2;
+            }
+            "--out" => {
+                out.out = Some(args[i + 1].clone());
+                i += 2;
+            }
+            other => panic!("unknown argument {other}"),
+        }
+    }
+    out
+}
+
+fn main() {
+    let args = parse_args();
+    let keep_dir = args.dir.is_some();
+    let dir = args.dir.unwrap_or_else(|| {
+        std::env::temp_dir().join(format!(
+            "lqs-overload-soak-{}-{}",
+            args.seed,
+            std::process::id()
+        ))
+    });
+    // Leftover journals from another run would change breaker and
+    // durability outcomes; start from a clean slate.
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create journal dir");
+
+    let cfg = if args.quick {
+        OverloadSoakConfig::quick(args.seed, &dir)
+    } else {
+        OverloadSoakConfig::full(args.seed, &dir)
+    };
+    let report = run_overload_soak(&cfg);
+    print!("{}", report.summary);
+    if let Some(path) = &args.out {
+        std::fs::write(path, &report.summary).expect("write summary");
+    }
+    // Keep an explicitly requested --dir for post-mortem inspection; only
+    // auto temp dirs are cleaned.
+    if !keep_dir {
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    if !report.passed() {
+        eprintln!("invariant violations:");
+        for v in &report.violations {
+            eprintln!("  {v}");
+        }
+        std::process::exit(1);
+    }
+}

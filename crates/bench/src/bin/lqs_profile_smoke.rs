@@ -292,6 +292,7 @@ fn main() {
             history: None,
             recovered_sessions: 0,
             watchdog: Some(Arc::clone(&watchdog)),
+            ..ServerConfig::default()
         },
     )
     .unwrap_or_else(|e| fail(&format!("cannot start server: {e}")));

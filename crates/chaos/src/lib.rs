@@ -28,12 +28,18 @@
 //!   every journaled session is recovered (faithfully terminal or
 //!   `Orphaned`, never lost) and that recovered runs replay
 //!   bit-identically.
+//! * [`run_overload_soak`] — the self-healing soak: journal-fault storms
+//!   driving full circuit-breaker cycles, watchdog remediation of stalled
+//!   sessions, a saturated slow-loris HTTP client storm against the
+//!   hardened ingress, and brownout shedding — with a deterministic
+//!   summary.
 
 #![warn(missing_docs)]
 
 pub mod channel;
 pub mod crash;
 pub mod inject;
+pub mod overload;
 pub mod plan;
 pub mod poll;
 pub mod soak;
@@ -44,6 +50,7 @@ pub use crash::{
     TailCorruption,
 };
 pub use inject::PlanFaultInjector;
+pub use overload::{run_overload_soak, OverloadSoakConfig, OverloadSoakReport};
 pub use plan::{ChannelFaults, FaultPlan, OpFaultKind, OperatorTrigger, PollFaults, StorageFaults};
 pub use poll::SeededPollFault;
 pub use soak::{run_soak, SoakConfig, SoakReport};

@@ -17,11 +17,13 @@
 //! torn-tail recovery path is exercised deterministically rather than hoped
 //! about.
 
+pub mod breaker;
 pub mod metrics;
 pub mod reader;
 pub mod record;
 pub mod writer;
 
+pub use breaker::{BreakerConfig, BreakerEvent, BreakerState, CircuitBreaker, WriteAdmit};
 pub use metrics::JournalMetrics;
 pub use reader::{scan_dir, scan_dir_window, JournalScan, RecoveredSession};
 pub use record::{
@@ -31,5 +33,5 @@ pub use record::{
 };
 pub use writer::{
     parse_segment_file_name, segment_file_name, FsyncPolicy, Journal, JournalConfig,
-    RetentionSweep, SessionJournal, WriteCrashPoint,
+    JournalFaultInjector, RetentionSweep, SessionJournal, WriteCrashPoint,
 };

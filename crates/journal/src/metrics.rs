@@ -2,6 +2,7 @@
 //! [`MetricsRegistry`] so one `/metrics` scrape covers durability alongside
 //! the service and poller families.
 
+use crate::breaker::BreakerState;
 use lqs_metrics::{Counter, Gauge, Histogram, MetricsRegistry};
 use std::sync::Arc;
 
@@ -15,6 +16,10 @@ pub struct JournalMetrics {
     pub(crate) corrupt_records: Arc<Counter>,
     pub(crate) write_errors: Arc<Counter>,
     pub(crate) records_appended: Arc<Counter>,
+    pub(crate) records_suppressed: Arc<Counter>,
+    pub(crate) breaker_trips: Arc<Counter>,
+    pub(crate) breaker_recoveries: Arc<Counter>,
+    pub(crate) breaker_state: Arc<Gauge>,
 }
 
 impl JournalMetrics {
@@ -45,6 +50,26 @@ impl JournalMetrics {
             "Records appended across all session journals",
             &[],
         );
+        let records_suppressed = registry.counter(
+            "lqs_journal_records_suppressed_total",
+            "Records skipped without touching the disk while the journal circuit breaker was open",
+            &[],
+        );
+        let breaker_trips = registry.counter(
+            "lqs_journal_breaker_trips_total",
+            "Times the journal write-path circuit breaker tripped closed-to-open",
+            &[],
+        );
+        let breaker_recoveries = registry.counter(
+            "lqs_journal_breaker_recoveries_total",
+            "Times a half-open probe succeeded and the journal circuit breaker closed again",
+            &[],
+        );
+        let breaker_state = registry.gauge(
+            "lqs_journal_breaker_state",
+            "Journal circuit breaker state (0 = closed, 1 = open, 2 = half-open)",
+            &[],
+        );
         JournalMetrics {
             registry,
             fsync_seconds,
@@ -52,6 +77,10 @@ impl JournalMetrics {
             corrupt_records,
             write_errors,
             records_appended,
+            records_suppressed,
+            breaker_trips,
+            breaker_recoveries,
+            breaker_state,
         }
     }
 
@@ -81,5 +110,15 @@ impl JournalMetrics {
     /// Record the journal directory's size after a retention sweep.
     pub fn set_journal_bytes(&self, bytes: u64) {
         self.bytes.set(bytes.min(i64::MAX as u64) as i64);
+    }
+
+    /// Mirror the circuit breaker's state into its gauge
+    /// (0 = closed, 1 = open, 2 = half-open).
+    pub fn set_breaker_state(&self, state: BreakerState) {
+        self.breaker_state.set(match state {
+            BreakerState::Closed => 0,
+            BreakerState::Open => 1,
+            BreakerState::HalfOpen => 2,
+        });
     }
 }

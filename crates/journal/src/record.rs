@@ -180,6 +180,9 @@ pub enum AlertKind {
     /// The model's progress estimate and the observed-rows progress have
     /// drifted apart beyond the watchdog's divergence band.
     Diverging,
+    /// The watchdog's remediation policy acted on a stalled session
+    /// (cancelled or quarantined it); `detail` names the action.
+    Remediated,
 }
 
 impl AlertKind {
@@ -188,6 +191,7 @@ impl AlertKind {
         match self {
             AlertKind::Stalled => "stalled",
             AlertKind::Diverging => "diverging",
+            AlertKind::Remediated => "remediated",
         }
     }
 
@@ -195,6 +199,7 @@ impl AlertKind {
         match self {
             AlertKind::Stalled => 0,
             AlertKind::Diverging => 1,
+            AlertKind::Remediated => 2,
         }
     }
 
@@ -202,6 +207,7 @@ impl AlertKind {
         Some(match tag {
             0 => AlertKind::Stalled,
             1 => AlertKind::Diverging,
+            2 => AlertKind::Remediated,
             _ => return None,
         })
     }

@@ -2,12 +2,14 @@
 //! with segment rotation, a configurable fsync policy, a retention budget,
 //! and a crash-point seam for deterministic process-death simulation.
 
+use crate::breaker::{BreakerConfig, BreakerEvent, BreakerState, CircuitBreaker, WriteAdmit};
 use crate::metrics::JournalMetrics;
 use crate::record::{Record, SegmentHeader, SessionMeta, TerminalRecord, FORMAT_VERSION};
 use std::fs::{File, OpenOptions};
 use std::io::Write;
 use std::path::{Path, PathBuf};
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 /// When journal appends are forced to stable storage.
@@ -35,6 +37,17 @@ pub trait WriteCrashPoint: Send + Sync {
     fn crash_after_bytes(&self, session_key: &str) -> Option<u64>;
 }
 
+/// Write-fault seam: lets a chaos harness fail individual journal appends
+/// as if the backing device returned an I/O error. Unlike
+/// [`WriteCrashPoint`] (which silently loses writes, simulating process
+/// death), an injected fault surfaces as a real `Err` on the append path —
+/// the input the circuit breaker is built to absorb.
+pub trait JournalFaultInjector: Send + Sync {
+    /// Whether the `nth` logical append (0-based, meta record included) of
+    /// the session named `session_key` fails with an I/O error.
+    fn append_fails(&self, session_key: &str, nth: u64) -> bool;
+}
+
 /// Configuration of one [`Journal`].
 #[derive(Clone)]
 pub struct JournalConfig {
@@ -50,6 +63,10 @@ pub struct JournalConfig {
     pub retention_max_bytes: Option<u64>,
     /// Deterministic process-death simulation (chaos testing).
     pub crash: Option<std::sync::Arc<dyn WriteCrashPoint>>,
+    /// Deterministic append-failure injection (chaos testing).
+    pub fault: Option<std::sync::Arc<dyn JournalFaultInjector>>,
+    /// Circuit-breaker tuning for the journal's write path.
+    pub breaker: BreakerConfig,
 }
 
 impl JournalConfig {
@@ -62,6 +79,8 @@ impl JournalConfig {
             segment_max_bytes: 1 << 20,
             retention_max_bytes: None,
             crash: None,
+            fault: None,
+            breaker: BreakerConfig::default(),
         }
     }
 
@@ -86,6 +105,18 @@ impl JournalConfig {
     /// Attach a crash-point plan (chaos testing).
     pub fn with_crash(mut self, crash: std::sync::Arc<dyn WriteCrashPoint>) -> Self {
         self.crash = Some(crash);
+        self
+    }
+
+    /// Attach a write-fault plan (chaos testing).
+    pub fn with_write_fault(mut self, fault: std::sync::Arc<dyn JournalFaultInjector>) -> Self {
+        self.fault = Some(fault);
+        self
+    }
+
+    /// Tune the journal write-path circuit breaker.
+    pub fn with_breaker(mut self, breaker: BreakerConfig) -> Self {
+        self.breaker = breaker;
         self
     }
 }
@@ -126,6 +157,7 @@ pub struct Journal {
     config: JournalConfig,
     epoch: u32,
     metrics: Option<JournalMetrics>,
+    breaker: Arc<CircuitBreaker>,
 }
 
 impl Journal {
@@ -143,6 +175,7 @@ impl Journal {
         }
         Ok(Journal {
             epoch: max_epoch.map_or(0, |m| m + 1),
+            breaker: Arc::new(CircuitBreaker::new(config.breaker)),
             config,
             metrics: None,
         })
@@ -169,6 +202,12 @@ impl Journal {
         self.metrics.as_ref()
     }
 
+    /// The write-path circuit breaker shared by every writer of this
+    /// journal (a failing disk is a directory-level property).
+    pub fn breaker(&self) -> &Arc<CircuitBreaker> {
+        &self.breaker
+    }
+
     /// Open the journal of one session and write its meta record. The
     /// returned writer is `Sync`; hand an `Arc` to the session handle.
     pub fn writer(&self, meta: SessionMeta) -> std::io::Result<SessionJournal> {
@@ -182,6 +221,7 @@ impl Journal {
                 dir: self.config.dir.clone(),
                 epoch: self.epoch,
                 session_id: meta.session_id,
+                session_key: meta.name.clone(),
                 segment: 0,
                 file: None,
                 seg_bytes: 0,
@@ -189,12 +229,16 @@ impl Journal {
                 snapshots_since_fsync: 0,
                 crash_at,
                 dead: false,
-                broken: false,
+                needs_rotate: false,
+                append_index: 0,
                 write_errors: 0,
+                fault: self.config.fault.clone(),
                 fsync_policy: self.config.fsync,
                 segment_max_bytes: self.config.segment_max_bytes,
             }),
             metrics: self.metrics.clone(),
+            breaker: Arc::clone(&self.breaker),
+            lost: AtomicU64::new(0),
         };
         w.open_first_segment(&meta)?;
         Ok(w)
@@ -251,6 +295,8 @@ struct WriterInner {
     dir: PathBuf,
     epoch: u32,
     session_id: u64,
+    /// Session name, the key fault injectors address sessions by.
+    session_key: String,
     segment: u32,
     file: Option<File>,
     seg_bytes: u64,
@@ -261,9 +307,14 @@ struct WriterInner {
     crash_at: Option<u64>,
     /// True once the simulated crash has fired.
     dead: bool,
-    /// True after a real I/O error; the journal stops persisting.
-    broken: bool,
+    /// Set after a failed append: the segment may end in a torn frame, so
+    /// the next admitted write must rotate to a fresh segment before
+    /// appending (re-attach never appends after a tear).
+    needs_rotate: bool,
+    /// Logical appends attempted so far (fault-injection key).
+    append_index: u64,
     write_errors: u64,
+    fault: Option<std::sync::Arc<dyn JournalFaultInjector>>,
     fsync_policy: FsyncPolicy,
     segment_max_bytes: u64,
 }
@@ -273,7 +324,7 @@ impl WriterInner {
     /// offset is written only up to it (a torn record), and everything
     /// after is dropped. Returns `Err` only on real I/O failure.
     fn write_chunk(&mut self, bytes: &[u8]) -> std::io::Result<()> {
-        if self.dead || self.broken {
+        if self.dead {
             return Ok(());
         }
         let mut to_write = bytes;
@@ -311,8 +362,19 @@ impl WriterInner {
     }
 
     fn append_frame(&mut self, frame: &[u8]) -> std::io::Result<()> {
-        if self.dead || self.broken {
+        if self.dead {
+            self.append_index += 1;
             return Ok(());
+        }
+        let nth = self.append_index;
+        self.append_index += 1;
+        if let Some(fault) = &self.fault {
+            if fault.append_fails(&self.session_key, nth) {
+                return Err(std::io::Error::other(format!(
+                    "injected journal write fault (session {}, append {nth})",
+                    self.session_key
+                )));
+            }
         }
         // Rotate before the append if this frame would overflow the
         // segment (never rotate an empty segment — oversized single
@@ -327,7 +389,7 @@ impl WriterInner {
     }
 
     fn fsync(&mut self) -> std::io::Result<Option<f64>> {
-        if self.dead || self.broken {
+        if self.dead {
             return Ok(None);
         }
         if let Some(file) = &self.file {
@@ -341,11 +403,18 @@ impl WriterInner {
 
 /// The append side of one session's journal. All methods are `&self`
 /// (internal mutex) so the writer can hang off a shared session handle;
-/// I/O errors are absorbed — counted, journal marked broken — because a
-/// failing disk must degrade durability, never the query.
+/// I/O errors are absorbed — counted, routed through the journal's shared
+/// [`CircuitBreaker`] — because a failing disk must degrade durability,
+/// never the query. While the breaker is open, appends are suppressed
+/// without touching the disk; a successful half-open probe re-attaches
+/// journaling on a fresh segment.
 pub struct SessionJournal {
     inner: Mutex<WriterInner>,
     metrics: Option<JournalMetrics>,
+    breaker: Arc<CircuitBreaker>,
+    /// Logical records lost to failed or suppressed appends. Non-zero
+    /// means this session's journal has a gap: `durable: false`.
+    lost: AtomicU64,
 }
 
 impl SessionJournal {
@@ -356,19 +425,58 @@ impl SessionJournal {
         Ok(())
     }
 
-    fn with_inner(&self, f: impl FnOnce(&mut WriterInner) -> std::io::Result<()>) {
+    /// Run one append under the breaker. Returns whether the record made
+    /// it to the file (regardless of fsync policy).
+    fn with_inner(&self, f: impl FnOnce(&mut WriterInner) -> std::io::Result<()>) -> bool {
+        let admit = self.breaker.admit();
+        if admit == WriteAdmit::Suppress {
+            self.lost.fetch_add(1, Ordering::Relaxed);
+            if let Some(m) = &self.metrics {
+                m.records_suppressed.inc();
+            }
+            return false;
+        }
         let mut inner = self.inner.lock().expect("journal writer poisoned");
-        if let Err(e) = f(&mut inner) {
-            inner.broken = true;
+        let result = rotate_and_run(&mut inner, f);
+        let ok = result.is_ok();
+        if result.is_err() {
+            inner.needs_rotate = true;
             inner.write_errors += 1;
+            self.lost.fetch_add(1, Ordering::Relaxed);
             if let Some(m) = &self.metrics {
                 m.write_errors.inc();
             }
-            eprintln!(
-                "lqs-journal: session {} journal disabled after I/O error: {e}",
-                inner.session_id
-            );
         }
+        let session_id = inner.session_id;
+        drop(inner);
+        match self.breaker.record_outcome(admit, ok) {
+            BreakerEvent::Tripped => {
+                if let Some(m) = &self.metrics {
+                    m.breaker_trips.inc();
+                    m.set_breaker_state(BreakerState::Open);
+                }
+                if let Err(e) = &result {
+                    eprintln!(
+                        "lqs-journal: circuit breaker tripped open after repeated I/O \
+                         errors (last: session {session_id}: {e}); journaling suppressed \
+                         until a probe succeeds"
+                    );
+                }
+            }
+            BreakerEvent::Recovered => {
+                if let Some(m) = &self.metrics {
+                    m.breaker_recoveries.inc();
+                    m.set_breaker_state(BreakerState::Closed);
+                }
+            }
+            BreakerEvent::Reopened => {
+                if let Some(m) = &self.metrics {
+                    m.set_breaker_state(BreakerState::Open);
+                }
+            }
+            BreakerEvent::None => {}
+        }
+        ok
     }
 
     fn record_fsync(&self, seconds: Option<f64>) {
@@ -381,7 +489,7 @@ impl SessionJournal {
     pub fn append_snapshot(&self, snapshot: &lqs_exec::DmvSnapshot) {
         let frame = Record::Snapshot(snapshot.clone()).encode_frame();
         let mut fsynced = None;
-        self.with_inner(|inner| {
+        let ok = self.with_inner(|inner| {
             inner.append_frame(&frame)?;
             if let FsyncPolicy::EveryN(n) = inner.fsync_policy {
                 inner.snapshots_since_fsync += 1;
@@ -393,7 +501,7 @@ impl SessionJournal {
             Ok(())
         });
         self.record_fsync(fsynced);
-        if let Some(m) = &self.metrics {
+        if let (Some(m), true) = (&self.metrics, ok) {
             m.records_appended.inc();
         }
     }
@@ -403,7 +511,7 @@ impl SessionJournal {
     pub fn append_terminal(&self, terminal: &TerminalRecord) {
         let frame = Record::Terminal(terminal.clone()).encode_frame();
         let mut fsynced = None;
-        self.with_inner(|inner| {
+        let ok = self.with_inner(|inner| {
             inner.append_frame(&frame)?;
             if inner.fsync_policy != FsyncPolicy::Never {
                 fsynced = inner.fsync()?;
@@ -411,7 +519,7 @@ impl SessionJournal {
             Ok(())
         });
         self.record_fsync(fsynced);
-        if let Some(m) = &self.metrics {
+        if let (Some(m), true) = (&self.metrics, ok) {
             m.records_appended.inc();
         }
     }
@@ -421,8 +529,8 @@ impl SessionJournal {
     /// ride the next forced flush rather than forcing one themselves.
     pub fn append_alert(&self, alert: &crate::record::AlertRecord) {
         let frame = Record::Alert(alert.clone()).encode_frame();
-        self.with_inner(|inner| inner.append_frame(&frame));
-        if let Some(m) = &self.metrics {
+        let ok = self.with_inner(|inner| inner.append_frame(&frame));
+        if let (Some(m), true) = (&self.metrics, ok) {
             m.records_appended.inc();
         }
     }
@@ -432,7 +540,7 @@ impl SessionJournal {
     pub fn append_clean_shutdown(&self) {
         let frame = Record::CleanShutdown.encode_frame();
         let mut fsynced = None;
-        self.with_inner(|inner| {
+        let ok = self.with_inner(|inner| {
             inner.append_frame(&frame)?;
             if inner.fsync_policy != FsyncPolicy::Never {
                 fsynced = inner.fsync()?;
@@ -440,18 +548,27 @@ impl SessionJournal {
             Ok(())
         });
         self.record_fsync(fsynced);
-        if let Some(m) = &self.metrics {
+        if let (Some(m), true) = (&self.metrics, ok) {
             m.records_appended.inc();
         }
     }
 
-    /// Force buffered appends to stable storage.
+    /// Force buffered appends to stable storage. Bypasses the breaker (no
+    /// record rides on it); an fsync failure is counted but changes no
+    /// breaker state.
     pub fn flush(&self) {
-        let mut fsynced = None;
-        self.with_inner(|inner| {
-            fsynced = inner.fsync()?;
-            Ok(())
-        });
+        let mut inner = self.inner.lock().expect("journal writer poisoned");
+        let fsynced = match inner.fsync() {
+            Ok(seconds) => seconds,
+            Err(_) => {
+                inner.write_errors += 1;
+                if let Some(m) = &self.metrics {
+                    m.write_errors.inc();
+                }
+                None
+            }
+        };
+        drop(inner);
         self.record_fsync(fsynced);
     }
 
@@ -469,13 +586,45 @@ impl SessionJournal {
         self.inner.lock().expect("journal writer poisoned").dead
     }
 
-    /// I/O errors absorbed so far (journal is disabled after the first).
+    /// I/O errors absorbed so far on this session's write path.
     pub fn write_errors(&self) -> u64 {
         self.inner
             .lock()
             .expect("journal writer poisoned")
             .write_errors
     }
+
+    /// Logical records lost to failed or suppressed appends. Lock-free, so
+    /// pollers and HTTP handlers can read it off the hot path.
+    pub fn lost_records(&self) -> u64 {
+        self.lost.load(Ordering::Relaxed)
+    }
+
+    /// Whether every record this session tried to journal reached the
+    /// file. `false` means the journal has a gap (breaker suppression or
+    /// write errors) and recovery cannot treat it as the full story.
+    pub fn is_durable(&self) -> bool {
+        self.lost_records() == 0
+    }
+
+    /// The journal-wide circuit breaker this writer routes through.
+    pub fn breaker(&self) -> &Arc<CircuitBreaker> {
+        &self.breaker
+    }
+}
+
+/// Rotate to a fresh segment if the previous append failed (the old
+/// segment may end in a torn frame), then run the append.
+fn rotate_and_run(
+    inner: &mut WriterInner,
+    f: impl FnOnce(&mut WriterInner) -> std::io::Result<()>,
+) -> std::io::Result<()> {
+    if inner.needs_rotate {
+        inner.segment += 1;
+        inner.open_segment()?;
+        inner.needs_rotate = false;
+    }
+    f(inner)
 }
 
 /// A session journal is itself a snapshot sink, so it composes with
@@ -615,6 +764,96 @@ mod tests {
         assert!(s.terminal.is_none());
         assert!(!s.clean_shutdown);
         assert_eq!(s.corrupt_records, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    struct FailWindow {
+        from: u64,
+        to: u64,
+    }
+    impl JournalFaultInjector for FailWindow {
+        fn append_fails(&self, _key: &str, nth: u64) -> bool {
+            nth >= self.from && nth < self.to
+        }
+    }
+
+    #[test]
+    fn breaker_trips_and_reattaches_on_successful_probe() {
+        let dir = tmpdir("breaker-cycle");
+        let journal = Journal::open(
+            JournalConfig::new(&dir)
+                .with_breaker(BreakerConfig {
+                    trip_after: 2,
+                    probe_after: std::time::Duration::ZERO,
+                })
+                // Appends 3..6 fail: meta is append 0, so snapshots 2..=5
+                // are the faulted ones.
+                .with_write_fault(Arc::new(FailWindow { from: 3, to: 7 })),
+        )
+        .unwrap();
+        let w = journal.writer(meta(0, "q0")).unwrap();
+        for i in 0..10 {
+            w.append_snapshot(&snap(i * 10, i));
+        }
+        w.append_terminal(&TerminalRecord {
+            kind: TerminalKind::Succeeded,
+            at_ns: 100,
+            rows_returned: 9,
+            message: String::new(),
+        });
+        // Appends 3,4 fail → trip; appends 5,6 are failing probes (reopen,
+        // no new trip); append 7 probes successfully → recovery, and the
+        // re-attach lands on a fresh segment.
+        assert_eq!(journal.breaker().trips(), 1);
+        assert_eq!(journal.breaker().recoveries(), 1);
+        assert_eq!(journal.breaker().state(), BreakerState::Closed);
+        assert_eq!(w.lost_records(), 4);
+        assert!(!w.is_durable());
+        assert_eq!(w.write_errors(), 4);
+
+        let scan = scan_dir(&dir).unwrap();
+        let s = &scan.sessions[0];
+        assert_eq!(s.snapshots.len(), 6, "4 of 10 snapshots lost to faults");
+        assert_eq!(s.terminal.as_ref().unwrap().kind, TerminalKind::Succeeded);
+        assert_eq!(s.corrupt_records, 0, "injected faults never tear frames");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn open_breaker_suppresses_terminal_without_touching_disk() {
+        let dir = tmpdir("breaker-open");
+        let journal = Journal::open(
+            JournalConfig::new(&dir)
+                .with_breaker(BreakerConfig {
+                    trip_after: 1,
+                    probe_after: std::time::Duration::from_secs(3600),
+                })
+                .with_write_fault(Arc::new(FailWindow { from: 2, to: 3 })),
+        )
+        .unwrap();
+        let w = journal.writer(meta(0, "q0")).unwrap();
+        for i in 0..5 {
+            w.append_snapshot(&snap(i * 10, i));
+        }
+        w.append_terminal(&TerminalRecord {
+            kind: TerminalKind::Succeeded,
+            at_ns: 50,
+            rows_returned: 4,
+            message: String::new(),
+        });
+        // Append 2 (snapshot 1) fails and trips; the hour-long probe delay
+        // keeps the breaker open, so everything after is suppressed —
+        // terminal record included.
+        assert_eq!(journal.breaker().state(), BreakerState::Open);
+        assert_eq!(w.write_errors(), 1, "suppressed appends are not I/O errors");
+        assert_eq!(w.lost_records(), 5);
+        let scan = scan_dir(&dir).unwrap();
+        let s = &scan.sessions[0];
+        assert_eq!(s.snapshots.len(), 1);
+        assert!(
+            s.terminal.is_none(),
+            "a suppressed terminal must be absent so recovery reports Orphaned"
+        );
         let _ = std::fs::remove_dir_all(&dir);
     }
 

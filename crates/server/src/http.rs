@@ -34,34 +34,66 @@
 //! request, so they are computed purely from journal bytes: two scrapes
 //! over an unchanged directory return byte-for-byte identical bodies.
 //!
-//! Connections are handled serially on one acceptor thread with short
-//! read/write timeouts: scrapers poll every few seconds, bodies are small,
-//! and a slow client can stall a scrape by at most the timeout.
+//! Ingress is a bounded worker pool, not a serial loop: one acceptor
+//! thread hands connections to [`IngressConfig::workers`] service threads
+//! over a bounded channel. A slow-loris client burns one worker for at
+//! most the head deadline (408), never the acceptor; when every worker and
+//! queue slot is busy the acceptor sheds inline with `503` +
+//! `Retry-After` instead of queueing unboundedly. Accept errors are
+//! counted (`lqs_http_accept_errors_total`), not silently dropped, and
+//! shutdown drains: queued connections are served before workers exit.
 
 use crate::metrics::state_label;
 use crate::registry::SessionRegistry;
-use crate::session::{SessionHandle, SessionId, SessionResult};
+use crate::session::{SessionDurability, SessionHandle, SessionId, SessionResult};
 use crate::watchdog::Watchdog;
 use lqs_history::{
     scan_history, FleetHistory, HistoryMetrics, HistoryResolver, HistoryStore, Pctls,
     ResourcePrediction, SessionHistory,
 };
+use lqs_journal::Journal;
 use lqs_metrics::MetricsRegistry;
 use serde::Value;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-/// Per-connection read/write budget. Generous for a localhost scrape,
-/// short enough that a stuck client can't wedge the acceptor for long.
-const IO_TIMEOUT: Duration = Duration::from_secs(2);
-
 /// Largest request head accepted; anything longer is rejected with 431.
 const MAX_HEAD_BYTES: usize = 8 * 1024;
+
+/// Sizing and patience knobs for the hardened HTTP ingress.
+#[derive(Debug, Clone)]
+pub struct IngressConfig {
+    /// Connection-service threads. Each serves one connection at a time;
+    /// a stalled client therefore costs one worker, not the listener.
+    pub workers: usize,
+    /// Bounded hand-off queue between the acceptor and the workers.
+    /// When full, new connections are shed with `503` + `Retry-After`.
+    pub backlog: usize,
+    /// Per-connection read/write budget once the head has arrived.
+    pub io_timeout: Duration,
+    /// Total wall-clock budget for the request head to arrive. A client
+    /// trickling bytes (slow loris) is cut off with `408` at this bound.
+    pub head_deadline: Duration,
+    /// Value of the `Retry-After` header on `503` shed responses, seconds.
+    pub retry_after_secs: u32,
+}
+
+impl Default for IngressConfig {
+    fn default() -> Self {
+        IngressConfig {
+            workers: 4,
+            backlog: 8,
+            io_timeout: Duration::from_secs(2),
+            head_deadline: Duration::from_secs(2),
+            retry_after_secs: 1,
+        }
+    }
+}
 
 /// Configuration for the `/history/*` routes.
 pub struct HistoryEndpoints {
@@ -90,6 +122,12 @@ pub struct ServerConfig {
     /// watchdog's current alerts; whoever owns the sweep loop shares the
     /// same handle and drives [`Watchdog::sweep`] on its own cadence.
     pub watchdog: Option<Arc<Mutex<Watchdog>>>,
+    /// The service's journal, surfaced in `/healthz` as circuit-breaker
+    /// state (`state`, `trips`, `recoveries`, `durable`). `None` omits the
+    /// `breaker` field.
+    pub journal: Option<Arc<Journal>>,
+    /// Ingress worker-pool sizing and deadlines.
+    pub ingress: IngressConfig,
 }
 
 struct ServerState {
@@ -109,6 +147,7 @@ pub struct MetricsServer {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
     thread: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
 }
 
 impl MetricsServer {
@@ -132,22 +171,37 @@ impl MetricsServer {
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
-        let state = ServerState {
+        let state = Arc::new(ServerState {
             metrics,
             sessions,
             config,
             started: Instant::now(),
-        };
+        });
+        // Bounded hand-off: the acceptor never queues more than `backlog`
+        // connections ahead of the workers — past that it sheds with 503.
+        let (tx, rx) = mpsc::sync_channel::<TcpStream>(state.config.ingress.backlog.max(1));
+        let rx = Arc::new(Mutex::new(rx));
+        let workers = (0..state.config.ingress.workers.max(1))
+            .map(|i| {
+                let rx = Arc::clone(&rx);
+                let state = Arc::clone(&state);
+                std::thread::Builder::new()
+                    .name(format!("lqs-http-worker-{i}"))
+                    .spawn(move || worker_loop(&rx, &state))
+            })
+            .collect::<std::io::Result<Vec<_>>>()?;
         let thread = {
             let stop = Arc::clone(&stop);
+            let state = Arc::clone(&state);
             std::thread::Builder::new()
                 .name("lqs-metrics-http".into())
-                .spawn(move || accept_loop(&listener, &stop, &state))?
+                .spawn(move || accept_loop(&listener, &stop, &state, &tx))?
         };
         Ok(MetricsServer {
             addr: local,
             stop,
             thread: Some(thread),
+            workers,
         })
     }
 
@@ -175,6 +229,13 @@ impl MetricsServer {
         // so it can observe the stop flag.
         let _ = TcpStream::connect(self.addr);
         let _ = thread.join();
+        // Graceful drain: joining the acceptor dropped the channel sender,
+        // so each worker finishes its in-flight connection, serves whatever
+        // was already queued, then sees the disconnect and exits. No
+        // accepted connection is abandoned mid-response.
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
     }
 }
 
@@ -184,29 +245,111 @@ impl Drop for MetricsServer {
     }
 }
 
-fn accept_loop(listener: &TcpListener, stop: &AtomicBool, state: &ServerState) {
+fn accept_loop(
+    listener: &TcpListener,
+    stop: &AtomicBool,
+    state: &ServerState,
+    tx: &mpsc::SyncSender<TcpStream>,
+) {
+    let accept_errors = state.metrics.counter(
+        "lqs_http_accept_errors_total",
+        "Listener accept() failures (transient resource exhaustion, aborted handshakes)",
+        &[],
+    );
+    let shed = state.metrics.counter(
+        "lqs_http_shed_total",
+        "Connections shed with 503 + Retry-After because every ingress worker and queue slot was busy",
+        &[],
+    );
     for stream in listener.incoming() {
         if stop.load(Ordering::Acquire) {
             return;
         }
-        let Ok(stream) = stream else { continue };
-        // Serve inline: requests are tiny, responses are one render, and
-        // the timeout bounds the damage of a stalled client.
+        let stream = match stream {
+            Ok(stream) => stream,
+            Err(_) => {
+                // Transient accept failures (EMFILE, ECONNABORTED, ...)
+                // must not kill the listener — count them and keep
+                // accepting. Silent `continue` was the old bug: exhaustion
+                // storms were invisible in telemetry.
+                accept_errors.inc();
+                continue;
+            }
+        };
+        match tx.try_send(stream) {
+            Ok(()) => {}
+            Err(mpsc::TrySendError::Full(stream)) => {
+                // Backpressure, made visible: answer right here on the
+                // acceptor with 503 + Retry-After rather than letting the
+                // kernel backlog grow an invisible queue of doomed scrapes.
+                shed.inc();
+                let _ = reject_busy(stream, state.config.ingress.retry_after_secs);
+            }
+            Err(mpsc::TrySendError::Disconnected(_)) => return,
+        }
+    }
+}
+
+/// One ingress worker: serve queued connections until the acceptor hangs
+/// up, then drain and exit.
+fn worker_loop(rx: &Mutex<mpsc::Receiver<TcpStream>>, state: &ServerState) {
+    loop {
+        // Hold the lock only while waiting for a connection, never while
+        // serving one — otherwise the pool would be a serial loop in
+        // disguise.
+        let stream = rx.lock().expect("ingress queue poisoned").recv();
+        let Ok(stream) = stream else { return };
         let _ = serve_connection(stream, state);
     }
 }
 
+/// Shed one connection with `503` + `Retry-After`. Uses a short write
+/// budget of its own: this runs on the acceptor, and a client too slow to
+/// take a 60-byte response does not get to stall accept.
+fn reject_busy(mut stream: TcpStream, retry_after_secs: u32) -> std::io::Result<()> {
+    stream.set_write_timeout(Some(Duration::from_millis(200)))?;
+    respond_with(
+        &mut stream,
+        503,
+        "text/plain",
+        "all ingress workers busy, retry shortly\n",
+        &[("Retry-After", &retry_after_secs.to_string())],
+    )
+}
+
 fn serve_connection(mut stream: TcpStream, state: &ServerState) -> std::io::Result<()> {
-    stream.set_read_timeout(Some(IO_TIMEOUT))?;
-    stream.set_write_timeout(Some(IO_TIMEOUT))?;
-    let head = match read_head(&mut stream)? {
-        Some(head) => head,
-        None => return respond(&mut stream, 431, "text/plain", "request head too large\n"),
+    let ingress = &state.config.ingress;
+    stream.set_write_timeout(Some(ingress.io_timeout))?;
+    let head = match read_head(&mut stream, ingress.head_deadline)? {
+        HeadOutcome::Head(head) => head,
+        HeadOutcome::TooLarge => {
+            return respond(&mut stream, 431, "text/plain", "request head too large\n")
+        }
+        HeadOutcome::TimedOut => {
+            // Slow loris: the head trickled in slower than the deadline.
+            // Cut the connection loose with 408 and free the worker.
+            state
+                .metrics
+                .counter(
+                    "lqs_http_head_timeouts_total",
+                    "Connections dropped with 408 because the request head missed its deadline",
+                    &[],
+                )
+                .inc();
+            return respond(&mut stream, 408, "text/plain", "request head timed out\n");
+        }
     };
+    stream.set_read_timeout(Some(ingress.io_timeout))?;
     let mut parts = head.lines().next().unwrap_or("").split_whitespace();
     let (method, target) = (parts.next().unwrap_or(""), parts.next().unwrap_or(""));
     if method != "GET" {
-        return respond(&mut stream, 405, "text/plain", "only GET is supported\n");
+        return respond_with(
+            &mut stream,
+            405,
+            "text/plain",
+            "only GET is supported\n",
+            &[("Allow", "GET")],
+        );
     }
     let (path, query) = match target.split_once('?') {
         Some((p, q)) => (p, q),
@@ -487,13 +630,40 @@ fn serve_alerts(stream: &mut TcpStream, state: &ServerState) -> std::io::Result<
     respond(stream, 200, "application/json", &(body.to_json() + "\n"))
 }
 
-/// Read up to the end of the request head (`\r\n\r\n`). `Ok(None)` means
-/// the head exceeded [`MAX_HEAD_BYTES`].
-fn read_head(stream: &mut TcpStream) -> std::io::Result<Option<String>> {
+/// What became of reading one request head.
+enum HeadOutcome {
+    /// Complete head (through `\r\n\r\n`), lossily decoded.
+    Head(String),
+    /// The head exceeded [`MAX_HEAD_BYTES`].
+    TooLarge,
+    /// The head did not fully arrive within the deadline (slow loris).
+    TimedOut,
+}
+
+/// Read up to the end of the request head (`\r\n\r\n`) under a total
+/// wall-clock `deadline`. The per-`read` timeout is re-derived from the
+/// remaining budget each iteration, so a client dribbling one byte per
+/// second cannot stretch the head phase past the deadline.
+fn read_head(stream: &mut TcpStream, deadline: Duration) -> std::io::Result<HeadOutcome> {
+    let started = Instant::now();
     let mut head = Vec::new();
     let mut buf = [0u8; 1024];
     loop {
-        let n = stream.read(&mut buf)?;
+        let remaining = deadline.saturating_sub(started.elapsed());
+        if remaining.is_zero() {
+            return Ok(HeadOutcome::TimedOut);
+        }
+        stream.set_read_timeout(Some(remaining))?;
+        let n = match stream.read(&mut buf) {
+            Ok(n) => n,
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                return Ok(HeadOutcome::TimedOut)
+            }
+            Err(e) => return Err(e),
+        };
         if n == 0 {
             break;
         }
@@ -502,10 +672,12 @@ fn read_head(stream: &mut TcpStream) -> std::io::Result<Option<String>> {
             break;
         }
         if head.len() > MAX_HEAD_BYTES {
-            return Ok(None);
+            return Ok(HeadOutcome::TooLarge);
         }
     }
-    Ok(Some(String::from_utf8_lossy(&head).into_owned()))
+    Ok(HeadOutcome::Head(
+        String::from_utf8_lossy(&head).into_owned(),
+    ))
 }
 
 fn respond(
@@ -514,19 +686,35 @@ fn respond(
     content_type: &str,
     body: &str,
 ) -> std::io::Result<()> {
+    respond_with(stream, status, content_type, body, &[])
+}
+
+fn respond_with(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    body: &str,
+    extra_headers: &[(&str, &str)],
+) -> std::io::Result<()> {
     let reason = match status {
         200 => "OK",
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        408 => "Request Timeout",
         431 => "Request Header Fields Too Large",
+        503 => "Service Unavailable",
         _ => "Error",
     };
     write!(
         stream,
-        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n",
         body.len()
     )?;
+    for (name, value) in extra_headers {
+        write!(stream, "{name}: {value}\r\n")?;
+    }
+    stream.write_all(b"\r\n")?;
     stream.write_all(body.as_bytes())?;
     stream.flush()
 }
@@ -575,6 +763,17 @@ fn sessions_json(sessions: &SessionRegistry) -> String {
                 ("workload".into(), Value::String(h.workload().into())),
                 ("state".into(), Value::String(state_label(h.state()).into())),
                 ("recovered".into(), Value::Bool(h.recovered())),
+                // null = never journaled; false = the breaker dropped at
+                // least one of this session's records on the floor.
+                (
+                    "durable".into(),
+                    match h.durability() {
+                        SessionDurability::Unjournaled => Value::Null,
+                        SessionDurability::Durable => Value::Bool(true),
+                        SessionDurability::Lost => Value::Bool(false),
+                    },
+                ),
+                ("quarantined".into(), Value::Bool(h.is_quarantined())),
                 ("published_seq".into(), Value::Int(h.published_seq() as i64)),
                 (
                     "snapshot_ts_ns".into(),
@@ -638,6 +837,25 @@ fn healthz_json(state: &ServerState) -> String {
             Value::Int(state.config.recovered_sessions as i64),
         ),
         ("journal".into(), journal),
+        (
+            "breaker".into(),
+            match &state.config.journal {
+                Some(j) => {
+                    let b = j.breaker();
+                    let state = b.state();
+                    Value::Object(vec![
+                        ("state".into(), Value::String(state.as_str().into())),
+                        ("trips".into(), Value::Int(b.trips() as i64)),
+                        ("recoveries".into(), Value::Int(b.recoveries() as i64)),
+                        (
+                            "durable".into(),
+                            Value::Bool(state == lqs_journal::BreakerState::Closed),
+                        ),
+                    ])
+                }
+                None => Value::Null,
+            },
+        ),
     ]);
     body.to_json() + "\n"
 }

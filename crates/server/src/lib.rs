@@ -48,6 +48,16 @@
 //!   per-operator time attribution is served as a
 //!   [`lqs_prof::ProfileReport`] (flamegraph-ready collapsed stacks
 //!   included) on `GET /profile/{session}`.
+//! * Self-healing — the watchdog can *act* on its diagnoses
+//!   ([`RemediationPolicy`]: cancel or quarantine sessions stalled for N
+//!   consecutive sweeps), the journal write path runs behind a circuit
+//!   breaker (a dead disk degrades durability instead of blocking
+//!   executors — surfaced as `durable: false` in `/sessions` and breaker
+//!   state in `/healthz`), sustained overload triggers a brownout
+//!   ([`BrownoutConfig`]: queue-wait shedding with an explicit `Rejected`
+//!   reason, widened snapshot cadence), and HTTP ingress is a bounded
+//!   worker pool with slow-loris deadlines and `503` + `Retry-After`
+//!   shedding ([`IngressConfig`]).
 //!
 //! ```
 //! use lqs_server::{QueryService, QuerySpec, RegistryPoller, SessionState};
@@ -91,13 +101,15 @@ pub mod service;
 pub mod session;
 pub mod watchdog;
 
-pub use http::{HistoryEndpoints, MetricsServer, ServerConfig};
+pub use http::{HistoryEndpoints, IngressConfig, MetricsServer, ServerConfig};
 pub use metrics::{state_label, PollerMetrics, ServiceMetrics};
 pub use recovery::{
     PlanResolver, RecoveredOutcome, RecoveredSessionSummary, RecoveryManager, RecoveryReport,
 };
 pub use registry::{PollFaultInjector, RegistryPoller, SessionProgress, SessionRegistry};
 pub use seqslot::SnapshotSlot;
-pub use service::QueryService;
-pub use session::{QuerySpec, SessionHandle, SessionId, SessionResult, SessionState};
-pub use watchdog::{Health, SessionAlert, Watchdog, WatchdogConfig};
+pub use service::{BrownoutConfig, QueryService};
+pub use session::{
+    QuerySpec, SessionDurability, SessionHandle, SessionId, SessionResult, SessionState,
+};
+pub use watchdog::{Health, RemediationPolicy, SessionAlert, Watchdog, WatchdogConfig};

@@ -43,6 +43,8 @@ pub struct ServiceMetrics {
     pub(crate) rejected: Arc<Counter>,
     pub(crate) retries: Arc<Counter>,
     pub(crate) tuple_fallback: Arc<Counter>,
+    pub(crate) brownout_active: Arc<Gauge>,
+    pub(crate) brownout_sessions: Arc<Counter>,
 }
 
 impl ServiceMetrics {
@@ -93,6 +95,16 @@ impl ServiceMetrics {
             "Auto-mode sessions that degraded to tuple-at-a-time execution (fault injector attached)",
             &[],
         );
+        let brownout_active = registry.gauge(
+            "lqs_brownout_active",
+            "Whether the service is in sustained-overload brownout (1) or not (0)",
+            &[],
+        );
+        let brownout_sessions = registry.counter(
+            "lqs_brownout_sessions_total",
+            "Sessions admitted with a brownout-widened snapshot publish interval",
+            &[],
+        );
         Arc::new(ServiceMetrics {
             exec: ExecMetrics::new(Arc::clone(&registry)),
             registry,
@@ -105,6 +117,8 @@ impl ServiceMetrics {
             rejected,
             retries,
             tuple_fallback,
+            brownout_active,
+            brownout_sessions,
         })
     }
 
@@ -127,6 +141,19 @@ impl ServiceMetrics {
                 "lqs_sessions_finished_total",
                 "Sessions that reached a terminal state, by outcome",
                 &[("outcome", state_label(state))],
+            )
+            .inc();
+    }
+
+    /// Count one session shed by overload brownout, labeled by reason
+    /// (`queue_deadline`, `predicted_over_deadline`). Distinct from
+    /// `lqs_sessions_rejected_total`, which counts admission-queue sheds.
+    pub(crate) fn shed(&self, reason: &str) {
+        self.registry
+            .counter(
+                "lqs_sessions_shed_total",
+                "Sessions shed by overload brownout instead of run-to-fail, by reason",
+                &[("reason", reason)],
             )
             .inc();
     }

@@ -8,7 +8,8 @@
 
 use crate::metrics::PollerMetrics;
 use crate::session::{
-    QuerySpec, RunningGauge, SessionHandle, SessionId, SessionResult, SessionState,
+    QuerySpec, RunningGauge, SessionDurability, SessionHandle, SessionId, SessionResult,
+    SessionState,
 };
 use lqs_progress::{
     error_count, error_time, EstimateQuality, EstimatorConfig, GuardedEstimator, ProgressEstimator,
@@ -347,9 +348,15 @@ impl RegistryPoller {
         let state = handle.state();
         // An orphaned session's snapshot is the last thing a dead process
         // managed to journal: serve it, but never as anything better than
-        // Degraded — the run it describes no longer exists.
+        // Degraded — the run it describes no longer exists. The same cap
+        // applies when the journal circuit breaker dropped records (the
+        // durable trail is incomplete) or the watchdog quarantined the
+        // session (its telemetry stopped moving long ago).
         let report = report.map(|mut r| {
-            if state == SessionState::Orphaned {
+            if state == SessionState::Orphaned
+                || handle.durability() == SessionDurability::Lost
+                || handle.is_quarantined()
+            {
                 r.quality = EstimateQuality::Degraded;
             }
             r
@@ -398,7 +405,10 @@ impl RegistryPoller {
             {
                 r.quality = EstimateQuality::Stale;
             }
-            if state == SessionState::Orphaned {
+            if state == SessionState::Orphaned
+                || handle.durability() == SessionDurability::Lost
+                || handle.is_quarantined()
+            {
                 r.quality = EstimateQuality::Degraded;
             }
             r

@@ -9,18 +9,19 @@ use crate::metrics::ServiceMetrics;
 use crate::registry::SessionRegistry;
 use crate::session::{FilteredPublisher, QuerySpec, SessionCost, SessionHandle, SessionState};
 use lqs_exec::{
-    execute_hooked, ExecHooks, ExecMode, FaultInjector, QueryFault, QueryRun, SnapshotPublisher,
+    execute_hooked, ExecHooks, ExecMode, ExecOptions, FaultInjector, QueryFault, QueryRun,
+    SnapshotPublisher,
 };
 use lqs_history::{plan_features, HistoryMetrics, HistoryStore, ObservedRun, ResourcePrediction};
 use lqs_journal::{plan_fingerprint, Journal, JournalExecMode, SessionMeta};
 use lqs_obs::EventSink;
 use lqs_plan::PhysicalPlan;
 use lqs_storage::Database;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// A concurrent multi-session query service over one database.
 ///
@@ -47,6 +48,92 @@ pub struct QueryService {
     /// the fixed queue-depth limit. Cold plans (no history) fall back to
     /// the fixed limit.
     cost_admission: Option<Arc<CostAdmission>>,
+    /// Overload brownout: queue-wait deadline shedding plus snapshot-
+    /// cadence widening under sustained queue pressure.
+    brownout: Option<Arc<BrownoutState>>,
+}
+
+/// Overload-brownout tuning: degrade observability cadence, then shed,
+/// before ever letting overload turn into run-to-fail sessions.
+#[derive(Debug, Clone)]
+pub struct BrownoutConfig {
+    /// Queue depth at or above which a submission counts toward the
+    /// sustained-overload streak.
+    pub queue_high: usize,
+    /// Consecutive over-threshold submissions before brownout activates
+    /// (one under-threshold submission resets the streak and deactivates).
+    pub sustain: u32,
+    /// While brownout is active, new sessions' snapshot publish interval
+    /// is widened by this factor (their snapshot target divided by it when
+    /// no explicit interval is set). Min 1.
+    pub widen_factor: u32,
+    /// Maximum wall-clock queue wait: a session a worker dequeues later
+    /// than this is `Rejected` with a `queue-wait deadline exceeded`
+    /// reason instead of run. `None` disables dequeue-time shedding.
+    pub queue_deadline: Option<Duration>,
+}
+
+impl Default for BrownoutConfig {
+    fn default() -> Self {
+        BrownoutConfig {
+            queue_high: 32,
+            sustain: 3,
+            widen_factor: 4,
+            queue_deadline: None,
+        }
+    }
+}
+
+/// Per-session shedding policy, attached to the handle at submit time
+/// (workers spawn before `with_*` builders run, so dequeue-time policy
+/// cannot live in worker captures).
+#[derive(Debug, Clone)]
+pub(crate) struct ShedPolicy {
+    pub(crate) queue_deadline: Option<Duration>,
+}
+
+/// Live brownout state shared by submitters.
+struct BrownoutState {
+    config: BrownoutConfig,
+    /// Consecutive submissions that observed the queue at/over
+    /// `queue_high`.
+    streak: AtomicU32,
+    active: AtomicBool,
+}
+
+impl BrownoutState {
+    /// Fold one submission-time queue-depth observation in; returns
+    /// whether brownout is active for this submission.
+    fn note_submission(&self, depth: usize, metrics: Option<&ServiceMetrics>) -> bool {
+        if depth >= self.config.queue_high {
+            let streak = self.streak.fetch_add(1, Ordering::AcqRel) + 1;
+            if streak >= self.config.sustain.max(1) && !self.active.swap(true, Ordering::AcqRel) {
+                if let Some(m) = metrics {
+                    m.brownout_active.set(1);
+                }
+            }
+        } else {
+            self.streak.store(0, Ordering::Release);
+            if self.active.swap(false, Ordering::AcqRel) {
+                if let Some(m) = metrics {
+                    m.brownout_active.set(0);
+                }
+            }
+        }
+        self.active.load(Ordering::Acquire)
+    }
+}
+
+/// Widen a submission's snapshot publish cadence for brownout: degrade
+/// observability granularity, never correctness. With an explicit publish
+/// interval the interval is multiplied; otherwise the snapshot budget is
+/// divided (staying >= 1 so the terminal snapshot always lands).
+fn widen_for_brownout(opts: &mut ExecOptions, factor: u32) {
+    let factor = factor.max(1) as u64;
+    match &mut opts.snapshot_interval_ns {
+        Some(interval) => *interval = interval.saturating_mul(factor),
+        None => opts.snapshot_target = (opts.snapshot_target / factor as usize).max(1),
+    }
 }
 
 /// Service-wide predicted-cost admission state: the shared history store,
@@ -159,6 +246,7 @@ impl QueryService {
             queued_depth,
             journal: None,
             cost_admission: None,
+            brownout: None,
         }
     }
 
@@ -211,6 +299,30 @@ impl QueryService {
         self
     }
 
+    /// Enable overload brownout: under sustained queue pressure
+    /// (`config.queue_high` depth for `config.sustain` consecutive
+    /// submissions), new sessions publish snapshots at a widened cadence,
+    /// and a session that waited in the queue past
+    /// `config.queue_deadline` is `Rejected` with a reason at dequeue
+    /// instead of run — degrade observability cadence first, shed second,
+    /// never run-to-fail.
+    pub fn with_brownout(mut self, config: BrownoutConfig) -> Self {
+        self.brownout = Some(Arc::new(BrownoutState {
+            config,
+            streak: AtomicU32::new(0),
+            active: AtomicBool::new(false),
+        }));
+        self
+    }
+
+    /// Whether sustained-overload brownout is currently active (`false`
+    /// when brownout is not configured).
+    pub fn brownout_active(&self) -> bool {
+        self.brownout
+            .as_ref()
+            .is_some_and(|b| b.active.load(Ordering::Acquire))
+    }
+
     /// The shared history store, when running predicted-cost admission.
     pub fn history_store(&self) -> Option<&Arc<HistoryStore>> {
         self.cost_admission.as_ref().map(|c| &c.store)
@@ -247,8 +359,25 @@ impl QueryService {
     /// query runs when a worker frees up. Under an admission limit, a
     /// submission that finds the queue full returns a handle already in
     /// [`SessionState::Rejected`] — check the state, don't assume it ran.
-    pub fn submit(&self, spec: QuerySpec) -> Arc<SessionHandle> {
+    pub fn submit(&self, mut spec: QuerySpec) -> Arc<SessionHandle> {
+        // Brownout widening happens before registration so the widened
+        // cadence is what the journal meta records and what pollers see in
+        // `opts()` — replay and recovery stay consistent with the run.
+        if let Some(brownout) = &self.brownout {
+            let depth = self.queued_depth.load(Ordering::Acquire);
+            if brownout.note_submission(depth, self.metrics.as_deref()) {
+                widen_for_brownout(&mut spec.opts, brownout.config.widen_factor);
+                if let Some(metrics) = &self.metrics {
+                    metrics.brownout_sessions.inc();
+                }
+            }
+        }
         let handle = self.registry.register(spec);
+        if let Some(brownout) = &self.brownout {
+            handle.attach_shed(ShedPolicy {
+                queue_deadline: brownout.config.queue_deadline,
+            });
+        }
         if let Some(metrics) = &self.metrics {
             metrics.submitted.inc();
         }
@@ -465,6 +594,41 @@ fn run_session(db: &Database, handle: &SessionHandle, metrics: Option<&ServiceMe
         return;
     }
     let queue_wait = handle.submitted_at().elapsed();
+    // Brownout shedding at dequeue: a session that cannot meet its latency
+    // contract any more is rejected with a reason instead of run-to-fail.
+    if let Some(shed) = handle.shed_policy() {
+        if let Some(deadline) = shed.queue_deadline {
+            if queue_wait > deadline {
+                if let Some(metrics) = metrics {
+                    metrics.shed("queue_deadline");
+                    metrics.finished(SessionState::Rejected);
+                }
+                handle.reject_with_reason(format!(
+                    "queue-wait deadline exceeded: waited {:.3}s over a {:.3}s budget",
+                    queue_wait.as_secs_f64(),
+                    deadline.as_secs_f64()
+                ));
+                return;
+            }
+        }
+        // A session whose predicted runtime already exceeds its virtual
+        // deadline would only run to be aborted — shed it up front.
+        if let (Some(deadline_ns), Some(prediction)) =
+            (handle.deadline_ns(), handle.predicted_cost())
+        {
+            if prediction.runtime_ns > deadline_ns as f64 {
+                if let Some(metrics) = metrics {
+                    metrics.shed("predicted_over_deadline");
+                    metrics.finished(SessionState::Rejected);
+                }
+                handle.reject_with_reason(format!(
+                    "predicted runtime {:.0}ns exceeds the {deadline_ns}ns virtual deadline",
+                    prediction.runtime_ns
+                ));
+                return;
+            }
+        }
+    }
     handle.set_state(SessionState::Running);
     if let Some(metrics) = metrics {
         metrics.queue_wait_seconds.observe(queue_wait.as_secs_f64());
@@ -520,7 +684,10 @@ fn run_session(db: &Database, handle: &SessionHandle, metrics: Option<&ServiceMe
             let transient = payload
                 .downcast_ref::<QueryFault>()
                 .is_some_and(|f| f.transient);
-            if transient && attempts_left > 0 {
+            // Watchdog remediation cancels through the session's token;
+            // a cancelled session must never burn its transient-fault
+            // retry budget racing re-executions against the abort.
+            if transient && attempts_left > 0 && !handle.cancel_token().is_cancelled() {
                 attempts_left -= 1;
                 if let Some(metrics) = metrics {
                     metrics.retries.inc();

@@ -8,7 +8,7 @@
 //! pollers read it concurrently without touching the execution.
 
 use crate::seqslot::SnapshotSlot;
-use crate::service::CostAdmission;
+use crate::service::{CostAdmission, ShedPolicy};
 use lqs_exec::{
     AbortReason, AbortedQuery, CancellationToken, DmvSnapshot, ExecOptions, FaultInjector,
     QueryRun, SnapshotFilter, SnapshotPublisher,
@@ -64,6 +64,19 @@ impl SessionState {
     pub fn is_terminal(self) -> bool {
         !matches!(self, SessionState::Queued | SessionState::Running)
     }
+}
+
+/// Whether a session's journaled record is trustworthy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SessionDurability {
+    /// The session runs without a journal (no durability claim either way).
+    Unjournaled,
+    /// Every record the session journaled reached the file.
+    Durable,
+    /// At least one record was lost to a write error or breaker
+    /// suppression — the journal has a gap. Surfaced as `durable: false`
+    /// in `/sessions` and served at degraded estimate quality.
+    Lost,
 }
 
 /// What a session left behind when it finished.
@@ -249,6 +262,16 @@ pub struct SessionHandle {
     /// Swapped to zero (and released back to the pool) exactly once, on
     /// the terminal transition.
     admitted_cost_ns: AtomicU64,
+    /// Why the session was rejected, when it was shed with a reason
+    /// (brownout queue-deadline shedding, admission limits).
+    reject_reason: OnceLock<String>,
+    /// Set by watchdog quarantine remediation: the session was cancelled
+    /// for stalling and its progress is served at degraded quality.
+    quarantined: AtomicBool,
+    /// Overload-shedding policy the owning service attached at submit
+    /// time (workers spawn before `with_*` builders run, so per-session
+    /// policy rides the handle).
+    shed: OnceLock<ShedPolicy>,
 }
 
 /// Cost-admission state one session carries: the service-wide admission
@@ -277,6 +300,9 @@ impl SessionHandle {
             recovered: AtomicBool::new(false),
             cost: OnceLock::new(),
             admitted_cost_ns: AtomicU64::new(0),
+            reject_reason: OnceLock::new(),
+            quarantined: AtomicBool::new(false),
+            shed: OnceLock::new(),
         }
     }
 
@@ -303,6 +329,44 @@ impl SessionHandle {
     /// The session's journal writer, if the service runs with one.
     pub(crate) fn journal(&self) -> Option<&Arc<SessionJournal>> {
         self.journal.get()
+    }
+
+    /// Attach the service's overload-shedding policy. At most once, at
+    /// submit time; later calls are ignored.
+    pub(crate) fn attach_shed(&self, shed: ShedPolicy) {
+        let _ = self.shed.set(shed);
+    }
+
+    /// The overload-shedding policy attached at submit time, if any.
+    pub(crate) fn shed_policy(&self) -> Option<&ShedPolicy> {
+        self.shed.get()
+    }
+
+    /// Whether this session's journaled record is trustworthy. Lock-free;
+    /// safe to call from pollers and HTTP handlers.
+    pub fn durability(&self) -> SessionDurability {
+        match self.journal.get() {
+            None => SessionDurability::Unjournaled,
+            Some(j) if j.is_durable() => SessionDurability::Durable,
+            Some(_) => SessionDurability::Lost,
+        }
+    }
+
+    /// Mark the session quarantined by watchdog remediation: it is (or is
+    /// being) cancelled for stalling, and its last-known progress is served
+    /// at degraded estimate quality.
+    pub fn quarantine(&self) {
+        self.quarantined.store(true, Ordering::Release);
+    }
+
+    /// Whether watchdog remediation quarantined this session.
+    pub fn is_quarantined(&self) -> bool {
+        self.quarantined.load(Ordering::Acquire)
+    }
+
+    /// Why the session was rejected, when it was shed with a reason.
+    pub fn reject_reason(&self) -> Option<&str> {
+        self.reject_reason.get().map(String::as_str)
     }
 
     fn journal_terminal(&self, kind: TerminalKind, at_ns: u64, rows_returned: u64, message: &str) {
@@ -549,6 +613,17 @@ impl SessionHandle {
     /// session never ran, so there are no counters to publish.
     pub(crate) fn reject(&self) {
         self.journal_terminal(TerminalKind::Rejected, 0, 0, "");
+        *self.result.lock().expect("result slot poisoned") = Some(SessionResult::Rejected);
+        self.set_state(SessionState::Rejected);
+    }
+
+    /// [`reject`](Self::reject) with a human-readable reason, journaled on
+    /// the terminal record and surfaced by `/sessions` — used by brownout
+    /// shedding so an operator can tell *why* a session never ran.
+    pub(crate) fn reject_with_reason(&self, reason: impl Into<String>) {
+        let reason = reason.into();
+        self.journal_terminal(TerminalKind::Rejected, 0, 0, &reason);
+        let _ = self.reject_reason.set(reason);
         *self.result.lock().expect("result slot poisoned") = Some(SessionResult::Rejected);
         self.set_state(SessionState::Rejected);
     }

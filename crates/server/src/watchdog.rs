@@ -43,6 +43,30 @@ use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+/// What the watchdog *does* about a session that stays stalled —
+/// detection turned into graceful degradation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RemediationPolicy {
+    /// Raise alerts only (the pre-remediation behavior, and the default).
+    Observe,
+    /// After `after_stalled_sweeps` consecutive stalled sweeps, cancel the
+    /// session through its [`lqs_exec::CancellationToken`]. The run aborts
+    /// at its next virtual-clock tick and lands in the terminal
+    /// `Cancelled` state; the remediation never consumes the session's
+    /// transient-fault retry budget.
+    Cancel {
+        /// Consecutive stalled sweeps before cancelling (min 1).
+        after_stalled_sweeps: u64,
+    },
+    /// Like [`RemediationPolicy::Cancel`], additionally marking the
+    /// session quarantined: pollers serve its last-known progress at
+    /// degraded estimate quality and `/sessions` flags it.
+    Quarantine {
+        /// Consecutive stalled sweeps before quarantining (min 1).
+        after_stalled_sweeps: u64,
+    },
+}
+
 /// Classification thresholds for one [`Watchdog`].
 #[derive(Debug, Clone)]
 pub struct WatchdogConfig {
@@ -58,6 +82,8 @@ pub struct WatchdogConfig {
     pub divergence_band: f64,
     /// Consecutive divergent sweeps before the session is flagged.
     pub divergence_sweeps: u64,
+    /// What to do about sessions that stay stalled.
+    pub remediation: RemediationPolicy,
 }
 
 impl Default for WatchdogConfig {
@@ -67,6 +93,7 @@ impl Default for WatchdogConfig {
             stall_wall: Duration::from_secs(2),
             divergence_band: 0.35,
             divergence_sweeps: 2,
+            remediation: RemediationPolicy::Observe,
         }
     }
 }
@@ -125,6 +152,11 @@ struct Track {
     last_drift: Option<(f64, f64)>,
     /// Classification as of the previous sweep.
     health: Health,
+    /// Consecutive sweeps classified [`Health::Stalled`] (the remediation
+    /// countdown).
+    stalled_sweeps: u64,
+    /// Remediation already fired for this episode — fire at most once.
+    remediated: bool,
     /// The session's progress estimator, persistent across sweeps (its
     /// anomaly state must accumulate, same as the poller's).
     estimator: GuardedEstimator,
@@ -147,6 +179,8 @@ pub struct Watchdog {
     alerts: BTreeMap<SessionId, SessionAlert>,
     /// Completed sweeps — the deterministic time axis.
     sweeps: u64,
+    /// Remediations fired so far (cancel + quarantine).
+    remediations: u64,
     /// Reusable snapshot buffer (same pooling as the poller's).
     scratch: DmvSnapshot,
 }
@@ -169,6 +203,7 @@ impl Watchdog {
             track: HashMap::new(),
             alerts: BTreeMap::new(),
             sweeps: 0,
+            remediations: 0,
             scratch: DmvSnapshot {
                 ts_ns: 0,
                 nodes: Vec::new(),
@@ -188,6 +223,11 @@ impl Watchdog {
         self.sweeps
     }
 
+    /// Remediations fired so far (cancellations plus quarantines).
+    pub fn remediations(&self) -> u64 {
+        self.remediations
+    }
+
     /// The latest classification of `id`, if it was running at the last
     /// sweep.
     pub fn health(&self, id: SessionId) -> Option<Health> {
@@ -204,6 +244,7 @@ impl Watchdog {
     /// raised* by this sweep (transitions into an unhealthy state only —
     /// a session that stays stalled raises nothing new).
     pub fn sweep(&mut self) -> Vec<SessionAlert> {
+        let sweep_started = Instant::now();
         self.sweeps += 1;
         let mut raised = Vec::new();
         let sessions = self.registry.sessions();
@@ -229,6 +270,8 @@ impl Watchdog {
                 diverging_sweeps: 0,
                 last_drift: None,
                 health: Health::Healthy,
+                stalled_sweeps: 0,
+                remediated: false,
                 estimator: GuardedEstimator::new(
                     ProgressEstimator::with_cost_model(
                         handle.plan(),
@@ -285,67 +328,144 @@ impl Watchdog {
             } else {
                 Health::Healthy
             };
-            if health == track.health {
-                continue;
+            if health == Health::Stalled {
+                track.stalled_sweeps += 1;
+            } else {
+                track.stalled_sweeps = 0;
             }
-            track.health = health;
-            let (kind, detail) = match health {
-                Health::Healthy => {
-                    self.alerts.remove(&id);
-                    continue;
-                }
-                Health::Stalled => (
-                    AlertKind::Stalled,
-                    format!(
-                        "no snapshot progress for {} sweeps (published_seq {} unchanged)",
-                        track.unchanged_sweeps, seq
-                    ),
-                ),
-                Health::Diverging => {
-                    let (estimate, observed) = track.last_drift.unwrap_or((0.0, 0.0));
-                    (
-                        AlertKind::Diverging,
+            if health != track.health {
+                track.health = health;
+                let kind_detail = match health {
+                    Health::Healthy => {
+                        self.alerts.remove(&id);
+                        None
+                    }
+                    Health::Stalled => Some((
+                        AlertKind::Stalled,
                         format!(
-                            "estimated progress {:.3} vs observed-rows progress {:.3} \
-                             beyond band {:.3} for {} sweeps",
-                            estimate, observed, self.config.divergence_band, track.diverging_sweeps
+                            "no snapshot progress for {} sweeps (published_seq {} unchanged)",
+                            track.unchanged_sweeps, seq
                         ),
-                    )
+                    )),
+                    Health::Diverging => {
+                        let (estimate, observed) = track.last_drift.unwrap_or((0.0, 0.0));
+                        Some((
+                            AlertKind::Diverging,
+                            format!(
+                                "estimated progress {:.3} vs observed-rows progress {:.3} \
+                                 beyond band {:.3} for {} sweeps",
+                                estimate,
+                                observed,
+                                self.config.divergence_band,
+                                track.diverging_sweeps
+                            ),
+                        ))
+                    }
+                };
+                if let Some((kind, detail)) = kind_detail {
+                    let alert = SessionAlert {
+                        id,
+                        name: handle.name().to_string(),
+                        kind,
+                        ts_ns: handle.latest_snapshot_ts().unwrap_or(0),
+                        seq,
+                        detail,
+                    };
+                    if let Some(metrics) = &self.metrics {
+                        metrics
+                            .counter(
+                                "lqs_watchdog_alerts_total",
+                                "Watchdog alerts raised on transitions into an unhealthy state, by kind",
+                                &[("kind", kind.as_str())],
+                            )
+                            .inc();
+                    }
+                    if let Some(journal) = handle.journal() {
+                        journal.append_alert(&AlertRecord {
+                            kind: alert.kind,
+                            ts_ns: alert.ts_ns,
+                            seq: alert.seq,
+                            detail: alert.detail.clone(),
+                        });
+                    }
+                    self.alerts.insert(id, alert.clone());
+                    raised.push(alert);
                 }
-            };
-            let alert = SessionAlert {
-                id,
-                name: handle.name().to_string(),
-                kind,
-                ts_ns: handle.latest_snapshot_ts().unwrap_or(0),
-                seq,
-                detail,
-            };
-            if let Some(metrics) = &self.metrics {
-                metrics
-                    .counter(
-                        "lqs_watchdog_alerts_total",
-                        "Watchdog alerts raised on transitions into an unhealthy state, by kind",
-                        &[("kind", kind.as_str())],
-                    )
-                    .inc();
             }
-            if let Some(journal) = handle.journal() {
-                journal.append_alert(&AlertRecord {
-                    kind: alert.kind,
-                    ts_ns: alert.ts_ns,
-                    seq: alert.seq,
-                    detail: alert.detail.clone(),
-                });
+            // Remediation: after the policy's threshold of consecutive
+            // stalled sweeps, act exactly once. The cancel rides the
+            // session's own token, so the run aborts on its normal
+            // cancellation path — an `Ok(Err(aborted))` landing in the
+            // terminal `Cancelled` state, never a retryable fault (the
+            // worker additionally refuses transient-fault retries once the
+            // token is cancelled, so the retry budget is untouched).
+            if health == Health::Stalled && !track.remediated {
+                let action = match self.config.remediation {
+                    RemediationPolicy::Observe => None,
+                    RemediationPolicy::Cancel {
+                        after_stalled_sweeps,
+                    } if track.stalled_sweeps >= after_stalled_sweeps.max(1) => Some("cancel"),
+                    RemediationPolicy::Quarantine {
+                        after_stalled_sweeps,
+                    } if track.stalled_sweeps >= after_stalled_sweeps.max(1) => Some("quarantine"),
+                    _ => None,
+                };
+                if let Some(action) = action {
+                    track.remediated = true;
+                    self.remediations += 1;
+                    if action == "quarantine" {
+                        // Flag before cancelling so a poller that sees the
+                        // terminal state also sees the quarantine.
+                        handle.quarantine();
+                    }
+                    handle.cancel();
+                    let alert = SessionAlert {
+                        id,
+                        name: handle.name().to_string(),
+                        kind: AlertKind::Remediated,
+                        ts_ns: handle.latest_snapshot_ts().unwrap_or(0),
+                        seq,
+                        detail: format!(
+                            "{action} after {} consecutive stalled sweeps",
+                            track.stalled_sweeps
+                        ),
+                    };
+                    if let Some(metrics) = &self.metrics {
+                        metrics
+                            .counter(
+                                "lqs_watchdog_remediations_total",
+                                "Watchdog remediations fired on sessions that stayed stalled, by action",
+                                &[("action", action)],
+                            )
+                            .inc();
+                    }
+                    if let Some(journal) = handle.journal() {
+                        journal.append_alert(&AlertRecord {
+                            kind: alert.kind,
+                            ts_ns: alert.ts_ns,
+                            seq: alert.seq,
+                            detail: alert.detail.clone(),
+                        });
+                    }
+                    self.alerts.insert(id, alert.clone());
+                    raised.push(alert);
+                }
             }
-            self.alerts.insert(id, alert.clone());
-            raised.push(alert);
         }
         // Sessions gone from the registry entirely (evicted) end their
         // episodes too.
         let live: std::collections::HashSet<SessionId> = sessions.iter().map(|h| h.id()).collect();
         self.track.retain(|id, _| live.contains(id));
         self.alerts.retain(|id, _| live.contains(id));
+        if let Some(metrics) = &self.metrics {
+            metrics
+                .histogram(
+                    "lqs_watchdog_sweep_seconds",
+                    "Wall-clock duration of one watchdog sweep over the registry",
+                    &[],
+                )
+                .observe(sweep_started.elapsed().as_secs_f64());
+        }
         raised
     }
 }

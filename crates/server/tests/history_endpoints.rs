@@ -196,6 +196,7 @@ fn cold_prediction_is_explicit_no_history_and_admission_falls_back() {
             }),
             recovered_sessions: 0,
             watchdog: None,
+            ..ServerConfig::default()
         },
     )
     .expect("bind ephemeral port");
@@ -262,6 +263,7 @@ fn history_endpoints_are_deterministic_and_healthz_reports() {
             }),
             recovered_sessions: 3,
             watchdog: None,
+            ..ServerConfig::default()
         },
     )
     .expect("bind ephemeral port");

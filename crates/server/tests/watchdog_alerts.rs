@@ -210,6 +210,7 @@ fn divergence_mangled_session_raises_diverging_alert() {
             stall_wall: Duration::ZERO,
             divergence_band: 0.15,
             divergence_sweeps: 2,
+            ..WatchdogConfig::default()
         },
     )
     .with_metrics(Arc::clone(&metrics));
