@@ -1,0 +1,38 @@
+//! Ensemble-vs-members error table over the REAL workloads — the
+//! robustness evaluation behind the "Ensemble estimation" section of
+//! EXPERIMENTS.md.
+//!
+//! For every query of REAL-1/2/3 the full snapshot trace is replayed
+//! through the six competing estimators and the online selection layer,
+//! and §5's ErrorAvg is aggregated per member vs. the composed ensemble.
+//! The claim the table backs: the ensemble's per-workload ErrorAvg is no
+//! worse than every individual member's (ties allowed).
+
+use lqs::harness::ensemble::{ensemble_real, render_ensemble_markdown};
+use lqs_bench::{maybe_write_json, parse_args};
+
+fn main() {
+    let args = parse_args();
+    let rows = ensemble_real(args.scale);
+    println!("{}", render_ensemble_markdown(&rows));
+    let mut dominated = true;
+    for r in &rows {
+        if !r.ensemble_dominates() {
+            dominated = false;
+            let best = r
+                .members
+                .iter()
+                .min_by(|a, b| a.1.total_cmp(&b.1))
+                .expect("members non-empty");
+            eprintln!(
+                "{}: ensemble ErrorAvg {:.4} is beaten by member {} at {:.4}",
+                r.workload, r.ensemble_error_avg, best.0, best.1
+            );
+        }
+    }
+    maybe_write_json(&args, &rows);
+    if !dominated {
+        std::process::exit(1);
+    }
+    println!("ensemble ErrorAvg <= every member on every workload");
+}

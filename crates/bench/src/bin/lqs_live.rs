@@ -223,14 +223,19 @@ fn describe(s: &RecoveredSession) -> String {
         Some(t) => format!("{:?} at t={:.2}ms", t.kind, t.at_ns as f64 / 1e6),
         None => "interrupted (no terminal record)".to_string(),
     };
+    let est = match &s.estimator {
+        Some(e) => format!(", est={}", e.selected),
+        None => String::new(),
+    };
     format!(
-        "e{}/s{} {:<24} {:>4} snapshots, {} corrupt, {}{}",
+        "e{}/s{} {:<24} {:>4} snapshots, {} corrupt, {}{}{}",
         s.epoch,
         s.session_id,
         name,
         s.snapshots.len(),
         s.corrupt_records,
         end,
+        est,
         if s.clean_shutdown {
             ", clean shutdown"
         } else {
@@ -330,6 +335,18 @@ fn replay_journal(args: &Args, dir: &str) {
 
     println!("{}", plan.display_tree());
     println!("replaying journal {}", describe(session));
+    if let Some(est) = &session.estimator {
+        let weights: Vec<String> = est
+            .weights
+            .iter()
+            .map(|(id, w)| format!("{id}={w:.3}"))
+            .collect();
+        println!(
+            "journaled ensemble selection: {} ({})",
+            est.selected,
+            weights.join(", ")
+        );
+    }
     let last = session
         .snapshots
         .last()
@@ -444,6 +461,21 @@ fn fleet_view(args: &Args, dir: &str) {
             println!(
                 "  {:<18} ErrorAvg p50/p90 {:.4}/{:.4}  ErrorTime p50/p90 {:.4}/{:.4}",
                 "", ea.p50, ea.p90, et.p50, et.p90
+            );
+        }
+    }
+
+    let by_estimator = fleet.accuracy_by_estimator();
+    if by_estimator.iter().any(|e| e.estimator != "single") {
+        println!("\naccuracy by journaled ensemble selection:");
+        for e in &by_estimator {
+            let acc = match &e.error_avg {
+                Some(p) => format!("ErrorAvg p50/p90 {:.4}/{:.4}", p.p50, p.p90),
+                None => "unscored".to_string(),
+            };
+            println!(
+                "  {:<10} {:>3} session(s), {:>3} scored  {}",
+                e.estimator, e.sessions, e.scored, acc
             );
         }
     }

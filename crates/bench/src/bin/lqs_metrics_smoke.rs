@@ -143,7 +143,9 @@ fn main() {
         fail("expected 3 succeeded sessions in /metrics");
     }
     for (workload, _) in &plans {
-        let sample = format!("lqs_estimator_error_count_count{{workload=\"{workload}\"}} 1");
+        let sample = format!(
+            "lqs_estimator_error_count_count{{estimator=\"lqs\",workload=\"{workload}\"}} 1"
+        );
         if !body.contains(&sample) {
             fail(&format!(
                 "accuracy not scored for workload {workload}: missing {sample}"

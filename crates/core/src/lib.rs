@@ -74,8 +74,8 @@ pub mod prelude {
         NodeCounters, QueryRun,
     };
     pub use lqs_history::{
-        scan_history, FleetHistory, HistoryMetrics, HistoryResolver, HistoryStore, ResolvedPlan,
-        ResourcePrediction, SessionHistory,
+        scan_history, EstimatorAccuracy, FleetHistory, HistoryMetrics, HistoryResolver,
+        HistoryStore, ResolvedPlan, ResourcePrediction, SessionHistory,
     };
     pub use lqs_journal::{FsyncPolicy, Journal, JournalConfig, SessionJournal};
     pub use lqs_metrics::{Counter, Gauge, Histogram, MetricsRegistry};
@@ -89,7 +89,8 @@ pub mod prelude {
     };
     pub use lqs_prof::{NodeProfile, ProfileReport};
     pub use lqs_progress::{
-        error_count, error_time, EstimationPath, EstimatorConfig, ExplainCounters, Explanation,
+        error_count, error_time, EnsembleConfig, EnsembleEstimator, EnsembleReplay,
+        EnsembleSelection, EstimationPath, EstimatorConfig, ExplainCounters, Explanation,
         PerOperatorError, ProgressEstimator, ProgressReport, QueryModel, RefinementSource,
     };
     pub use lqs_server::{

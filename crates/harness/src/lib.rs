@@ -9,12 +9,14 @@
 #![warn(missing_docs)]
 
 pub mod calibrate;
+pub mod ensemble;
 pub mod experiment;
 pub mod figures;
 pub mod report;
 pub mod run;
 
 pub use calibrate::{calibrate_weights, WeightCalibration};
+pub use ensemble::{ensemble_errors, render_ensemble_markdown, EnsembleErrors};
 pub use experiment::{
     merge_per_operator, operator_frequencies, per_operator_errors, workload_errors, ConfigSpec,
     Metric, PerOperatorErrors, WorkloadErrors,

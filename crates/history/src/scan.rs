@@ -137,6 +137,10 @@ pub struct SessionHistory {
     pub exec_mode: JournalExecMode,
     /// Watchdog alerts journaled for this session.
     pub alerts: usize,
+    /// Id of the ensemble member that served the session, when its journal
+    /// recorded a selection (`None` for single-estimator sessions and for
+    /// journals written before the record existed).
+    pub estimator: Option<String>,
 }
 
 impl SessionHistory {
@@ -248,6 +252,23 @@ pub struct ModeThroughput {
     pub rows_per_virtual_sec: f64,
 }
 
+/// Accuracy summary for the population of sessions served by one ensemble
+/// estimator selection (as journaled at terminal time).
+#[derive(Debug, Clone)]
+pub struct EstimatorAccuracy {
+    /// Selected estimator id; `"single"` groups sessions whose journals
+    /// carry no selection (pre-ensemble journals and fixed-config runs).
+    pub estimator: String,
+    /// Sessions whose journal recorded this selection, any outcome.
+    pub sessions: usize,
+    /// Sessions with an accuracy replay (succeeded + resolvable plan).
+    pub scored: usize,
+    /// ErrorAvg percentiles over the scored population, when any.
+    pub error_avg: Option<Pctls>,
+    /// ErrorTime percentiles over the scored population, when any.
+    pub error_time: Option<Pctls>,
+}
+
 /// The cross-session history view of one journal directory.
 #[derive(Debug, Clone, Default)]
 pub struct FleetHistory {
@@ -350,6 +371,38 @@ impl FleetHistory {
             })
         })
         .collect()
+    }
+
+    /// Accuracy segmented by the estimator that served each session, sorted
+    /// by estimator id. Sessions whose journals carry no selection group
+    /// under `"single"`.
+    pub fn accuracy_by_estimator(&self) -> Vec<EstimatorAccuracy> {
+        let mut labels: Vec<&str> = self
+            .sessions
+            .iter()
+            .map(|s| s.estimator.as_deref().unwrap_or("single"))
+            .collect();
+        labels.sort_unstable();
+        labels.dedup();
+        labels
+            .into_iter()
+            .map(|label| {
+                let all: Vec<&SessionHistory> = self
+                    .sessions
+                    .iter()
+                    .filter(|s| s.estimator.as_deref().unwrap_or("single") == label)
+                    .collect();
+                let errors: Vec<f64> = all.iter().filter_map(|s| s.error_avg).collect();
+                let error_times: Vec<f64> = all.iter().filter_map(|s| s.error_time).collect();
+                EstimatorAccuracy {
+                    estimator: label.to_owned(),
+                    sessions: all.len(),
+                    scored: errors.len(),
+                    error_avg: (!errors.is_empty()).then(|| Pctls::from_samples(errors)),
+                    error_time: (!error_times.is_empty()).then(|| Pctls::from_samples(error_times)),
+                }
+            })
+            .collect()
     }
 
     /// Fleet-wide slowest-node ranking: per-node CPU totals aggregated
@@ -543,6 +596,7 @@ fn session_history(
             .as_ref()
             .map_or(JournalExecMode::Unknown, |m| m.exec_mode),
         alerts: session.alerts.len(),
+        estimator: session.estimator.as_ref().map(|e| e.selected.clone()),
     }
 }
 

@@ -28,6 +28,7 @@ fn meta(id: u64, name: &str, workload: &str) -> SessionMeta {
         snapshot_interval_ns: Some(1_000),
         cost_model: CostModel::default(),
         exec_mode: lqs_journal::JournalExecMode::Tuple,
+        estimator: None,
     }
 }
 

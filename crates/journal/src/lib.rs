@@ -27,8 +27,8 @@ pub use breaker::{BreakerConfig, BreakerEvent, BreakerState, CircuitBreaker, Wri
 pub use metrics::JournalMetrics;
 pub use reader::{scan_dir, scan_dir_window, JournalScan, RecoveredSession};
 pub use record::{
-    crc32, plan_fingerprint, AlertKind, AlertRecord, JournalExecMode, Record, SegmentHeader,
-    SessionMeta, TerminalKind, TerminalRecord, FORMAT_VERSION, MAX_PAYLOAD_BYTES,
+    crc32, plan_fingerprint, AlertKind, AlertRecord, EstimatorRecord, JournalExecMode, Record,
+    SegmentHeader, SessionMeta, TerminalKind, TerminalRecord, FORMAT_VERSION, MAX_PAYLOAD_BYTES,
     SEGMENT_HEADER_BYTES, SEGMENT_MAGIC,
 };
 pub use writer::{

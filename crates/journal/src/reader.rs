@@ -10,8 +10,8 @@
 //! the session.
 
 use crate::record::{
-    AlertRecord, Record, SegmentHeader, SessionMeta, TerminalRecord, MAX_PAYLOAD_BYTES,
-    SEGMENT_HEADER_BYTES,
+    AlertRecord, EstimatorRecord, Record, SegmentHeader, SessionMeta, TerminalRecord,
+    MAX_PAYLOAD_BYTES, SEGMENT_HEADER_BYTES,
 };
 use crate::writer::parse_segment_file_name;
 use lqs_exec::DmvSnapshot;
@@ -35,6 +35,10 @@ pub struct RecoveredSession {
     pub terminal: Option<TerminalRecord>,
     /// Watchdog alerts journaled for this session, in write order.
     pub alerts: Vec<AlertRecord>,
+    /// Final ensemble estimator selection, if one reached disk (the last
+    /// journaled [`Record::Estimator`] wins; falls back to the meta's baked
+    /// `estimator` field for rewritten journals).
+    pub estimator: Option<EstimatorRecord>,
     /// Whether the clean-shutdown sentinel reached disk.
     pub clean_shutdown: bool,
     /// Records discarded while reading this session (torn tails, CRC
@@ -131,6 +135,7 @@ pub fn scan_dir(dir: &Path) -> std::io::Result<JournalScan> {
             snapshots: Vec::new(),
             terminal: None,
             alerts: Vec::new(),
+            estimator: None,
             clean_shutdown: false,
             corrupt_records: 0,
         };
@@ -181,6 +186,12 @@ pub fn scan_dir(dir: &Path) -> std::io::Result<JournalScan> {
                     Record::Meta(m) => {
                         // First meta wins; a duplicate would be a writer bug.
                         if recovered.meta.is_none() {
+                            // A baked-in selection (rewritten journal) seeds
+                            // the session's estimator; a later standalone
+                            // record overrides it.
+                            if recovered.estimator.is_none() {
+                                recovered.estimator = m.estimator.clone();
+                            }
                             recovered.meta = Some(*m);
                         }
                     }
@@ -198,6 +209,7 @@ pub fn scan_dir(dir: &Path) -> std::io::Result<JournalScan> {
                     }
                     Record::CleanShutdown => recovered.clean_shutdown = true,
                     Record::Alert(a) => recovered.alerts.push(a),
+                    Record::Estimator(sel) => recovered.estimator = Some(sel),
                 }
             }
         }

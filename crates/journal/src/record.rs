@@ -44,6 +44,8 @@ pub const TAG_TERMINAL: u8 = 3;
 pub const TAG_CLEAN_SHUTDOWN: u8 = 4;
 /// Watchdog alert record tag.
 pub const TAG_ALERT: u8 = 5;
+/// Estimator-selection record tag (ensemble final selection + weights).
+pub const TAG_ESTIMATOR: u8 = 6;
 
 /// CRC32 (IEEE 802.3, reflected) over `data`. Table-free bitwise variant —
 /// journal records are small and this keeps the implementation auditable.
@@ -127,6 +129,24 @@ pub struct SessionMeta {
     /// wire, so old readers reject new metas loudly (trailing bytes) and
     /// new readers accept old metas.
     pub exec_mode: JournalExecMode,
+    /// Ensemble estimator selection, when known at meta time (optional
+    /// trailing on the wire, like `exec_mode`). Live sessions journal their
+    /// *final* selection as a standalone [`Record::Estimator`] instead,
+    /// because selection is only settled once the run terminates; this field
+    /// exists so offline tools rewriting journals can bake it in. Journals
+    /// written before the field existed decode as `None`.
+    pub estimator: Option<EstimatorRecord>,
+}
+
+/// Which ensemble member served a session, with the final member weights —
+/// journaled so post-mortems can segment accuracy by estimator. Weights are
+/// in ensemble member order and sum to 1.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EstimatorRecord {
+    /// Id of the selected (arg-max weight) member, e.g. `"lqs"`.
+    pub selected: String,
+    /// `(member id, normalized weight)` pairs, ensemble order.
+    pub weights: Vec<(String, f64)>,
 }
 
 /// The execution mode a journaled run actually used, for segmenting
@@ -296,6 +316,9 @@ pub enum Record {
     CleanShutdown,
     /// Watchdog alert annotation.
     Alert(AlertRecord),
+    /// Final ensemble estimator selection for the session (appended at
+    /// terminal time; the last one in the journal wins on replay).
+    Estimator(EstimatorRecord),
 }
 
 /// Structural fingerprint of a plan: FNV-1a over operator names, tree
@@ -529,6 +552,30 @@ fn decode_counters(d: &mut Dec) -> Option<NodeCounters> {
     })
 }
 
+fn encode_estimator(e: &mut Enc, sel: &EstimatorRecord) {
+    e.str(&sel.selected);
+    e.u32(sel.weights.len() as u32);
+    for (id, w) in &sel.weights {
+        e.str(id);
+        e.f64(*w);
+    }
+}
+
+fn decode_estimator(d: &mut Dec) -> Option<EstimatorRecord> {
+    let selected = d.str()?;
+    let n = d.u32()? as usize;
+    if n > 1024 {
+        return None;
+    }
+    let mut weights = Vec::with_capacity(n);
+    for _ in 0..n {
+        let id = d.str()?;
+        let w = d.f64()?;
+        weights.push((id, w));
+    }
+    Some(EstimatorRecord { selected, weights })
+}
+
 impl Record {
     /// Encode this record's payload (type tag + body, no framing).
     pub fn encode_payload(&self) -> Vec<u8> {
@@ -548,9 +595,17 @@ impl Record {
                 for f in fields {
                     e.f64(f);
                 }
-                // Optional trailing field (added after FORMAT_VERSION 1
-                // shipped): absent on old journals, always written now.
+                // Optional trailing fields (added after FORMAT_VERSION 1
+                // shipped): absent on old journals, always written now, in
+                // strict order — exec mode, then estimator selection.
                 e.u8(m.exec_mode.to_tag());
+                match &m.estimator {
+                    None => e.u8(0),
+                    Some(sel) => {
+                        e.u8(1);
+                        encode_estimator(&mut e, sel);
+                    }
+                }
                 e.buf
             }
             Record::Snapshot(s) => {
@@ -577,6 +632,11 @@ impl Record {
                 e.u64(a.ts_ns);
                 e.u64(a.seq);
                 e.str(&a.detail);
+                e.buf
+            }
+            Record::Estimator(sel) => {
+                let mut e = Enc::new(TAG_ESTIMATOR);
+                encode_estimator(&mut e, sel);
                 e.buf
             }
         }
@@ -619,12 +679,21 @@ impl Record {
                 for _ in 0..n_fields {
                     fields.push(d.f64()?);
                 }
-                // Optional trailing field: journals written before it
-                // existed simply end here.
+                // Optional trailing fields: journals written before each
+                // existed simply end early.
                 let exec_mode = if d.done() {
                     JournalExecMode::Unknown
                 } else {
                     JournalExecMode::from_tag(d.u8()?)?
+                };
+                let estimator = if d.done() {
+                    None
+                } else {
+                    match d.u8()? {
+                        0 => None,
+                        1 => Some(decode_estimator(&mut d)?),
+                        _ => return None,
+                    }
                 };
                 Record::Meta(Box::new(SessionMeta {
                     session_id,
@@ -636,6 +705,7 @@ impl Record {
                     snapshot_interval_ns,
                     cost_model: cost_model_from_fields(&fields)?,
                     exec_mode,
+                    estimator,
                 }))
             }
             TAG_SNAPSHOT => {
@@ -663,6 +733,7 @@ impl Record {
                 seq: d.u64()?,
                 detail: d.str()?,
             }),
+            TAG_ESTIMATOR => Record::Estimator(decode_estimator(&mut d)?),
             _ => return None,
         };
         if !d.done() {
@@ -687,6 +758,14 @@ mod tests {
             snapshot_interval_ns: Some(500_000),
             cost_model: CostModel::default(),
             exec_mode: JournalExecMode::Batch,
+            estimator: None,
+        }
+    }
+
+    fn sample_estimator() -> EstimatorRecord {
+        EstimatorRecord {
+            selected: "lqs".into(),
+            weights: vec![("lqs".into(), 0.75), ("dne".into(), 0.25)],
         }
     }
 
@@ -732,6 +811,11 @@ mod tests {
                 seq: 17,
                 detail: "estimate 0.90 vs observed 0.20".into(),
             }),
+            Record::Estimator(sample_estimator()),
+            Record::Meta(Box::new(SessionMeta {
+                estimator: Some(sample_estimator()),
+                ..sample_meta()
+            })),
         ];
         for r in &records {
             let payload = r.encode_payload();
@@ -741,15 +825,45 @@ mod tests {
 
     #[test]
     fn meta_without_exec_mode_decodes_as_unknown() {
-        // A FORMAT_VERSION 1 meta written before the exec-mode field: the
-        // same payload minus its last byte.
+        // A FORMAT_VERSION 1 meta written before both trailing fields
+        // (exec mode + estimator presence): the same payload minus its
+        // last two bytes.
         let mut payload = Record::Meta(Box::new(sample_meta())).encode_payload();
+        payload.pop();
         payload.pop();
         let Some(Record::Meta(m)) = Record::decode_payload(&payload) else {
             panic!("old-format meta must decode");
         };
         assert_eq!(m.exec_mode, JournalExecMode::Unknown);
+        assert_eq!(m.estimator, None);
         assert_eq!(m.session_id, sample_meta().session_id);
+    }
+
+    #[test]
+    fn meta_without_estimator_field_decodes_as_none() {
+        // A meta written after exec mode but before the estimator field:
+        // the payload ends right after the exec-mode byte.
+        let mut payload = Record::Meta(Box::new(sample_meta())).encode_payload();
+        payload.pop(); // drop the estimator presence byte
+        let Some(Record::Meta(m)) = Record::decode_payload(&payload) else {
+            panic!("pre-estimator meta must decode");
+        };
+        assert_eq!(m.exec_mode, JournalExecMode::Batch);
+        assert_eq!(m.estimator, None);
+    }
+
+    #[test]
+    fn truncated_estimator_payload_is_corruption() {
+        // A torn tail inside the estimator body must fail decode loudly,
+        // not yield a half-parsed selection.
+        let full = Record::Estimator(sample_estimator()).encode_payload();
+        for cut in 2..full.len() {
+            assert_eq!(
+                Record::decode_payload(&full[..cut]),
+                None,
+                "truncation at {cut} must be corruption"
+            );
+        }
     }
 
     #[test]

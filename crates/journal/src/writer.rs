@@ -535,6 +535,18 @@ impl SessionJournal {
         }
     }
 
+    /// Append the session's final ensemble estimator selection. Written at
+    /// terminal time (selection is only settled once the run ends); like
+    /// alerts it is an annotation, not the recovery contract, so it rides
+    /// the next forced flush.
+    pub fn append_estimator(&self, sel: &crate::record::EstimatorRecord) {
+        let frame = Record::Estimator(sel.clone()).encode_frame();
+        let ok = self.with_inner(|inner| inner.append_frame(&frame));
+        if let (Some(m), true) = (&self.metrics, ok) {
+            m.records_appended.inc();
+        }
+    }
+
     /// Append the clean-shutdown sentinel and flush — called by the service
     /// at orderly shutdown so recovery can tell a clean exit from a crash.
     pub fn append_clean_shutdown(&self) {
@@ -662,6 +674,7 @@ mod tests {
             snapshot_interval_ns: None,
             cost_model: CostModel::default(),
             exec_mode: crate::record::JournalExecMode::Unknown,
+            estimator: None,
         }
     }
 

@@ -24,6 +24,7 @@ fn meta() -> SessionMeta {
         snapshot_interval_ns: Some(250_000),
         cost_model: CostModel::default(),
         exec_mode: lqs_journal::JournalExecMode::Tuple,
+        estimator: None,
     }
 }
 

@@ -1,0 +1,680 @@
+//! Robust ensemble progress estimation: competing single estimators plus
+//! an online statistical selection layer.
+//!
+//! The paper's shipped estimator is a single model; "A Statistical Approach
+//! Towards Robust Progress Estimation" (König, Ding, Chaudhuri, Narasayya)
+//! shows that *no* single estimator is trustworthy on every plan shape —
+//! spills, skewed joins, and wrong optimizer cardinalities each break a
+//! different model — and proposes running a set of competing estimators
+//! and selecting among them statistically, online. This module implements
+//! that architecture on top of the §4 machinery:
+//!
+//! * [`SingleEstimator`] — the common trait every competing estimator
+//!   implements. Members are **stateless per snapshot** (like
+//!   [`ProgressEstimator::estimate`]), which is what makes offline replays
+//!   bit-identical to online scoring.
+//! * The standard member set ([`EnsembleEstimator::build`]): the shipped
+//!   LQS estimator (`lqs`), the driver-node estimator (`dne`), the total
+//!   GetNext baseline (`tgn`), a cardinality-refinement-off baseline
+//!   (`norefine`), and two per-pipeline variants — `pmax` (progress of the
+//!   work-dominant pipeline) and `safe` (worst-case upper-bound
+//!   denominators, a conservative never-overestimates model).
+//! * [`EnsembleEstimator`] — observes the snapshot stream and maintains
+//!   per-member statistics: retrospective loss against the best current
+//!   reconstruction of true GetNext progress, monotonicity-violation mass,
+//!   refinement churn, and per-snapshot disagreement, seeded with a prior
+//!   from pipeline shape features. Weights are a normalized inverse-power
+//!   of the combined score; the reported estimate is the weighted mean of
+//!   the member estimates — always inside the members' `[min, max]`
+//!   envelope — and the selected member is the arg-max weight with a
+//!   deterministic seeded tie-break, so replays are byte-for-byte
+//!   reproducible.
+//!
+//! Everything here is a pure function of the snapshot stream: two replays
+//! of the same stream produce identical weights, selections, and estimates
+//! (property-tested in `tests/ensemble_props.rs`).
+
+use crate::bounds::compute_bounds;
+use crate::config::EstimatorConfig;
+use crate::estimator::{EnsembleSelection, ProgressEstimator, ProgressReport};
+use crate::statics::PlanStatics;
+use lqs_exec::DmvSnapshot;
+use lqs_plan::PhysicalPlan;
+use lqs_storage::Database;
+
+/// A competing single progress estimator. `estimate` must be a pure
+/// function of the snapshot (no internal state), so that an offline replay
+/// of a recorded trace reproduces the online figures bit for bit.
+pub trait SingleEstimator: Send {
+    /// Stable identifier (metric label, journal id, JSON value).
+    fn id(&self) -> &'static str;
+    /// Estimate progress from one DMV snapshot.
+    fn estimate(&self, s: &DmvSnapshot) -> ProgressReport;
+}
+
+/// A [`ProgressEstimator`] configuration acting as an ensemble member.
+struct ConfigMember {
+    id: &'static str,
+    estimator: ProgressEstimator,
+}
+
+impl SingleEstimator for ConfigMember {
+    fn id(&self) -> &'static str {
+        self.id
+    }
+
+    fn estimate(&self, s: &DmvSnapshot) -> ProgressReport {
+        self.estimator.estimate(s)
+    }
+}
+
+/// Which per-pipeline model a [`PipelineMember`] applies.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum PipelineModel {
+    /// Query progress is the driver progress of the pipeline with the
+    /// largest estimated total work (the "pmax" estimator of the robust
+    /// estimation literature): robust when one pipeline dominates and the
+    /// optimizer misprices the rest.
+    DominantWork,
+    /// Query progress uses Appendix-A worst-case *upper bounds* as
+    /// denominators wherever they are finite — a conservative estimator
+    /// that never overestimates, at the cost of chronic pessimism.
+    SafeBounds,
+}
+
+/// The per-pipeline PMAX/safe member estimators. Both wrap an inner
+/// bounded-TGN [`ProgressEstimator`] for per-node reporting and override
+/// the query-level figure with their pipeline model.
+struct PipelineMember {
+    id: &'static str,
+    model: PipelineModel,
+    inner: ProgressEstimator,
+}
+
+impl PipelineMember {
+    /// Driver progress of one pipeline: Σ min(kᵢ, Nᵢ) / Σ Nᵢ over its
+    /// driver nodes, with closed drivers exact. 1.0 once every member node
+    /// has closed.
+    fn pipeline_alpha(statics: &PlanStatics, s: &DmvSnapshot, p: &lqs_plan::Pipeline) -> f64 {
+        if p.nodes.iter().all(|n| s.node(n.0).is_closed()) {
+            return 1.0;
+        }
+        let mut seen = 0.0;
+        let mut total = 0.0;
+        for &d in &p.driver_nodes {
+            let st = &statics.nodes[d.0];
+            let c = s.node(d.0);
+            let n_d = if c.is_closed() {
+                (c.rows_output as f64).max(1.0)
+            } else {
+                st.known_rows.unwrap_or(st.est_rows).max(1.0)
+            };
+            seen += (c.rows_output as f64).min(n_d);
+            total += n_d;
+        }
+        if total <= 0.0 {
+            return 0.0;
+        }
+        (seen / total).clamp(0.0, 1.0)
+    }
+
+    fn query_progress(&self, s: &DmvSnapshot) -> f64 {
+        let statics = self.inner.statics();
+        match self.model {
+            PipelineModel::DominantWork => {
+                // The pipeline whose nodes carry the most estimated work;
+                // ties break on the lowest pipeline id (deterministic).
+                let mut best: Option<(f64, usize)> = None;
+                for p in statics.pipelines.pipelines() {
+                    let work: f64 = p
+                        .nodes
+                        .iter()
+                        .map(|n| statics.nodes[n.0].work_total_ns)
+                        .sum();
+                    let better = match best {
+                        None => true,
+                        Some((w, _)) => work > w,
+                    };
+                    if better {
+                        best = Some((work, p.id.0));
+                    }
+                }
+                match best {
+                    Some((_, pid)) => {
+                        let p = &statics.pipelines.pipelines()[pid];
+                        Self::pipeline_alpha(statics, s, p)
+                    }
+                    None => 0.0,
+                }
+            }
+            PipelineModel::SafeBounds => {
+                // Σkᵢ / Σ ubᵢ with finite worst-case upper bounds as
+                // denominators; where no finite bound exists, fall back to
+                // max(estimate, k) so the denominator never undershoots.
+                let bounds = compute_bounds(statics, s);
+                let mut num = 0.0;
+                let mut den = 0.0;
+                for (i, st) in statics.nodes.iter().enumerate() {
+                    let c = s.node(i);
+                    let k = c.rows_output as f64;
+                    let n = if c.is_closed() {
+                        k.max(1.0)
+                    } else if bounds[i].ub.is_finite() {
+                        bounds[i].ub.max(k).max(1.0)
+                    } else {
+                        st.known_rows.unwrap_or(st.est_rows).max(k).max(1.0)
+                    };
+                    num += k.min(n);
+                    den += n;
+                }
+                if den <= 0.0 {
+                    0.0
+                } else {
+                    (num / den).clamp(0.0, 1.0)
+                }
+            }
+        }
+    }
+}
+
+impl SingleEstimator for PipelineMember {
+    fn id(&self) -> &'static str {
+        self.id
+    }
+
+    fn estimate(&self, s: &DmvSnapshot) -> ProgressReport {
+        let mut report = self.inner.estimate(s);
+        report.query_progress = self.query_progress(s);
+        report
+    }
+}
+
+/// Tuning of the online selection layer. All fields are deterministic
+/// inputs; the `seed` only breaks exact score ties, so two configs
+/// differing only in seed produce identical estimates whenever no tie
+/// occurs.
+#[derive(Debug, Clone)]
+pub struct EnsembleConfig {
+    /// Tie-break seed (replay determinism; never affects non-tied picks).
+    pub seed: u64,
+    /// Observations before the pipeline-shape prior stops dominating.
+    pub warmup_snapshots: u64,
+    /// Inverse-power sharpness of the loss → weight mapping. Higher values
+    /// concentrate weight on the best-scoring member.
+    pub sharpness: f64,
+    /// Penalty coefficient for monotonicity-violation mass (true progress
+    /// never decreases; an estimator that backslides is lying somewhere).
+    pub mono_coeff: f64,
+    /// Penalty coefficient for refinement churn (instability of a member's
+    /// total-cardinality view between snapshots).
+    pub churn_coeff: f64,
+    /// Penalty coefficient for per-snapshot disagreement with the member
+    /// median.
+    pub disagree_coeff: f64,
+}
+
+impl EnsembleConfig {
+    /// The standard tuning used by the server poller and the harness.
+    pub fn standard(seed: u64) -> Self {
+        EnsembleConfig {
+            seed,
+            warmup_snapshots: 1,
+            sharpness: 10.0,
+            mono_coeff: 0.5,
+            churn_coeff: 0.05,
+            disagree_coeff: 0.005,
+        }
+    }
+}
+
+impl Default for EnsembleConfig {
+    fn default() -> Self {
+        Self::standard(0x1_9b5)
+    }
+}
+
+/// Online selection state: everything the ensemble has learned from the
+/// snapshot stream so far. A pure fold over the observed snapshots.
+#[derive(Debug, Clone)]
+struct SelectState {
+    /// Observations folded in so far.
+    observed: u64,
+    /// Σ rows_output across all nodes, per observed snapshot (the
+    /// numerator of retrospective true progress).
+    sum_k: Vec<f64>,
+    /// Per member: query-progress estimate per observed snapshot.
+    est_hist: Vec<Vec<f64>>,
+    /// Per member: last estimate (monotonicity basis).
+    last_est: Vec<f64>,
+    /// Per member: cumulative monotonicity-violation mass.
+    mono: Vec<f64>,
+    /// Per member: cumulative refinement churn (|ΔΣN̂| / ΣN̂).
+    churn: Vec<f64>,
+    /// Per member: last Σ refined_n (churn basis).
+    last_total_n: Vec<f64>,
+    /// Per member: cumulative |estimate − member median|.
+    disagree: Vec<f64>,
+    /// Current normalized weights.
+    weights: Vec<f64>,
+    /// Current selected member index (arg-max weight, seeded tie-break).
+    selected: usize,
+}
+
+impl SelectState {
+    fn new(n_members: usize, prior: &[f64], seed: u64) -> Self {
+        SelectState {
+            observed: 0,
+            sum_k: Vec::new(),
+            est_hist: vec![Vec::new(); n_members],
+            last_est: vec![0.0; n_members],
+            mono: vec![0.0; n_members],
+            churn: vec![0.0; n_members],
+            last_total_n: vec![0.0; n_members],
+            disagree: vec![0.0; n_members],
+            weights: prior.to_vec(),
+            selected: argmax_tiebreak(prior, seed),
+        }
+    }
+}
+
+/// FNV-1a of `(seed, index)` — the deterministic tie-break ordering.
+fn tie_rank(seed: u64, index: usize) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64 ^ seed;
+    for b in (index as u64).to_le_bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x1_0000_0000_01b3);
+    }
+    h
+}
+
+/// Index of the maximum weight; exact ties resolve by the seeded FNV rank
+/// (then index, for the astronomically unlikely rank collision).
+fn argmax_tiebreak(weights: &[f64], seed: u64) -> usize {
+    let mut best = 0usize;
+    for i in 1..weights.len() {
+        if weights[i] > weights[best]
+            || (weights[i] == weights[best] && tie_rank(seed, i) < tie_rank(seed, best))
+        {
+            best = i;
+        }
+    }
+    best
+}
+
+/// Median of a small sample (deterministic; `NaN`-free inputs).
+fn median(values: &mut [f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.sort_by(|a, b| a.partial_cmp(b).expect("finite estimates"));
+    let mid = values.len() / 2;
+    if values.len() % 2 == 1 {
+        values[mid]
+    } else {
+        0.5 * (values[mid - 1] + values[mid])
+    }
+}
+
+/// One deterministic replay of an ensemble over a recorded snapshot trace.
+#[derive(Debug, Clone)]
+pub struct EnsembleReplay {
+    /// Ensemble query-progress estimate per snapshot.
+    pub estimates: Vec<f64>,
+    /// Per member (ensemble order): query-progress estimate per snapshot.
+    pub member_estimates: Vec<Vec<f64>>,
+    /// Final selection (after the last snapshot).
+    pub selection: EnsembleSelection,
+}
+
+/// The ensemble: a fixed member set plus online selection state.
+///
+/// Live consumers drive it through [`EnsembleEstimator::observe`] (stateful,
+/// one call per received snapshot); offline consumers use
+/// [`EnsembleEstimator::replay`], which folds a whole recorded trace through
+/// a *fresh* selection state without touching the live one — the poller's
+/// accuracy scoring and the harness's §5 comparison both go through replay,
+/// which is what keeps online metrics bit-identical to offline recomputation.
+pub struct EnsembleEstimator {
+    members: Vec<Box<dyn SingleEstimator>>,
+    config: EnsembleConfig,
+    /// Pipeline-shape prior over members (normalized).
+    prior: Vec<f64>,
+    state: SelectState,
+}
+
+impl EnsembleEstimator {
+    /// Build the standard member set for `plan`: `lqs` (the shipped §4
+    /// estimator), `dne`, `tgn`, `norefine`, `pmax`, `safe`. Member 0
+    /// (`lqs`) is also the reference whose refined cardinalities anchor the
+    /// retrospective-loss denominator.
+    pub fn build(
+        plan: &PhysicalPlan,
+        db: &Database,
+        cost: &lqs_plan::CostModel,
+        config: EnsembleConfig,
+    ) -> Self {
+        let norefine = EstimatorConfig {
+            refine_cardinality: false,
+            propagate_refined: false,
+            ..EstimatorConfig::full()
+        };
+        let reference = ProgressEstimator::with_cost_model(plan, db, EstimatorConfig::full(), cost);
+        let prior = shape_prior(N_MEMBERS, reference.statics());
+        let members: Vec<Box<dyn SingleEstimator>> = vec![
+            Box::new(ConfigMember {
+                id: "lqs",
+                estimator: reference,
+            }),
+            Box::new(ConfigMember {
+                id: "dne",
+                estimator: ProgressEstimator::with_cost_model(
+                    plan,
+                    db,
+                    EstimatorConfig::dne_refined(),
+                    cost,
+                ),
+            }),
+            Box::new(ConfigMember {
+                id: "tgn",
+                estimator: ProgressEstimator::with_cost_model(
+                    plan,
+                    db,
+                    EstimatorConfig::tgn(),
+                    cost,
+                ),
+            }),
+            Box::new(ConfigMember {
+                id: "norefine",
+                estimator: ProgressEstimator::with_cost_model(plan, db, norefine, cost),
+            }),
+            Box::new(PipelineMember {
+                id: "pmax",
+                model: PipelineModel::DominantWork,
+                inner: ProgressEstimator::with_cost_model(
+                    plan,
+                    db,
+                    EstimatorConfig::tgn_bounded(),
+                    cost,
+                ),
+            }),
+            Box::new(PipelineMember {
+                id: "safe",
+                model: PipelineModel::SafeBounds,
+                inner: ProgressEstimator::with_cost_model(
+                    plan,
+                    db,
+                    EstimatorConfig::tgn_bounded(),
+                    cost,
+                ),
+            }),
+        ];
+        debug_assert_eq!(members.len(), N_MEMBERS);
+        let state = SelectState::new(members.len(), &prior, config.seed);
+        EnsembleEstimator {
+            members,
+            config,
+            prior,
+            state,
+        }
+    }
+
+    /// The member ids, in ensemble (and weight) order.
+    pub fn member_ids(&self) -> Vec<&'static str> {
+        self.members.iter().map(|m| m.id()).collect()
+    }
+
+    /// The competing members, for stateless per-member scoring.
+    pub fn members(&self) -> impl Iterator<Item = &dyn SingleEstimator> {
+        self.members.iter().map(|m| m.as_ref())
+    }
+
+    /// The current selection (weights + arg-max member) of the *live*
+    /// state.
+    pub fn selection(&self) -> EnsembleSelection {
+        self.selection_of(&self.state)
+    }
+
+    fn selection_of(&self, state: &SelectState) -> EnsembleSelection {
+        EnsembleSelection {
+            selected: self.members[state.selected].id(),
+            weights: self
+                .members
+                .iter()
+                .zip(&state.weights)
+                .map(|(m, w)| (m.id(), *w))
+                .collect(),
+        }
+    }
+
+    /// Observe one snapshot: estimate with every member, update the
+    /// selection state (unless `freeze` — the guard sets it once the
+    /// telemetry stream has misbehaved, so selection never switches on
+    /// reconstructed data), and report the weighted ensemble figure with
+    /// the selected member's per-node detail.
+    pub fn observe(&mut self, s: &DmvSnapshot, freeze: bool) -> ProgressReport {
+        let reports: Vec<ProgressReport> = self.members.iter().map(|m| m.estimate(s)).collect();
+        if !freeze {
+            let mut state = std::mem::replace(&mut self.state, SelectState::new(0, &[], 0));
+            self.fold_observation(&mut state, s, &reports);
+            self.state = state;
+        }
+        self.compose(&self.state, &reports)
+    }
+
+    /// Fold a whole recorded trace through a fresh selection state,
+    /// returning every member's estimate sequence, the ensemble's, and the
+    /// final selection. Does not touch the live state; byte-for-byte
+    /// deterministic for a given trace.
+    pub fn replay(&self, snapshots: &[DmvSnapshot]) -> EnsembleReplay {
+        let mut state = SelectState::new(self.members.len(), &self.prior, self.config.seed);
+        let mut estimates = Vec::with_capacity(snapshots.len());
+        let mut member_estimates = vec![Vec::with_capacity(snapshots.len()); self.members.len()];
+        for s in snapshots {
+            let reports: Vec<ProgressReport> = self.members.iter().map(|m| m.estimate(s)).collect();
+            self.fold_observation(&mut state, s, &reports);
+            for (i, r) in reports.iter().enumerate() {
+                member_estimates[i].push(r.query_progress);
+            }
+            estimates.push(self.compose(&state, &reports).query_progress);
+        }
+        EnsembleReplay {
+            estimates,
+            member_estimates,
+            selection: self.selection_of(&state),
+        }
+    }
+
+    /// The weighted ensemble report for one snapshot's member reports:
+    /// per-node detail from the selected member, query progress as the
+    /// weighted mean of member estimates (inside their `[min, max]`
+    /// envelope by construction).
+    fn compose(&self, state: &SelectState, reports: &[ProgressReport]) -> ProgressReport {
+        let mut report = reports[state.selected].clone();
+        // Blend only the members the selection layer still takes seriously:
+        // a renormalized weighted mean over members within a fixed factor of
+        // the top weight. This keeps the smoothing benefit of averaging
+        // near-equals while refusing to let a discredited member drag the
+        // figure (the estimate stays inside the full member [min, max]
+        // envelope either way, since it is a convex combination).
+        let top = state
+            .weights
+            .iter()
+            .cloned()
+            .fold(0.0f64, f64::max)
+            .max(f64::MIN_POSITIVE);
+        let mut num = 0.0;
+        let mut den = 0.0;
+        for (r, &w) in reports.iter().zip(&state.weights) {
+            if w >= top * BLEND_FLOOR {
+                num += w * r.query_progress;
+                den += w;
+            }
+        }
+        let blended = if den > 0.0 {
+            num / den
+        } else {
+            reports[state.selected].query_progress
+        };
+        report.query_progress = blended.clamp(0.0, 1.0);
+        report.ensemble = Some(self.selection_of(state));
+        report
+    }
+
+    /// Fold one observation into `state`: histories, penalty masses,
+    /// retrospective losses, weights, selection.
+    fn fold_observation(
+        &self,
+        state: &mut SelectState,
+        s: &DmvSnapshot,
+        reports: &[ProgressReport],
+    ) {
+        let n_members = self.members.len();
+        state.observed += 1;
+        state
+            .sum_k
+            .push(s.nodes.iter().map(|c| c.rows_output as f64).sum());
+
+        // Per-snapshot disagreement against the member median.
+        let mut ests: Vec<f64> = reports.iter().map(|r| r.query_progress).collect();
+        let med = median(&mut ests);
+        for (m, r) in reports.iter().enumerate() {
+            state.disagree[m] += (r.query_progress - med).abs();
+        }
+
+        for (m, r) in reports.iter().enumerate() {
+            let est = r.query_progress;
+            // Monotonicity-violation mass: true progress never decreases.
+            if state.observed > 1 {
+                state.mono[m] += (state.last_est[m] - est).max(0.0);
+            }
+            state.last_est[m] = est;
+            state.est_hist[m].push(est);
+            // Refinement churn: movement of the member's total-cardinality
+            // view between consecutive snapshots, normalized.
+            let total_n: f64 = r.nodes.iter().map(|n| n.refined_n).sum();
+            if state.observed > 1 && state.last_total_n[m] > 0.0 {
+                state.churn[m] +=
+                    (total_n - state.last_total_n[m]).abs() / state.last_total_n[m].max(1.0);
+            }
+            state.last_total_n[m] = total_n;
+        }
+
+        // Retrospective truth denominator: per-node *median* of the
+        // members' refined cardinalities, floored by observed counts, then
+        // summed. A median (not any single reference member) keeps the
+        // reconstruction honest when one member's refined view collapses
+        // mid-run — a saturated member would otherwise shrink the
+        // denominator and make every over-estimator look retrospectively
+        // right. Closed nodes pin refined_n to the exact final k in every
+        // member, so this still converges to the §5 ground-truth
+        // denominator as the run completes.
+        let n_nodes = reports[0].nodes.len();
+        let mut denom = 0.0f64;
+        let mut per_member = vec![0.0f64; n_members];
+        for node in 0..n_nodes {
+            for (m, r) in reports.iter().enumerate() {
+                let n = &r.nodes[node];
+                per_member[m] = n.refined_n.max(n.k);
+            }
+            denom += median(&mut per_member);
+        }
+        let denom = denom.max(1.0);
+
+        // Retrospective loss per member: how far its past estimates sit
+        // from the *current best reconstruction* of true progress at those
+        // past snapshots.
+        let obs = state.observed as f64;
+        let mut scores = vec![0.0f64; n_members];
+        for (m, hist) in state.est_hist.iter().enumerate() {
+            let mut loss = 0.0;
+            for (j, est) in hist.iter().enumerate() {
+                let truth = (state.sum_k[j] / denom).clamp(0.0, 1.0);
+                loss += (est - truth).abs();
+            }
+            scores[m] = loss / obs
+                + self.config.mono_coeff * state.mono[m] / obs
+                + self.config.churn_coeff * state.churn[m] / obs
+                + self.config.disagree_coeff * state.disagree[m] / obs;
+        }
+
+        // Weights: inverse-power of the score, blended with the
+        // pipeline-shape prior during warmup (the prior's influence decays
+        // as observations accumulate).
+        const EPS: f64 = 1e-4;
+        let mut inv: Vec<f64> = scores
+            .iter()
+            .map(|&sc| (sc + EPS).powf(-self.config.sharpness))
+            .collect();
+        let inv_sum: f64 = inv.iter().sum();
+        if inv_sum > 0.0 && inv_sum.is_finite() {
+            for w in &mut inv {
+                *w /= inv_sum;
+            }
+        } else {
+            inv = self.prior.clone();
+        }
+        let prior_mix =
+            self.config.warmup_snapshots as f64 / (self.config.warmup_snapshots as f64 + obs);
+        let mut weights: Vec<f64> = inv
+            .iter()
+            .zip(&self.prior)
+            .map(|(w, p)| prior_mix * p + (1.0 - prior_mix) * w)
+            .collect();
+        let w_sum: f64 = weights.iter().sum();
+        if w_sum > 0.0 {
+            for w in &mut weights {
+                *w /= w_sum;
+            }
+        }
+        state.selected = argmax_tiebreak(&weights, self.config.seed);
+        state.weights = weights;
+    }
+}
+
+/// Number of members in the standard ensemble.
+const N_MEMBERS: usize = 6;
+
+/// Members whose weight is below this fraction of the top weight are left
+/// out of the composed blend (they still compete for selection — their
+/// scores keep updating every snapshot).
+const BLEND_FLOOR: f64 = 0.25;
+
+/// Prior over members from pipeline shape features. The base preference
+/// order is the one the robust-estimation paper observed globally — the
+/// full model first, then the driver-node and dominant-pipeline models,
+/// then the baselines — skewed by what the plan's shape says about which
+/// models can even be right here.
+fn shape_prior(n_members: usize, statics: &PlanStatics) -> Vec<f64> {
+    // Base preference: lqs, dne, tgn, norefine, pmax, safe.
+    let mut prior = vec![0.40, 0.15, 0.08, 0.12, 0.15, 0.10];
+    prior.truncate(n_members);
+    while prior.len() < n_members {
+        prior.push(0.05);
+    }
+    let n_pipelines = statics.pipelines.pipelines().len();
+    let any_batch = statics.nodes.iter().any(|n| n.batch_mode);
+    let any_blocking = statics.nodes.iter().any(|n| n.blocking);
+    let any_filtered = statics.nodes.iter().any(|n| n.storage_filtered);
+    if n_pipelines <= 1 && !any_blocking {
+        // Single streaming pipeline: the driver-node and dominant-pipeline
+        // views coincide with the truth.
+        prior[1] += 0.10;
+        prior[4] += 0.10;
+    }
+    if any_batch {
+        // Segment-fraction progress only exists in the full model.
+        prior[0] += 0.15;
+    }
+    if any_filtered {
+        // Storage-filtered scans make optimizer cardinalities unreliable;
+        // refinement (lqs/dne) and worst-case bounds (safe) hedge that.
+        prior[0] += 0.05;
+        prior[1] += 0.05;
+        prior[5] += 0.05;
+    }
+    let sum: f64 = prior.iter().sum();
+    for p in &mut prior {
+        *p /= sum;
+    }
+    prior
+}

@@ -69,6 +69,19 @@ impl EstimateQuality {
     }
 }
 
+/// Which ensemble member produced (and how members were weighted behind)
+/// a [`ProgressReport`]. Only present on reports composed by the
+/// [`crate::ensemble::EnsembleEstimator`]; plain single-estimator reports
+/// carry `None`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EnsembleSelection {
+    /// Id of the arg-max-weight member whose per-node detail the report
+    /// carries (seeded deterministic tie-break).
+    pub selected: &'static str,
+    /// Normalized member weights, in ensemble member order.
+    pub weights: Vec<(&'static str, f64)>,
+}
+
 /// Full progress report for one snapshot.
 #[derive(Debug, Clone)]
 pub struct ProgressReport {
@@ -87,6 +100,9 @@ pub struct ProgressReport {
     /// relative to the newest telemetry the producer has seen. Zero for a
     /// report computed from the latest snapshot.
     pub staleness_ns: u64,
+    /// Ensemble selection behind this report, when an
+    /// [`crate::ensemble::EnsembleEstimator`] composed it.
+    pub ensemble: Option<EnsembleSelection>,
 }
 
 /// The estimator, constructed once per (plan, database) pair and then
@@ -214,6 +230,7 @@ impl ProgressEstimator {
             counters,
             quality: EstimateQuality::Fresh,
             staleness_ns: 0,
+            ensemble: None,
         }
     }
 

@@ -17,6 +17,7 @@
 //! [`ProgressReport`] with an [`EstimateQuality`] plus a staleness age, so
 //! consumers can tell a trustworthy figure from a reconstructed one.
 
+use crate::ensemble::EnsembleEstimator;
 use crate::estimator::{EstimateQuality, ProgressEstimator, ProgressReport};
 use lqs_exec::{DmvSnapshot, NodeCounters};
 
@@ -179,26 +180,63 @@ impl SnapshotGuard {
 /// the same §4 bounds and clamps as a fault-free stream — and once the
 /// genuine final snapshot arrives (in any order, amid any garbage), the
 /// view equals it, so the final report converges to the fault-free one.
+///
+/// The inner model may be a classic single [`ProgressEstimator`] or an
+/// [`EnsembleEstimator`]. With an ensemble inner, a degraded stream (any
+/// absorbed anomaly) additionally **freezes ensemble selection**: the
+/// member estimates still flow, but the selection state stops updating, so
+/// the ensemble never switches estimators on reconstructed telemetry.
+/// Anomaly counts are monotone — quality is `Degraded` forever once the
+/// stream has misbehaved — so the freeze is likewise permanent.
 pub struct GuardedEstimator {
-    estimator: ProgressEstimator,
+    inner: GuardedInner,
     guard: SnapshotGuard,
     last_report: Option<ProgressReport>,
 }
 
+/// The model behind a [`GuardedEstimator`].
+enum GuardedInner {
+    /// One fixed estimator configuration.
+    Single(ProgressEstimator),
+    /// The competing-estimator ensemble with online selection.
+    Ensemble(EnsembleEstimator),
+}
+
 impl GuardedEstimator {
-    /// Wrap `estimator` for a plan with `n_nodes` nodes.
+    /// Wrap a single `estimator` for a plan with `n_nodes` nodes.
     pub fn new(estimator: ProgressEstimator, n_nodes: usize) -> Self {
         GuardedEstimator {
-            estimator,
+            inner: GuardedInner::Single(estimator),
             guard: SnapshotGuard::new(n_nodes),
             last_report: None,
         }
     }
 
-    /// The raw inner estimator (stateless `estimate`; used where bit-parity
-    /// with offline replay matters, e.g. accuracy scoring).
-    pub fn estimator(&self) -> &ProgressEstimator {
-        &self.estimator
+    /// Wrap an `ensemble` for a plan with `n_nodes` nodes.
+    pub fn new_ensemble(ensemble: EnsembleEstimator, n_nodes: usize) -> Self {
+        GuardedEstimator {
+            inner: GuardedInner::Ensemble(ensemble),
+            guard: SnapshotGuard::new(n_nodes),
+            last_report: None,
+        }
+    }
+
+    /// The raw inner single estimator (stateless `estimate`; used where
+    /// bit-parity with offline replay matters, e.g. accuracy scoring).
+    /// `None` when the inner model is an ensemble.
+    pub fn single(&self) -> Option<&ProgressEstimator> {
+        match &self.inner {
+            GuardedInner::Single(e) => Some(e),
+            GuardedInner::Ensemble(_) => None,
+        }
+    }
+
+    /// The inner ensemble, when this guard wraps one.
+    pub fn ensemble(&self) -> Option<&EnsembleEstimator> {
+        match &self.inner {
+            GuardedInner::Single(_) => None,
+            GuardedInner::Ensemble(e) => Some(e),
+        }
     }
 
     /// The guard's anomaly tallies.
@@ -212,17 +250,26 @@ impl GuardedEstimator {
     /// estimated from an all-zero counter state — progress 0, `Degraded`.
     pub fn observe(&mut self, s: &DmvSnapshot) -> ProgressReport {
         self.guard.ingest(s);
-        let mut report = match self.guard.view() {
-            Some(view) => self.estimator.estimate(view),
+        let degraded = self.guard.anomalies().total() > 0;
+        let zero;
+        let view = match self.guard.view() {
+            Some(view) => view,
             None => {
-                let zero = DmvSnapshot {
+                zero = DmvSnapshot {
                     ts_ns: 0,
                     nodes: vec![NodeCounters::default(); self.guard.n_nodes()],
                 };
-                self.estimator.estimate(&zero)
+                &zero
             }
         };
-        if self.guard.anomalies().total() > 0 {
+        let mut report = match &mut self.inner {
+            GuardedInner::Single(e) => e.estimate(view),
+            // Degraded telemetry freezes ensemble selection: estimates keep
+            // flowing from the already-chosen weights, but no switching
+            // happens on reconstructed data.
+            GuardedInner::Ensemble(e) => e.observe(view, degraded),
+        };
+        if degraded {
             report.quality = EstimateQuality::Degraded;
         }
         report.staleness_ns = 0;
@@ -312,5 +359,86 @@ mod tests {
         assert!(!g.ingest(&snap(10, 5))); // only 1 node
         assert_eq!(g.anomalies().malformed, 1);
         assert!(g.view().is_none());
+    }
+
+    fn scan_plan() -> (lqs_storage::Database, lqs_plan::PhysicalPlan) {
+        use lqs_storage::{Column, DataType, Schema, Table, Value};
+        let mut t = Table::new("t", Schema::new(vec![Column::new("id", DataType::Int)]));
+        for i in 0..1_000 {
+            t.insert(vec![Value::Int(i)]).unwrap();
+        }
+        let mut db = lqs_storage::Database::new();
+        let tid = db.add_table_analyzed(t);
+        let mut b = lqs_plan::PlanBuilder::new(&db);
+        let s = b.table_scan(tid);
+        let plan = b.finish(s);
+        (db, plan)
+    }
+
+    /// Regression (staleness interplay): once telemetry degrades, the
+    /// ensemble must stop switching estimators — selection is computed from
+    /// reconstructed data it can no longer trust. The freeze is permanent
+    /// because anomaly counts are monotone (quality is `Degraded` forever).
+    #[test]
+    fn degraded_stream_freezes_ensemble_selection() {
+        use crate::ensemble::{EnsembleConfig, EnsembleEstimator};
+        let (db, plan) = scan_plan();
+        let ens = EnsembleEstimator::build(
+            &plan,
+            &db,
+            &lqs_plan::CostModel::default(),
+            EnsembleConfig::standard(7),
+        );
+        let mut g = GuardedEstimator::new_ensemble(ens, plan.len());
+        let n = plan.len();
+        let wide = |ts: u64, rows: u64| DmvSnapshot {
+            ts_ns: ts,
+            nodes: vec![counters(rows, rows / 10); n],
+        };
+        for i in 1..=5u64 {
+            let r = g.observe(&wide(i * 10, i * 100));
+            assert_eq!(r.quality, EstimateQuality::Fresh);
+            assert!(r.ensemble.is_some(), "ensemble reports carry selection");
+        }
+        let before = g.ensemble().unwrap().selection();
+        // Out-of-order snapshot: anomaly → Degraded → selection frozen.
+        let r = g.observe(&wide(20, 150));
+        assert_eq!(r.quality, EstimateQuality::Degraded);
+        assert_eq!(g.ensemble().unwrap().selection(), before);
+        // Clean-looking follow-ups never unfreeze it either.
+        let r2 = g.observe(&wide(100, 900));
+        assert_eq!(r2.quality, EstimateQuality::Degraded);
+        assert_eq!(g.ensemble().unwrap().selection(), before);
+        assert_eq!(r2.ensemble, Some(before));
+        let _ = r;
+    }
+
+    /// The same stream without the fault *does* keep updating selection
+    /// state (the freeze test above is meaningful).
+    #[test]
+    fn clean_stream_keeps_updating_ensemble_state() {
+        use crate::ensemble::{EnsembleConfig, EnsembleEstimator};
+        let (db, plan) = scan_plan();
+        let ens = EnsembleEstimator::build(
+            &plan,
+            &db,
+            &lqs_plan::CostModel::default(),
+            EnsembleConfig::standard(7),
+        );
+        let n = plan.len();
+        let mut g = GuardedEstimator::new_ensemble(ens, n);
+        let wide = |ts: u64, rows: u64| DmvSnapshot {
+            ts_ns: ts,
+            nodes: vec![counters(rows, rows / 10); n],
+        };
+        g.observe(&wide(10, 100));
+        let early = g.ensemble().unwrap().selection();
+        for i in 2..=8u64 {
+            g.observe(&wide(i * 10, i * 100));
+        }
+        let late = g.ensemble().unwrap().selection();
+        // Weights move as evidence accumulates (selection id may or may not
+        // change, but the weight vector cannot be byte-identical).
+        assert_ne!(early.weights, late.weights);
     }
 }

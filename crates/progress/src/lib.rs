@@ -17,6 +17,11 @@
 //! | 4.7 | batch-mode segment progress | [`estimator`] |
 //! | 5 | Errorcount / Errortime metrics | [`metrics`] |
 //!
+//! Beyond the paper, [`ensemble`] implements the robust-estimation
+//! extension (König et al.): competing single estimators behind a
+//! [`SingleEstimator`] trait plus an online statistical selection layer
+//! ([`EnsembleEstimator`]) that weights them per query.
+//!
 //! Every technique is an independent toggle in [`EstimatorConfig`], so the
 //! paper's ablation experiments are config deltas.
 
@@ -24,6 +29,7 @@
 
 pub mod bounds;
 pub mod config;
+pub mod ensemble;
 pub mod estimator;
 pub mod explain;
 pub mod guard;
@@ -33,7 +39,10 @@ pub mod weights;
 
 pub use bounds::{compute_bounds, Bounds};
 pub use config::{EstimatorConfig, QueryModel};
-pub use estimator::{EstimateQuality, NodeProgress, ProgressEstimator, ProgressReport};
+pub use ensemble::{EnsembleConfig, EnsembleEstimator, EnsembleReplay, SingleEstimator};
+pub use estimator::{
+    EnsembleSelection, EstimateQuality, NodeProgress, ProgressEstimator, ProgressReport,
+};
 pub use explain::{EstimationPath, ExplainCounters, Explanation, RefinementSource};
 pub use guard::{AnomalyCounts, GuardedEstimator, SnapshotGuard};
 pub use metrics::{error_count, error_time, PerOperatorError};

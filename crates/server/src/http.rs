@@ -757,6 +757,7 @@ fn sessions_json(sessions: &SessionRegistry) -> String {
             // Only the position is listed, so read just the slot header —
             // no counter copy.
             let snapshot_ts = h.latest_snapshot_ts();
+            let selection = h.estimator_selection();
             Value::Object(vec![
                 ("id".into(), Value::Int(h.id().0 as i64)),
                 ("name".into(), Value::String(h.name().into())),
@@ -778,6 +779,24 @@ fn sessions_json(sessions: &SessionRegistry) -> String {
                 (
                     "snapshot_ts_ns".into(),
                     snapshot_ts.map_or(Value::Null, |ts| Value::Int(ts as i64)),
+                ),
+                // null = classic single estimator (no ensemble attached).
+                (
+                    "estimator".into(),
+                    selection
+                        .as_ref()
+                        .map_or(Value::Null, |sel| Value::String(sel.selected.into())),
+                ),
+                (
+                    "weights".into(),
+                    selection.as_ref().map_or(Value::Null, |sel| {
+                        Value::Object(
+                            sel.weights
+                                .iter()
+                                .map(|(id, w)| ((*id).into(), Value::Float(*w)))
+                                .collect(),
+                        )
+                    }),
                 ),
             ])
         })
@@ -898,6 +917,10 @@ fn session_row(s: &SessionHistory) -> Value {
         ),
         ("error_avg".into(), opt_float(s.error_avg)),
         ("error_time".into(), opt_float(s.error_time)),
+        (
+            "estimator".into(),
+            s.estimator.clone().map_or(Value::Null, Value::String),
+        ),
     ])
 }
 

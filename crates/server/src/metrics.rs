@@ -292,10 +292,19 @@ impl PollerMetrics {
         }
     }
 
-    /// Fold one completed session's accuracy figures into the per-workload
-    /// families.
-    pub(crate) fn observe_accuracy(&self, workload: &str, error_count: f64, error_time: f64) {
-        let labels = [("workload", workload)];
+    /// Fold one completed session's accuracy figures into the per-workload,
+    /// per-estimator families. `estimator` is the scoring model's id:
+    /// `"lqs"` for the classic single estimator, a member id (`"dne"`,
+    /// `"tgn"`, ...) for individual ensemble members, `"ensemble"` for the
+    /// composed estimate.
+    pub(crate) fn observe_accuracy(
+        &self,
+        workload: &str,
+        estimator: &str,
+        error_count: f64,
+        error_time: f64,
+    ) {
+        let labels = [("estimator", estimator), ("workload", workload)];
         self.registry
             .histogram(
                 "lqs_estimator_error_count",
@@ -310,6 +319,11 @@ impl PollerMetrics {
                 &labels,
             )
             .observe(error_time);
+    }
+
+    /// Count one completed session as accuracy-scored (once per session,
+    /// however many estimators [`Self::observe_accuracy`] recorded for it).
+    pub(crate) fn accuracy_session_done(&self) {
         self.accuracy_sessions.inc();
     }
 }

@@ -12,8 +12,8 @@ use crate::session::{
     SessionState,
 };
 use lqs_progress::{
-    error_count, error_time, EstimateQuality, EstimatorConfig, GuardedEstimator, ProgressEstimator,
-    ProgressReport,
+    error_count, error_time, EnsembleConfig, EnsembleEstimator, EstimateQuality, EstimatorConfig,
+    GuardedEstimator, ProgressEstimator, ProgressReport,
 };
 use lqs_storage::Database;
 use std::collections::{HashMap, HashSet};
@@ -166,6 +166,10 @@ pub struct RegistryPoller {
     round: u64,
     /// Snapshot age beyond which a served report is downgraded to `Stale`.
     stale_after: Duration,
+    /// When set, sessions are estimated by the competing-estimator ensemble
+    /// (built per session with this tuning) instead of the single `config`
+    /// estimator, and accuracy scoring covers every member.
+    ensemble: Option<EnsembleConfig>,
     /// Reusable snapshot buffer: every poll copies the session's seqlock
     /// slot into this instead of allocating a fresh snapshot per session
     /// per round.
@@ -187,11 +191,22 @@ impl RegistryPoller {
             backoff: HashMap::new(),
             round: 0,
             stale_after: Duration::from_secs(1),
+            ensemble: None,
             scratch: lqs_exec::DmvSnapshot {
                 ts_ns: 0,
                 nodes: Vec::new(),
             },
         }
+    }
+
+    /// Estimate with the competing-estimator ensemble (one
+    /// [`EnsembleEstimator`] per session, tuned by `cfg`) instead of the
+    /// single configured estimator. Accuracy scoring then covers every
+    /// member plus the ensemble, and terminal sessions get their final
+    /// selection journaled and exposed on `GET /sessions`.
+    pub fn with_ensemble(mut self, cfg: EnsembleConfig) -> Self {
+        self.ensemble = Some(cfg);
+        self
     }
 
     /// Record poll latency, snapshot staleness, and estimator accuracy
@@ -317,22 +332,24 @@ impl RegistryPoller {
             let n_nodes = handle.plan().len();
             let db = &self.db;
             let config = &self.config;
-            let guarded = self.estimators.entry(id).or_insert_with(|| {
-                // Matching weights require the session's cost model
-                // (the same parity rule as the harness's
-                // `estimator_for_run`).
-                GuardedEstimator::new(
-                    ProgressEstimator::with_cost_model(
-                        handle.plan(),
-                        db,
-                        config.clone(),
-                        &handle.opts().cost_model,
-                    ),
-                    n_nodes,
-                )
-            });
+            let ensemble = self.ensemble.as_ref();
+            let guarded = self
+                .estimators
+                .entry(id)
+                .or_insert_with(|| make_guarded(db, config, ensemble, handle));
             if snap.nodes.len() == n_nodes {
-                (Some(guarded.observe(snap)), Some(snap.ts_ns))
+                let report = guarded.observe(snap);
+                // Surface the live ensemble selection on the handle so
+                // `GET /sessions` can show it mid-run — but never for a
+                // terminal session, whose stash is the deterministic
+                // full-trace replay selection written by
+                // `maybe_score_accuracy` (which already ran above).
+                if let Some(sel) = &report.ensemble {
+                    if !handle.state().is_terminal() {
+                        handle.set_estimator_selection(sel.clone());
+                    }
+                }
+                (Some(report), Some(snap.ts_ns))
             } else {
                 let _ = guarded; // keep the estimator; drop the snapshot
                 let prev = self.last_seen.get(&id);
@@ -433,11 +450,13 @@ impl RegistryPoller {
     /// Estimator-accuracy self-telemetry (the paper's §5 evaluation, run
     /// online): the first time this poller sees `handle` terminal with a
     /// completed run, replay the run's full snapshot trace through the
-    /// session's live estimator, score it against the now-known ground
-    /// truth, and fold the two error figures into the per-workload
-    /// accuracy histograms.
+    /// session's estimator(s), score against the now-known ground truth,
+    /// and fold the error figures into the per-workload, per-estimator
+    /// accuracy histograms. With an ensemble poller, every member is scored
+    /// individually plus the composed `"ensemble"` figure, and the replay's
+    /// final selection is journaled and stashed on the handle.
     fn maybe_score_accuracy(&mut self, handle: &SessionHandle) {
-        if self.metrics.is_none()
+        if (self.metrics.is_none() && self.ensemble.is_none())
             || self.accuracy_done.contains(&handle.id())
             || !handle.state().is_terminal()
         {
@@ -449,33 +468,74 @@ impl RegistryPoller {
         let Some(SessionResult::Completed(run)) = handle.result() else {
             return;
         };
-        let guarded = self.estimators.entry(handle.id()).or_insert_with(|| {
-            GuardedEstimator::new(
-                ProgressEstimator::with_cost_model(
-                    handle.plan(),
-                    &self.db,
-                    self.config.clone(),
-                    &handle.opts().cost_model,
-                ),
-                handle.plan().len(),
-            )
-        });
-        // Replay through the *raw* inner estimator: the run's recorded
-        // trace is already clean, and the accuracy figure must stay
-        // bit-identical to an offline replay (asserted in tests), which a
-        // guard's live anomaly state could perturb.
-        let estimator = guarded.estimator();
-        let estimates: Vec<f64> = run
-            .snapshots
-            .iter()
-            .map(|s| estimator.estimate(s).query_progress)
-            .collect();
-        let metrics = self.metrics.as_ref().expect("checked above");
-        metrics.observe_accuracy(
-            handle.workload(),
-            error_count(&run, &estimates),
-            error_time(&run, &estimates),
-        );
+        let db = &self.db;
+        let config = &self.config;
+        let ensemble = self.ensemble.as_ref();
+        let guarded = self
+            .estimators
+            .entry(handle.id())
+            .or_insert_with(|| make_guarded(db, config, ensemble, handle));
+        // Replay through the *stateless* estimators (never the guard's live
+        // anomaly state): the run's recorded trace is already clean, and
+        // the accuracy figures must stay bit-identical to an offline replay
+        // of the same trace (asserted in tests). The poller's live state
+        // saw only the subsampled snapshots it happened to poll, so it is
+        // not deterministic across timing; the full-trace replay is.
+        match guarded.ensemble() {
+            None => {
+                let estimator = guarded.single().expect("single when not ensemble");
+                let estimates: Vec<f64> = run
+                    .snapshots
+                    .iter()
+                    .map(|s| estimator.estimate(s).query_progress)
+                    .collect();
+                if let Some(metrics) = &self.metrics {
+                    metrics.observe_accuracy(
+                        handle.workload(),
+                        "lqs",
+                        error_count(&run, &estimates),
+                        error_time(&run, &estimates),
+                    );
+                    metrics.accuracy_session_done();
+                }
+            }
+            Some(ens) => {
+                let member_ids = ens.member_ids();
+                let replay = ens.replay(&run.snapshots);
+                if let Some(metrics) = &self.metrics {
+                    for (id, estimates) in member_ids.iter().zip(&replay.member_estimates) {
+                        metrics.observe_accuracy(
+                            handle.workload(),
+                            id,
+                            error_count(&run, estimates),
+                            error_time(&run, estimates),
+                        );
+                    }
+                    metrics.observe_accuracy(
+                        handle.workload(),
+                        "ensemble",
+                        error_count(&run, &replay.estimates),
+                        error_time(&run, &replay.estimates),
+                    );
+                    metrics.accuracy_session_done();
+                }
+                // The replay's final selection is the authoritative one:
+                // journal it for post-mortems and pin it on the handle for
+                // `GET /sessions`.
+                if let Some(journal) = handle.journal() {
+                    journal.append_estimator(&lqs_journal::EstimatorRecord {
+                        selected: replay.selection.selected.to_owned(),
+                        weights: replay
+                            .selection
+                            .weights
+                            .iter()
+                            .map(|(id, w)| ((*id).to_owned(), *w))
+                            .collect(),
+                    });
+                }
+                handle.set_estimator_selection(replay.selection);
+            }
+        }
     }
 
     /// Number of estimators currently cached (one per polled session).
@@ -502,5 +562,33 @@ impl RegistryPoller {
         self.last_seen.retain(|id, _| live.contains(id));
         self.accuracy_done.retain(|id| live.contains(id));
         self.backoff.retain(|id, _| live.contains(id));
+    }
+}
+
+/// Build one session's guarded estimator: the competing-estimator ensemble
+/// when the poller runs with one, the single configured estimator
+/// otherwise. Either way the session's own cost model feeds the statics
+/// (the same parity rule as the harness's `estimator_for_run`).
+fn make_guarded(
+    db: &Database,
+    config: &EstimatorConfig,
+    ensemble: Option<&EnsembleConfig>,
+    handle: &SessionHandle,
+) -> GuardedEstimator {
+    let n_nodes = handle.plan().len();
+    match ensemble {
+        Some(cfg) => GuardedEstimator::new_ensemble(
+            EnsembleEstimator::build(handle.plan(), db, &handle.opts().cost_model, cfg.clone()),
+            n_nodes,
+        ),
+        None => GuardedEstimator::new(
+            ProgressEstimator::with_cost_model(
+                handle.plan(),
+                db,
+                config.clone(),
+                &handle.opts().cost_model,
+            ),
+            n_nodes,
+        ),
     }
 }

@@ -394,6 +394,7 @@ impl QueryService {
                 snapshot_interval_ns: handle.opts().snapshot_interval_ns,
                 cost_model: handle.opts().cost_model.clone(),
                 exec_mode: resolved_exec_mode(&handle),
+                estimator: None,
             };
             match journal.writer(meta) {
                 Ok(writer) => handle.attach_journal(Arc::new(writer)),

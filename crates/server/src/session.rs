@@ -272,6 +272,12 @@ pub struct SessionHandle {
     /// time (workers spawn before `with_*` builders run, so per-session
     /// policy rides the handle).
     shed: OnceLock<ShedPolicy>,
+    /// Latest ensemble estimator selection a poller computed for this
+    /// session (`None` for single-estimator pollers). Mid-run this tracks
+    /// the live selection; once the session terminates the poller overwrites
+    /// it with the deterministic full-trace replay selection, which is also
+    /// what gets journaled.
+    estimator_selection: Mutex<Option<lqs_progress::EnsembleSelection>>,
 }
 
 /// Cost-admission state one session carries: the service-wide admission
@@ -303,7 +309,23 @@ impl SessionHandle {
             reject_reason: OnceLock::new(),
             quarantined: AtomicBool::new(false),
             shed: OnceLock::new(),
+            estimator_selection: Mutex::new(None),
         }
+    }
+
+    /// Record the poller's current ensemble selection for this session.
+    pub(crate) fn set_estimator_selection(&self, sel: lqs_progress::EnsembleSelection) {
+        *self.estimator_selection.lock().expect("selection poisoned") = Some(sel);
+    }
+
+    /// The latest ensemble estimator selection recorded for this session
+    /// (`None` when no ensemble poller serves it). For terminal sessions
+    /// this is the deterministic full-trace replay selection.
+    pub fn estimator_selection(&self) -> Option<lqs_progress::EnsembleSelection> {
+        self.estimator_selection
+            .lock()
+            .expect("selection poisoned")
+            .clone()
     }
 
     /// Attach cost-admission state. At most once, at submit time;

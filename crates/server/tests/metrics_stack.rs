@@ -129,7 +129,7 @@ fn accuracy_telemetry_matches_direct_computation_exactly() {
         let expect_time = error_time(&run, &estimates);
 
         let workload = format!("w{i}");
-        let labels = [("workload", workload.as_str())];
+        let labels = [("estimator", "lqs"), ("workload", workload.as_str())];
         let h_count = registry.histogram("lqs_estimator_error_count", "", &labels);
         let h_time = registry.histogram("lqs_estimator_error_time", "", &labels);
         assert_eq!(h_count.count(), 1, "one scored session per workload");
@@ -147,7 +147,7 @@ fn accuracy_telemetry_matches_direct_computation_exactly() {
     poller.poll();
     for i in 0..plans.len() {
         let workload = format!("w{i}");
-        let labels = [("workload", workload.as_str())];
+        let labels = [("estimator", "lqs"), ("workload", workload.as_str())];
         assert_eq!(
             registry
                 .histogram("lqs_estimator_error_count", "", &labels)

@@ -86,7 +86,11 @@ fn poller_caches_stay_bounded_under_session_churn() {
     );
     assert_eq!(
         registry
-            .histogram("lqs_estimator_error_count", "", &[("workload", "churn")])
+            .histogram(
+                "lqs_estimator_error_count",
+                "",
+                &[("estimator", "lqs"), ("workload", "churn")],
+            )
             .count(),
         (ROUNDS * BATCH) as u64
     );
